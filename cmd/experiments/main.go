@@ -1,0 +1,100 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark corpora.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table2 -topic-docs 60000
+//	experiments -run table1,figure5 -seed 11
+//	experiments -run scale -paper-scale   # 684K-document throughput run
+//
+// Experiment ids: table1 table2 table3 table4 figure2 figure5 figure6
+// events p1 scale (or "all").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		run         = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		topicDocs   = flag.Int("topic-docs", 0, "topic corpus size (default 60000)")
+		productDocs = flag.Int("product-docs", 0, "product corpus size (default 60000)")
+		events      = flag.Int("events", 0, "events stream size (default 12000)")
+		seed        = flag.Int64("seed", 0, "random seed (default 2019)")
+		paperScale  = flag.Bool("paper-scale", false, "use the paper's corpus sizes (684K topic, 6.5M product; slow)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		TopicDocs: *topicDocs, ProductDocs: *productDocs, Events: *events, Seed: *seed,
+	}
+	if *paperScale {
+		cfg.TopicDocs = 684000
+		cfg.ProductDocs = 6500000
+	}
+
+	type experiment struct {
+		id  string
+		fn  func(experiments.Config) (reporter, error)
+		hdr string
+	}
+	all := []experiment{
+		{"table1", wrap(experiments.Table1), "Table 1 — dataset statistics"},
+		{"table2", wrap(experiments.Table2), "Table 2 — generative model vs DryBell"},
+		{"table3", wrap(experiments.Table3), "Table 3 — servable-LF ablation"},
+		{"table4", wrap(experiments.Table4), "Table 4 — equal-weights ablation"},
+		{"figure2", wrap(experiments.Figure2), "Figure 2 — LF category census"},
+		{"figure5", wrap(experiments.Figure5), "Figure 5 — hand-label trade-off"},
+		{"figure6", wrap(experiments.Figure6), "Figure 6 — score histograms"},
+		{"events", wrap(experiments.Events), "§6.4 — real-time events"},
+		{"p1", wrap(experiments.P1), "P1 — sampling-free vs Gibbs"},
+		{"scale", wrap(experiments.P2), "P2 — pipeline throughput"},
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ranAny := false
+	for _, e := range all {
+		if !want["all"] && !want[e.id] {
+			continue
+		}
+		ranAny = true
+		fmt.Printf("==== %s ====\n", e.hdr)
+		start := time.Now()
+		res, err := e.fn(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Report())
+		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if !ranAny {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}
+
+// reporter is the shared result surface.
+type reporter interface{ Report() string }
+
+// wrap adapts a typed experiment constructor to the generic runner.
+func wrap[T reporter](fn func(experiments.Config) (T, error)) func(experiments.Config) (reporter, error) {
+	return func(cfg experiments.Config) (reporter, error) {
+		res, err := fn(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Snorkel DryBell: A
+// Case Study in Deploying Weak Supervision at Industrial Scale" (Bach et
+// al., SIGMOD 2019). See README.md for the architecture overview, DESIGN.md
+// for the system inventory and experiment index, and EXPERIMENTS.md for
+// paper-versus-measured results. The root package holds only the benchmark
+// harness (bench_test.go); the library lives under internal/ and the
+// runnable entry points under cmd/ and examples/.
+package repro

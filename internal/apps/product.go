@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/kgraph"
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+	"repro/internal/nlp"
+)
+
+// ProductLFs returns the eight labeling functions of the product-
+// classification case study (§3.2): keyword rules for the expanded category
+// (products plus accessories and parts), negative keyword rules for
+// out-of-category accessories, Knowledge Graph translation lookups covering
+// ten languages, the coarse topic-model negative heuristic, and a merchant
+// aggregate-statistics heuristic.
+func ProductLFs(graph *kgraph.Graph, seed int64) []DocRunner {
+	if graph == nil {
+		graph = kgraph.Builtin()
+	}
+	newServer := func() *nlp.Server { return nlp.NewServer(0, seed) }
+
+	// Pre-expand translated keyword tables once; LF closures share them,
+	// the way the paper's LFs query the graph during development.
+	inCategory := append(append([]string{}, kgraph.BikeKeywords...), kgraph.BikeAccessoryKeywords...)
+	translatedIn := translationTable(graph, inCategory)
+	translatedOut := translationTable(graph, kgraph.OtherAccessoryKeywords)
+
+	containsAny := func(text string, words []string) bool {
+		for _, w := range words {
+			if strings.Contains(text, w) {
+				return true
+			}
+		}
+		return false
+	}
+
+	return []DocRunner{
+		// --- Servable: English keyword rules. ---
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "keyword_bike_en", Category: lf.ContentHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				if containsAny(d.Text(), kgraph.BikeKeywords) {
+					return labelmodel.Positive
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "keyword_accessory_en", Category: lf.ContentHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				// The expanded category: accessories and parts now count.
+				if containsAny(d.Text(), kgraph.BikeAccessoryKeywords) {
+					return labelmodel.Positive
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "keyword_other_accessory_en", Category: lf.ContentHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				text := d.Text()
+				if containsAny(text, kgraph.OtherAccessoryKeywords) &&
+					!containsAny(text, kgraph.BikeKeywords) &&
+					!containsAny(text, kgraph.BikeAccessoryKeywords) {
+					return labelmodel.Negative
+				}
+				return labelmodel.Abstain
+			},
+		},
+
+		// --- Non-servable: Knowledge Graph translations (ten languages). ---
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "kg_translated_bike", Category: lf.GraphBased, Servable: false},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				if forms, ok := translatedIn[d.Language]; ok && containsAny(d.Text(), forms) {
+					return labelmodel.Positive
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "kg_translated_other_accessory", Category: lf.GraphBased, Servable: false},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				text := d.Text()
+				if forms, ok := translatedOut[d.Language]; ok && containsAny(text, forms) {
+					if in, ok := translatedIn[d.Language]; !ok || !containsAny(text, in) {
+						return labelmodel.Negative
+					}
+				}
+				return labelmodel.Abstain
+			},
+		},
+
+		// --- Non-servable: topic-model negative heuristic. ---
+		lf.NLPFunc[*corpus.Document]{
+			Meta:      lf.Meta{Name: "topicmodel_unrelated", Category: lf.ModelBased, Servable: false},
+			NewServer: newServer,
+			GetText:   func(d *corpus.Document) string { return d.Text() },
+			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+				switch res.TopTopic() {
+				case nlp.TopicTravel, nlp.TopicFood, nlp.TopicFinance, nlp.TopicTechnology:
+					return labelmodel.Negative
+				default:
+					return labelmodel.Abstain
+				}
+			},
+		},
+
+		// --- Non-servable: merchant aggregate statistics. ---
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "crawler_listing_quality", Category: lf.SourceHeuristic, Servable: false},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				// Negative-only: under ~1.5% positives, low engagement is
+				// reliable negative evidence but high engagement is not
+				// precise enough to vote positive.
+				if d.Crawler.EngagementScore < 0.12 {
+					return labelmodel.Negative
+				}
+				return labelmodel.Abstain
+			},
+		},
+
+		// --- Non-servable: internal merchant-category model (simulated as a
+		// high-precision combination of graph keyword + shopping context). ---
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "merchant_category_model", Category: lf.ModelBased, Servable: false},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				text := d.Text()
+				forms, ok := translatedIn[d.Language]
+				if !ok {
+					return labelmodel.Abstain
+				}
+				if containsAny(text, forms) && containsAny(text, nlp.TopicVocab[nlp.TopicShopping]) {
+					return labelmodel.Positive
+				}
+				return labelmodel.Abstain
+			},
+		},
+	}
+}
+
+// translationTable builds language → localized keyword forms.
+func translationTable(g *kgraph.Graph, keywords []string) map[string][]string {
+	out := make(map[string][]string)
+	for _, kw := range keywords {
+		for _, tr := range g.TranslationsOf(kw) {
+			out[tr.Language] = append(out[tr.Language], tr.Form)
+		}
+	}
+	return out
+}

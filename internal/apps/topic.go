@@ -1,0 +1,188 @@
+// Package apps defines the labeling functions of the paper's three case
+// studies (§3): topic classification (10 LFs), product classification
+// (8 LFs), and real-time events (140 LFs). Each set mixes the Figure 2
+// source categories and the servable/non-servable split that drives the
+// Table 3 ablation.
+package apps
+
+import (
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/kgraph"
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+	"repro/internal/nlp"
+)
+
+// DocRunner abbreviates the document labeling-function type.
+type DocRunner = lf.Runner[*corpus.Document]
+
+// TopicLFs returns the ten labeling functions of the topic-classification
+// case study (§3.1): URL-based heuristics, keyword rules, NER-tagger-based
+// functions (including the paper's "no person → not celebrity" example),
+// topic-model-based negative heuristics, a knowledge-graph occupation
+// lookup, and a crawler aggregate-statistics heuristic.
+func TopicLFs(graph *kgraph.Graph, nerMissRate float64, seed int64) []DocRunner {
+	if graph == nil {
+		graph = kgraph.Builtin()
+	}
+	newServer := func() *nlp.Server { return nlp.NewServer(nerMissRate, seed) }
+	celebKeywords := corpus.CelebrityKeywords()
+	entDomains := toSet(corpus.EntertainmentDomains())
+	boringDomains := toSet(corpus.BoringDomains())
+
+	return []DocRunner{
+		// --- Servable: content and source heuristics (pattern-based). ---
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "keyword_celebrity", Category: lf.ContentHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				text := d.Text()
+				for _, kw := range celebKeywords {
+					if strings.Contains(text, kw) {
+						return labelmodel.Positive
+					}
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "keyword_offtopic_jargon", Category: lf.ContentHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				text := d.Text()
+				hits := 0
+				for _, kw := range []string{"dividend", "earnings", "api", "encryption", "vaccine", "itinerary"} {
+					if strings.Contains(text, kw) {
+						hits++
+					}
+				}
+				if hits >= 2 {
+					return labelmodel.Negative
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "url_entertainment", Category: lf.SourceHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				if entDomains[features.URLDomain(d.URL)] {
+					return labelmodel.Positive
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "url_low_signal", Category: lf.SourceHeuristic, Servable: true},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				if boringDomains[features.URLDomain(d.URL)] {
+					return labelmodel.Negative
+				}
+				return labelmodel.Abstain
+			},
+		},
+
+		// --- Non-servable: NER-tagger-based (NLP model server). ---
+		lf.NLPFunc[*corpus.Document]{
+			// The paper's §5.1 example verbatim: no person ⇒ not celebrity.
+			Meta:      lf.Meta{Name: "ner_no_person", Category: lf.ModelBased, Servable: false},
+			NewServer: newServer,
+			GetText:   func(d *corpus.Document) string { return d.Text() },
+			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+				if len(res.People()) == 0 {
+					return labelmodel.Negative
+				}
+				return labelmodel.Abstain
+			},
+		},
+		lf.NLPFunc[*corpus.Document]{
+			Meta:      lf.Meta{Name: "ner_known_celebrity", Category: lf.ModelBased, Servable: false},
+			NewServer: newServer,
+			GetText:   func(d *corpus.Document) string { return d.Text() },
+			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+				for _, p := range res.People() {
+					if kgraph.IsCelebrity(graph, p.Text) {
+						return labelmodel.Positive
+					}
+				}
+				return labelmodel.Abstain
+			},
+		},
+
+		// --- Non-servable: topic-model-based (coarse semantic categories). ---
+		lf.NLPFunc[*corpus.Document]{
+			Meta:      lf.Meta{Name: "topicmodel_offtopic", Category: lf.ModelBased, Servable: false},
+			NewServer: newServer,
+			GetText:   func(d *corpus.Document) string { return d.Text() },
+			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+				// Coarse category clearly outside entertainment ⇒ negative.
+				switch res.TopTopic() {
+				case nlp.TopicEntertainment, "":
+					return labelmodel.Abstain
+				default:
+					return labelmodel.Negative
+				}
+			},
+		},
+		lf.NLPFunc[*corpus.Document]{
+			Meta:      lf.Meta{Name: "topicmodel_no_entertainment_cues", Category: lf.ModelBased, Servable: false},
+			NewServer: newServer,
+			GetText:   func(d *corpus.Document) string { return d.Text() },
+			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+				// No entertainment mass at all in the coarse categorization
+				// ⇒ not celebrity content. High-coverage precise negative.
+				for _, ts := range res.Topics {
+					if ts.Topic == nlp.TopicEntertainment {
+						return labelmodel.Abstain
+					}
+				}
+				return labelmodel.Negative
+			},
+		},
+
+		// --- Non-servable: knowledge-graph-based. ---
+		lf.NLPFunc[*corpus.Document]{
+			Meta:      lf.Meta{Name: "kg_non_celebrity_person", Category: lf.GraphBased, Servable: false},
+			NewServer: newServer,
+			GetText:   func(d *corpus.Document) string { return d.Text() },
+			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+				people := res.People()
+				if len(people) == 0 {
+					return labelmodel.Abstain
+				}
+				// Every recognized person known NOT to be a celebrity ⇒ negative.
+				for _, p := range people {
+					if graph.Occupation(p.Text) != "civilian" {
+						return labelmodel.Abstain
+					}
+				}
+				return labelmodel.Negative
+			},
+		},
+
+		// --- Non-servable: crawler aggregate statistics. ---
+		lf.Func[*corpus.Document]{
+			Meta: lf.Meta{Name: "crawler_engagement", Category: lf.SourceHeuristic, Servable: false},
+			Vote: func(d *corpus.Document) labelmodel.Label {
+				// High threshold: at a ~1% positive rate only a strong
+				// engagement signal is positive evidence.
+				switch {
+				case d.Crawler.EngagementScore > 0.88:
+					return labelmodel.Positive
+				case d.Crawler.EngagementScore < 0.18:
+					return labelmodel.Negative
+				default:
+					return labelmodel.Abstain
+				}
+			},
+		},
+	}
+}
+
+func toSet(xs []string) map[string]bool {
+	out := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		out[x] = true
+	}
+	return out
+}

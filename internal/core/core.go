@@ -1,0 +1,237 @@
+// Package core is the Snorkel DryBell pipeline: it wires the labeling-
+// function template library, the distributed execution substrate, the
+// sampling-free generative label model, and the discriminative model
+// trainers into the four-stage flow of Figure 4:
+//
+//  1. stage unlabeled examples on the distributed filesystem,
+//  2. execute each labeling function as its own MapReduce job,
+//  3. combine the votes with the generative model into probabilistic
+//     training labels (persisted back to the filesystem),
+//  4. train a servable discriminative model on those labels and stage it
+//     for serving.
+//
+// The package is generic over the example type; content tasks use
+// *corpus.Document, the real-time events task uses *corpus.Event.
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+	"repro/internal/mapreduce"
+	"repro/internal/recordio"
+)
+
+// Trainer selects the label-model optimizer.
+type Trainer string
+
+// Available trainers.
+const (
+	// TrainerSamplingFree is the paper's contribution (§5.2): marginal
+	// likelihood on a static compute graph, no sampling. The default.
+	TrainerSamplingFree Trainer = "samplingfree"
+	// TrainerAnalytic is the same objective with hand-derived gradients.
+	TrainerAnalytic Trainer = "analytic"
+	// TrainerGibbs is the open-source Snorkel baseline.
+	TrainerGibbs Trainer = "gibbs"
+)
+
+// Config configures a pipeline run.
+type Config[T any] struct {
+	// FS is the distributed filesystem; defaults to a fresh in-memory one.
+	FS dfs.FS
+	// WorkDir prefixes all pipeline paths on FS. Default "drybell".
+	WorkDir string
+	// Encode/Decode convert examples to records. Required.
+	Encode func(T) ([]byte, error)
+	Decode func([]byte) (T, error)
+	// Shards is the input sharding. Default 8.
+	Shards int
+	// Parallelism is the simulated cluster width. Default 4.
+	Parallelism int
+	// Trainer selects the label-model optimizer. Default sampling-free.
+	Trainer Trainer
+	// LabelModel are the label-model training options.
+	LabelModel labelmodel.Options
+}
+
+func (c Config[T]) withDefaults() (Config[T], error) {
+	if c.Encode == nil || c.Decode == nil {
+		return c, fmt.Errorf("drybell: Config needs Encode and Decode")
+	}
+	if c.FS == nil {
+		c.FS = dfs.NewMem()
+	}
+	if c.WorkDir == "" {
+		c.WorkDir = "drybell"
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 4
+	}
+	if c.Trainer == "" {
+		c.Trainer = TrainerSamplingFree
+	}
+	return c, nil
+}
+
+// Result is the output of a pipeline run.
+type Result struct {
+	// Matrix is the assembled label matrix Λ.
+	Matrix *labelmodel.Matrix
+	// Model is the trained generative model.
+	Model *labelmodel.Model
+	// Posteriors are the probabilistic training labels Ỹ_i = P(Y_i=1|Λ_i),
+	// aligned with the input examples.
+	Posteriors []float64
+	// LFReport describes per-function execution.
+	LFReport *lf.Report
+	// LabelsPath is the DFS base where the probabilistic labels were
+	// persisted (sharded recordio of float64).
+	LabelsPath string
+	// Timings break down the run.
+	Timings Timings
+}
+
+// Timings records per-stage wall time.
+type Timings struct {
+	Stage, Execute, TrainLabelModel, Persist time.Duration
+}
+
+// Run executes the weak-supervision pipeline over the examples and labeling
+// functions, returning probabilistic training labels.
+func Run[T any](cfg Config[T], examples []T, runners []lf.Runner[T]) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("drybell: no examples")
+	}
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("drybell: no labeling functions")
+	}
+
+	// Stage 1: write the corpus to the distributed filesystem.
+	t0 := time.Now()
+	records := make([][]byte, len(examples))
+	for i, x := range examples {
+		rec, err := cfg.Encode(x)
+		if err != nil {
+			return nil, fmt.Errorf("drybell: encode example %d: %w", i, err)
+		}
+		records[i] = rec
+	}
+	inputBase := cfg.WorkDir + "/input/examples"
+	if err := lf.Stage[T](cfg.FS, inputBase, records, cfg.Shards); err != nil {
+		return nil, fmt.Errorf("drybell: stage input: %w", err)
+	}
+	res := &Result{}
+	res.Timings.Stage = time.Since(t0)
+
+	// Stage 2: one MapReduce job per labeling function.
+	t1 := time.Now()
+	exec := &lf.Executor[T]{
+		FS:           cfg.FS,
+		InputBase:    inputBase,
+		OutputPrefix: cfg.WorkDir + "/labels",
+		Decode:       cfg.Decode,
+		Parallelism:  cfg.Parallelism,
+	}
+	matrix, report, err := exec.Execute(runners)
+	if err != nil {
+		return nil, err
+	}
+	res.Matrix = matrix
+	res.LFReport = report
+	res.Timings.Execute = time.Since(t1)
+
+	// Stage 3: denoise with the generative model.
+	t2 := time.Now()
+	var lm *labelmodel.Model
+	switch cfg.Trainer {
+	case TrainerSamplingFree:
+		lm, err = labelmodel.TrainSamplingFree(matrix, cfg.LabelModel)
+	case TrainerAnalytic:
+		lm, err = labelmodel.TrainAnalytic(matrix, cfg.LabelModel)
+	case TrainerGibbs:
+		lm, err = labelmodel.TrainGibbs(matrix, cfg.LabelModel)
+	default:
+		return nil, fmt.Errorf("drybell: unknown trainer %q", cfg.Trainer)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("drybell: train label model: %w", err)
+	}
+	res.Model = lm
+	res.Posteriors = lm.Posteriors(matrix)
+	res.Timings.TrainLabelModel = time.Since(t2)
+
+	// Stage 4: persist probabilistic labels for the production ML systems.
+	t3 := time.Now()
+	res.LabelsPath = cfg.WorkDir + "/output/problabels"
+	if err := WriteLabels(cfg.FS, res.LabelsPath, res.Posteriors, cfg.Shards); err != nil {
+		return nil, fmt.Errorf("drybell: persist labels: %w", err)
+	}
+	res.Timings.Persist = time.Since(t3)
+	return res, nil
+}
+
+// WriteLabels persists probabilistic labels as sharded recordio of
+// little-endian float64, the hand-off format to the training systems.
+func WriteLabels(fs dfs.FS, base string, labels []float64, shards int) error {
+	records := make([][]byte, len(labels))
+	for i, p := range labels {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return fmt.Errorf("drybell: label %d = %v out of [0,1]", i, p)
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p))
+		records[i] = buf[:]
+	}
+	return mapreduce.WriteInput(fs, base, records, shards)
+}
+
+// ReadLabels loads labels persisted by WriteLabels, restoring input order.
+func ReadLabels(fs dfs.FS, base string) ([]float64, error) {
+	shards, err := dfs.ListShards(fs, base)
+	if err != nil {
+		return nil, err
+	}
+	n := len(shards)
+	perShard := make([][][]byte, n)
+	total := 0
+	for s, shard := range shards {
+		data, err := fs.ReadFile(shard)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := recordio.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("drybell: labels shard %s: %w", shard, err)
+		}
+		perShard[s] = recs
+		total += len(recs)
+	}
+	out := make([]float64, total)
+	for s, recs := range perShard {
+		for r, rec := range recs {
+			if len(rec) != 8 {
+				return nil, fmt.Errorf("drybell: label record has %d bytes", len(rec))
+			}
+			idx := s + r*n
+			if idx >= total {
+				return nil, fmt.Errorf("drybell: label shard layout inconsistent")
+			}
+			out[idx] = math.Float64frombits(binary.LittleEndian.Uint64(rec))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+// Package corpus generates the synthetic benchmark workloads standing in for
+// the Google production data of the paper's three case studies (§3, §6):
+// topic classification (celebrity content), product classification (bicycles
+// including accessories and parts, across ten languages), and real-time
+// event classification.
+//
+// Each generator plants ground truth and emits signals consumed by two
+// different consumers with an asymmetry that drives every experiment shape:
+//
+//   - labeling functions read rich, non-servable signals (NER-detectable
+//     person names, coarse topic vocabulary, knowledge-graph keywords,
+//     crawler aggregates) that are accurate but unavailable in production;
+//   - the servable feature set (hashed text n-grams, or real-time event
+//     vectors) is noisier but cheap, and includes "subtle" vocabulary no
+//     labeling function covers, giving the discriminative model headroom to
+//     generalize beyond the generative model (Table 2).
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Document is one content example (topic and product tasks).
+type Document struct {
+	// ID is unique within a corpus.
+	ID string `json:"id"`
+	// Title and Body are the document text.
+	Title string `json:"title"`
+	Body  string `json:"body"`
+	// URL is the linked URL (a servable signal; §3.1's URL-based heuristics).
+	URL string `json:"url"`
+	// Language is an ISO-ish code; the product corpus spans ten languages.
+	Language string `json:"language"`
+	// Gold is the planted label: true = in the class of interest. Hidden
+	// from training; used only for evaluation and the hand-label baselines.
+	Gold bool `json:"gold"`
+	// Crawler holds non-servable aggregate statistics from the simulated web
+	// crawler. Too slow/expensive to compute at serving time.
+	Crawler CrawlerStats `json:"crawler"`
+}
+
+// CrawlerStats are offline aggregates about the document's source, the kind
+// of signal §4 calls out as non-servable ("aggregate statistics, results of
+// expensive crawlers").
+type CrawlerStats struct {
+	// EngagementScore is a normalized audience-engagement aggregate.
+	EngagementScore float64 `json:"engagement"`
+	// DomainAuthority is a source-quality aggregate in [0,1].
+	DomainAuthority float64 `json:"authority"`
+}
+
+// Text returns title and body joined, the standard GetText for content LFs
+// (mirrors the paper's StrCat(x.title, " ", x.body)).
+func (d *Document) Text() string { return d.Title + " " + d.Body }
+
+// Marshal encodes the document as a recordio payload.
+func (d *Document) Marshal() ([]byte, error) { return json.Marshal(d) }
+
+// UnmarshalDocument decodes a recordio payload.
+func UnmarshalDocument(data []byte) (*Document, error) {
+	var d Document
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("corpus: decode document: %w", err)
+	}
+	return &d, nil
+}
+
+// MarshalDocuments encodes a batch.
+func MarshalDocuments(docs []*Document) ([][]byte, error) {
+	out := make([][]byte, len(docs))
+	for i, d := range docs {
+		b, err := d.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// UnmarshalDocuments decodes a batch.
+func UnmarshalDocuments(records [][]byte) ([]*Document, error) {
+	out := make([]*Document, len(records))
+	for i, r := range records {
+		d, err := UnmarshalDocument(r)
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// GoldLabels extracts ±1 gold labels (+1 = positive class).
+func GoldLabels(docs []*Document) []int {
+	out := make([]int, len(docs))
+	for i, d := range docs {
+		if d.Gold {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// PositiveRate returns the fraction of gold-positive documents.
+func PositiveRate(docs []*Document) float64 {
+	if len(docs) == 0 {
+		return 0
+	}
+	pos := 0
+	for _, d := range docs {
+		if d.Gold {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(docs))
+}

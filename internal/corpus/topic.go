@@ -1,0 +1,252 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/nlp"
+)
+
+// TopicSpec configures the topic-classification corpus (§3.1: detect a
+// topic of interest — celebrity content — in a product's content stream,
+// after a coarse keyword-filtering step).
+type TopicSpec struct {
+	// NumDocs is the corpus size (paper scale: 684K unlabeled).
+	NumDocs int
+	// PositiveRate is the gold-positive fraction (Table 1: 0.86% ≈ 0.0086
+	// measured on the test split; we use it as the generation rate).
+	PositiveRate float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultTopicSpec returns a scaled-down spec with the paper's class skew.
+func DefaultTopicSpec(numDocs int, seed int64) TopicSpec {
+	return TopicSpec{NumDocs: numDocs, PositiveRate: 0.0086, Seed: seed}
+}
+
+// Servable URL domains. Entertainment domains skew positive but are noisy —
+// they host plenty of non-celebrity entertainment content.
+var (
+	entertainmentDomains = []string{"starbeat.example", "glossydaily.example", "fanwire.example"}
+	neutralDomains       = []string{"newsroom.example", "metro.example", "update.example"}
+	boringDomains        = []string{"docs.example", "manuals.example", "support.example"}
+)
+
+// celebrityKeywords is the restricted list the *servable keyword LF* uses.
+var celebrityKeywords = []string{"paparazzi", "redcarpet", "gossip", "spotlight"}
+
+// subtleCelebrityWords correlate with the positive class but appear in no
+// labeling function — only the discriminative model can exploit them.
+var subtleCelebrityWords = []string{
+	"entourage", "stardom", "tabloid", "heartthrob", "limelight",
+	"scandalous", "megafan", "itcouple", "breakup", "stylist",
+}
+
+// GenerateTopic draws the topic-classification corpus. Positives are
+// celebrity content: a celebrity name (usually gazetteer-known, sometimes
+// held-out so NER misses it), entertainment vocabulary, celebrity keywords,
+// subtle vocabulary, mostly entertainment URLs, and high crawler engagement.
+// Negatives are drawn from the other coarse topics, with controlled
+// contamination: person names that are not celebrities, occasional celebrity
+// keywords in gossip-adjacent sports/news content, and entertainment content
+// without celebrities (hard negatives).
+func GenerateTopic(spec TopicSpec) ([]*Document, error) {
+	if spec.NumDocs <= 0 {
+		return nil, fmt.Errorf("corpus: topic spec needs NumDocs > 0, got %d", spec.NumDocs)
+	}
+	if spec.PositiveRate <= 0 || spec.PositiveRate >= 1 {
+		return nil, fmt.Errorf("corpus: topic positive rate %v out of (0,1)", spec.PositiveRate)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	docs := make([]*Document, spec.NumDocs)
+	for i := range docs {
+		if rng.Float64() < spec.PositiveRate {
+			docs[i] = genCelebrityDoc(rng, i)
+		} else {
+			docs[i] = genNonCelebrityDoc(rng, i)
+		}
+	}
+	return docs, nil
+}
+
+func pick(rng *rand.Rand, xs []string) string { return xs[rng.Intn(len(xs))] }
+
+func sampleWords(rng *rand.Rand, vocab []string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = pick(rng, vocab)
+	}
+	return out
+}
+
+func genCelebrityDoc(rng *rand.Rand, i int) *Document {
+	// 5% hard positives: a celebrity covered in an off-topic context
+	// (politics, sports). Keyword-less, subtle-less, wrong coarse topic —
+	// irreducible error for keyword rules and a recall ceiling for the
+	// generative model.
+	if rng.Float64() < 0.05 {
+		return genOffTopicCelebrityDoc(rng, i)
+	}
+	// 95% gazetteer-known celebrity; 5% held-out name (NER miss). The
+	// paper's teams iterated on labeling functions against the dev set;
+	// a person-presence heuristic that misfired on a quarter of positives
+	// would have been caught there, so the planted gap is small.
+	var name string
+	if rng.Float64() < 0.95 {
+		name = pick(rng, nlp.CelebrityNames)
+	} else {
+		name = pick(rng, nlp.UnknownPersonNames)
+	}
+	words := []string{name}
+	words = append(words, sampleWords(rng, nlp.TopicVocab[nlp.TopicEntertainment], 4+rng.Intn(4))...)
+	// Celebrity keywords appear in ~70% of positives (keyword LF recall cap).
+	if rng.Float64() < 0.7 {
+		words = append(words, pick(rng, celebrityKeywords))
+	}
+	// Subtle class-correlated vocabulary in ~75% of positives — the
+	// discriminative model's headroom beyond the labeling functions.
+	if rng.Float64() < 0.75 {
+		words = append(words, pick(rng, subtleCelebrityWords))
+	}
+	words = append(words, fillerWords(rng, 3)...)
+	shuffle(rng, words[1:]) // keep the name leading the title
+
+	domain := pick(rng, entertainmentDomains)
+	if rng.Float64() < 0.2 {
+		domain = pick(rng, neutralDomains)
+	}
+	return &Document{
+		ID:       fmt.Sprintf("topic-%08d", i),
+		Title:    strings.Join(words[:min(4, len(words))], " "),
+		Body:     strings.Join(words, " "),
+		URL:      fmt.Sprintf("https://%s/story/%d", domain, i),
+		Language: "en",
+		Gold:     true,
+		Crawler: CrawlerStats{
+			EngagementScore: clamp01(0.75 + rng.NormFloat64()*0.12),
+			DomainAuthority: clamp01(0.5 + rng.NormFloat64()*0.2),
+		},
+	}
+}
+
+func genNonCelebrityDoc(rng *rand.Rand, i int) *Document {
+	// Draw a coarse topic; entertainment negatives (no celebrity) are the
+	// hard cases that punish keyword-only supervision.
+	topics := []string{
+		nlp.TopicSports, nlp.TopicTechnology, nlp.TopicFinance, nlp.TopicHealth,
+		nlp.TopicTravel, nlp.TopicFood, nlp.TopicShopping, nlp.TopicEntertainment,
+	}
+	topic := topics[rng.Intn(len(topics))]
+	words := sampleWords(rng, nlp.TopicVocab[topic], 5+rng.Intn(4))
+
+	// 35% of negatives mention a non-celebrity person (NER finds a person,
+	// but person-presence alone is not celebrity-hood).
+	if rng.Float64() < 0.35 {
+		words = append(words, pick(rng, nlp.OtherPersonNames))
+	}
+	// Celebrity keywords leak into negatives: 2% everywhere, but 15% of
+	// entertainment coverage (gossip-adjacent reviews, fan content). At a
+	// ~1% positive rate this pushes the servable keyword rule's precision
+	// below chance — the "first-cut pattern matcher" quality the paper's
+	// servable-only arm exhibits (Table 3). The entertainment-heavy leak
+	// also creates conflict rows where the keyword rule fights the accurate
+	// model-based voters, which is where the generative model's learned
+	// weights beat equal weighting (Table 4).
+	kwRate := 0.02
+	if topic == nlp.TopicEntertainment {
+		kwRate = 0.15
+	}
+	if rng.Float64() < kwRate {
+		words = append(words, pick(rng, celebrityKeywords))
+	}
+	// 0.05% contamination with subtle vocabulary: rare enough that at a
+	// ~1% positive rate the subtle words remain predominantly positive
+	// evidence for the discriminative model.
+	if rng.Float64() < 0.0005 {
+		words = append(words, pick(rng, subtleCelebrityWords))
+	}
+	words = append(words, fillerWords(rng, 3)...)
+	shuffle(rng, words)
+
+	domain := pick(rng, neutralDomains)
+	switch {
+	case topic == nlp.TopicEntertainment && rng.Float64() < 0.04:
+		domain = pick(rng, entertainmentDomains)
+	case rng.Float64() < 0.25:
+		domain = pick(rng, boringDomains)
+	}
+	return &Document{
+		ID:       fmt.Sprintf("topic-%08d", i),
+		Title:    strings.Join(words[:min(4, len(words))], " "),
+		Body:     strings.Join(words, " "),
+		URL:      fmt.Sprintf("https://%s/story/%d", domain, i),
+		Language: "en",
+		Gold:     false,
+		Crawler: CrawlerStats{
+			EngagementScore: clamp01(0.35 + rng.NormFloat64()*0.15),
+			DomainAuthority: clamp01(0.5 + rng.NormFloat64()*0.2),
+		},
+	}
+}
+
+func genOffTopicCelebrityDoc(rng *rand.Rand, i int) *Document {
+	name := pick(rng, nlp.CelebrityNames)
+	topics := []string{nlp.TopicSports, nlp.TopicFinance, nlp.TopicTravel}
+	words := []string{name}
+	words = append(words, sampleWords(rng, nlp.TopicVocab[topics[rng.Intn(len(topics))]], 5+rng.Intn(3))...)
+	words = append(words, fillerWords(rng, 3)...)
+	shuffle(rng, words[1:])
+	return &Document{
+		ID:       fmt.Sprintf("topic-%08d", i),
+		Title:    strings.Join(words[:min(4, len(words))], " "),
+		Body:     strings.Join(words, " "),
+		URL:      fmt.Sprintf("https://%s/story/%d", pick(rng, neutralDomains), i),
+		Language: "en",
+		Gold:     true,
+		Crawler: CrawlerStats{
+			EngagementScore: clamp01(0.55 + rng.NormFloat64()*0.15),
+			DomainAuthority: clamp01(0.5 + rng.NormFloat64()*0.2),
+		},
+	}
+}
+
+var filler = []string{
+	"today", "report", "local", "update", "story", "week", "people", "time",
+	"official", "public", "event", "daily", "note", "brief", "item", "source",
+}
+
+func fillerWords(rng *rand.Rand, n int) []string { return sampleWords(rng, filler, n) }
+
+func shuffle(rng *rand.Rand, xs []string) {
+	rng.Shuffle(len(xs), func(a, b int) { xs[a], xs[b] = xs[b], xs[a] })
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CelebrityKeywords exposes the servable keyword list for the topic task's
+// keyword labeling function.
+func CelebrityKeywords() []string { return append([]string(nil), celebrityKeywords...) }
+
+// EntertainmentDomains exposes the entertainment URL domains for the URL
+// labeling function.
+func EntertainmentDomains() []string { return append([]string(nil), entertainmentDomains...) }
+
+// BoringDomains exposes the low-signal domains for the negative URL heuristic.
+func BoringDomains() []string { return append([]string(nil), boringDomains...) }

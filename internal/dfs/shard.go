@@ -1,0 +1,136 @@
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ShardPath returns the canonical name of shard i of n for a base path,
+// e.g. "labels/topic-00003-of-00010".
+func ShardPath(base string, i, n int) string {
+	if i < 0 || n <= 0 || i >= n {
+		panic(fmt.Sprintf("dfs: invalid shard %d of %d", i, n))
+	}
+	return fmt.Sprintf("%s-%05d-of-%05d", base, i, n)
+}
+
+// ParseShardPath splits a shard path into its base name, shard index and
+// shard count. ok is false for non-shard paths.
+func ParseShardPath(path string) (base string, index, count int, ok bool) {
+	i := strings.LastIndex(path, "-of-")
+	if i < 6 {
+		return "", 0, 0, false
+	}
+	countStr := path[i+4:]
+	idxStr := path[i-5 : i]
+	if len(countStr) != 5 || path[i-6] != '-' {
+		return "", 0, 0, false
+	}
+	index, ok = parseDigits(idxStr)
+	if !ok {
+		return "", 0, 0, false
+	}
+	count, ok = parseDigits(countStr)
+	if !ok {
+		return "", 0, 0, false
+	}
+	if index < 0 || count <= 0 || index >= count {
+		return "", 0, 0, false
+	}
+	return path[:i-6], index, count, true
+}
+
+// parseDigits parses a string of exactly 5 ASCII digits.
+func parseDigits(s string) (int, bool) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// ListShards returns the complete, ordered shard set for base. It errors if
+// shards are missing or disagree on the shard count — a partially written
+// output must never be consumed (paper: MapReduce outputs commit atomically).
+func ListShards(fs FS, base string) ([]string, error) {
+	paths, err := fs.List(base + "-")
+	if err != nil {
+		return nil, err
+	}
+	count := -1
+	found := map[int]string{}
+	for _, p := range paths {
+		b, idx, n, ok := ParseShardPath(p)
+		if !ok || b != base {
+			continue
+		}
+		if count == -1 {
+			count = n
+		} else if count != n {
+			return nil, fmt.Errorf("dfs: inconsistent shard counts for %q: %d vs %d", base, count, n)
+		}
+		found[idx] = p
+	}
+	if count == -1 {
+		return nil, fmt.Errorf("dfs: no shards found for %q", base)
+	}
+	out := make([]string, count)
+	for i := 0; i < count; i++ {
+		p, ok := found[i]
+		if !ok {
+			return nil, fmt.Errorf("dfs: shard %d of %d missing for %q", i, count, base)
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// WriteSharded splits records round-robin into n shard files under base,
+// each committed atomically via a temp file + rename. Records are recordio
+// payloads; encoding is the caller's concern.
+func WriteSharded(fs FS, base string, records [][]byte, n int, encode func([][]byte) ([]byte, error)) error {
+	if n <= 0 {
+		return fmt.Errorf("dfs: WriteSharded with %d shards", n)
+	}
+	buckets := make([][][]byte, n)
+	for i, rec := range records {
+		s := i % n
+		buckets[s] = append(buckets[s], rec)
+	}
+	for i := 0; i < n; i++ {
+		data, err := encode(buckets[i])
+		if err != nil {
+			return fmt.Errorf("dfs: encode shard %d: %w", i, err)
+		}
+		tmp := ShardPath(base, i, n) + ".partial"
+		if err := fs.WriteFile(tmp, data); err != nil {
+			return err
+		}
+		if err := fs.Rename(tmp, ShardPath(base, i, n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedUnion merges several sorted path lists, dropping duplicates.
+// Used by tests that combine List results across prefixes.
+func SortedUnion(lists ...[]string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range lists {
+		for _, p := range l {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

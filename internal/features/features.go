@@ -1,0 +1,149 @@
+// Package features extracts servable feature vectors for the discriminative
+// models. The central invariant of cross-feature serving (paper §4) is
+// enforced here: everything this package produces is computable from fields
+// available at serving time (text, URL, real-time event vectors) — never
+// from crawler aggregates, NER output, topic-model scores, or the knowledge
+// graph, which exist only on the labeling-function side.
+package features
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/nlp"
+)
+
+// SparseVector is a sorted sparse feature vector. Indices are strictly
+// increasing; Values holds the corresponding weights.
+type SparseVector struct {
+	Indices []uint32
+	Values  []float64
+}
+
+// Dot returns the inner product with a dense weight vector.
+func (v *SparseVector) Dot(w []float64) float64 {
+	s := 0.0
+	for k, idx := range v.Indices {
+		s += w[idx] * v.Values[k]
+	}
+	return s
+}
+
+// NNZ returns the number of stored entries.
+func (v *SparseVector) NNZ() int { return len(v.Indices) }
+
+// L2 returns the Euclidean norm.
+func (v *SparseVector) L2() float64 {
+	s := 0.0
+	for _, x := range v.Values {
+		s += x * x
+	}
+	return sqrt(s)
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations are plenty for feature norms.
+	z := x
+	for i := 0; i < 32; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}
+
+// Hasher maps token features into a fixed-dimension space by hashing
+// (the standard production trick for unbounded vocabularies).
+type Hasher struct {
+	// Dim is the feature-space size; must be a power of two.
+	Dim uint32
+}
+
+// NewHasher returns a Hasher with the given power-of-two dimension.
+func NewHasher(dim uint32) (*Hasher, error) {
+	if dim == 0 || dim&(dim-1) != 0 {
+		return nil, fmt.Errorf("features: dimension %d is not a power of two", dim)
+	}
+	return &Hasher{Dim: dim}, nil
+}
+
+// Index hashes a feature name to its coordinate.
+func (h *Hasher) Index(feature string) uint32 {
+	hash := fnv.New32a()
+	hash.Write([]byte(feature))
+	return hash.Sum32() & (h.Dim - 1)
+}
+
+// Vector builds a sparse vector from raw feature strings with count values,
+// combining collisions by summation.
+func (h *Hasher) Vector(feats []string) *SparseVector {
+	counts := make(map[uint32]float64, len(feats))
+	for _, f := range feats {
+		counts[h.Index(f)]++
+	}
+	v := &SparseVector{
+		Indices: make([]uint32, 0, len(counts)),
+		Values:  make([]float64, 0, len(counts)),
+	}
+	for idx := range counts {
+		v.Indices = append(v.Indices, idx)
+	}
+	sort.Slice(v.Indices, func(a, b int) bool { return v.Indices[a] < v.Indices[b] })
+	for _, idx := range v.Indices {
+		v.Values = append(v.Values, counts[idx])
+	}
+	return v
+}
+
+// DocumentFeatures extracts the servable feature strings for a document:
+// unigrams and bigrams of title+body, plus the URL domain. The topic task
+// has an order-of-magnitude more features than the product task in the
+// paper; we mirror that by including bigrams only for rich text.
+func DocumentFeatures(d *corpus.Document, bigrams bool) []string {
+	words := nlp.Words(d.Text())
+	feats := make([]string, 0, len(words)*2+1)
+	for _, w := range words {
+		feats = append(feats, "w:"+w)
+	}
+	if bigrams {
+		for _, b := range nlp.Bigrams(words) {
+			feats = append(feats, "b:"+b)
+		}
+	}
+	if dom := URLDomain(d.URL); dom != "" {
+		feats = append(feats, "d:"+dom)
+	}
+	feats = append(feats, "lang:"+d.Language)
+	return feats
+}
+
+// URLDomain extracts the host from a URL-ish string (servable: the URL
+// arrives with the content).
+func URLDomain(url string) string {
+	s := url
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// DocumentVector hashes a document's servable features.
+func (h *Hasher) DocumentVector(d *corpus.Document, bigrams bool) *SparseVector {
+	return h.Vector(DocumentFeatures(d, bigrams))
+}
+
+// DocumentVectors hashes a batch.
+func (h *Hasher) DocumentVectors(docs []*corpus.Document, bigrams bool) []*SparseVector {
+	out := make([]*SparseVector, len(docs))
+	for i, d := range docs {
+		out[i] = h.DocumentVector(d, bigrams)
+	}
+	return out
+}

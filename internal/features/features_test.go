@@ -1,0 +1,150 @@
+package features
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/corpus"
+)
+
+func TestNewHasherValidation(t *testing.T) {
+	if _, err := NewHasher(0); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, err := NewHasher(1000); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := NewHasher(1 << 10); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHasherDeterministicAndInRange(t *testing.T) {
+	h, _ := NewHasher(1 << 8)
+	f := func(s string) bool {
+		i := h.Index(s)
+		return i < h.Dim && i == h.Index(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorSortedAndCounted(t *testing.T) {
+	h, _ := NewHasher(1 << 16)
+	v := h.Vector([]string{"a", "b", "a", "c", "a"})
+	for i := 0; i+1 < len(v.Indices); i++ {
+		if v.Indices[i] >= v.Indices[i+1] {
+			t.Fatal("indices not strictly increasing")
+		}
+	}
+	total := 0.0
+	for _, x := range v.Values {
+		total += x
+	}
+	if total != 5 {
+		t.Errorf("total count = %v, want 5", total)
+	}
+	// "a" appears 3 times.
+	ai := h.Index("a")
+	found := false
+	for k, idx := range v.Indices {
+		if idx == ai && v.Values[k] >= 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("count for repeated feature missing")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	v := &SparseVector{Indices: []uint32{1, 3}, Values: []float64{2, -1}}
+	w := []float64{9, 4, 9, 5}
+	if got := v.Dot(w); got != 2*4-1*5 {
+		t.Errorf("Dot = %v, want 3", got)
+	}
+	if got := v.L2(); math.Abs(got-math.Sqrt(5)) > 1e-9 {
+		t.Errorf("L2 = %v, want sqrt(5)", got)
+	}
+	if v.NNZ() != 2 {
+		t.Errorf("NNZ = %d", v.NNZ())
+	}
+}
+
+func TestURLDomain(t *testing.T) {
+	cases := map[string]string{
+		"https://starbeat.example/story/1": "starbeat.example",
+		"http://a.b/c/d":                   "a.b",
+		"nohost":                           "nohost",
+		"https://host.only":                "host.only",
+	}
+	for in, want := range cases {
+		if got := URLDomain(in); got != want {
+			t.Errorf("URLDomain(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDocumentFeaturesServableOnly(t *testing.T) {
+	d := &corpus.Document{
+		Title: "Ava Stone premiere", Body: "redcarpet gossip",
+		URL: "https://starbeat.example/1", Language: "en",
+		Crawler: corpus.CrawlerStats{EngagementScore: 0.99, DomainAuthority: 0.99},
+	}
+	feats := DocumentFeatures(d, true)
+	seen := map[string]bool{}
+	for _, f := range feats {
+		seen[f] = true
+		// Only servable feature namespaces may appear.
+		switch f[0] {
+		case 'w', 'b', 'd', 'l':
+		default:
+			t.Errorf("unexpected feature namespace in %q", f)
+		}
+	}
+	if !seen["w:premiere"] || !seen["d:starbeat.example"] || !seen["lang:en"] {
+		t.Errorf("missing expected features: %v", feats)
+	}
+	if !seen["b:ava_stone"] {
+		t.Errorf("bigrams missing: %v", feats)
+	}
+	// Crawler stats must never leak into servable features.
+	for f := range seen {
+		if f == "0.99" {
+			t.Error("crawler stat leaked into features")
+		}
+	}
+}
+
+func TestDocumentFeaturesBigramToggle(t *testing.T) {
+	d := &corpus.Document{Title: "alpha beta", Body: "gamma", URL: "https://x.example/1", Language: "en"}
+	with := DocumentFeatures(d, true)
+	without := DocumentFeatures(d, false)
+	if len(with) <= len(without) {
+		t.Error("bigrams should add features")
+	}
+	for _, f := range without {
+		if f[0] == 'b' {
+			t.Error("bigram present despite toggle off")
+		}
+	}
+}
+
+func TestDocumentVectors(t *testing.T) {
+	docs, err := corpus.GenerateTopic(corpus.DefaultTopicSpec(100, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := NewHasher(1 << 14)
+	vecs := h.DocumentVectors(docs, true)
+	if len(vecs) != len(docs) {
+		t.Fatalf("len = %d", len(vecs))
+	}
+	for i, v := range vecs {
+		if v.NNZ() == 0 {
+			t.Errorf("doc %d has empty feature vector", i)
+		}
+	}
+}

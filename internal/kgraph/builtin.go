@@ -1,0 +1,108 @@
+package kgraph
+
+import (
+	"fmt"
+
+	"repro/internal/nlp"
+)
+
+// Languages are the ten locales the product classifier serves (§3.2: "we
+// queried Google's Knowledge Graph for translations of keywords in ten
+// languages"). English is the base language of the keyword gazetteers.
+var Languages = []string{"en", "fr", "de", "es", "it", "pt", "nl", "sv", "pl", "tr"}
+
+// Product-category taxonomy for the product-classification case study. The
+// category of interest is "bicycles"; after the strategy change it includes
+// accessories and parts (§3.2).
+const (
+	CategoryBicycles       = "bicycles"
+	CategoryBikeAccessory  = "bike accessories"
+	CategoryBikePart       = "bike parts"
+	CategoryOtherAccessory = "other accessories"
+	CategoryElectronics    = "electronics"
+)
+
+// BikeKeywords name products squarely in the category of interest.
+var BikeKeywords = []string{"bicycle", "tandem", "velodrome", "gravelbike", "fixie"}
+
+// BikeAccessoryKeywords name accessories and parts that the expanded
+// category now includes.
+var BikeAccessoryKeywords = []string{
+	"helmet", "pannier", "saddle", "kickstand", "handlebar",
+	"derailleur", "chainring", "crankset", "fender", "mudguard",
+}
+
+// OtherAccessoryKeywords name accessories outside the category of interest
+// — the hard negatives that forced the relabeling.
+var OtherAccessoryKeywords = []string{
+	"phonecase", "watchband", "lensfilter", "keychain", "carmat",
+	"earbudcase", "laptopsleeve", "tripodmount",
+}
+
+// Builtin constructs the reproduction's standard knowledge graph: persons
+// with occupations (celebrities vs others), the product taxonomy, and
+// keyword translations for all ten languages. Translated surface forms are
+// synthetic ("helmet" → "helmet_fr"): what matters is that the corpus
+// generator and the translation labeling function share them through the
+// graph, exactly as both sides shared the real Knowledge Graph at Google.
+func Builtin() *Graph {
+	g := New()
+
+	for _, name := range nlp.CelebrityNames {
+		g.AddEntity(&Entity{
+			ID: PersonID(name), Kind: KindPerson, Name: name,
+			Props: map[string]string{"occupation": "celebrity"},
+		})
+	}
+	for _, name := range nlp.OtherPersonNames {
+		g.AddEntity(&Entity{
+			ID: PersonID(name), Kind: KindPerson, Name: name,
+			Props: map[string]string{"occupation": "civilian"},
+		})
+	}
+
+	for _, cat := range []string{
+		CategoryBicycles, CategoryBikeAccessory, CategoryBikePart,
+		CategoryOtherAccessory, CategoryElectronics,
+	} {
+		g.AddEntity(&Entity{ID: CategoryID(cat), Kind: KindProductCategory, Name: cat})
+	}
+	g.SetParent(CategoryID(CategoryBikeAccessory), CategoryID(CategoryBicycles))
+	g.SetParent(CategoryID(CategoryBikePart), CategoryID(CategoryBicycles))
+	g.SetParent(CategoryID(CategoryOtherAccessory), CategoryID(CategoryElectronics))
+
+	addKeywords := func(keywords []string) {
+		for _, kw := range keywords {
+			g.AddEntity(&Entity{ID: "keyword/" + kw, Kind: KindKeyword, Name: kw})
+			for _, lang := range Languages {
+				g.AddTranslation(kw, lang, PseudoTranslate(kw, lang))
+			}
+		}
+	}
+	addKeywords(BikeKeywords)
+	addKeywords(BikeAccessoryKeywords)
+	addKeywords(OtherAccessoryKeywords)
+	return g
+}
+
+// PseudoTranslate derives a keyword's synthetic surface form in a language:
+// English keeps the keyword; other locales get the language code prefixed to
+// the reversed keyword ("helmet", "fr" → "fr_temleh"). Reversal guarantees
+// the English form is not a substring of any translation, so English-only
+// keyword rules genuinely cannot match localized text — the coverage gap the
+// Knowledge Graph LF closes.
+func PseudoTranslate(kw, lang string) string {
+	if lang == "en" {
+		return kw
+	}
+	r := []rune(kw)
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+	return fmt.Sprintf("%s_%s", lang, string(r))
+}
+
+// IsCelebrity reports whether the graph knows the person as a celebrity.
+func IsCelebrity(g *Graph, personName string) bool {
+	return g.Occupation(personName) == "celebrity"
+}

@@ -1,0 +1,105 @@
+package labelmodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TrainAnalytic fits the same marginal-likelihood objective as
+// TrainSamplingFree but with hand-derived gradients instead of a compute
+// graph. It exists as the ablation partner for the graph implementation
+// (DESIGN.md §5.2): identical estimates, no graph overhead.
+//
+// Gradients (per example i, LF j, posterior p_i = P(Y_i=1|Λ_i)):
+//
+//	∂L/∂α_j = t_j − λ_ij·(2p_i − 1)   with t_j = ∂Z_j/∂α_j
+//	∂L/∂β_j = u_j − 1[λ_ij ≠ 0]       with u_j = ∂Z_j/∂β_j = P(λ_j ≠ 0)
+func TrainAnalytic(mx *Matrix, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if err := validateMatrix(mx); err != nil {
+		return nil, err
+	}
+	n := mx.NumFuncs()
+	m := mx.NumExamples()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	alpha := make([]float64, n)
+	for j := range alpha {
+		alpha[j] = initialAlpha
+	}
+	beta := initBeta(mx, initialAlpha)
+	prior := opts.logPriorOdds()
+	maxPrior := math.Log(0.995 / 0.005)
+
+	// Adam state, matching the graph trainer's optimizer.
+	mA, vA := make([]float64, n), make([]float64, n)
+	mB, vB := make([]float64, n), make([]float64, n)
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+
+	gradA := make([]float64, n)
+	gradB := make([]float64, n)
+	t, u := make([]float64, n), make([]float64, n)
+
+	for step := 1; step <= opts.Steps; step++ {
+		idx := sampleBatch(rng, m, opts.BatchSize)
+		for j := range gradA {
+			gradA[j], gradB[j] = 0, 0
+		}
+		// Per-LF partition-function derivatives at the current parameters.
+		for j := 0; j < n; j++ {
+			z := zj(alpha[j], beta[j])
+			pAgree := math.Exp(alpha[j] + beta[j] - z)
+			pDis := math.Exp(-alpha[j] + beta[j] - z)
+			t[j] = pAgree - pDis
+			u[j] = pAgree + pDis
+		}
+		gradPrior := 0.0
+		for _, i := range idx {
+			row := mx.Row(i)
+			logOdds := prior
+			for j, v := range row {
+				logOdds += 2 * alpha[j] * float64(v)
+			}
+			p := sigmoid(logOdds)
+			s := 2*p - 1
+			// The prior enters every example's joint as ±prior/2 per class
+			// branch, so ∂L/∂prior = 1/2 − p per example.
+			gradPrior += 0.5 - p
+			for j, v := range row {
+				gradA[j] += t[j] - float64(v)*s
+				if v != Abstain {
+					gradB[j] += u[j] - 1
+				} else {
+					gradB[j] += u[j]
+				}
+			}
+		}
+		inv := 1 / float64(len(idx))
+		c1 := 1 - math.Pow(b1, float64(step))
+		c2 := 1 - math.Pow(b2, float64(step))
+		for j := 0; j < n; j++ {
+			ga := gradA[j]*inv + 2*opts.L2*alpha[j]
+			gb := gradB[j]*inv + 2*opts.L2*beta[j]
+			mA[j] = b1*mA[j] + (1-b1)*ga
+			vA[j] = b2*vA[j] + (1-b2)*ga*ga
+			alpha[j] -= opts.LR * (mA[j] / c1) / (math.Sqrt(vA[j]/c2) + eps)
+			mB[j] = b1*mB[j] + (1-b1)*gb
+			vB[j] = b2*vB[j] + (1-b2)*gb*gb
+			beta[j] -= opts.LR * (mB[j] / c1) / (math.Sqrt(vB[j]/c2) + eps)
+		}
+		clampAlpha(alpha)
+		// The prior learns slowly and only after a warm-up quarter: letting
+		// it move before the accuracies stabilize collapses the posteriors
+		// to the majority class.
+		if opts.LearnPrior && 4*step > opts.Steps {
+			prior -= 0.25 * opts.LR * gradPrior * inv
+			if prior > maxPrior {
+				prior = maxPrior
+			}
+			if prior < -maxPrior {
+				prior = -maxPrior
+			}
+		}
+	}
+	return &Model{Alpha: alpha, Beta: beta, LogPriorOdds: prior}, nil
+}

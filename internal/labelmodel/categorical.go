@@ -1,0 +1,254 @@
+package labelmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file extends the label model beyond binary targets. The paper notes
+// "Snorkel DryBell can handle arbitrary categorical targets as well, e.g.
+// Y_i ∈ {1..k}" (§2); this is that extension. Votes are 0 for abstain or a
+// class id in 1..K. Each LF has an accuracy parameter (errors spread
+// uniformly over the other K−1 classes) and a propensity parameter, the
+// categorical analogue of the binary α/β model.
+
+// CatMatrix is an m×n matrix of categorical votes in {0, 1..K}.
+type CatMatrix struct {
+	m, n, k int
+	data    []int8
+}
+
+// NewCatMatrix returns an all-abstain categorical matrix for K classes.
+func NewCatMatrix(m, n, k int) *CatMatrix {
+	if m <= 0 || n <= 0 || k < 2 || k > 127 {
+		panic(fmt.Sprintf("labelmodel: invalid categorical matrix %d×%d with k=%d", m, n, k))
+	}
+	return &CatMatrix{m: m, n: n, k: k, data: make([]int8, m*n)}
+}
+
+// NumExamples returns m.
+func (c *CatMatrix) NumExamples() int { return c.m }
+
+// NumFuncs returns n.
+func (c *CatMatrix) NumFuncs() int { return c.n }
+
+// NumClasses returns K.
+func (c *CatMatrix) NumClasses() int { return c.k }
+
+// At returns the vote of LF j on example i (0 = abstain).
+func (c *CatMatrix) At(i, j int) int { return int(c.data[i*c.n+j]) }
+
+// Set assigns a vote; v must be 0 (abstain) or in 1..K.
+func (c *CatMatrix) Set(i, j, v int) {
+	if v < 0 || v > c.k {
+		panic(fmt.Sprintf("labelmodel: categorical vote %d out of [0,%d]", v, c.k))
+	}
+	c.data[i*c.n+j] = int8(v)
+}
+
+// CatModel is the learned categorical generative model.
+type CatModel struct {
+	// Alpha[j] is LF j's log-odds-style accuracy parameter; accuracy given a
+	// vote is exp(α)/(exp(α)+(K−1)).
+	Alpha []float64
+	// Beta[j] is the propensity parameter as in the binary model.
+	Beta []float64
+	// K is the number of classes.
+	K int
+}
+
+// Accuracies returns each LF's modeled accuracy given a non-abstain vote.
+func (m *CatModel) Accuracies() []float64 {
+	out := make([]float64, len(m.Alpha))
+	for j, a := range m.Alpha {
+		ea := math.Exp(a)
+		out[j] = ea / (ea + float64(m.K-1))
+	}
+	return out
+}
+
+// PosteriorRow returns the posterior distribution over the K classes for one
+// row of votes (length-K slice summing to 1).
+func (m *CatModel) PosteriorRow(votes []int) []float64 {
+	if len(votes) != len(m.Alpha) {
+		panic(fmt.Sprintf("labelmodel: %d votes for %d LFs", len(votes), len(m.Alpha)))
+	}
+	logp := make([]float64, m.K)
+	for j, v := range votes {
+		if v == 0 {
+			continue
+		}
+		// Correct class gets log-weight α_j; each wrong class gets 0
+		// (uniform error mass), so only the voted class's entry shifts.
+		logp[v-1] += m.Alpha[j]
+	}
+	// Softmax.
+	mx := logp[0]
+	for _, v := range logp[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, m.K)
+	for c, v := range logp {
+		out[c] = math.Exp(v - mx)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// Posteriors returns posterior distributions for all examples.
+func (m *CatModel) Posteriors(cm *CatMatrix) [][]float64 {
+	out := make([][]float64, cm.m)
+	votes := make([]int, cm.n)
+	for i := 0; i < cm.m; i++ {
+		for j := 0; j < cm.n; j++ {
+			votes[j] = cm.At(i, j)
+		}
+		out[i] = m.PosteriorRow(votes)
+	}
+	return out
+}
+
+// TrainCategorical fits the categorical model by minimizing −log P(Λ)
+// (marginalizing the latent class uniformly) with analytic gradients,
+// mirroring TrainAnalytic.
+func TrainCategorical(cm *CatMatrix, opts Options) (*CatModel, error) {
+	opts = opts.withDefaults()
+	if cm == nil {
+		return nil, fmt.Errorf("labelmodel: nil categorical matrix")
+	}
+	n, k := cm.n, cm.k
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	alpha := make([]float64, n)
+	beta := make([]float64, n)
+	voted := make([]int, n)
+	for i := 0; i < cm.m; i++ {
+		for j := 0; j < n; j++ {
+			if cm.At(i, j) != 0 {
+				voted[j]++
+			}
+		}
+	}
+	kf := float64(k)
+	for j := range alpha {
+		alpha[j] = 1 // mildly informative start
+		c := float64(voted[j]) / float64(cm.m)
+		if c < 1e-4 {
+			c = 1e-4
+		}
+		if c > 1-1e-4 {
+			c = 1 - 1e-4
+		}
+		// Match initial propensity to coverage, as in the binary model.
+		beta[j] = math.Log(c/(1-c)) - math.Log(math.Exp(alpha[j])+(kf-1))
+	}
+
+	gradA := make([]float64, n)
+	gradB := make([]float64, n)
+	logp := make([]float64, k)
+	post := make([]float64, k)
+	votes := make([]int, n)
+
+	for step := 0; step < opts.Steps; step++ {
+		idx := sampleBatch(rng, cm.m, opts.BatchSize)
+		for j := range gradA {
+			gradA[j], gradB[j] = 0, 0
+		}
+		// Partition per LF: Z_j = log(exp(α+β) + (K−1)exp(β) + 1).
+		tj := make([]float64, n) // ∂Z/∂α
+		uj := make([]float64, n) // ∂Z/∂β
+		for j := 0; j < n; j++ {
+			z := logAddExp(logAddExp(alpha[j]+beta[j], beta[j]+math.Log(kf-1)), 0)
+			pc := math.Exp(alpha[j] + beta[j] - z)       // P(vote correct class)
+			pw := math.Exp(beta[j] + math.Log(kf-1) - z) // P(vote some wrong class)
+			tj[j] = pc
+			uj[j] = pc + pw
+		}
+		for _, i := range idx {
+			for j := 0; j < n; j++ {
+				votes[j] = cm.At(i, j)
+			}
+			// Posterior over classes for this example.
+			for c := range logp {
+				logp[c] = 0
+			}
+			for j, v := range votes {
+				if v != 0 {
+					logp[v-1] += alpha[j]
+				}
+			}
+			mx := logp[0]
+			for _, v := range logp[1:] {
+				if v > mx {
+					mx = v
+				}
+			}
+			sum := 0.0
+			for c, v := range logp {
+				post[c] = math.Exp(v - mx)
+				sum += post[c]
+			}
+			for c := range post {
+				post[c] /= sum
+			}
+			for j, v := range votes {
+				if v == 0 {
+					// −Z_j appears in every class branch, so the abstain
+					// contribution to ∂L/∂α is +∂Z/∂α.
+					gradA[j] += tj[j]
+					gradB[j] += uj[j]
+					continue
+				}
+				// E[1[vote correct]] under the posterior is post[v-1].
+				gradA[j] += tj[j] - post[v-1]
+				gradB[j] += uj[j] - 1
+			}
+		}
+		inv := 1 / float64(len(idx))
+		for j := 0; j < n; j++ {
+			alpha[j] -= opts.LR * (gradA[j]*inv + 2*opts.L2*alpha[j])
+			beta[j] -= opts.LR * (gradB[j]*inv + 2*opts.L2*beta[j])
+		}
+		clampAlpha(alpha)
+	}
+	return &CatModel{Alpha: alpha, Beta: beta, K: k}, nil
+}
+
+// SynthesizeCategorical draws a categorical matrix with known ground truth:
+// each LF votes with its propensity, votes the true class with its accuracy,
+// and otherwise a uniform wrong class.
+func SynthesizeCategorical(m, k int, accuracies, propensities []float64, seed int64) (*CatMatrix, []int, error) {
+	n := len(accuracies)
+	if n == 0 || len(propensities) != n {
+		return nil, nil, fmt.Errorf("labelmodel: categorical synth needs matching parameter slices")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	cm := NewCatMatrix(m, n, k)
+	gold := make([]int, m)
+	for i := 0; i < m; i++ {
+		y := rng.Intn(k) + 1
+		gold[i] = y
+		for j := 0; j < n; j++ {
+			if rng.Float64() >= propensities[j] {
+				continue
+			}
+			if rng.Float64() < accuracies[j] {
+				cm.Set(i, j, y)
+			} else {
+				wrong := rng.Intn(k-1) + 1
+				if wrong >= y {
+					wrong++
+				}
+				cm.Set(i, j, wrong)
+			}
+		}
+	}
+	return cm, gold, nil
+}

@@ -1,0 +1,84 @@
+package labelmodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TrainGibbs fits the generative model with the sampling-based optimizer
+// used by the open-source Snorkel implementation the paper compares against
+// (§5.2): for each minibatch it draws GibbsSamples rounds of latent labels
+// Y_i from their conditional posterior, computes the complete-data gradient
+// for each sampled assignment, and averages. It is the CPU-intensive
+// baseline for the P1 performance experiment.
+func TrainGibbs(mx *Matrix, opts Options) (*Model, error) {
+	opts = opts.withDefaults()
+	if err := validateMatrix(mx); err != nil {
+		return nil, err
+	}
+	n := mx.NumFuncs()
+	m := mx.NumExamples()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	alpha := make([]float64, n)
+	for j := range alpha {
+		alpha[j] = initialAlpha
+	}
+	beta := initBeta(mx, initialAlpha)
+	prior := opts.logPriorOdds()
+
+	gradA := make([]float64, n)
+	gradB := make([]float64, n)
+	t, u := make([]float64, n), make([]float64, n)
+	y := make([]int, opts.BatchSize+1) // sampled latent labels for the batch
+
+	for step := 0; step < opts.Steps; step++ {
+		idx := sampleBatch(rng, m, opts.BatchSize)
+		if len(y) < len(idx) {
+			y = make([]int, len(idx))
+		}
+		for j := range gradA {
+			gradA[j], gradB[j] = 0, 0
+		}
+		for j := 0; j < n; j++ {
+			z := zj(alpha[j], beta[j])
+			pAgree := math.Exp(alpha[j] + beta[j] - z)
+			pDis := math.Exp(-alpha[j] + beta[j] - z)
+			t[j] = pAgree - pDis
+			u[j] = pAgree + pDis
+		}
+		// Gibbs sweeps: resample every Y_i, accumulate complete-data grads.
+		samples := 0
+		for sweep := 0; sweep < opts.GibbsSamples; sweep++ {
+			for k, i := range idx {
+				row := mx.Row(i)
+				logOdds := prior
+				for j, v := range row {
+					logOdds += 2 * alpha[j] * float64(v)
+				}
+				if rng.Float64() < sigmoid(logOdds) {
+					y[k] = 1
+				} else {
+					y[k] = -1
+				}
+				for j, v := range row {
+					// ∂(−log P(Λ_i, Y_i=y))/∂α_j = t_j − λ_ij·y_i
+					gradA[j] += t[j] - float64(v)*float64(y[k])
+					if v != Abstain {
+						gradB[j] += u[j] - 1
+					} else {
+						gradB[j] += u[j]
+					}
+				}
+				samples++
+			}
+		}
+		inv := 1 / float64(samples)
+		for j := 0; j < n; j++ {
+			alpha[j] -= opts.LR * (gradA[j]*inv + 2*opts.L2*alpha[j])
+			beta[j] -= opts.LR * (gradB[j]*inv + 2*opts.L2*beta[j])
+		}
+		clampAlpha(alpha)
+	}
+	return &Model{Alpha: alpha, Beta: beta, LogPriorOdds: prior}, nil
+}

@@ -1,0 +1,462 @@
+package labelmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// standardSpec is a moderately hard recovery problem shared by trainer tests.
+func standardSpec(seed int64) SynthSpec {
+	return SynthSpec{
+		NumExamples:   3000,
+		PriorPositive: 0.5,
+		Accuracies:    []float64{0.92, 0.85, 0.75, 0.65, 0.55},
+		Propensities:  []float64{0.7, 0.5, 0.6, 0.4, 0.5},
+		Seed:          seed,
+	}
+}
+
+func trainers() map[string]func(*Matrix, Options) (*Model, error) {
+	return map[string]func(*Matrix, Options) (*Model, error){
+		"samplingfree": TrainSamplingFree,
+		"analytic":     TrainAnalytic,
+		"gibbs":        TrainGibbs,
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	mx := NewMatrix(3, 2)
+	mx.Set(0, 0, Positive)
+	mx.Set(1, 1, Negative)
+	if mx.At(0, 0) != Positive || mx.At(1, 1) != Negative || mx.At(2, 0) != Abstain {
+		t.Error("Set/At wrong")
+	}
+	if mx.NumExamples() != 3 || mx.NumFuncs() != 2 {
+		t.Error("dims wrong")
+	}
+	mx.SetRow(2, []Label{Negative, Positive})
+	if mx.At(2, 0) != Negative || mx.At(2, 1) != Positive {
+		t.Error("SetRow wrong")
+	}
+	if err := mx.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixInvalidLabelPanics(t *testing.T) {
+	mx := NewMatrix(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid label accepted")
+		}
+	}()
+	mx.Set(0, 0, Label(5))
+}
+
+func TestSubsetColumnsAndRows(t *testing.T) {
+	mx := NewMatrix(2, 3)
+	mx.SetRow(0, []Label{Positive, Negative, Positive})
+	mx.SetRow(1, []Label{Negative, Abstain, Negative})
+	sub := mx.SubsetColumns([]int{2, 0})
+	if sub.NumFuncs() != 2 || sub.At(0, 0) != Positive || sub.At(1, 1) != Negative {
+		t.Errorf("SubsetColumns wrong: %+v", sub)
+	}
+	rows := mx.SubsetRows([]int{1})
+	if rows.NumExamples() != 1 || rows.At(0, 0) != Negative {
+		t.Error("SubsetRows wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	mx := NewMatrix(4, 2)
+	gold := []Label{Positive, Positive, Negative, Negative}
+	// LF0 votes on all, always correct. LF1 votes on half, always positive.
+	mx.SetRow(0, []Label{Positive, Positive})
+	mx.SetRow(1, []Label{Positive, Abstain})
+	mx.SetRow(2, []Label{Negative, Positive})
+	mx.SetRow(3, []Label{Negative, Abstain})
+	st := mx.Stats(gold)
+	if st[0].Coverage != 1 || st[1].Coverage != 0.5 {
+		t.Errorf("coverage = %v, %v", st[0].Coverage, st[1].Coverage)
+	}
+	if st[0].EmpiricalAccuracy != 1 || st[1].EmpiricalAccuracy != 0.5 {
+		t.Errorf("accuracy = %v, %v", st[0].EmpiricalAccuracy, st[1].EmpiricalAccuracy)
+	}
+	if st[0].Overlap != 0.5 || st[1].Overlap != 0.5 {
+		t.Errorf("overlap = %v, %v", st[0].Overlap, st[1].Overlap)
+	}
+	// Conflict only on row 2 (Negative vs Positive).
+	if st[0].Conflict != 0.25 || st[1].Conflict != 0.25 {
+		t.Errorf("conflict = %v, %v", st[0].Conflict, st[1].Conflict)
+	}
+	if st[1].Positives != 2 || st[1].Negatives != 0 {
+		t.Errorf("polarity = %d/%d", st[1].Positives, st[1].Negatives)
+	}
+	// Without gold, accuracy is NaN.
+	st2 := mx.Stats(nil)
+	if !math.IsNaN(st2[0].EmpiricalAccuracy) {
+		t.Error("accuracy without gold should be NaN")
+	}
+}
+
+func TestCoverageAny(t *testing.T) {
+	mx := NewMatrix(4, 2)
+	mx.Set(0, 0, Positive)
+	mx.Set(2, 1, Negative)
+	if got := mx.CoverageAny(); got != 0.5 {
+		t.Errorf("CoverageAny = %v, want 0.5", got)
+	}
+}
+
+func TestPosteriorRowLogic(t *testing.T) {
+	m := &Model{Alpha: []float64{2, 1}, Beta: []float64{0, 0}}
+	// Strong positive from accurate LF dominates weaker negative.
+	p := m.PosteriorRow([]Label{Positive, Negative})
+	if p <= 0.5 {
+		t.Errorf("posterior = %v, want > 0.5", p)
+	}
+	// All abstain → prior (0.5 with no prior odds).
+	if got := m.PosteriorRow([]Label{Abstain, Abstain}); got != 0.5 {
+		t.Errorf("abstain posterior = %v, want 0.5", got)
+	}
+	// Prior shifts the abstain posterior.
+	m.LogPriorOdds = -2
+	if got := m.PosteriorRow([]Label{Abstain, Abstain}); got >= 0.5 {
+		t.Errorf("prior-shifted posterior = %v, want < 0.5", got)
+	}
+}
+
+func TestAccuraciesFormula(t *testing.T) {
+	m := &Model{Alpha: []float64{0, 1}, Beta: []float64{0, 0}}
+	acc := m.Accuracies()
+	if !almost(acc[0], 0.5, 1e-12) {
+		t.Errorf("α=0 accuracy = %v, want 0.5", acc[0])
+	}
+	if !almost(acc[1], sigmoid(2), 1e-12) {
+		t.Errorf("α=1 accuracy = %v, want σ(2)", acc[1])
+	}
+}
+
+func TestPropensitiesInUnitInterval(t *testing.T) {
+	m := &Model{Alpha: []float64{1, -2, 0}, Beta: []float64{3, -3, 0}}
+	for j, p := range m.Propensities() {
+		if p < 0 || p > 1 {
+			t.Errorf("propensity[%d] = %v out of [0,1]", j, p)
+		}
+	}
+}
+
+// The heart of the reproduction: every trainer must (a) beat majority vote
+// on posterior accuracy, (b) rank LFs by true accuracy, on data drawn from
+// the model family.
+func TestTrainersRecoverAccuracies(t *testing.T) {
+	mx, gold, err := Synthesize(standardSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvAcc := PosteriorAccuracy(MajorityVotePosteriors(mx), gold)
+	for name, train := range trainers() {
+		t.Run(name, func(t *testing.T) {
+			model, err := train(mx, Options{Steps: 1500, BatchSize: 64, LR: 0.05, Seed: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := PosteriorAccuracy(model.Posteriors(mx), gold)
+			if acc < mvAcc-0.005 {
+				t.Errorf("posterior accuracy %.4f below majority vote %.4f", acc, mvAcc)
+			}
+			// Modeled accuracy ordering must match the planted ordering
+			// (0.92 > 0.85 > 0.75 > 0.65 > 0.55).
+			est := model.Accuracies()
+			for j := 0; j+1 < len(est); j++ {
+				if est[j] < est[j+1]-0.05 {
+					t.Errorf("accuracy ordering violated at %d: %.3f < %.3f (est=%v)",
+						j, est[j], est[j+1], est)
+				}
+			}
+			// Absolute recovery within tolerance for the well-covered LFs.
+			if math.Abs(est[0]-0.92) > 0.08 {
+				t.Errorf("LF0 estimated accuracy %.3f, want ≈0.92", est[0])
+			}
+		})
+	}
+}
+
+// Sampling-free and analytic optimize the same objective with the same
+// optimizer; their estimates must agree closely.
+func TestSamplingFreeMatchesAnalytic(t *testing.T) {
+	mx, _, err := Synthesize(standardSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Steps: 800, BatchSize: 128, LR: 0.05, Seed: 3}
+	a, err := TrainSamplingFree(mx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainAnalytic(mx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Alpha {
+		if math.Abs(a.Alpha[j]-b.Alpha[j]) > 0.15 {
+			t.Errorf("alpha[%d]: graph %.3f vs analytic %.3f", j, a.Alpha[j], b.Alpha[j])
+		}
+		if math.Abs(a.Beta[j]-b.Beta[j]) > 0.15 {
+			t.Errorf("beta[%d]: graph %.3f vs analytic %.3f", j, a.Beta[j], b.Beta[j])
+		}
+	}
+}
+
+// Training must increase the marginal likelihood over the initialization.
+func TestTrainingImprovesMarginalLikelihood(t *testing.T) {
+	mx, _, err := Synthesize(standardSpec(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := mx.NumFuncs()
+	init := &Model{Alpha: make([]float64, n), Beta: make([]float64, n)}
+	for j := range init.Alpha {
+		init.Alpha[j] = 0.7
+	}
+	before := init.LogMarginalLikelihood(mx)
+	model, err := TrainAnalytic(mx, Options{Steps: 1000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := model.LogMarginalLikelihood(mx)
+	if after <= before {
+		t.Errorf("log-likelihood did not improve: %.1f -> %.1f", before, after)
+	}
+}
+
+// Property: posteriors are probabilities and are monotone in added positive
+// votes from an accurate LF.
+func TestPosteriorValidProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		spec := standardSpec(seed%1000 + 1)
+		spec.NumExamples = 500
+		mx, _, err := Synthesize(spec)
+		if err != nil {
+			return false
+		}
+		model, err := TrainAnalytic(mx, Options{Steps: 300, Seed: 4})
+		if err != nil {
+			return false
+		}
+		for _, p := range model.Posteriors(mx) {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				return false
+			}
+		}
+		// Monotonicity: flipping LF0's vote from - to + must not lower the
+		// posterior (LF0 has the highest α in this family).
+		votes := make([]Label, mx.NumFuncs())
+		votes[0] = Negative
+		lo := model.PosteriorRow(votes)
+		votes[0] = Positive
+		hi := model.PosteriorRow(votes)
+		return hi >= lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankByAccuracyWorstFirst(t *testing.T) {
+	m := &Model{Alpha: []float64{2, 0.1, 1}, Beta: make([]float64, 3)}
+	ranked := m.RankByAccuracy()
+	if ranked[0].Index != 1 || ranked[2].Index != 0 {
+		t.Errorf("ranking = %+v", ranked)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := &Model{Alpha: []float64{1}, Beta: []float64{2}, LogPriorOdds: 3}
+	c := m.Clone()
+	c.Alpha[0] = 9
+	if m.Alpha[0] != 1 {
+		t.Error("Clone aliases Alpha")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	mx := NewMatrix(4, 3)
+	mx.SetRow(0, []Label{Positive, Positive, Negative})
+	mx.SetRow(1, []Label{Negative, Abstain, Abstain})
+	mx.SetRow(2, []Label{Abstain, Abstain, Abstain})
+	mx.SetRow(3, []Label{Positive, Negative, Abstain})
+
+	eq := EqualWeightsPosteriors(mx)
+	wantEq := []float64{(1.0/3 + 1) / 2, 0, 0.5, 0.5}
+	for i := range wantEq {
+		if !almost(eq[i], wantEq[i], 1e-12) {
+			t.Errorf("equal weights[%d] = %v, want %v", i, eq[i], wantEq[i])
+		}
+	}
+
+	or := LogicalORPosteriors(mx)
+	wantOr := []float64{1, 0, 0, 1}
+	for i := range wantOr {
+		if or[i] != wantOr[i] {
+			t.Errorf("logical OR[%d] = %v, want %v", i, or[i], wantOr[i])
+		}
+	}
+
+	mv := MajorityVotePosteriors(mx)
+	wantMv := []float64{1, 0, 0.5, 0.5}
+	for i := range wantMv {
+		if mv[i] != wantMv[i] {
+			t.Errorf("majority[%d] = %v, want %v", i, mv[i], wantMv[i])
+		}
+	}
+
+	hard := HardLabels([]float64{0.9, 0.1, 0.5})
+	if hard[0] != Positive || hard[1] != Negative || hard[2] != Positive {
+		t.Errorf("HardLabels = %v", hard)
+	}
+}
+
+// The generative model must beat equal weights when LF accuracies are very
+// uneven — the Table 4 phenomenon.
+func TestGenerativeBeatsEqualWeightsOnUnevenLFs(t *testing.T) {
+	spec := SynthSpec{
+		NumExamples:   4000,
+		PriorPositive: 0.5,
+		Accuracies:    []float64{0.95, 0.55, 0.52, 0.52, 0.51},
+		Propensities:  []float64{0.6, 0.6, 0.6, 0.6, 0.6},
+		Seed:          13,
+	}
+	mx, gold, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := TrainAnalytic(mx, Options{Steps: 2000, BatchSize: 512, LR: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genAcc := PosteriorAccuracy(model.Posteriors(mx), gold)
+	eqAcc := PosteriorAccuracy(EqualWeightsPosteriors(mx), gold)
+	if genAcc <= eqAcc {
+		t.Errorf("generative %.4f should beat equal weights %.4f on uneven LFs", genAcc, eqAcc)
+	}
+}
+
+// Correlated LFs violate the independence assumption; the model should still
+// produce usable (better-than-chance) posteriors.
+func TestRobustToCorrelatedLFs(t *testing.T) {
+	spec := standardSpec(21)
+	spec.CorrelatedPairs = [][2]int{{0, 1}, {2, 3}}
+	spec.CorrelationStrength = 0.8
+	mx, gold, err := Synthesize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := TrainAnalytic(mx, Options{Steps: 1000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := PosteriorAccuracy(model.Posteriors(mx), gold); acc < 0.7 {
+		t.Errorf("accuracy under correlation = %.3f, want ≥ 0.7", acc)
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	if _, _, err := Synthesize(SynthSpec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, _, err := Synthesize(SynthSpec{NumExamples: 10, Accuracies: []float64{0.5}, Propensities: []float64{2}}); err == nil {
+		t.Error("propensity > 1 accepted")
+	}
+	if _, _, err := Synthesize(SynthSpec{NumExamples: 10, Accuracies: []float64{0.5}, Propensities: []float64{0.4, 0.4}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestL2ShrinksParameters(t *testing.T) {
+	mx, _, err := Synthesize(standardSpec(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := TrainAnalytic(mx, Options{Steps: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := TrainAnalytic(mx, Options{Steps: 800, Seed: 2, L2: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normFree, normReg := 0.0, 0.0
+	for j := range free.Alpha {
+		normFree += free.Alpha[j] * free.Alpha[j]
+		normReg += reg.Alpha[j] * reg.Alpha[j]
+	}
+	if normReg >= normFree {
+		t.Errorf("L2 did not shrink α: %.3f vs %.3f", normReg, normFree)
+	}
+}
+
+func TestCategoricalRecovery(t *testing.T) {
+	acc := []float64{0.9, 0.75, 0.6}
+	prop := []float64{0.7, 0.6, 0.5}
+	cm, gold, err := SynthesizeCategorical(3000, 4, acc, prop, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := TrainCategorical(cm, Options{Steps: 1200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := model.Accuracies()
+	if !(est[0] > est[1] && est[1] > est[2]) {
+		t.Errorf("categorical accuracy ordering violated: %v", est)
+	}
+	// Posterior argmax accuracy must beat the best single LF's accuracy.
+	posts := model.Posteriors(cm)
+	correct := 0
+	for i, p := range posts {
+		best, bestC := -1.0, 0
+		for c, v := range p {
+			if v > best {
+				best, bestC = v, c+1
+			}
+		}
+		if bestC == gold[i] {
+			correct++
+		}
+	}
+	rate := float64(correct) / float64(len(gold))
+	if rate < 0.62 {
+		t.Errorf("categorical posterior accuracy %.3f, want ≥ 0.62", rate)
+	}
+	// Posteriors are distributions.
+	for i, p := range posts {
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("posterior[%d] out of range: %v", i, p)
+			}
+			sum += v
+		}
+		if !almost(sum, 1, 1e-9) {
+			t.Fatalf("posterior[%d] sums to %v", i, sum)
+		}
+	}
+}
+
+func TestCategoricalMatrixValidation(t *testing.T) {
+	cm := NewCatMatrix(2, 2, 3)
+	cm.Set(0, 0, 3)
+	if cm.At(0, 0) != 3 {
+		t.Error("Set/At wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range vote accepted")
+		}
+	}()
+	cm.Set(0, 0, 4)
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

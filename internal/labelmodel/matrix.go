@@ -1,0 +1,221 @@
+// Package labelmodel implements Snorkel DryBell's generative label model
+// (paper §2, §5.2): given the matrix Λ of noisy votes emitted by n labeling
+// functions over m unlabeled examples, estimate each function's accuracy and
+// propensity from agreements and disagreements alone — no ground truth — and
+// produce probabilistic training labels P(Y_i = 1 | Λ_i).
+//
+// Three trainers share one model family:
+//
+//   - SamplingFree: the paper's contribution — the marginal likelihood
+//     −log P(Λ) expressed as a static compute graph (internal/tensor) with
+//     0-1 indicator matrices, optimized by minibatch gradient descent.
+//   - Analytic: the same objective with hand-derived gradients (no graph),
+//     used as the ablation for "what does the graph abstraction cost".
+//   - Gibbs: the open-source Snorkel baseline the paper compares against,
+//     a sampling-based stochastic-EM optimizer.
+//
+// Baselines for the paper's ablations (equal weights, Table 4; Logical-OR,
+// §6.4/Figure 6; majority vote) live in baselines.go.
+package labelmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Label is one labeling-function vote for binary tasks.
+type Label int8
+
+// Vote values. Abstain means "no opinion" and carries no signal about Y.
+const (
+	Negative Label = -1
+	Abstain  Label = 0
+	Positive Label = 1
+)
+
+// Valid reports whether l is one of the three legal votes.
+func (l Label) Valid() bool { return l == Negative || l == Abstain || l == Positive }
+
+func (l Label) String() string {
+	switch l {
+	case Negative:
+		return "negative"
+	case Abstain:
+		return "abstain"
+	case Positive:
+		return "positive"
+	default:
+		return fmt.Sprintf("Label(%d)", int8(l))
+	}
+}
+
+// Matrix is the m×n label matrix Λ with Λ[i,j] = λ_j(x_i).
+// It is stored densely; abstains are the common case and are zero.
+type Matrix struct {
+	m, n int
+	data []Label
+}
+
+// NewMatrix returns an m-example, n-function matrix of abstains.
+func NewMatrix(m, n int) *Matrix {
+	if m <= 0 || n <= 0 {
+		panic(fmt.Sprintf("labelmodel: invalid matrix size %d×%d", m, n))
+	}
+	return &Matrix{m: m, n: n, data: make([]Label, m*n)}
+}
+
+// NumExamples returns m.
+func (mx *Matrix) NumExamples() int { return mx.m }
+
+// NumFuncs returns n.
+func (mx *Matrix) NumFuncs() int { return mx.n }
+
+// At returns Λ[i,j].
+func (mx *Matrix) At(i, j int) Label { return mx.data[i*mx.n+j] }
+
+// Set assigns Λ[i,j].
+func (mx *Matrix) Set(i, j int, l Label) {
+	if !l.Valid() {
+		panic(fmt.Sprintf("labelmodel: invalid label %d", l))
+	}
+	mx.data[i*mx.n+j] = l
+}
+
+// Row returns example i's votes. The returned slice aliases the matrix.
+func (mx *Matrix) Row(i int) []Label { return mx.data[i*mx.n : (i+1)*mx.n] }
+
+// SetRow copies votes into row i.
+func (mx *Matrix) SetRow(i int, votes []Label) {
+	if len(votes) != mx.n {
+		panic(fmt.Sprintf("labelmodel: SetRow got %d votes, want %d", len(votes), mx.n))
+	}
+	for _, v := range votes {
+		if !v.Valid() {
+			panic(fmt.Sprintf("labelmodel: invalid label %d", v))
+		}
+	}
+	copy(mx.data[i*mx.n:(i+1)*mx.n], votes)
+}
+
+// SubsetColumns returns a new matrix containing only the given LF columns,
+// in the given order. Used by the servable-LFs ablation (Table 3).
+func (mx *Matrix) SubsetColumns(cols []int) *Matrix {
+	out := NewMatrix(mx.m, len(cols))
+	for i := 0; i < mx.m; i++ {
+		for k, j := range cols {
+			if j < 0 || j >= mx.n {
+				panic(fmt.Sprintf("labelmodel: column %d out of range [0,%d)", j, mx.n))
+			}
+			out.data[i*out.n+k] = mx.data[i*mx.n+j]
+		}
+	}
+	return out
+}
+
+// SubsetRows returns a new matrix with only the given example rows.
+func (mx *Matrix) SubsetRows(rows []int) *Matrix {
+	out := NewMatrix(len(rows), mx.n)
+	for k, i := range rows {
+		copy(out.data[k*out.n:(k+1)*out.n], mx.data[i*mx.n:(i+1)*mx.n])
+	}
+	return out
+}
+
+// LFStats summarizes one labeling function's behaviour on a matrix.
+// These are the diagnostics DryBell surfaces to developers (§3.3: estimated
+// accuracies "were found to be independently useful for identifying
+// previously unknown low-quality sources").
+type LFStats struct {
+	// Coverage is the fraction of examples with a non-abstain vote.
+	Coverage float64
+	// Overlap is the fraction of examples where this LF and at least one
+	// other LF both vote.
+	Overlap float64
+	// Conflict is the fraction of examples where this LF's vote disagrees
+	// with at least one other non-abstain vote.
+	Conflict float64
+	// Polarity counts of emitted votes.
+	Positives, Negatives int
+	// EmpiricalAccuracy is the accuracy against gold labels when provided to
+	// Stats (NaN otherwise).
+	EmpiricalAccuracy float64
+}
+
+// Stats computes per-LF summaries. gold may be nil; when provided it must
+// have length m with entries in {-1,+1} and enables EmpiricalAccuracy.
+func (mx *Matrix) Stats(gold []Label) []LFStats {
+	out := make([]LFStats, mx.n)
+	for j := range out {
+		out[j].EmpiricalAccuracy = math.NaN()
+	}
+	correct := make([]int, mx.n)
+	voted := make([]int, mx.n)
+	for i := 0; i < mx.m; i++ {
+		row := mx.Row(i)
+		nonAbstain := 0
+		for _, v := range row {
+			if v != Abstain {
+				nonAbstain++
+			}
+		}
+		for j, v := range row {
+			if v == Abstain {
+				continue
+			}
+			voted[j]++
+			if v == Positive {
+				out[j].Positives++
+			} else {
+				out[j].Negatives++
+			}
+			if nonAbstain > 1 {
+				out[j].Overlap++
+				for k, w := range row {
+					if k != j && w != Abstain && w != v {
+						out[j].Conflict++
+						break
+					}
+				}
+			}
+			if gold != nil && v == gold[i] {
+				correct[j]++
+			}
+		}
+	}
+	mf := float64(mx.m)
+	for j := range out {
+		out[j].Coverage = float64(voted[j]) / mf
+		out[j].Overlap /= mf
+		out[j].Conflict /= mf
+		if gold != nil && voted[j] > 0 {
+			out[j].EmpiricalAccuracy = float64(correct[j]) / float64(voted[j])
+		}
+	}
+	return out
+}
+
+// CoverageAny returns the fraction of examples with at least one non-abstain
+// vote. Examples with no votes get an uninformative posterior.
+func (mx *Matrix) CoverageAny() float64 {
+	covered := 0
+	for i := 0; i < mx.m; i++ {
+		for _, v := range mx.Row(i) {
+			if v != Abstain {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(mx.m)
+}
+
+// Validate checks every entry is a legal vote. Matrices decoded from DFS
+// shards pass through here before training.
+func (mx *Matrix) Validate() error {
+	for i, v := range mx.data {
+		if !v.Valid() {
+			return fmt.Errorf("labelmodel: invalid label %d at flat index %d", v, i)
+		}
+	}
+	return nil
+}

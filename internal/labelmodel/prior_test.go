@@ -1,0 +1,82 @@
+package labelmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLearnPriorRecoversClassBalance verifies the §5.2 extension: with
+// LearnPrior, the trainer's fitted prior moves from its (uniform) start
+// toward the data's true class balance when the LFs are strong enough to
+// identify it.
+func TestLearnPriorRecoversClassBalance(t *testing.T) {
+	for _, truePrior := range []float64{0.25, 0.75} {
+		spec := SynthSpec{
+			NumExamples:   4000,
+			PriorPositive: truePrior,
+			Accuracies:    []float64{0.95, 0.9, 0.9, 0.85},
+			Propensities:  []float64{0.8, 0.7, 0.7, 0.6},
+			Seed:          9,
+		}
+		mx, gold, err := Synthesize(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := TrainAnalytic(mx, Options{
+			Steps: 2000, BatchSize: 256, LR: 0.02, Seed: 4, LearnPrior: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitted := sigmoid(m.LogPriorOdds)
+		if math.Abs(fitted-truePrior) > 0.12 {
+			t.Errorf("true prior %.2f: fitted %.3f (log-odds %.3f)", truePrior, fitted, m.LogPriorOdds)
+		}
+		// Posterior quality must not degrade versus the fixed uniform prior.
+		fixed, err := TrainAnalytic(mx, Options{Steps: 2000, BatchSize: 256, LR: 0.02, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		accLearned := PosteriorAccuracy(m.Posteriors(mx), gold)
+		accFixed := PosteriorAccuracy(fixed.Posteriors(mx), gold)
+		if accLearned < accFixed-0.02 {
+			t.Errorf("true prior %.2f: learned-prior accuracy %.3f below fixed %.3f",
+				truePrior, accLearned, accFixed)
+		}
+	}
+}
+
+// TestLearnPriorStaysClamped verifies the prior cannot run away to a
+// degenerate log-odds even on pathological (all-abstain-heavy) data.
+func TestLearnPriorStaysClamped(t *testing.T) {
+	mx := NewMatrix(500, 2)
+	for i := 0; i < 20; i++ {
+		mx.Set(i, 0, Negative)
+		mx.Set(i, 1, Negative)
+	}
+	m, err := TrainAnalytic(mx, Options{Steps: 3000, LR: 0.1, Seed: 1, LearnPrior: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sigmoid(m.LogPriorOdds)
+	if p < 0.004 || p > 0.996 {
+		t.Errorf("fitted prior %.4f escaped the clamp", p)
+	}
+}
+
+// TestFixedPriorUnchangedWithoutFlag guards against the prior drifting when
+// LearnPrior is off.
+func TestFixedPriorUnchangedWithoutFlag(t *testing.T) {
+	mx, _, err := Synthesize(standardSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainAnalytic(mx, Options{Steps: 300, Seed: 2, PriorPositive: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(0.3) - math.Log(0.7)
+	if math.Abs(m.LogPriorOdds-want) > 1e-12 {
+		t.Errorf("fixed prior drifted: %v, want %v", m.LogPriorOdds, want)
+	}
+}

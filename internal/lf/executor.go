@@ -1,0 +1,174 @@
+package lf
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/labelmodel"
+	"repro/internal/mapreduce"
+)
+
+// Executor runs a set of labeling functions over a DFS-staged corpus and
+// assembles the label matrix. One MapReduce job per function, exactly as
+// DryBell runs one binary per function (§5.4); jobs run map-only so votes
+// stay aligned with input records.
+type Executor[T any] struct {
+	// FS holds the staged input and receives per-function vote shards.
+	FS dfs.FS
+	// InputBase is the staged corpus (see Stage).
+	InputBase string
+	// OutputPrefix prefixes per-function outputs: "<prefix>/<lf-name>".
+	OutputPrefix string
+	// Decode parses one input record.
+	Decode func([]byte) (T, error)
+	// Parallelism is the simulated cluster width per job.
+	Parallelism int
+	// MaxAttempts per task (worker failures are retried).
+	MaxAttempts int
+	// FailureHook is forwarded to every job, for failure-injection tests.
+	FailureHook func(taskID string, attempt int) error
+}
+
+// LFReport describes one labeling function's execution.
+type LFReport struct {
+	Name     string
+	Category Category
+	Servable bool
+	// Votes emitted by value.
+	Positives, Negatives, Abstains int64
+	// Duration of the function's MapReduce job.
+	Duration time.Duration
+	// ModelServersLaunched counts per-node model-server launches (zero for
+	// default-pipeline functions).
+	ModelServersLaunched int64
+}
+
+// Report summarizes an Execute call.
+type Report struct {
+	PerLF []LFReport
+	// Examples is the number of input records labeled.
+	Examples int
+	// Duration is the wall time across all jobs.
+	Duration time.Duration
+}
+
+// Stage writes examples to the DFS as the executor's sharded input.
+func Stage[T any](fs dfs.FS, base string, records [][]byte, shards int) error {
+	return mapreduce.WriteInput(fs, base, records, shards)
+}
+
+// Execute runs every labeling function and returns the assembled m×n label
+// matrix, with column j holding runner j's votes in input-record order.
+func (e *Executor[T]) Execute(runners []Runner[T]) (*labelmodel.Matrix, *Report, error) {
+	if len(runners) == 0 {
+		return nil, nil, fmt.Errorf("lf: no labeling functions to execute")
+	}
+	if e.Decode == nil {
+		return nil, nil, fmt.Errorf("lf: executor has no decoder")
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		name := r.LFMeta().Name
+		if name == "" {
+			return nil, nil, fmt.Errorf("lf: labeling function with empty name")
+		}
+		if seen[name] {
+			return nil, nil, fmt.Errorf("lf: duplicate labeling function name %q", name)
+		}
+		seen[name] = true
+	}
+
+	start := time.Now()
+	report := &Report{PerLF: make([]LFReport, len(runners))}
+	var matrix *labelmodel.Matrix
+
+	for j, r := range runners {
+		meta := r.LFMeta()
+		outBase := e.OutputPrefix + "/" + meta.Name
+		jobStart := time.Now()
+		res, err := mapreduce.Run(mapreduce.Job{
+			Name:        "lf-" + meta.Name,
+			FS:          e.FS,
+			InputBase:   e.InputBase,
+			OutputBase:  outBase,
+			Mapper:      r.Mapper(e.Decode),
+			Parallelism: e.Parallelism,
+			MaxAttempts: e.MaxAttempts,
+			FailureHook: e.FailureHook,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("lf: execute %s: %w", meta.Name, err)
+		}
+		votes, err := e.loadVotes(outBase)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lf: load votes for %s: %w", meta.Name, err)
+		}
+		if matrix == nil {
+			matrix = labelmodel.NewMatrix(len(votes), len(runners))
+			report.Examples = len(votes)
+		} else if len(votes) != report.Examples {
+			return nil, nil, fmt.Errorf("lf: %s produced %d votes, earlier functions produced %d",
+				meta.Name, len(votes), report.Examples)
+		}
+		for i, v := range votes {
+			matrix.Set(i, j, v)
+		}
+		rep := LFReport{
+			Name: meta.Name, Category: meta.Category, Servable: meta.Servable,
+			Duration:             time.Since(jobStart),
+			Positives:            res.Counters["votes/"+meta.Name+"/positive"],
+			Negatives:            res.Counters["votes/"+meta.Name+"/negative"],
+			Abstains:             res.Counters["votes/"+meta.Name+"/abstain"],
+			ModelServersLaunched: res.Counters["model-servers-launched"],
+		}
+		report.PerLF[j] = rep
+	}
+	report.Duration = time.Since(start)
+	return matrix, report, nil
+}
+
+// loadVotes reads a function's sharded output back into input-record order.
+// Map-only jobs write output shard i from input shard i, and WriteInput
+// staged record k into shard k%n at position k/n, so the original index of
+// the r-th record of shard s is s + r·n.
+func (e *Executor[T]) loadVotes(base string) ([]labelmodel.Label, error) {
+	shards, err := dfs.ListShards(e.FS, base)
+	if err != nil {
+		return nil, err
+	}
+	n := len(shards)
+	perShard := make([][]labelmodel.Label, n)
+	total := 0
+	for s, shard := range shards {
+		data, err := e.FS.ReadFile(shard)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := readAllRecords(data)
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", shard, err)
+		}
+		votes := make([]labelmodel.Label, len(recs))
+		for r, rec := range recs {
+			v, err := decodeVote(rec)
+			if err != nil {
+				return nil, fmt.Errorf("shard %s record %d: %w", shard, r, err)
+			}
+			votes[r] = v
+		}
+		perShard[s] = votes
+		total += len(votes)
+	}
+	out := make([]labelmodel.Label, total)
+	for s, votes := range perShard {
+		for r, v := range votes {
+			idx := s + r*n
+			if idx >= total {
+				return nil, fmt.Errorf("lf: shard layout inconsistent (index %d of %d)", idx, total)
+			}
+			out[idx] = v
+		}
+	}
+	return out, nil
+}

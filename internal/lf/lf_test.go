@@ -1,0 +1,253 @@
+package lf
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dfs"
+	"repro/internal/labelmodel"
+	"repro/internal/nlp"
+)
+
+func stageDocs(t *testing.T, fs dfs.FS, docs []*corpus.Document, shards int) {
+	t.Helper()
+	recs, err := corpus.MarshalDocuments(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Stage[*corpus.Document](fs, "in/docs", recs, shards); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func docExecutor(fs dfs.FS) *Executor[*corpus.Document] {
+	return &Executor[*corpus.Document]{
+		FS: fs, InputBase: "in/docs", OutputPrefix: "labels",
+		Decode:      corpus.UnmarshalDocument,
+		Parallelism: 4,
+	}
+}
+
+func testDocs() []*corpus.Document {
+	return []*corpus.Document{
+		{ID: "0", Title: "Ava Stone premiere", Body: "redcarpet gossip paparazzi", URL: "https://starbeat.example/1", Language: "en"},
+		{ID: "1", Title: "quarterly earnings", Body: "dividend yield inflation", URL: "https://newsroom.example/2", Language: "en"},
+		{ID: "2", Title: "league season", Body: "coach stadium playoff", URL: "https://metro.example/3", Language: "en"},
+		{ID: "3", Title: "Howard Fleck policy", Body: "public official update", URL: "https://newsroom.example/4", Language: "en"},
+		{ID: "4", Title: "blank item", Body: "note brief source", URL: "https://docs.example/5", Language: "en"},
+	}
+}
+
+func keywordLF() Func[*corpus.Document] {
+	return Func[*corpus.Document]{
+		Meta: Meta{Name: "keyword_gossip", Category: ContentHeuristic, Servable: true},
+		Vote: func(d *corpus.Document) labelmodel.Label {
+			if strings.Contains(d.Body, "gossip") {
+				return labelmodel.Positive
+			}
+			return labelmodel.Abstain
+		},
+	}
+}
+
+func nerLF() NLPFunc[*corpus.Document] {
+	return NLPFunc[*corpus.Document]{
+		Meta:      Meta{Name: "ner_no_person", Category: ModelBased, Servable: false},
+		NewServer: func() *nlp.Server { return nlp.NewServer(0, 1) },
+		GetText:   func(d *corpus.Document) string { return d.Text() },
+		GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+			if len(res.People()) == 0 {
+				return labelmodel.Negative
+			}
+			return labelmodel.Abstain
+		},
+	}
+}
+
+func TestExecuteAssemblesMatrixInInputOrder(t *testing.T) {
+	fs := dfs.NewMem()
+	docs := testDocs()
+	stageDocs(t, fs, docs, 2)
+	mx, rep, err := docExecutor(fs).Execute([]Runner[*corpus.Document]{keywordLF(), nerLF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.NumExamples() != 5 || mx.NumFuncs() != 2 {
+		t.Fatalf("matrix %dx%d", mx.NumExamples(), mx.NumFuncs())
+	}
+	// keyword LF: only doc 0 contains "gossip".
+	want0 := []labelmodel.Label{labelmodel.Positive, labelmodel.Abstain, labelmodel.Abstain, labelmodel.Abstain, labelmodel.Abstain}
+	for i, w := range want0 {
+		if mx.At(i, 0) != w {
+			t.Errorf("keyword vote[%d] = %v, want %v", i, mx.At(i, 0), w)
+		}
+	}
+	// NER LF: docs 0 and 3 mention persons (abstain); others Negative —
+	// the paper's celebrity example verbatim.
+	want1 := []labelmodel.Label{labelmodel.Abstain, labelmodel.Negative, labelmodel.Negative, labelmodel.Abstain, labelmodel.Negative}
+	for i, w := range want1 {
+		if mx.At(i, 1) != w {
+			t.Errorf("ner vote[%d] = %v, want %v", i, mx.At(i, 1), w)
+		}
+	}
+	if rep.Examples != 5 {
+		t.Errorf("report examples = %d", rep.Examples)
+	}
+	if rep.PerLF[0].Positives != 1 || rep.PerLF[0].Abstains != 4 {
+		t.Errorf("keyword report = %+v", rep.PerLF[0])
+	}
+	if rep.PerLF[1].Negatives != 3 {
+		t.Errorf("ner report = %+v", rep.PerLF[1])
+	}
+}
+
+func TestExecuteOrderInvariantToShardCount(t *testing.T) {
+	docs := testDocs()
+	var base []labelmodel.Label
+	for _, shards := range []int{1, 2, 3, 5} {
+		fs := dfs.NewMem()
+		stageDocs(t, fs, docs, shards)
+		mx, _, err := docExecutor(fs).Execute([]Runner[*corpus.Document]{keywordLF()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		votes := make([]labelmodel.Label, mx.NumExamples())
+		for i := range votes {
+			votes[i] = mx.At(i, 0)
+		}
+		if base == nil {
+			base = votes
+			continue
+		}
+		for i := range votes {
+			if votes[i] != base[i] {
+				t.Fatalf("shards=%d: vote order differs at %d", shards, i)
+			}
+		}
+	}
+}
+
+func TestNLPServerLaunchedPerTask(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 3)
+	_, rep, err := docExecutor(fs).Execute([]Runner[*corpus.Document]{nerLF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerLF[0].ModelServersLaunched != 3 {
+		t.Errorf("model servers launched = %d, want 3 (one per map task)",
+			rep.PerLF[0].ModelServersLaunched)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 1)
+	e := docExecutor(fs)
+	if _, _, err := e.Execute(nil); err == nil {
+		t.Error("empty runner set accepted")
+	}
+	if _, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF(), keywordLF()}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	anon := keywordLF()
+	anon.Meta.Name = ""
+	if _, _, err := e.Execute([]Runner[*corpus.Document]{anon}); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad := docExecutor(fs)
+	bad.Decode = nil
+	if _, _, err := bad.Execute([]Runner[*corpus.Document]{keywordLF()}); err == nil {
+		t.Error("nil decoder accepted")
+	}
+}
+
+func TestExecuteSurvivesWorkerFailures(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+	e := docExecutor(fs)
+	e.MaxAttempts = 3
+	e.FailureHook = func(taskID string, attempt int) error {
+		if attempt == 1 {
+			return errors.New("injected crash")
+		}
+		return nil
+	}
+	mx, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF(), nerLF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.At(0, 0) != labelmodel.Positive {
+		t.Error("votes wrong after worker failures")
+	}
+}
+
+func TestExecutePermanentFailure(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 1)
+	e := docExecutor(fs)
+	e.MaxAttempts = 2
+	e.FailureHook = func(string, int) error { return errors.New("down") }
+	if _, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF()}); err == nil {
+		t.Error("permanent failure not surfaced")
+	}
+}
+
+func TestInvalidVoteRejected(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 1)
+	bad := Func[*corpus.Document]{
+		Meta: Meta{Name: "bad"},
+		Vote: func(*corpus.Document) labelmodel.Label { return labelmodel.Label(7) },
+	}
+	e := docExecutor(fs)
+	e.MaxAttempts = 1
+	if _, _, err := e.Execute([]Runner[*corpus.Document]{bad}); err == nil {
+		t.Error("invalid vote accepted")
+	}
+}
+
+func TestDecodeErrorSurfaced(t *testing.T) {
+	fs := dfs.NewMem()
+	if err := Stage[*corpus.Document](fs, "in/docs", [][]byte{[]byte("not json")}, 1); err != nil {
+		t.Fatal(err)
+	}
+	e := docExecutor(fs)
+	e.MaxAttempts = 1
+	if _, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF()}); err == nil {
+		t.Error("decode error swallowed")
+	}
+}
+
+func TestCensusAndSubsets(t *testing.T) {
+	runners := []Runner[*corpus.Document]{keywordLF(), nerLF()}
+	census := Census(runners)
+	if census[ContentHeuristic] != 1 || census[ModelBased] != 1 {
+		t.Errorf("census = %v", census)
+	}
+	servable := ServableIndices(runners)
+	if len(servable) != 1 || servable[0] != 0 {
+		t.Errorf("servable = %v", servable)
+	}
+	names := Names(runners)
+	if names[0] != "keyword_gossip" || names[1] != "ner_no_person" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestVoteEncodingRoundTrip(t *testing.T) {
+	for _, v := range []labelmodel.Label{labelmodel.Negative, labelmodel.Abstain, labelmodel.Positive} {
+		got, err := decodeVote(encodeVote(v))
+		if err != nil || got != v {
+			t.Errorf("round trip %v: %v, %v", v, got, err)
+		}
+	}
+	if _, err := decodeVote([]byte{7}); err == nil {
+		t.Error("invalid stored vote accepted")
+	}
+	if _, err := decodeVote([]byte{1, 2}); err == nil {
+		t.Error("long record accepted")
+	}
+}

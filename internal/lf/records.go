@@ -1,0 +1,12 @@
+package lf
+
+import (
+	"bytes"
+
+	"repro/internal/recordio"
+)
+
+// readAllRecords decodes a recordio shard body.
+func readAllRecords(data []byte) ([][]byte, error) {
+	return recordio.ReadAll(bytes.NewReader(data))
+}

@@ -1,0 +1,75 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/dfs"
+	"repro/internal/recordio"
+)
+
+// WriteInput encodes records into n recordio shards under base, committing
+// each shard atomically. It is the standard way to stage a corpus for a job.
+func WriteInput(fs dfs.FS, base string, records [][]byte, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("mapreduce: WriteInput with %d shards", n)
+	}
+	return dfs.WriteSharded(fs, base, records, n, func(recs [][]byte) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := recordio.WriteAll(&buf, recs); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// ReadOutput reads and concatenates all records from the committed shard set
+// at base, in shard order then record order.
+func ReadOutput(fs dfs.FS, base string) ([][]byte, error) {
+	shards, err := dfs.ListShards(fs, base)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for _, s := range shards {
+		data, err := fs.ReadFile(s)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := recordio.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: shard %s: %w", s, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// CountRecords returns the total number of records in the shard set at base
+// without retaining them.
+func CountRecords(fs dfs.FS, base string) (int, error) {
+	shards, err := dfs.ListShards(fs, base)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, s := range shards {
+		data, err := fs.ReadFile(s)
+		if err != nil {
+			return 0, err
+		}
+		r := recordio.NewReader(bytes.NewReader(data))
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return 0, fmt.Errorf("mapreduce: shard %s: %w", s, err)
+			}
+		}
+		total += r.Count()
+	}
+	return total, nil
+}

@@ -1,0 +1,436 @@
+// Package mapreduce implements the distributed execution substrate that
+// Snorkel DryBell's labeling-function pipelines run on (paper §5.1, §5.4).
+//
+// It simulates a MapReduce cluster inside one process: input shards are read
+// from the simulated distributed filesystem, map tasks run concurrently on a
+// bounded worker pool (each task standing in for a compute node), outputs are
+// partitioned, shuffled, sorted and reduced, and result shards are committed
+// atomically. The properties DryBell relies on are preserved:
+//
+//   - per-task Setup/Teardown hooks, used to launch a model server on each
+//     "compute node" (the NLPLabelingFunction template),
+//   - named counters aggregated across tasks,
+//   - deterministic output independent of worker count and scheduling,
+//   - task re-execution after injected worker failures, with no side effects
+//     from failed attempts.
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/dfs"
+	"repro/internal/recordio"
+)
+
+// Emitter receives key/value pairs from a map function or values from a
+// reduce function.
+type Emitter func(key string, value []byte)
+
+// TaskContext carries per-task state into user functions. One TaskContext
+// corresponds to one task attempt on one simulated compute node.
+type TaskContext struct {
+	// JobName is the owning job's name.
+	JobName string
+	// TaskID identifies the task within the job, e.g. "map-00002".
+	TaskID string
+	// Attempt is the 1-based attempt number for this task.
+	Attempt int
+	// Counters aggregates named counters across all tasks of the job.
+	Counters *CounterSet
+
+	// state holds whatever Setup stored, e.g. a model-server handle.
+	state any
+}
+
+// SetState stores a per-task value (typically a model-server handle created
+// in Setup) for later retrieval with State.
+func (c *TaskContext) SetState(v any) { c.state = v }
+
+// State returns the value stored with SetState, or nil.
+func (c *TaskContext) State() any { return c.state }
+
+// Mapper processes input records. Setup runs once per task attempt before
+// any Map call, Teardown after the last one (also on failure paths after a
+// successful Setup).
+type Mapper interface {
+	Setup(ctx *TaskContext) error
+	Map(ctx *TaskContext, record []byte, emit Emitter) error
+	Teardown(ctx *TaskContext) error
+}
+
+// MapFunc adapts a plain function to Mapper with no-op Setup/Teardown.
+type MapFunc func(ctx *TaskContext, record []byte, emit Emitter) error
+
+// Setup implements Mapper.
+func (MapFunc) Setup(*TaskContext) error { return nil }
+
+// Map implements Mapper.
+func (f MapFunc) Map(ctx *TaskContext, record []byte, emit Emitter) error {
+	return f(ctx, record, emit)
+}
+
+// Teardown implements Mapper.
+func (MapFunc) Teardown(*TaskContext) error { return nil }
+
+// Reducer folds all values for a key into zero or more output records.
+// Values arrive in a deterministic order (by map task, then emission order).
+type Reducer interface {
+	Reduce(ctx *TaskContext, key string, values [][]byte, emit Emitter) error
+}
+
+// ReduceFunc adapts a plain function to Reducer.
+type ReduceFunc func(ctx *TaskContext, key string, values [][]byte, emit Emitter) error
+
+// Reduce implements Reducer.
+func (f ReduceFunc) Reduce(ctx *TaskContext, key string, values [][]byte, emit Emitter) error {
+	return f(ctx, key, values, emit)
+}
+
+// Job specifies one MapReduce execution.
+type Job struct {
+	// Name labels the job in errors and counters.
+	Name string
+	// FS is the filesystem holding input and receiving output.
+	FS dfs.FS
+	// InputBase is the base path of the sharded recordio input.
+	InputBase string
+	// OutputBase is the base path for sharded recordio output.
+	OutputBase string
+	// Mapper is required.
+	Mapper Mapper
+	// Reducer is required unless NumReducers is zero (map-only mode).
+	Reducer Reducer
+	// NumReducers is the number of output partitions. Zero selects map-only
+	// mode: map emissions are written in input order, one output shard per
+	// input shard, and keys are ignored for partitioning.
+	NumReducers int
+	// Parallelism bounds concurrently running tasks; it simulates the number
+	// of compute nodes. Defaults to 4.
+	Parallelism int
+	// MaxAttempts bounds attempts per task before the job fails. Defaults to 3.
+	MaxAttempts int
+	// FailureHook, if set, is consulted at the start of every task attempt;
+	// returning an error fails that attempt. Used to inject worker crashes.
+	FailureHook func(taskID string, attempt int) error
+}
+
+// Result reports a completed job.
+type Result struct {
+	// Counters holds the aggregated named counters.
+	Counters map[string]int64
+	// MapTasks and ReduceTasks count scheduled tasks (not attempts).
+	MapTasks    int
+	ReduceTasks int
+	// Attempts counts all task attempts, including failures.
+	Attempts int
+	// OutputShards lists the committed output shard paths in order.
+	OutputShards []string
+}
+
+// CounterSet is a concurrency-safe set of named int64 counters.
+type CounterSet struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{m: make(map[string]int64)} }
+
+// Inc adds delta to the named counter.
+func (c *CounterSet) Inc(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value.
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// kv is one shuffled pair tagged for deterministic ordering.
+type kv struct {
+	key     string
+	value   []byte
+	mapTask int
+	seq     int
+}
+
+// Run executes the job to completion and returns its result.
+func Run(job Job) (*Result, error) {
+	if job.Mapper == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
+	}
+	if job.NumReducers > 0 && job.Reducer == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has %d reducers but no Reducer", job.Name, job.NumReducers)
+	}
+	if job.FS == nil {
+		return nil, fmt.Errorf("mapreduce: job %q has no filesystem", job.Name)
+	}
+	if job.Parallelism <= 0 {
+		job.Parallelism = 4
+	}
+	if job.MaxAttempts <= 0 {
+		job.MaxAttempts = 3
+	}
+
+	inputShards, err := dfs.ListShards(job.FS, job.InputBase)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+	}
+
+	counters := NewCounterSet()
+	res := &Result{MapTasks: len(inputShards)}
+	var attempts int64
+	var attemptsMu sync.Mutex
+	countAttempt := func() {
+		attemptsMu.Lock()
+		attempts++
+		attemptsMu.Unlock()
+	}
+
+	// ---- Map phase ----
+	mapOut := make([][]kv, len(inputShards)) // per map task, emitted pairs
+	if err := runTasks(len(inputShards), job.Parallelism, func(i int) error {
+		taskID := fmt.Sprintf("map-%05d", i)
+		var lastErr error
+		for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
+			countAttempt()
+			pairs, err := runMapAttempt(job, inputShards[i], taskID, attempt, i, counters)
+			if err == nil {
+				mapOut[i] = pairs
+				return nil
+			}
+			lastErr = err
+		}
+		return fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, job.MaxAttempts, lastErr)
+	}); err != nil {
+		return nil, err
+	}
+
+	if job.NumReducers == 0 {
+		// Map-only: write map outputs shard-for-shard in input order.
+		for i, pairs := range mapOut {
+			var buf bytes.Buffer
+			w := recordio.NewWriter(&buf)
+			for _, p := range pairs {
+				if err := w.Write(p.value); err != nil {
+					return nil, fmt.Errorf("mapreduce: encode output shard %d: %w", i, err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				return nil, err
+			}
+			if err := commitShard(job.FS, job.OutputBase, i, len(mapOut), buf.Bytes()); err != nil {
+				return nil, err
+			}
+			res.OutputShards = append(res.OutputShards, dfs.ShardPath(job.OutputBase, i, len(mapOut)))
+		}
+		res.Counters = counters.Snapshot()
+		res.Attempts = int(attempts)
+		return res, nil
+	}
+
+	// ---- Shuffle: partition by key hash, then sort deterministically ----
+	parts := make([][]kv, job.NumReducers)
+	for _, pairs := range mapOut {
+		for _, p := range pairs {
+			r := partition(p.key, job.NumReducers)
+			parts[r] = append(parts[r], p)
+		}
+	}
+	for r := range parts {
+		sort.Slice(parts[r], func(a, b int) bool {
+			pa, pb := parts[r][a], parts[r][b]
+			if pa.key != pb.key {
+				return pa.key < pb.key
+			}
+			if pa.mapTask != pb.mapTask {
+				return pa.mapTask < pb.mapTask
+			}
+			return pa.seq < pb.seq
+		})
+	}
+
+	// ---- Reduce phase ----
+	res.ReduceTasks = job.NumReducers
+	reduceOut := make([][][]byte, job.NumReducers)
+	if err := runTasks(job.NumReducers, job.Parallelism, func(r int) error {
+		taskID := fmt.Sprintf("reduce-%05d", r)
+		var lastErr error
+		for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
+			countAttempt()
+			out, err := runReduceAttempt(job, parts[r], taskID, attempt, counters)
+			if err == nil {
+				reduceOut[r] = out
+				return nil
+			}
+			lastErr = err
+		}
+		return fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, job.MaxAttempts, lastErr)
+	}); err != nil {
+		return nil, err
+	}
+
+	for r, records := range reduceOut {
+		var buf bytes.Buffer
+		w := recordio.NewWriter(&buf)
+		for _, rec := range records {
+			if err := w.Write(rec); err != nil {
+				return nil, fmt.Errorf("mapreduce: encode output shard %d: %w", r, err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return nil, err
+		}
+		if err := commitShard(job.FS, job.OutputBase, r, job.NumReducers, buf.Bytes()); err != nil {
+			return nil, err
+		}
+		res.OutputShards = append(res.OutputShards, dfs.ShardPath(job.OutputBase, r, job.NumReducers))
+	}
+	res.Counters = counters.Snapshot()
+	res.Attempts = int(attempts)
+	return res, nil
+}
+
+// runMapAttempt executes one attempt of one map task. All effects are
+// buffered in the returned slice, so a failed attempt leaves no trace.
+func runMapAttempt(job Job, shardPath, taskID string, attempt, mapIdx int, counters *CounterSet) ([]kv, error) {
+	ctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
+	if job.FailureHook != nil {
+		if err := job.FailureHook(taskID, attempt); err != nil {
+			return nil, err
+		}
+	}
+	data, err := job.FS.ReadFile(shardPath)
+	if err != nil {
+		return nil, err
+	}
+	records, err := recordio.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := job.Mapper.Setup(ctx); err != nil {
+		return nil, fmt.Errorf("setup: %w", err)
+	}
+	var pairs []kv
+	seq := 0
+	emit := func(key string, value []byte) {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		pairs = append(pairs, kv{key: key, value: cp, mapTask: mapIdx, seq: seq})
+		seq++
+	}
+	var mapErr error
+	for _, rec := range records {
+		if mapErr = job.Mapper.Map(ctx, rec, emit); mapErr != nil {
+			break
+		}
+	}
+	tdErr := job.Mapper.Teardown(ctx)
+	if mapErr != nil {
+		return nil, mapErr
+	}
+	if tdErr != nil {
+		return nil, fmt.Errorf("teardown: %w", tdErr)
+	}
+	return pairs, nil
+}
+
+// runReduceAttempt executes one attempt of one reduce task over its
+// pre-sorted partition.
+func runReduceAttempt(job Job, part []kv, taskID string, attempt int, counters *CounterSet) ([][]byte, error) {
+	ctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
+	if job.FailureHook != nil {
+		if err := job.FailureHook(taskID, attempt); err != nil {
+			return nil, err
+		}
+	}
+	var out [][]byte
+	emit := func(_ string, value []byte) {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		out = append(out, cp)
+	}
+	for i := 0; i < len(part); {
+		j := i
+		for j < len(part) && part[j].key == part[i].key {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, part[k].value)
+		}
+		if err := job.Reducer.Reduce(ctx, part[i].key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+func commitShard(fs dfs.FS, base string, i, n int, data []byte) error {
+	tmp := dfs.ShardPath(base, i, n) + ".partial"
+	if err := fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, dfs.ShardPath(base, i, n))
+}
+
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// runTasks executes fn(0..n-1) on at most p goroutines, returning the first
+// error (all workers are drained before returning).
+func runTasks(n, p int, fn func(i int) error) error {
+	if p > n {
+		p = n
+	}
+	if p <= 0 {
+		p = 1
+	}
+	tasks := make(chan int)
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range tasks {
+				errs <- fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		tasks <- i
+	}
+	close(tasks)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// MLP is the deep neural network used for the real-time events task (§3.3,
+// §6.4): dense layers with tanh activations and a sigmoid output, trained on
+// probabilistic labels with the noise-aware cross-entropy
+//
+//	l(z, ỹ) = softplus(z) − ỹ·z   (expected CE under the soft label)
+//
+// built on the internal/tensor graph, as the production model is built on
+// TensorFlow via TFX.
+type MLP struct {
+	g      *tensor.Graph
+	input  *tensor.Node // (batch, in)
+	target *tensor.Node // (batch,)
+	logits *tensor.Node // (batch,)
+	probs  *tensor.Node // (batch,)
+	loss   *tensor.Node
+
+	inDim  int
+	hidden []int
+}
+
+// NewMLP builds an MLP with the given input dimension and hidden layer
+// sizes (e.g. NewMLP(16, []int{32, 16}, 1)).
+func NewMLP(inDim int, hidden []int, seed int64) (*MLP, error) {
+	if inDim <= 0 {
+		return nil, fmt.Errorf("model: MLP input dim %d", inDim)
+	}
+	for _, h := range hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("model: MLP hidden size %d", h)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := tensor.NewGraph()
+	input := g.Placeholder("x")
+	target := g.Placeholder("y")
+
+	cur := input
+	curDim := inDim
+	for li, h := range hidden {
+		w := g.Variable(fmt.Sprintf("w%d", li), tensor.Randn(rng, 1/sqrtf(curDim), curDim, h))
+		b := g.Variable(fmt.Sprintf("b%d", li), tensor.New(h))
+		cur = g.Tanh(g.Add(g.MatMul(cur, w), b))
+		curDim = h
+	}
+	wOut := g.Variable("w_out", tensor.Randn(rng, 1/sqrtf(curDim), curDim, 1))
+	bOut := g.Variable("b_out", tensor.New(1))
+	logits2d := g.Add(g.MatMul(cur, wOut), bOut) // (batch, 1)
+	logits := g.SumAxis(logits2d, 1)             // (batch,)
+	probs := g.Sigmoid(logits)
+
+	// Noise-aware CE: mean(softplus(z) − y·z).
+	loss := g.Mean(g.Sub(g.Softplus(logits), g.Mul(target, logits)))
+
+	return &MLP{
+		g: g, input: input, target: target,
+		logits: logits, probs: probs, loss: loss,
+		inDim: inDim, hidden: append([]int(nil), hidden...),
+	}, nil
+}
+
+// MLPTrainConfig configures MLP training.
+type MLPTrainConfig struct {
+	// Epochs over the training set. Default 5.
+	Epochs int
+	// BatchSize per gradient step. Default 64.
+	BatchSize int
+	// LR is the Adam step size. Default 0.005.
+	LR float64
+	// Seed drives shuffling.
+	Seed int64
+}
+
+func (c MLPTrainConfig) withDefaults() MLPTrainConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.LR <= 0 {
+		c.LR = 0.005
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Train fits the network to (xs, soft labels ys).
+func (m *MLP) Train(xs [][]float64, ys []float64, cfg MLPTrainConfig) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("model: %d examples, %d labels", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("model: empty training set")
+	}
+	for i, x := range xs {
+		if len(x) != m.inDim {
+			return fmt.Errorf("model: example %d has dim %d, want %d", i, len(x), m.inDim)
+		}
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := &tensor.GradClip{MaxNorm: 5, Inner: &tensor.Adam{LR: cfg.LR}}
+
+	order := rng.Perm(len(xs))
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			xb := tensor.New(len(batch), m.inDim)
+			yb := tensor.New(len(batch))
+			for k, i := range batch {
+				for f, v := range xs[i] {
+					xb.Set(v, k, f)
+				}
+				yb.Set(ys[i], k)
+			}
+			if _, err := m.g.Minimize(m.loss, opt,
+				tensor.Feed{Node: m.input, Value: xb},
+				tensor.Feed{Node: m.target, Value: yb},
+			); err != nil {
+				return fmt.Errorf("model: MLP step: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Predict returns P(y=1|x) for a batch.
+func (m *MLP) Predict(xs [][]float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	xb := tensor.New(len(xs), m.inDim)
+	for k, x := range xs {
+		if len(x) != m.inDim {
+			return nil, fmt.Errorf("model: example %d has dim %d, want %d", k, len(x), m.inDim)
+		}
+		for f, v := range x {
+			xb.Set(v, k, f)
+		}
+	}
+	// Feed a dummy target so the full graph can evaluate.
+	if err := m.g.Run(
+		tensor.Feed{Node: m.input, Value: xb},
+		tensor.Feed{Node: m.target, Value: tensor.New(len(xs))},
+	); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(xs))
+	copy(out, m.probs.Value().Data())
+	return out, nil
+}
+
+func sqrtf(n int) float64 {
+	x := float64(n)
+	z := x
+	for i := 0; i < 32; i++ {
+		z = 0.5 * (z + x/z)
+	}
+	return z
+}

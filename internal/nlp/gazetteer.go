@@ -1,0 +1,48 @@
+package nlp
+
+// Gazetteers backing the NER model. The corpus generator draws names from
+// these same lists (plus held-out names the NER cannot know, simulating
+// recall gaps), so NER behaves like a real broad-purpose model: high but
+// imperfect precision and recall on person mentions.
+
+// CelebrityNames are person entities whose knowledge-graph occupation is
+// "celebrity". Used by the topic-classification case study (§5.1's example
+// labeling function targets celebrity content).
+var CelebrityNames = []string{
+	"ava stone", "liam cross", "mia delgado", "noah pierce", "zara quinn",
+	"kai rivers", "luna ashford", "dante wolfe", "iris vale", "rocco lane",
+	"stella marsh", "jude harlow", "nova reyes", "silas crane", "esme ford",
+	"axel winters", "cleo banks", "ezra holt", "gigi moreau", "hugo blaze",
+	"indie rose", "jett calloway", "kira solace", "leo castellan", "maeve torres",
+	"nico vance", "opal hendrix", "pax whitman", "quincy adler", "remy fontaine",
+}
+
+// OtherPersonNames are person entities that are not celebrities
+// (politicians, scientists, athletes). They make person-presence alone an
+// imperfect celebrity signal, as in the paper's example LF.
+var OtherPersonNames = []string{
+	"howard fleck", "dora nielsen", "omar hassan", "petra novak", "ravi mehta",
+	"sonia alvarez", "tomas lindqvist", "ursula beck", "viktor orlov", "wendy chu",
+	"yusuf demir", "zoe kaminski", "albert nash", "brenda osei", "carl jensen",
+	"denise fuentes", "edgar ramos", "fiona gallagher", "george okafor", "hana sato",
+}
+
+// UnknownPersonNames appear in documents but are absent from every
+// gazetteer; the NER misses them, creating realistic recall gaps.
+var UnknownPersonNames = []string{
+	"tilda vess", "oren lockhart", "pia strand", "matteo kerr", "sable finch",
+	"june arbor", "colt mercer", "wren oakley", "dex palmer", "lyra monroe",
+}
+
+// OrgNames are organization entities.
+var OrgNames = []string{
+	"quantix labs", "helios energy", "northwind bank", "bluepeak media",
+	"vertex motors", "ardent health", "cascade foods", "polaris airlines",
+	"summit retail", "ionic software",
+}
+
+// PlaceNames are location entities.
+var PlaceNames = []string{
+	"eastport", "graniteville", "lakemont", "silverton", "marrow bay",
+	"kestrel city", "dunmore", "aurora falls", "westbrook", "cinder hills",
+}

@@ -1,0 +1,134 @@
+package nlp
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// EntityType classifies a recognized entity.
+type EntityType int
+
+// Entity types produced by the NER model.
+const (
+	EntityPerson EntityType = iota
+	EntityOrg
+	EntityPlace
+)
+
+func (t EntityType) String() string {
+	switch t {
+	case EntityPerson:
+		return "person"
+	case EntityOrg:
+		return "org"
+	case EntityPlace:
+		return "place"
+	default:
+		return "unknown"
+	}
+}
+
+// Entity is one recognized span.
+type Entity struct {
+	// Text is the normalized entity string, e.g. "ava stone".
+	Text string
+	// Type is the entity class.
+	Type EntityType
+	// Confidence is the model's score in (0,1].
+	Confidence float64
+}
+
+// NER is a gazetteer-based named-entity recognizer with configurable
+// per-mention miss probability, standing in for Google's internal NER
+// models. It is safe for concurrent use.
+type NER struct {
+	// MissRate is the probability a true mention is not recognized,
+	// simulating model recall < 1. Zero means perfect gazetteer recall.
+	MissRate float64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	bigrams map[string]EntityType
+}
+
+// NewNER builds the recognizer over the package gazetteers.
+func NewNER(missRate float64, seed int64) *NER {
+	n := &NER{
+		MissRate: missRate,
+		rng:      rand.New(rand.NewSource(seed)),
+		bigrams:  make(map[string]EntityType),
+	}
+	for _, p := range CelebrityNames {
+		n.bigrams[p] = EntityPerson
+	}
+	for _, p := range OtherPersonNames {
+		n.bigrams[p] = EntityPerson
+	}
+	for _, o := range OrgNames {
+		n.bigrams[o] = EntityOrg
+	}
+	for _, pl := range PlaceNames {
+		n.bigrams[pl] = EntityPlace
+	}
+	return n
+}
+
+// Recognize returns the entities found in text. Multi-word gazetteer entries
+// are matched over adjacent token windows (the gazetteers use one- and
+// two-token names).
+func (n *NER) Recognize(text string) []Entity {
+	words := Words(text)
+	var out []Entity
+	seen := map[string]bool{}
+	emit := func(name string, typ EntityType) {
+		if seen[name] {
+			return
+		}
+		if n.MissRate > 0 {
+			n.mu.Lock()
+			miss := n.rng.Float64() < n.MissRate
+			n.mu.Unlock()
+			if miss {
+				return
+			}
+		}
+		seen[name] = true
+		out = append(out, Entity{Text: name, Type: typ, Confidence: 0.9})
+	}
+	for i := 0; i < len(words); i++ {
+		if i+1 < len(words) {
+			pair := words[i] + " " + words[i+1]
+			if typ, ok := n.bigrams[pair]; ok {
+				emit(pair, typ)
+				continue
+			}
+		}
+		if typ, ok := n.bigrams[words[i]]; ok {
+			emit(words[i], typ)
+		}
+	}
+	return out
+}
+
+// People filters entities to persons.
+func People(entities []Entity) []Entity {
+	var out []Entity
+	for _, e := range entities {
+		if e.Type == EntityPerson {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ContainsName reports whether any entity matches the given normalized name.
+func ContainsName(entities []Entity, name string) bool {
+	name = strings.ToLower(name)
+	for _, e := range entities {
+		if e.Text == name {
+			return true
+		}
+	}
+	return false
+}

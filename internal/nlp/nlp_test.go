@@ -1,0 +1,225 @@
+package nlp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks := Tokenize("Ava Stone's premiere, 2024!")
+	want := []string{"ava", "stone", "s", "premiere", "2024"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v", toks)
+	}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+	if !toks[0].Capitalized || toks[3].Capitalized {
+		t.Error("capitalization flags wrong")
+	}
+	if toks[0].Start != 0 || toks[0].End != 3 {
+		t.Errorf("offsets = [%d,%d)", toks[0].Start, toks[0].End)
+	}
+}
+
+func TestTokenizeEmptyAndPunct(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v", got)
+	}
+	if got := Tokenize("...!!!"); len(got) != 0 {
+		t.Errorf("Tokenize(punct) = %v", got)
+	}
+}
+
+// Property: offsets always slice back to text matching the token (modulo case).
+func TestTokenizeOffsetsProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok.Start < 0 || tok.End > len(s) || tok.Start >= tok.End {
+				return false
+			}
+			if strings.ToLower(s[tok.Start:tok.End]) != tok.Text {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBigrams(t *testing.T) {
+	got := Bigrams([]string{"a", "b", "c"})
+	if len(got) != 2 || got[0] != "a_b" || got[1] != "b_c" {
+		t.Errorf("Bigrams = %v", got)
+	}
+	if Bigrams([]string{"solo"}) != nil {
+		t.Error("single word should have no bigrams")
+	}
+}
+
+func TestNERFindsGazetteerEntities(t *testing.T) {
+	ner := NewNER(0, 1)
+	ents := ner.Recognize("Ava Stone visited Quantix Labs in Eastport.")
+	byType := map[EntityType][]string{}
+	for _, e := range ents {
+		byType[e.Type] = append(byType[e.Type], e.Text)
+	}
+	if len(byType[EntityPerson]) != 1 || byType[EntityPerson][0] != "ava stone" {
+		t.Errorf("persons = %v", byType[EntityPerson])
+	}
+	if len(byType[EntityOrg]) != 1 || byType[EntityOrg][0] != "quantix labs" {
+		t.Errorf("orgs = %v", byType[EntityOrg])
+	}
+	if len(byType[EntityPlace]) != 1 || byType[EntityPlace][0] != "eastport" {
+		t.Errorf("places = %v", byType[EntityPlace])
+	}
+}
+
+func TestNERMissesUnknownNames(t *testing.T) {
+	ner := NewNER(0, 1)
+	ents := ner.Recognize("Tilda Vess gave a speech.")
+	if len(People(ents)) != 0 {
+		t.Errorf("NER should not know held-out names, got %v", ents)
+	}
+}
+
+func TestNERMissRate(t *testing.T) {
+	ner := NewNER(1.0, 1) // always miss
+	if got := ner.Recognize("Ava Stone arrived."); len(got) != 0 {
+		t.Errorf("MissRate=1 still recognized %v", got)
+	}
+}
+
+func TestNERDeduplicates(t *testing.T) {
+	ner := NewNER(0, 1)
+	ents := ner.Recognize("ava stone met ava stone")
+	if len(ents) != 1 {
+		t.Errorf("duplicate mentions not merged: %v", ents)
+	}
+}
+
+func TestNERConcurrent(t *testing.T) {
+	ner := NewNER(0.3, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ner.Recognize("Ava Stone and Howard Fleck in Eastport")
+			}
+		}()
+	}
+	wg.Wait() // passes if no race under -race
+}
+
+func TestContainsName(t *testing.T) {
+	ents := []Entity{{Text: "ava stone", Type: EntityPerson}}
+	if !ContainsName(ents, "Ava Stone") {
+		t.Error("ContainsName should be case-insensitive")
+	}
+	if ContainsName(ents, "liam cross") {
+		t.Error("ContainsName false positive")
+	}
+}
+
+func TestTopicModelClassifies(t *testing.T) {
+	tm := NewTopicModel()
+	topic, score := tm.Top("the premiere drew paparazzi to the redcarpet award show")
+	if topic != TopicEntertainment {
+		t.Errorf("Top = %q, want entertainment", topic)
+	}
+	if score <= 0 || score > 1 {
+		t.Errorf("score = %v", score)
+	}
+	topic, _ = tm.Top("quarterly earnings and dividend yield beat inflation")
+	if topic != TopicFinance {
+		t.Errorf("Top = %q, want finance", topic)
+	}
+}
+
+func TestTopicModelUncuedText(t *testing.T) {
+	tm := NewTopicModel()
+	if got := tm.Classify("zzz qqq www"); got != nil {
+		t.Errorf("Classify(uncued) = %v", got)
+	}
+	topic, score := tm.Top("zzz")
+	if topic != "" || score != 0 {
+		t.Errorf("Top(uncued) = %q, %v", topic, score)
+	}
+}
+
+func TestTopicScoresNormalized(t *testing.T) {
+	tm := NewTopicModel()
+	scores := tm.Classify("premiere league earnings recipe")
+	sum := 0.0
+	for _, s := range scores {
+		sum += s.Score
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("scores sum to %v", sum)
+	}
+	for i := 0; i+1 < len(scores); i++ {
+		if scores[i].Score < scores[i+1].Score {
+			t.Error("scores not sorted descending")
+		}
+	}
+}
+
+func TestSentiment(t *testing.T) {
+	if s := ScoreSentiment("an amazing stunning superb show"); s != 1 {
+		t.Errorf("positive sentiment = %v", s)
+	}
+	if s := ScoreSentiment("scandal lawsuit fraud"); s != -1 {
+		t.Errorf("negative sentiment = %v", s)
+	}
+	if s := ScoreSentiment("the show happened"); s != 0 {
+		t.Errorf("neutral sentiment = %v", s)
+	}
+	if s := ScoreSentiment("amazing scandal"); s != 0 {
+		t.Errorf("mixed sentiment = %v", s)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	s := NewServer(0, 1)
+	if _, err := s.Annotate("x"); err != ErrNotLaunched {
+		t.Errorf("Annotate before launch: %v", err)
+	}
+	if err := s.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(); err == nil {
+		t.Error("double launch accepted")
+	}
+	res, err := s.Annotate("Ava Stone at the premiere")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.People()) != 1 {
+		t.Errorf("people = %v", res.People())
+	}
+	if res.TopTopic() != TopicEntertainment {
+		t.Errorf("top topic = %q", res.TopTopic())
+	}
+	if s.Calls() != 1 {
+		t.Errorf("calls = %d", s.Calls())
+	}
+	s.Stop()
+	if _, err := s.Annotate("x"); err != ErrNotLaunched {
+		t.Errorf("Annotate after stop: %v", err)
+	}
+}
+
+func TestResultTopTopicEmpty(t *testing.T) {
+	r := &Result{}
+	if r.TopTopic() != "" {
+		t.Error("empty result TopTopic should be empty")
+	}
+}

@@ -1,0 +1,82 @@
+// Package nlp simulates Google's general-purpose natural language processing
+// models (paper §5.1): a tokenizer, a named-entity recognizer, a coarse
+// semantic-categorization ("topic") model, and a sentiment scorer, bundled
+// behind a model server that labeling functions launch per compute node via
+// the NLPLabelingFunction template.
+//
+// The models are gazetteer- and lexicon-based with controlled noise. What
+// matters for the reproduction is their statistical role, not their NLP
+// sophistication: they are broad-purpose, moderately accurate, expensive
+// signals that are non-servable at inference time (too slow to run on all
+// incoming content) but excellent weak supervision.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is one normalized token with its source offset.
+type Token struct {
+	// Text is the lower-cased token text.
+	Text string
+	// Start and End are byte offsets into the original string.
+	Start, End int
+	// Capitalized records whether the original token began with an
+	// upper-case letter (a cue for the NER model).
+	Capitalized bool
+}
+
+// Tokenize splits text into word tokens, lower-casing and recording
+// capitalization. Punctuation separates tokens and is dropped.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	start := -1
+	cap := false
+	flush := func(end int) {
+		if start >= 0 {
+			tokens = append(tokens, Token{
+				Text:        strings.ToLower(text[start:end]),
+				Start:       start,
+				End:         end,
+				Capitalized: cap,
+			})
+			start = -1
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			if start < 0 {
+				start = i
+				cap = unicode.IsUpper(r)
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(text))
+	return tokens
+}
+
+// Words returns just the normalized token strings.
+func Words(text string) []string {
+	toks := Tokenize(text)
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// Bigrams returns adjacent token pairs joined by '_', used by the feature
+// extractor and the topic model.
+func Bigrams(words []string) []string {
+	if len(words) < 2 {
+		return nil
+	}
+	out := make([]string, 0, len(words)-1)
+	for i := 0; i+1 < len(words); i++ {
+		out = append(out, words[i]+"_"+words[i+1])
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package nlp
+
+import (
+	"sort"
+)
+
+// Coarse semantic categories produced by the topic model. The paper's topic
+// model "output semantic categorizations far too coarse-grained for the
+// targeted task at hand, but which nonetheless could be used as effective
+// negative labeling heuristics" (§3.1).
+const (
+	TopicEntertainment = "entertainment"
+	TopicSports        = "sports"
+	TopicTechnology    = "technology"
+	TopicFinance       = "finance"
+	TopicHealth        = "health"
+	TopicTravel        = "travel"
+	TopicFood          = "food"
+	TopicShopping      = "shopping"
+)
+
+// AllTopics lists every coarse category in a stable order.
+var AllTopics = []string{
+	TopicEntertainment, TopicSports, TopicTechnology, TopicFinance,
+	TopicHealth, TopicTravel, TopicFood, TopicShopping,
+}
+
+// TopicVocab maps each coarse category to its cue words. The corpus
+// generator draws document text from these same distributions, which is what
+// makes the topic model an informative (but coarse) signal.
+var TopicVocab = map[string][]string{
+	// Note: the celebrity-specific keywords ("paparazzi", "redcarpet",
+	// "gossip", "spotlight") are deliberately NOT in this vocabulary — the
+	// topic model is coarse-grained (§3.1): it recognizes entertainment,
+	// not celebrity-hood.
+	TopicEntertainment: {
+		"premiere", "blockbuster", "award", "studio", "concert", "album",
+		"backstage", "movie", "tour", "fans", "soundtrack", "sequel",
+	},
+	TopicSports: {
+		"league", "season", "playoff", "coach", "stadium", "transfer",
+		"championship", "tournament", "score", "injury", "roster", "defense",
+	},
+	TopicTechnology: {
+		"startup", "software", "chip", "cloud", "platform", "api",
+		"algorithm", "device", "battery", "silicon", "neural", "encryption",
+	},
+	TopicFinance: {
+		"earnings", "dividend", "portfolio", "equity", "bond", "inflation",
+		"quarterly", "revenue", "ipo", "hedge", "yield", "merger",
+	},
+	TopicHealth: {
+		"clinic", "vaccine", "therapy", "nutrition", "diagnosis", "wellness",
+		"cardio", "symptom", "trial", "dosage", "immune", "recovery",
+	},
+	TopicTravel: {
+		"itinerary", "resort", "passport", "airline", "voyage", "landmark",
+		"hostel", "cruise", "backpacking", "visa", "layover", "beachfront",
+	},
+	TopicFood: {
+		"recipe", "sourdough", "roast", "umami", "bistro", "ferment",
+		"saute", "garnish", "tasting", "brunch", "vegan", "pantry",
+	},
+	TopicShopping: {
+		"discount", "checkout", "warranty", "bundle", "clearance", "retailer",
+		"shipping", "catalog", "voucher", "restock", "bestseller", "cart",
+	},
+}
+
+// TopicModel is a multinomial scorer over the coarse categories, standing in
+// for the internally maintained semantic-categorization model. It is
+// stateless and safe for concurrent use.
+type TopicModel struct {
+	wordTopics map[string][]string
+}
+
+// NewTopicModel builds the scorer from TopicVocab.
+func NewTopicModel() *TopicModel {
+	m := &TopicModel{wordTopics: make(map[string][]string)}
+	for topic, words := range TopicVocab {
+		for _, w := range words {
+			m.wordTopics[w] = append(m.wordTopics[w], topic)
+		}
+	}
+	return m
+}
+
+// TopicScore is one category with its normalized score.
+type TopicScore struct {
+	Topic string
+	Score float64
+}
+
+// Classify scores text against every coarse category and returns the
+// categories sorted by descending score. Texts with no cue words return nil.
+func (m *TopicModel) Classify(text string) []TopicScore {
+	counts := map[string]float64{}
+	total := 0.0
+	for _, w := range Words(text) {
+		for _, topic := range m.wordTopics[w] {
+			counts[topic]++
+			total++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]TopicScore, 0, len(counts))
+	for topic, c := range counts {
+		out = append(out, TopicScore{Topic: topic, Score: c / total})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].Topic < out[b].Topic
+	})
+	return out
+}
+
+// Top returns the best category and its score, or ("", 0) for uncued text.
+func (m *TopicModel) Top(text string) (string, float64) {
+	scores := m.Classify(text)
+	if len(scores) == 0 {
+		return "", 0
+	}
+	return scores[0].Topic, scores[0].Score
+}

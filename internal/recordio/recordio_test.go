@@ -1,0 +1,152 @@
+package recordio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripBasic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	records := [][]byte{[]byte("hello"), []byte(""), []byte("world"), {0, 1, 2, 255}}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(records) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(records))
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("record %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after last record: %v, want io.EOF", err)
+	}
+	if r.Count() != len(records) {
+		t.Errorf("reader Count = %d, want %d", r.Count(), len(records))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(records [][]byte) bool {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, records); err != nil {
+			return false
+		}
+		got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], records[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorruptionDetectedAtEveryByte(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, [][]byte{[]byte("payload-one"), []byte("payload-two")}); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for off := 0; off < len(clean); off++ {
+		dirty := make([]byte, len(clean))
+		copy(dirty, clean)
+		dirty[off] ^= 0xFF
+		_, err := ReadAll(bytes.NewReader(dirty))
+		if err == nil {
+			t.Fatalf("corruption at byte %d not detected", off)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, [][]byte{[]byte("0123456789")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadAll(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(full))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	got, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("ReadAll(empty) = %v, %v", got, err)
+	}
+}
+
+func TestHugeLengthRejected(t *testing.T) {
+	// Hand-craft a frame claiming an enormous payload.
+	frame := []byte{'S', 'D', 'R', 'B', 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0}
+	_, err := ReadAll(bytes.NewReader(frame))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestWriterRejectsOversizeRecord(t *testing.T) {
+	w := NewWriter(io.Discard)
+	if err := w.Write(make([]byte, MaxRecordSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, [][]byte{[]byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] = 'X'
+	_, err := ReadAll(bytes.NewReader(data))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != int64(buf.Len()) {
+		t.Errorf("Bytes() = %d, buffer has %d", w.Bytes(), buf.Len())
+	}
+}

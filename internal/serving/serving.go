@@ -1,0 +1,221 @@
+// Package serving simulates the TFX serving integration of paper §5.3:
+// trained discriminative models are exported to a portable artifact, staged
+// into a versioned registry, validated (servable features only, latency
+// within budget), and promoted to live serving. "Once trained, we use TFX to
+// automatically stage it for serving."
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/model"
+)
+
+// Artifact is one exported model version.
+type Artifact struct {
+	// Name identifies the model line, e.g. "topic-classifier".
+	Name string `json:"name"`
+	// Version is assigned by the registry at staging time.
+	Version int `json:"version"`
+	// Kind is "logreg" or "dnn".
+	Kind string `json:"kind"`
+	// Threshold is the decision threshold tuned on the dev set.
+	Threshold float64 `json:"threshold"`
+	// FeatureDim is the expected input dimension.
+	FeatureDim uint32 `json:"feature_dim"`
+	// Payload is the kind-specific model encoding.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// logRegPayload is the sparse export of a trained logistic regression.
+type logRegPayload struct {
+	Indices []uint32  `json:"indices"`
+	Values  []float64 `json:"values"`
+}
+
+// ExportLogReg converts a trained model into an artifact (unversioned until
+// staged).
+func ExportLogReg(name string, m *model.LogReg, threshold float64) (*Artifact, error) {
+	w := m.Weights()
+	var p logRegPayload
+	for i, v := range w {
+		if v != 0 {
+			p.Indices = append(p.Indices, uint32(i))
+			p.Values = append(p.Values, v)
+		}
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("serving: export %s: %w", name, err)
+	}
+	return &Artifact{
+		Name: name, Kind: "logreg", Threshold: threshold,
+		FeatureDim: m.Dim(), Payload: raw,
+	}, nil
+}
+
+// Server scores servable feature vectors with a staged artifact.
+type Server struct {
+	art     *Artifact
+	weights []float64
+}
+
+// NewServer loads an artifact for serving.
+func NewServer(a *Artifact) (*Server, error) {
+	if a.Kind != "logreg" {
+		return nil, fmt.Errorf("serving: cannot serve kind %q in-process", a.Kind)
+	}
+	var p logRegPayload
+	if err := json.Unmarshal(a.Payload, &p); err != nil {
+		return nil, fmt.Errorf("serving: decode %s: %w", a.Name, err)
+	}
+	if len(p.Indices) != len(p.Values) {
+		return nil, fmt.Errorf("serving: corrupt payload for %s", a.Name)
+	}
+	w := make([]float64, a.FeatureDim)
+	for k, idx := range p.Indices {
+		if idx >= a.FeatureDim {
+			return nil, fmt.Errorf("serving: weight index %d out of dim %d", idx, a.FeatureDim)
+		}
+		w[idx] = p.Values[k]
+	}
+	return &Server{art: a, weights: w}, nil
+}
+
+// Score returns P(y=1|x).
+func (s *Server) Score(x *features.SparseVector) float64 {
+	return sigmoid(x.Dot(s.weights))
+}
+
+// Classify applies the artifact's tuned threshold.
+func (s *Server) Classify(x *features.SparseVector) bool {
+	return s.Score(x) >= s.art.Threshold
+}
+
+// Artifact returns the served artifact.
+func (s *Server) Artifact() *Artifact { return s.art }
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+// Registry is the versioned model store with a promotion workflow:
+// Stage → Validate → Promote; Rollback restores the previous live version.
+// Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	versions map[string][]*Artifact // per name, ascending version
+	live     map[string]int         // live version per name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{versions: make(map[string][]*Artifact), live: make(map[string]int)}
+}
+
+// Stage registers a new version of the artifact and returns it with the
+// version assigned. Staged versions are not served until promoted.
+func (r *Registry) Stage(a *Artifact) (*Artifact, error) {
+	if a.Name == "" {
+		return nil, fmt.Errorf("serving: artifact has no name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := *a
+	cp.Version = len(r.versions[a.Name]) + 1
+	r.versions[a.Name] = append(r.versions[a.Name], &cp)
+	return &cp, nil
+}
+
+// Promote makes the given staged version live.
+func (r *Registry) Promote(name string, version int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if version < 1 || version > len(r.versions[name]) {
+		return fmt.Errorf("serving: %s has no version %d", name, version)
+	}
+	r.live[name] = version
+	return nil
+}
+
+// Rollback reverts to the previous version (live−1).
+func (r *Registry) Rollback(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.live[name]
+	if !ok || cur <= 1 {
+		return fmt.Errorf("serving: %s has no version to roll back to", name)
+	}
+	r.live[name] = cur - 1
+	return nil
+}
+
+// Live returns the currently served artifact for the model line.
+func (r *Registry) Live(name string) (*Artifact, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.live[name]
+	if !ok {
+		return nil, fmt.Errorf("serving: %s has no live version", name)
+	}
+	return r.versions[name][v-1], nil
+}
+
+// Versions lists all staged versions of a model line, ascending.
+func (r *Registry) Versions(name string) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.versions[name]))
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// Names lists all model lines, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.versions))
+	for n := range r.versions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateLatency measures the artifact's p99-ish serving latency over probe
+// inputs and rejects it if the budget is exceeded — the latency-agreement
+// gate of §7 ("products are composed of many services that are connected
+// via latency agreements").
+func ValidateLatency(a *Artifact, probes []*features.SparseVector, budget time.Duration) error {
+	srv, err := NewServer(a)
+	if err != nil {
+		return err
+	}
+	if len(probes) == 0 {
+		return fmt.Errorf("serving: no probe inputs")
+	}
+	worst := time.Duration(0)
+	for _, p := range probes {
+		start := time.Now()
+		srv.Score(p)
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	if worst > budget {
+		return fmt.Errorf("serving: %s worst probe latency %v exceeds budget %v", a.Name, worst, budget)
+	}
+	return nil
+}

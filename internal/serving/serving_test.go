@@ -1,0 +1,148 @@
+package serving
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/model"
+)
+
+func trainedLogReg(t *testing.T) *model.LogReg {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	m, err := model.NewLogReg(64, model.DefaultFTRL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xs []*features.SparseVector
+	var ys []float64
+	for i := 0; i < 500; i++ {
+		if rng.Float64() < 0.5 {
+			xs = append(xs, &features.SparseVector{Indices: []uint32{1}, Values: []float64{1}})
+			ys = append(ys, 0.9)
+		} else {
+			xs = append(xs, &features.SparseVector{Indices: []uint32{2}, Values: []float64{1}})
+			ys = append(ys, 0.1)
+		}
+	}
+	if err := m.Train(xs, ys, model.TrainConfig{Iterations: 5000, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExportServeRoundTrip(t *testing.T) {
+	m := trainedLogReg(t)
+	art, err := ExportLogReg("clf", m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	posX := &features.SparseVector{Indices: []uint32{1}, Values: []float64{1}}
+	negX := &features.SparseVector{Indices: []uint32{2}, Values: []float64{1}}
+	if got, want := srv.Score(posX), m.Predict(posX); absf(got-want) > 1e-12 {
+		t.Errorf("served score %v != training score %v", got, want)
+	}
+	if !srv.Classify(posX) || srv.Classify(negX) {
+		t.Error("classification wrong after export")
+	}
+	if srv.Artifact().Name != "clf" {
+		t.Error("artifact metadata lost")
+	}
+}
+
+func TestNewServerRejectsBadArtifacts(t *testing.T) {
+	if _, err := NewServer(&Artifact{Kind: "dnn"}); err == nil {
+		t.Error("unservable kind accepted")
+	}
+	if _, err := NewServer(&Artifact{Kind: "logreg", Payload: []byte("{bad")}); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	if _, err := NewServer(&Artifact{
+		Kind: "logreg", FeatureDim: 2,
+		Payload: []byte(`{"indices":[5],"values":[1]}`),
+	}); err == nil {
+		t.Error("out-of-dim index accepted")
+	}
+	if _, err := NewServer(&Artifact{
+		Kind: "logreg", FeatureDim: 8,
+		Payload: []byte(`{"indices":[1,2],"values":[1]}`),
+	}); err == nil {
+		t.Error("mismatched payload accepted")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	a := &Artifact{Name: "m", Kind: "logreg", FeatureDim: 4, Payload: []byte(`{}`)}
+	v1, err := reg.Stage(a)
+	if err != nil || v1.Version != 1 {
+		t.Fatalf("stage v1: %v, %v", v1, err)
+	}
+	v2, _ := reg.Stage(a)
+	if v2.Version != 2 {
+		t.Fatalf("stage v2 got version %d", v2.Version)
+	}
+	if _, err := reg.Live("m"); err == nil {
+		t.Error("live before promote")
+	}
+	if err := reg.Promote("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	live, err := reg.Live("m")
+	if err != nil || live.Version != 2 {
+		t.Fatalf("live = %v, %v", live, err)
+	}
+	if err := reg.Rollback("m"); err != nil {
+		t.Fatal(err)
+	}
+	live, _ = reg.Live("m")
+	if live.Version != 1 {
+		t.Errorf("after rollback version = %d", live.Version)
+	}
+	if err := reg.Rollback("m"); err == nil {
+		t.Error("rollback past v1 accepted")
+	}
+	if err := reg.Promote("m", 9); err == nil {
+		t.Error("promote unknown version accepted")
+	}
+	if len(reg.Versions("m")) != 2 || len(reg.Names()) != 1 {
+		t.Errorf("versions=%v names=%v", reg.Versions("m"), reg.Names())
+	}
+}
+
+func TestRegistryRejectsAnonymous(t *testing.T) {
+	if _, err := NewRegistry().Stage(&Artifact{}); err == nil {
+		t.Error("anonymous artifact accepted")
+	}
+}
+
+func TestValidateLatency(t *testing.T) {
+	m := trainedLogReg(t)
+	art, _ := ExportLogReg("clf", m, 0.5)
+	probes := []*features.SparseVector{
+		{Indices: []uint32{1}, Values: []float64{1}},
+		{Indices: []uint32{2, 3}, Values: []float64{1, 1}},
+	}
+	if err := ValidateLatency(art, probes, time.Second); err != nil {
+		t.Errorf("generous budget failed: %v", err)
+	}
+	if err := ValidateLatency(art, probes, time.Nanosecond); err == nil {
+		t.Error("impossible budget passed")
+	}
+	if err := ValidateLatency(art, nil, time.Second); err == nil {
+		t.Error("no probes accepted")
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,356 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphForwardSimple(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x")
+	w := g.Variable("w", FromSlice([]float64{2, 3}))
+	y := g.Sum(g.Mul(x, w)) // sum(x*w)
+	if err := g.Run(Feed{x, FromSlice([]float64{4, 5})}); err != nil {
+		t.Fatal(err)
+	}
+	if got := y.Value().Item(); got != 2*4+3*5 {
+		t.Errorf("forward = %v, want 23", got)
+	}
+}
+
+func TestGraphUnfedPlaceholderError(t *testing.T) {
+	g := NewGraph()
+	x := g.Placeholder("x")
+	_ = g.Sum(x)
+	if err := g.Run(); err == nil {
+		t.Fatal("Run with unfed placeholder should error")
+	}
+}
+
+func TestGraphFeedNonPlaceholderError(t *testing.T) {
+	g := NewGraph()
+	v := g.Variable("v", Scalar(1))
+	if err := g.Run(Feed{v, Scalar(2)}); err == nil {
+		t.Fatal("feeding a variable should error")
+	}
+}
+
+func TestGraphCrossGraphInputPanics(t *testing.T) {
+	g1 := NewGraph()
+	g2 := NewGraph()
+	a := g1.Variable("a", Scalar(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cross-graph input did not panic")
+		}
+	}()
+	g2.Neg(a)
+}
+
+func TestBackwardChainRule(t *testing.T) {
+	// loss = mean((x*w + b)^2); check dloss/dw and dloss/db analytically.
+	g := NewGraph()
+	x := g.Placeholder("x")
+	w := g.Variable("w", Scalar(3))
+	b := g.Variable("b", Scalar(1))
+	pred := g.Add(g.Mul(x, w), b)
+	loss := g.Mean(g.Square(pred))
+	xs := FromSlice([]float64{1, 2})
+	if err := g.Run(Feed{x, xs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	// preds: 4, 7. dloss/dpred_i = 2*pred_i/2 = pred_i. dw = sum(pred_i*x_i)=4+14=18.
+	if got := w.Grad().Item(); !almostEq(got, 18, 1e-9) {
+		t.Errorf("dw = %v, want 18", got)
+	}
+	if got := b.Grad().Item(); !almostEq(got, 11, 1e-9) {
+		t.Errorf("db = %v, want 11", got)
+	}
+}
+
+func TestBackwardNonScalarLossError(t *testing.T) {
+	g := NewGraph()
+	v := g.Variable("v", FromSlice([]float64{1, 2}))
+	y := g.Neg(v)
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Backward(y); err == nil {
+		t.Fatal("Backward on non-scalar should error")
+	}
+}
+
+func TestBackwardFanOutAccumulates(t *testing.T) {
+	// loss = sum(v) + sum(v): gradient should be 2 for each coordinate.
+	g := NewGraph()
+	v := g.Variable("v", FromSlice([]float64{1, 2, 3}))
+	loss := g.Add(g.Sum(v), g.Sum(v))
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := v.Grad().At(i); got != 2 {
+			t.Errorf("grad[%d] = %v, want 2", i, got)
+		}
+	}
+}
+
+// Every elementwise op's autodiff gradient must match numeric differentiation.
+func TestGradCheckUnaryOps(t *testing.T) {
+	ops := []struct {
+		name  string
+		build func(g *Graph, v *Node) *Node
+		init  []float64
+	}{
+		{"neg", func(g *Graph, v *Node) *Node { return g.Neg(v) }, []float64{0.3, -1.2, 2}},
+		{"exp", func(g *Graph, v *Node) *Node { return g.Exp(v) }, []float64{0.3, -1.2, 1.5}},
+		{"log", func(g *Graph, v *Node) *Node { return g.Log(v) }, []float64{0.3, 1.2, 2}},
+		{"sigmoid", func(g *Graph, v *Node) *Node { return g.Sigmoid(v) }, []float64{0.3, -1.2, 2}},
+		{"softplus", func(g *Graph, v *Node) *Node { return g.Softplus(v) }, []float64{0.3, -1.2, 2}},
+		{"tanh", func(g *Graph, v *Node) *Node { return g.Tanh(v) }, []float64{0.3, -1.2, 2}},
+		{"relu", func(g *Graph, v *Node) *Node { return g.ReLU(v) }, []float64{0.3, -1.2, 2}},
+		{"square", func(g *Graph, v *Node) *Node { return g.Square(v) }, []float64{0.3, -1.2, 2}},
+		{"scale", func(g *Graph, v *Node) *Node { return g.Scale(v, -2.5) }, []float64{0.3, -1.2, 2}},
+		{"addconst", func(g *Graph, v *Node) *Node { return g.AddConst(v, 4) }, []float64{0.3, -1.2, 2}},
+	}
+	for _, c := range ops {
+		t.Run(c.name, func(t *testing.T) {
+			g := NewGraph()
+			v := g.Variable("v", FromSlice(c.init))
+			loss := g.Sum(c.build(g, v))
+			if err := CheckGradients(g, loss, 1e-6, 1e-5); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestGradCheckBinaryOpsAllBroadcastModes(t *testing.T) {
+	type buildFn func(g *Graph, a, b *Node) *Node
+	ops := map[string]buildFn{
+		"add":       func(g *Graph, a, b *Node) *Node { return g.Add(a, b) },
+		"sub":       func(g *Graph, a, b *Node) *Node { return g.Sub(a, b) },
+		"mul":       func(g *Graph, a, b *Node) *Node { return g.Mul(a, b) },
+		"div":       func(g *Graph, a, b *Node) *Node { return g.Div(a, b) },
+		"logaddexp": func(g *Graph, a, b *Node) *Node { return g.LogAddExp(a, b) },
+	}
+	shapes := []struct {
+		name string
+		a, b *Tensor
+	}{
+		{"same", FromRows([][]float64{{0.5, 1.5}, {2.5, 0.7}}), FromRows([][]float64{{1.1, 0.4}, {0.9, 2.2}})},
+		{"scalarB", FromRows([][]float64{{0.5, 1.5}, {2.5, 0.7}}), Scalar(1.3)},
+		{"scalarA", Scalar(0.8), FromSlice([]float64{1.5, 2.5, 0.5})},
+		{"rowB", FromRows([][]float64{{0.5, 1.5}, {2.5, 0.7}}), FromSlice([]float64{1.2, 0.6})},
+	}
+	for name, build := range ops {
+		for _, sh := range shapes {
+			t.Run(name+"/"+sh.name, func(t *testing.T) {
+				g := NewGraph()
+				a := g.Variable("a", sh.a)
+				b := g.Variable("b", sh.b)
+				loss := g.Sum(build(g, a, b))
+				if err := CheckGradients(g, loss, 1e-6, 1e-4); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	}
+}
+
+func TestGradCheckMatMulAndReductions(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := NewGraph()
+	a := g.Variable("a", Randn(rng, 0.5, 3, 4))
+	b := g.Variable("b", Randn(rng, 0.5, 4, 2))
+	loss := g.Sum(g.Square(g.MatMul(a, b)))
+	if err := CheckGradients(g, loss, 1e-6, 1e-4); err != nil {
+		t.Error(err)
+	}
+
+	g2 := NewGraph()
+	m := g2.Variable("m", Randn(rng, 0.5, 3, 4))
+	l2 := g2.Sum(g2.Square(g2.SumAxis(m, 0)))
+	if err := CheckGradients(g2, l2, 1e-6, 1e-4); err != nil {
+		t.Error(err)
+	}
+	g3 := NewGraph()
+	m3 := g3.Variable("m", Randn(rng, 0.5, 3, 4))
+	l3 := g3.Sum(g3.Square(g3.SumAxis(m3, 1)))
+	if err := CheckGradients(g3, l3, 1e-6, 1e-4); err != nil {
+		t.Error(err)
+	}
+	g4 := NewGraph()
+	v4 := g4.Variable("v", Randn(rng, 0.5, 5))
+	l4 := g4.Mean(g4.Square(v4))
+	if err := CheckGradients(g4, l4, 1e-6, 1e-4); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradCheckMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph()
+	a := g.Variable("a", Randn(rng, 0.7, 4, 3))
+	x := g.Variable("x", Randn(rng, 0.7, 3))
+	loss := g.Sum(g.Square(g.MatVec(a, x)))
+	if err := CheckGradients(g, loss, 1e-6, 1e-4); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for random small graphs mixing ops, autodiff == numeric gradient.
+func TestGradCheckRandomCompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		v := g.Variable("v", Randn(rng, 0.8, 4))
+		w := g.Variable("w", Randn(rng, 0.8, 4))
+		cur := g.Add(v, w)
+		for i := 0; i < 3; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				cur = g.Sigmoid(cur)
+			case 1:
+				cur = g.Softplus(cur)
+			case 2:
+				cur = g.Tanh(cur)
+			case 3:
+				cur = g.Mul(cur, v)
+			case 4:
+				cur = g.LogAddExp(cur, w)
+			}
+		}
+		loss := g.Mean(g.Square(cur))
+		return CheckGradients(g, loss, 1e-6, 1e-3) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogAddExpStability(t *testing.T) {
+	g := NewGraph()
+	a := g.Variable("a", FromSlice([]float64{1000, -1000}))
+	b := g.Variable("b", FromSlice([]float64{999, -999}))
+	y := g.LogAddExp(a, b)
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if y.Value().HasNaN() {
+		t.Fatalf("LogAddExp overflowed: %v", y.Value())
+	}
+	// log(e^1000 + e^999) = 1000 + log(1+e^-1) ≈ 1000.3133
+	if got := y.Value().At(0); !almostEq(got, 1000+math.Log(1+math.Exp(-1)), 1e-9) {
+		t.Errorf("LogAddExp(1000,999) = %v", got)
+	}
+}
+
+func TestMinimizeConvergesQuadratic(t *testing.T) {
+	// Minimize (w-5)^2 from w=0; SGD should converge to 5.
+	g := NewGraph()
+	w := g.Variable("w", Scalar(0))
+	loss := g.Square(g.AddConst(w, -5))
+	opt := &SGD{LR: 0.1}
+	var last float64
+	for i := 0; i < 200; i++ {
+		l, err := g.Minimize(loss, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = l
+	}
+	if !almostEq(w.Value().Item(), 5, 1e-3) {
+		t.Errorf("w = %v after SGD, want 5 (final loss %v)", w.Value().Item(), last)
+	}
+}
+
+func TestOptimizersConvergeOnLeastSquares(t *testing.T) {
+	// Recover w* = (1.5, -2) from exact linear observations.
+	rng := rand.New(rand.NewSource(3))
+	xs := Randn(rng, 1, 50, 2)
+	wTrue := FromSlice([]float64{1.5, -2})
+	ys := New(50)
+	for i := 0; i < 50; i++ {
+		ys.Set(xs.At(i, 0)*wTrue.At(0)+xs.At(i, 1)*wTrue.At(1), i)
+	}
+	mk := func() (*Graph, *Node, *Node) {
+		g := NewGraph()
+		w := g.Variable("w", New(2))
+		x := g.Const("x", xs)
+		y := g.Const("y", ys)
+		loss := g.Mean(g.Square(g.Sub(g.MatVec(x, w), y)))
+		return g, loss, w
+	}
+	opts := map[string]func() Optimizer{
+		"sgd":      func() Optimizer { return &SGD{LR: 0.3} },
+		"momentum": func() Optimizer { return &Momentum{LR: 0.05, Mu: 0.9} },
+		"adagrad":  func() Optimizer { return &Adagrad{LR: 0.5} },
+		"adam":     func() Optimizer { return &Adam{LR: 0.1} },
+		"gradclip": func() Optimizer { return &GradClip{MaxNorm: 10, Inner: &SGD{LR: 0.3}} },
+	}
+	for name, mkOpt := range opts {
+		t.Run(name, func(t *testing.T) {
+			g, loss, w := mk()
+			opt := mkOpt()
+			for i := 0; i < 500; i++ {
+				if _, err := g.Minimize(loss, opt); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !almostEq(w.Value().At(0), 1.5, 0.05) || !almostEq(w.Value().At(1), -2, 0.05) {
+				t.Errorf("%s: w = %v, want [1.5 -2]", name, w.Value())
+			}
+		})
+	}
+}
+
+func TestSetValueOnlyVariables(t *testing.T) {
+	g := NewGraph()
+	c := g.Const("c", Scalar(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetValue on const did not panic")
+		}
+	}()
+	c.SetValue(Scalar(2))
+}
+
+func TestSummaryListsNodes(t *testing.T) {
+	g := NewGraph()
+	v := g.Variable("weights", Scalar(1))
+	_ = g.Neg(v)
+	s := g.Summary()
+	if !strings.Contains(s, "weights") || !strings.Contains(s, "neg") {
+		t.Errorf("Summary missing nodes:\n%s", s)
+	}
+}
+
+func TestBackwardSkipsUnrelatedSubgraph(t *testing.T) {
+	g := NewGraph()
+	v := g.Variable("v", Scalar(2))
+	u := g.Variable("u", Scalar(3))
+	_ = g.Square(u) // unrelated branch
+	loss := g.Square(v)
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Backward(loss); err != nil {
+		t.Fatal(err)
+	}
+	if u.Grad() != nil {
+		t.Error("gradient propagated into unrelated subgraph")
+	}
+	if v.Grad() == nil || !almostEq(v.Grad().Item(), 4, 1e-12) {
+		t.Errorf("dv = %v, want 4", v.Grad())
+	}
+}

@@ -1,0 +1,573 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// op is one differentiable operation. forward computes the output from the
+// inputs; backward receives the inputs, the forward output and the gradient
+// of the loss w.r.t. the output, and returns gradients w.r.t. each input
+// (nil entries mean "no gradient flows to this input").
+type op interface {
+	forward(inputs []*Tensor) (*Tensor, error)
+	backward(inputs []*Tensor, output, grad *Tensor) ([]*Tensor, error)
+}
+
+// ---------------------------------------------------------------------------
+// Broadcasting helpers.
+//
+// Binary elementwise ops support three input patterns:
+//   - identical shapes,
+//   - b is a scalar (broadcast everywhere),
+//   - a is (m,n) and b is (n,): b broadcast across rows.
+// The gradient of a broadcast input is reduced (summed) back to its shape.
+// ---------------------------------------------------------------------------
+
+type broadcastMode int
+
+const (
+	bcSame broadcastMode = iota
+	bcScalarB
+	bcScalarA
+	bcRowB // a is (m,n), b is (n,)
+)
+
+func broadcastModeOf(a, b *Tensor) (broadcastMode, error) {
+	switch {
+	case SameShape(a, b):
+		return bcSame, nil
+	case b.Size() == 1:
+		return bcScalarB, nil
+	case a.Size() == 1:
+		return bcScalarA, nil
+	case a.Rank() == 2 && b.Rank() == 1 && a.Cols() == b.Size():
+		return bcRowB, nil
+	default:
+		return 0, fmt.Errorf("incompatible shapes %v and %v", a.Shape(), b.Shape())
+	}
+}
+
+// applyBinary computes out[i] = f(a', b') under the broadcast mode.
+func applyBinary(a, b *Tensor, f func(x, y float64) float64) (*Tensor, broadcastMode, error) {
+	mode, err := broadcastModeOf(a, b)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch mode {
+	case bcSame:
+		out := New(a.Shape()...)
+		for i := range out.data {
+			out.data[i] = f(a.data[i], b.data[i])
+		}
+		return out, mode, nil
+	case bcScalarB:
+		out := New(a.Shape()...)
+		bv := b.data[0]
+		for i := range out.data {
+			out.data[i] = f(a.data[i], bv)
+		}
+		return out, mode, nil
+	case bcScalarA:
+		out := New(b.Shape()...)
+		av := a.data[0]
+		for i := range out.data {
+			out.data[i] = f(av, b.data[i])
+		}
+		return out, mode, nil
+	default: // bcRowB
+		m, n := a.Rows(), a.Cols()
+		out := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				out.data[i*n+j] = f(a.data[i*n+j], b.data[j])
+			}
+		}
+		return out, mode, nil
+	}
+}
+
+// reduceGrad sums g down to the shape of target, given the broadcast mode and
+// which side target was on.
+func reduceGrad(g *Tensor, target *Tensor, mode broadcastMode, isA bool) *Tensor {
+	switch mode {
+	case bcSame:
+		return g.Clone()
+	case bcScalarB:
+		if isA {
+			return g.Clone()
+		}
+		return Scalar(g.Sum()).Reshape(target.Shape()...)
+	case bcScalarA:
+		if !isA {
+			return g.Clone()
+		}
+		return Scalar(g.Sum()).Reshape(target.Shape()...)
+	default: // bcRowB
+		if isA {
+			return g.Clone()
+		}
+		m, n := g.Rows(), g.Cols()
+		out := New(n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				out.data[j] += g.data[i*n+j]
+			}
+		}
+		return out
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops.
+// ---------------------------------------------------------------------------
+
+type addOp struct{}
+
+func (addOp) forward(in []*Tensor) (*Tensor, error) {
+	out, _, err := applyBinary(in[0], in[1], func(x, y float64) float64 { return x + y })
+	return out, err
+}
+
+func (addOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	mode, err := broadcastModeOf(in[0], in[1])
+	if err != nil {
+		return nil, err
+	}
+	return []*Tensor{reduceGrad(g, in[0], mode, true), reduceGrad(g, in[1], mode, false)}, nil
+}
+
+type subOp struct{}
+
+func (subOp) forward(in []*Tensor) (*Tensor, error) {
+	out, _, err := applyBinary(in[0], in[1], func(x, y float64) float64 { return x - y })
+	return out, err
+}
+
+func (subOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	mode, err := broadcastModeOf(in[0], in[1])
+	if err != nil {
+		return nil, err
+	}
+	neg := g.Clone()
+	neg.ScaleBy(-1)
+	return []*Tensor{reduceGrad(g, in[0], mode, true), reduceGrad(neg, in[1], mode, false)}, nil
+}
+
+type mulOp struct{}
+
+func (mulOp) forward(in []*Tensor) (*Tensor, error) {
+	out, _, err := applyBinary(in[0], in[1], func(x, y float64) float64 { return x * y })
+	return out, err
+}
+
+func (mulOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	mode, err := broadcastModeOf(in[0], in[1])
+	if err != nil {
+		return nil, err
+	}
+	ga, _, err := applyBinary(g, in[1], func(x, y float64) float64 { return x * y })
+	if err != nil {
+		// g has the output (broadcast) shape; multiply against broadcast b.
+		return nil, err
+	}
+	gb, _, err := applyBinary(g, in[0], func(x, y float64) float64 { return x * y })
+	if err != nil {
+		return nil, err
+	}
+	return []*Tensor{reduceGrad(ga, in[0], mode, true), reduceGrad(gb, in[1], mode, false)}, nil
+}
+
+type divOp struct{}
+
+func (divOp) forward(in []*Tensor) (*Tensor, error) {
+	out, _, err := applyBinary(in[0], in[1], func(x, y float64) float64 { return x / y })
+	return out, err
+}
+
+func (divOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	mode, err := broadcastModeOf(in[0], in[1])
+	if err != nil {
+		return nil, err
+	}
+	ga, _, err := applyBinary(g, in[1], func(x, y float64) float64 { return x / y })
+	if err != nil {
+		return nil, err
+	}
+	// gb = -g * a / b²  computed against the broadcast output shape.
+	t, _, err := applyBinary(g, in[0], func(x, y float64) float64 { return x * y })
+	if err != nil {
+		return nil, err
+	}
+	gb, _, err := applyBinary(t, in[1], func(x, y float64) float64 { return -x / (y * y) })
+	if err != nil {
+		return nil, err
+	}
+	return []*Tensor{reduceGrad(ga, in[0], mode, true), reduceGrad(gb, in[1], mode, false)}, nil
+}
+
+// logAddExpOp computes log(exp(a)+exp(b)) elementwise, stably.
+type logAddExpOp struct{}
+
+func logAddExp(x, y float64) float64 {
+	m := math.Max(x, y)
+	if math.IsInf(m, -1) {
+		return math.Inf(-1)
+	}
+	return m + math.Log(math.Exp(x-m)+math.Exp(y-m))
+}
+
+func (logAddExpOp) forward(in []*Tensor) (*Tensor, error) {
+	out, _, err := applyBinary(in[0], in[1], logAddExp)
+	return out, err
+}
+
+func (logAddExpOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	mode, err := broadcastModeOf(in[0], in[1])
+	if err != nil {
+		return nil, err
+	}
+	// d/da = sigmoid(a-b), d/db = sigmoid(b-a).
+	sa, _, err := applyBinary(in[0], in[1], func(x, y float64) float64 { return sigmoid(x - y) })
+	if err != nil {
+		return nil, err
+	}
+	ga, _, err := applyBinary(g, sa, func(x, y float64) float64 { return x * y })
+	if err != nil {
+		return nil, err
+	}
+	gb, _, err := applyBinary(g, sa, func(x, y float64) float64 { return x * (1 - y) })
+	if err != nil {
+		return nil, err
+	}
+	return []*Tensor{reduceGrad(ga, in[0], mode, true), reduceGrad(gb, in[1], mode, false)}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise unary ops.
+// ---------------------------------------------------------------------------
+
+type unaryOp struct {
+	f  func(float64) float64
+	df func(x, fx float64) float64 // derivative given input and forward output
+}
+
+func (u unaryOp) forward(in []*Tensor) (*Tensor, error) {
+	out := New(in[0].Shape()...)
+	for i, v := range in[0].data {
+		out.data[i] = u.f(v)
+	}
+	return out, nil
+}
+
+func (u unaryOp) backward(in []*Tensor, out, g *Tensor) ([]*Tensor, error) {
+	gi := New(in[0].Shape()...)
+	for i := range gi.data {
+		gi.data[i] = g.data[i] * u.df(in[0].data[i], out.data[i])
+	}
+	return []*Tensor{gi}, nil
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func softplus(x float64) float64 {
+	// Stable log(1+exp(x)).
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// ---------------------------------------------------------------------------
+// MatMul.
+// ---------------------------------------------------------------------------
+
+type matMulOp struct{}
+
+func (matMulOp) forward(in []*Tensor) (*Tensor, error) {
+	a, b := in[0], in[1]
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("matmul requires rank-2 inputs, got %v x %v", a.Shape(), b.Shape())
+	}
+	if a.Cols() != b.Rows() {
+		return nil, fmt.Errorf("matmul inner dims %v x %v", a.Shape(), b.Shape())
+	}
+	return MatMul(a, b), nil
+}
+
+func (matMulOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	a, b := in[0], in[1]
+	// dA = g·Bᵀ ; dB = Aᵀ·g
+	ga := MatMul(g, transpose(b))
+	gb := MatMul(transpose(a), g)
+	return []*Tensor{ga, gb}, nil
+}
+
+func transpose(t *Tensor) *Tensor {
+	m, n := t.Rows(), t.Cols()
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// matVecOp computes (m,n)·(n,) -> (m,).
+type matVecOp struct{}
+
+func (matVecOp) forward(in []*Tensor) (*Tensor, error) {
+	a, x := in[0], in[1]
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("matvec requires (m,n)·(n,), got %v x %v", a.Shape(), x.Shape())
+	}
+	m, n := a.Rows(), a.Cols()
+	if x.Size() != n {
+		return nil, fmt.Errorf("matvec dims %v x %v", a.Shape(), x.Shape())
+	}
+	out := New(m)
+	for i := 0; i < m; i++ {
+		s := 0.0
+		row := a.data[i*n : (i+1)*n]
+		for j, av := range row {
+			if av != 0 {
+				s += av * x.data[j]
+			}
+		}
+		out.data[i] = s
+	}
+	return out, nil
+}
+
+func (matVecOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	a, x := in[0], in[1]
+	m, n := a.Rows(), a.Cols()
+	ga := New(m, n)
+	gx := New(n)
+	for i := 0; i < m; i++ {
+		gi := g.data[i]
+		if gi == 0 {
+			continue
+		}
+		row := a.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			ga.data[i*n+j] = gi * x.data[j]
+			if row[j] != 0 {
+				gx.data[j] += gi * row[j]
+			}
+		}
+	}
+	return []*Tensor{ga, gx}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+type sumOp struct{}
+
+func (sumOp) forward(in []*Tensor) (*Tensor, error) {
+	return Scalar(in[0].Sum()), nil
+}
+
+func (sumOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	gi := Full(g.Item(), in[0].Shape()...)
+	return []*Tensor{gi}, nil
+}
+
+type meanOp struct{}
+
+func (meanOp) forward(in []*Tensor) (*Tensor, error) {
+	return Scalar(in[0].Sum() / float64(in[0].Size())), nil
+}
+
+func (meanOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	gi := Full(g.Item()/float64(in[0].Size()), in[0].Shape()...)
+	return []*Tensor{gi}, nil
+}
+
+// sumAxisOp reduces a 2-D tensor along one axis (0: down columns -> (n,);
+// 1: across rows -> (m,)).
+type sumAxisOp struct{ axis int }
+
+func (o sumAxisOp) forward(in []*Tensor) (*Tensor, error) {
+	t := in[0]
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("sumAxis requires rank-2 input, got %v", t.Shape())
+	}
+	m, n := t.Rows(), t.Cols()
+	switch o.axis {
+	case 0:
+		out := New(n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				out.data[j] += t.data[i*n+j]
+			}
+		}
+		return out, nil
+	case 1:
+		out := New(m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				out.data[i] += t.data[i*n+j]
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sumAxis axis %d out of range", o.axis)
+	}
+}
+
+func (o sumAxisOp) backward(in []*Tensor, _, g *Tensor) ([]*Tensor, error) {
+	t := in[0]
+	m, n := t.Rows(), t.Cols()
+	gi := New(m, n)
+	switch o.axis {
+	case 0:
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				gi.data[i*n+j] = g.data[j]
+			}
+		}
+	case 1:
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				gi.data[i*n+j] = g.data[i]
+			}
+		}
+	}
+	return []*Tensor{gi}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Public op constructors on Graph.
+// ---------------------------------------------------------------------------
+
+// Add returns a+b with broadcasting (same shape, scalar, or row vector).
+func (g *Graph) Add(a, b *Node) *Node { return g.add(KindOp, "add", addOp{}, a, b) }
+
+// Sub returns a-b with broadcasting.
+func (g *Graph) Sub(a, b *Node) *Node { return g.add(KindOp, "sub", subOp{}, a, b) }
+
+// Mul returns the elementwise product a*b with broadcasting.
+func (g *Graph) Mul(a, b *Node) *Node { return g.add(KindOp, "mul", mulOp{}, a, b) }
+
+// Div returns the elementwise quotient a/b with broadcasting.
+func (g *Graph) Div(a, b *Node) *Node { return g.add(KindOp, "div", divOp{}, a, b) }
+
+// LogAddExp returns log(exp(a)+exp(b)) elementwise, computed stably.
+func (g *Graph) LogAddExp(a, b *Node) *Node {
+	return g.add(KindOp, "logaddexp", logAddExpOp{}, a, b)
+}
+
+// Neg returns -a.
+func (g *Graph) Neg(a *Node) *Node {
+	return g.add(KindOp, "neg", unaryOp{
+		f:  func(x float64) float64 { return -x },
+		df: func(_, _ float64) float64 { return -1 },
+	}, a)
+}
+
+// Scale returns c*a for a compile-time constant c.
+func (g *Graph) Scale(a *Node, c float64) *Node {
+	return g.add(KindOp, "scale", unaryOp{
+		f:  func(x float64) float64 { return c * x },
+		df: func(_, _ float64) float64 { return c },
+	}, a)
+}
+
+// AddConst returns a+c for a compile-time constant c.
+func (g *Graph) AddConst(a *Node, c float64) *Node {
+	return g.add(KindOp, "addconst", unaryOp{
+		f:  func(x float64) float64 { return x + c },
+		df: func(_, _ float64) float64 { return 1 },
+	}, a)
+}
+
+// Exp returns e^a elementwise.
+func (g *Graph) Exp(a *Node) *Node {
+	return g.add(KindOp, "exp", unaryOp{
+		f:  math.Exp,
+		df: func(_, fx float64) float64 { return fx },
+	}, a)
+}
+
+// Log returns the natural log elementwise.
+func (g *Graph) Log(a *Node) *Node {
+	return g.add(KindOp, "log", unaryOp{
+		f:  math.Log,
+		df: func(x, _ float64) float64 { return 1 / x },
+	}, a)
+}
+
+// Sigmoid returns 1/(1+e^-a) elementwise.
+func (g *Graph) Sigmoid(a *Node) *Node {
+	return g.add(KindOp, "sigmoid", unaryOp{
+		f:  sigmoid,
+		df: func(_, fx float64) float64 { return fx * (1 - fx) },
+	}, a)
+}
+
+// Softplus returns log(1+e^a) elementwise, computed stably.
+func (g *Graph) Softplus(a *Node) *Node {
+	return g.add(KindOp, "softplus", unaryOp{
+		f:  softplus,
+		df: func(x, _ float64) float64 { return sigmoid(x) },
+	}, a)
+}
+
+// Tanh returns the hyperbolic tangent elementwise.
+func (g *Graph) Tanh(a *Node) *Node {
+	return g.add(KindOp, "tanh", unaryOp{
+		f:  math.Tanh,
+		df: func(_, fx float64) float64 { return 1 - fx*fx },
+	}, a)
+}
+
+// ReLU returns max(a, 0) elementwise.
+func (g *Graph) ReLU(a *Node) *Node {
+	return g.add(KindOp, "relu", unaryOp{
+		f: func(x float64) float64 { return math.Max(x, 0) },
+		df: func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		},
+	}, a)
+}
+
+// Square returns a² elementwise.
+func (g *Graph) Square(a *Node) *Node {
+	return g.add(KindOp, "square", unaryOp{
+		f:  func(x float64) float64 { return x * x },
+		df: func(x, _ float64) float64 { return 2 * x },
+	}, a)
+}
+
+// MatMul returns the matrix product of two rank-2 nodes.
+func (g *Graph) MatMul(a, b *Node) *Node { return g.add(KindOp, "matmul", matMulOp{}, a, b) }
+
+// MatVec returns the matrix-vector product (m,n)·(n,) -> (m,).
+func (g *Graph) MatVec(a, x *Node) *Node { return g.add(KindOp, "matvec", matVecOp{}, a, x) }
+
+// Sum reduces all elements to a scalar.
+func (g *Graph) Sum(a *Node) *Node { return g.add(KindOp, "sum", sumOp{}, a) }
+
+// Mean reduces all elements to their scalar mean.
+func (g *Graph) Mean(a *Node) *Node { return g.add(KindOp, "mean", meanOp{}, a) }
+
+// SumAxis reduces a rank-2 node along the given axis (0 or 1).
+func (g *Graph) SumAxis(a *Node, axis int) *Node {
+	return g.add(KindOp, fmt.Sprintf("sumaxis%d", axis), sumAxisOp{axis: axis}, a)
+}

@@ -1,0 +1,162 @@
+package tensor
+
+import "math"
+
+// Optimizer applies one parameter update given freshly computed gradients.
+// Implementations keep per-variable state keyed by node id, so one optimizer
+// must be used with one graph.
+type Optimizer interface {
+	// Step updates each variable in place using its Grad. Variables whose
+	// Grad is nil are skipped.
+	Step(vars []*Node)
+}
+
+// SGD is plain stochastic gradient descent: v -= lr * g.
+type SGD struct {
+	LR float64
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(vars []*Node) {
+	for _, v := range vars {
+		if v.grad == nil {
+			continue
+		}
+		v.value.AddScaled(-o.LR, v.grad)
+	}
+}
+
+// Momentum is SGD with classical momentum: m = mu*m + g; v -= lr*m.
+type Momentum struct {
+	LR float64
+	Mu float64 // momentum coefficient, typically 0.9
+
+	velocity map[int]*Tensor
+}
+
+// Step implements Optimizer.
+func (o *Momentum) Step(vars []*Node) {
+	if o.velocity == nil {
+		o.velocity = make(map[int]*Tensor)
+	}
+	for _, v := range vars {
+		if v.grad == nil {
+			continue
+		}
+		m, ok := o.velocity[v.id]
+		if !ok {
+			m = New(v.value.Shape()...)
+			o.velocity[v.id] = m
+		}
+		m.ScaleBy(o.Mu)
+		m.AddScaled(1, v.grad)
+		v.value.AddScaled(-o.LR, m)
+	}
+}
+
+// Adagrad adapts per-coordinate learning rates by accumulated squared
+// gradients: h += g²; v -= lr * g / (sqrt(h)+eps).
+type Adagrad struct {
+	LR  float64
+	Eps float64 // numerical floor; 1e-8 if zero
+
+	accum map[int]*Tensor
+}
+
+// Step implements Optimizer.
+func (o *Adagrad) Step(vars []*Node) {
+	if o.accum == nil {
+		o.accum = make(map[int]*Tensor)
+	}
+	eps := o.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	for _, v := range vars {
+		if v.grad == nil {
+			continue
+		}
+		h, ok := o.accum[v.id]
+		if !ok {
+			h = New(v.value.Shape()...)
+			o.accum[v.id] = h
+		}
+		for i, g := range v.grad.data {
+			h.data[i] += g * g
+			v.value.data[i] -= o.LR * g / (math.Sqrt(h.data[i]) + eps)
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015) with bias correction.
+type Adam struct {
+	LR    float64 // step size; 0.001 is a common default
+	Beta1 float64 // first-moment decay; 0.9 if zero
+	Beta2 float64 // second-moment decay; 0.999 if zero
+	Eps   float64 // numerical floor; 1e-8 if zero
+
+	t  int
+	m1 map[int]*Tensor
+	m2 map[int]*Tensor
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(vars []*Node) {
+	if o.m1 == nil {
+		o.m1 = make(map[int]*Tensor)
+		o.m2 = make(map[int]*Tensor)
+	}
+	b1, b2, eps := o.Beta1, o.Beta2, o.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	o.t++
+	c1 := 1 - math.Pow(b1, float64(o.t))
+	c2 := 1 - math.Pow(b2, float64(o.t))
+	for _, v := range vars {
+		if v.grad == nil {
+			continue
+		}
+		m, ok := o.m1[v.id]
+		if !ok {
+			m = New(v.value.Shape()...)
+			o.m1[v.id] = m
+			o.m2[v.id] = New(v.value.Shape()...)
+		}
+		s := o.m2[v.id]
+		for i, g := range v.grad.data {
+			m.data[i] = b1*m.data[i] + (1-b1)*g
+			s.data[i] = b2*s.data[i] + (1-b2)*g*g
+			mh := m.data[i] / c1
+			sh := s.data[i] / c2
+			v.value.data[i] -= o.LR * mh / (math.Sqrt(sh) + eps)
+		}
+	}
+}
+
+// GradClip wraps another optimizer and clips each variable's gradient to a
+// maximum L2 norm before the wrapped step. Useful for the DNN trainer.
+type GradClip struct {
+	MaxNorm float64
+	Inner   Optimizer
+}
+
+// Step implements Optimizer.
+func (o *GradClip) Step(vars []*Node) {
+	for _, v := range vars {
+		if v.grad == nil {
+			continue
+		}
+		n := v.grad.Norm2()
+		if n > o.MaxNorm && n > 0 {
+			v.grad.ScaleBy(o.MaxNorm / n)
+		}
+	}
+	o.Inner.Step(vars)
+}
