@@ -6,6 +6,7 @@ package repro
 // `go test -bench=. -benchmem` run regenerates every result.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/labelmodel"
 	"repro/internal/lf"
 	"repro/internal/model"
+	"repro/pkg/drybell"
 )
 
 // benchCfg keeps per-iteration cost manageable; the shapes match the
@@ -218,11 +220,17 @@ func BenchmarkAblation_NoiseAwareLoss(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	res, err := core.Run(core.Config[*corpus.Document]{
-		Encode:     func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
-		Decode:     corpus.UnmarshalDocument,
-		LabelModel: labelmodel.Options{Steps: 300, Seed: 7},
-	}, docs, apps.TopicLFs(nil, 0.02, 7))
+	p, err := drybell.New[*corpus.Document](
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithLabelModel(labelmodel.Options{Steps: 300, Seed: 7}),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), drybell.SliceSource(docs), apps.TopicLFs(nil, 0.02, 7))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -11,35 +11,44 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/dfs"
-	"repro/internal/labelmodel"
 	"repro/internal/model"
+	"repro/pkg/drybell"
 )
 
 func main() {
 	var (
 		task    = flag.String("task", "topic", "case study: topic, product, or events")
 		docs    = flag.Int("docs", 30000, "corpus size")
-		trainer = flag.String("trainer", "samplingfree", "label model trainer: samplingfree, analytic, gibbs")
-		seed    = flag.Int64("seed", 1, "random seed")
-		steps   = flag.Int("steps", 800, "label model gradient steps")
+		trainer = flag.String("trainer", drybell.TrainerSamplingFree,
+			"label model trainer: "+strings.Join(drybell.Trainers(), ", "))
+		seed  = flag.Int64("seed", 1, "random seed")
+		steps = flag.Int("steps", 800, "label model gradient steps")
 	)
 	flag.Parse()
+
+	// Fail fast on a bad trainer name, before corpus generation and LF
+	// execution burn minutes of work.
+	if !drybell.HasTrainer(*trainer) {
+		fmt.Fprintf(os.Stderr, "drybell: unknown trainer %q (available: %s)\n",
+			*trainer, strings.Join(drybell.Trainers(), ", "))
+		os.Exit(2)
+	}
 
 	var err error
 	switch *task {
 	case "topic", "product":
-		err = runContent(*task, *docs, core.Trainer(*trainer), *seed, *steps)
+		err = runContent(*task, *docs, *trainer, *seed, *steps)
 	case "events":
-		err = runEvents(*docs, core.Trainer(*trainer), *seed, *steps)
+		err = runEvents(*docs, *trainer, *seed, *steps)
 	default:
 		err = fmt.Errorf("unknown task %q", *task)
 	}
@@ -49,7 +58,20 @@ func main() {
 	}
 }
 
-func runContent(task string, n int, trainer core.Trainer, seed int64, steps int) error {
+func contentPipeline(trainer string, seed int64, steps int) (*drybell.Pipeline[*corpus.Document], error) {
+	return drybell.New[*corpus.Document](
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithTrainer(trainer),
+		drybell.WithLabelModel(drybell.LabelModelOptions{
+			Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2,
+		}),
+	)
+}
+
+func runContent(task string, n int, trainer string, seed int64, steps int) error {
 	var docs []*corpus.Document
 	var runners []apps.DocRunner
 	var bigrams bool
@@ -76,22 +98,17 @@ func runContent(task string, n int, trainer core.Trainer, seed int64, steps int)
 	fmt.Printf("task=%s corpus=%d (train %d / dev %d / test %d), %d labeling functions\n",
 		task, len(docs), len(train), len(dev), len(test), len(runners))
 
-	cfg := core.Config[*corpus.Document]{
-		FS:      dfs.NewMem(),
-		Encode:  func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
-		Decode:  corpus.UnmarshalDocument,
-		Trainer: trainer,
-		LabelModel: labelmodel.Options{
-			Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2,
-		},
+	p, err := contentPipeline(trainer, seed, steps)
+	if err != nil {
+		return err
 	}
-	res, err := core.Run(cfg, train, runners)
+	res, err := p.Run(context.Background(), drybell.SliceSource(train), runners)
 	if err != nil {
 		return err
 	}
 	printRun(res)
 
-	clf, err := core.TrainContentClassifier(train, res.Posteriors, dev, core.ContentTrainConfig{
+	clf, err := drybell.TrainContentClassifier(train, res.Posteriors, dev, drybell.ContentTrainConfig{
 		Bigrams: bigrams, Iterations: 20 * len(train), Seed: seed + 3,
 	})
 	if err != nil {
@@ -106,7 +123,7 @@ func runContent(task string, n int, trainer core.Trainer, seed int64, steps int)
 	return nil
 }
 
-func runEvents(n int, trainer core.Trainer, seed int64, steps int) error {
+func runEvents(n int, trainer string, seed int64, steps int) error {
 	events, err := corpus.GenerateEvents(corpus.DefaultEventsSpec(n, seed))
 	if err != nil {
 		return err
@@ -114,22 +131,26 @@ func runEvents(n int, trainer core.Trainer, seed int64, steps int) error {
 	runners := apps.EventLFs(apps.NumEventLFs, seed)
 	fmt.Printf("task=events stream=%d, %d labeling functions over non-servable features\n",
 		len(events), len(runners))
-	cfg := core.Config[*corpus.Event]{
-		FS:      dfs.NewMem(),
-		Encode:  func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
-		Decode:  corpus.UnmarshalEvent,
-		Trainer: trainer,
-		LabelModel: labelmodel.Options{
+	p, err := drybell.New[*corpus.Event](
+		drybell.WithCodec(
+			func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
+			corpus.UnmarshalEvent,
+		),
+		drybell.WithTrainer(trainer),
+		drybell.WithLabelModel(drybell.LabelModelOptions{
 			Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2,
-		},
+		}),
+	)
+	if err != nil {
+		return err
 	}
-	res, err := core.Run(cfg, events, runners)
+	res, err := p.Run(context.Background(), drybell.SliceSource(events), runners)
 	if err != nil {
 		return err
 	}
 	printRun(res)
 
-	clf, err := core.TrainEventClassifier(events, res.Posteriors, core.EventTrainConfig{
+	clf, err := drybell.TrainEventClassifier(events, res.Posteriors, drybell.EventTrainConfig{
 		Hidden: []int{32, 16}, Epochs: 4, Seed: seed + 3,
 	})
 	if err != nil {
@@ -146,7 +167,7 @@ func runEvents(n int, trainer core.Trainer, seed int64, steps int) error {
 
 // printRun reports pipeline stages and the LF quality ranking (§3.3: the
 // estimated accuracies surface low-quality sources).
-func printRun(res *core.Result) {
+func printRun(res *drybell.Result) {
 	fmt.Printf("\npipeline: stage=%v execute=%v labelmodel=%v persist=%v\n",
 		res.Timings.Stage.Round(1e6), res.Timings.Execute.Round(1e6),
 		res.Timings.TrainLabelModel.Round(1e6), res.Timings.Persist.Round(1e6))

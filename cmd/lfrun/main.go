@@ -8,7 +8,7 @@
 // the named function runs as its own MapReduce job, and the vote shard
 // paths are printed. A second invocation against the same root adds another
 // function's votes alongside the first — exactly the loose coupling the
-// paper describes.
+// paper describes, built on the drybell SDK's per-stage API.
 //
 // Usage:
 //
@@ -18,14 +18,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/apps"
 	"repro/internal/corpus"
-	"repro/internal/dfs"
-	"repro/internal/lf"
+	"repro/pkg/drybell"
 )
 
 func main() {
@@ -66,7 +66,7 @@ func run(root, task, name, input string, shards, par int, list bool) error {
 	if root == "" {
 		return fmt.Errorf("-root is required")
 	}
-	var chosen apps.DocRunner
+	var chosen drybell.Runner[*corpus.Document]
 	for _, r := range runners {
 		if r.LFMeta().Name == name {
 			chosen = r
@@ -76,38 +76,51 @@ func run(root, task, name, input string, shards, par int, list bool) error {
 		return fmt.Errorf("no labeling function %q in task %s (use -list)", name, task)
 	}
 
-	fsys, err := dfs.NewDisk(root)
+	fsys, err := drybell.NewDiskFS(root)
 	if err != nil {
 		return err
 	}
+	p, err := drybell.New[*corpus.Document](
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithFS(fsys),
+		drybell.WithShards(shards),
+		drybell.WithParallelism(par),
+	)
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
 	if input != "" {
 		records, err := readJSONL(input)
 		if err != nil {
 			return err
 		}
-		if err := lf.Stage[*corpus.Document](fsys, "input/docs", records, shards); err != nil {
+		// The lines were validated by readJSONL and are already in the
+		// pipeline's record format, so stage the raw bytes directly.
+		n, err := p.StageRecords(ctx, drybell.SliceSource(records))
+		if err != nil {
 			return err
 		}
-		fmt.Printf("staged %d documents into %d shards under %s\n", len(records), shards, root)
+		fmt.Printf("staged %d documents into %d shards under %s\n", n, shards, root)
 	}
 
-	exec := &lf.Executor[*corpus.Document]{
-		FS: fsys, InputBase: "input/docs", OutputPrefix: "labels",
-		Decode: corpus.UnmarshalDocument, Parallelism: par,
-	}
-	_, report, err := exec.Execute([]apps.DocRunner{chosen})
+	_, report, err := p.ExecuteLFs(ctx, []drybell.Runner[*corpus.Document]{chosen})
 	if err != nil {
 		return err
 	}
 	rep := report.PerLF[0]
 	fmt.Printf("%s: %d examples in %v (pos %d / neg %d / abstain %d)\n",
 		rep.Name, report.Examples, rep.Duration.Round(1e6), rep.Positives, rep.Negatives, rep.Abstains)
-	paths, err := dfs.ListShards(fsys, "labels/"+rep.Name)
+	paths, err := drybell.ListShards(fsys, p.VotesPath(rep.Name))
 	if err != nil {
 		return err
 	}
-	for _, p := range paths {
-		fmt.Println("  ", p)
+	for _, path := range paths {
+		fmt.Println("  ", path)
 	}
 	return nil
 }
@@ -123,13 +136,17 @@ func readJSONL(path string) ([][]byte, error) {
 	var out [][]byte
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		// Validate eagerly so a malformed record names its line, rather
+		// than surfacing later as an anonymous staging error.
 		if _, err := corpus.UnmarshalDocument(line); err != nil {
-			return nil, fmt.Errorf("%s line %d: %w", path, len(out)+1, err)
+			return nil, fmt.Errorf("%s line %d: %w", path, lineNo, err)
 		}
 		cp := make([]byte, len(line))
 		copy(cp, line)

@@ -1,8 +1,12 @@
 // Package repro is a from-scratch Go reproduction of "Snorkel DryBell: A
 // Case Study in Deploying Weak Supervision at Industrial Scale" (Bach et
-// al., SIGMOD 2019). See README.md for the architecture overview, DESIGN.md
-// for the system inventory and experiment index, and EXPERIMENTS.md for
-// paper-versus-measured results. The root package holds only the benchmark
-// harness (bench_test.go); the library lives under internal/ and the
-// runnable entry points under cmd/ and examples/.
+// al., SIGMOD 2019).
+//
+// The supported public API is pkg/drybell: a composable, context-aware
+// Pipeline over the paper's four-stage weak-supervision flow, with
+// streaming ingestion, a pluggable trainer registry, and per-stage
+// observability hooks. Start there (and with README.md's quickstart);
+// everything under internal/ is implementation detail behind it. The
+// runnable entry points live under cmd/ and examples/, and the root
+// package holds only the benchmark harness (bench_test.go).
 package repro

@@ -10,15 +10,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/kgraph"
-	"repro/internal/labelmodel"
-	"repro/internal/lf"
+	"repro/pkg/drybell"
 )
 
 func main() {
@@ -47,15 +46,21 @@ func main() {
 
 	runners := apps.ProductLFs(graph, 1)
 	run := func(name string, cols []int) {
-		res, err := core.Run(core.Config[*corpus.Document]{
-			Encode:     func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
-			Decode:     corpus.UnmarshalDocument,
-			LabelModel: labelmodel.Options{Steps: 800, Seed: 2},
-		}, train, subset(runners, cols))
+		p, err := drybell.New[*corpus.Document](
+			drybell.WithCodec(
+				func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+				corpus.UnmarshalDocument,
+			),
+			drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 800, Seed: 2}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		clf, err := core.TrainContentClassifier(train, res.Posteriors, dev, core.ContentTrainConfig{
+		res, err := p.Run(context.Background(), drybell.SliceSource(train), subset(runners, cols))
+		if err != nil {
+			log.Fatal(err)
+		}
+		clf, err := drybell.TrainContentClassifier(train, res.Posteriors, dev, drybell.ContentTrainConfig{
 			Iterations: 20 * len(train), Seed: 3,
 		})
 		if err != nil {
@@ -70,7 +75,7 @@ func main() {
 
 	// The Table 3 story in miniature: English-only pattern rules vs the
 	// full set with the Knowledge Graph's ten-language coverage.
-	run("servable English keyword rules only:", lf.ServableIndices(runners))
+	run("servable English keyword rules only:", drybell.ServableIndices(runners))
 	run("+ Knowledge Graph and internal models:", nil)
 }
 

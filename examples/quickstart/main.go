@@ -4,21 +4,20 @@
 // a single hand label: three labeling functions vote on 2000 unlabeled
 // documents, the sampling-free generative model turns their noisy votes
 // into probabilistic labels, and a servable logistic regression is trained
-// on those labels.
+// on those labels. Everything goes through the public drybell SDK.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/labelmodel"
-	"repro/internal/lf"
 	"repro/internal/nlp"
+	"repro/pkg/drybell"
 )
 
 func main() {
@@ -32,54 +31,61 @@ func main() {
 	// 2. Labeling functions: black-box voters built from whatever the
 	//    organization already has. Each returns Positive, Negative, or
 	//    Abstain.
-	keywordLF := lf.Func[*corpus.Document]{
-		Meta: lf.Meta{Name: "keyword_gossip", Category: lf.ContentHeuristic, Servable: true},
-		Vote: func(d *corpus.Document) labelmodel.Label {
+	keywordLF := drybell.Func[*corpus.Document]{
+		Meta: drybell.Meta{Name: "keyword_gossip", Category: drybell.ContentHeuristic, Servable: true},
+		Vote: func(d *corpus.Document) drybell.Label {
 			for _, kw := range []string{"paparazzi", "redcarpet", "gossip"} {
 				if strings.Contains(d.Text(), kw) {
-					return labelmodel.Positive
+					return drybell.Positive
 				}
 			}
-			return labelmodel.Abstain
+			return drybell.Abstain
 		},
 	}
 	// The paper's §5.1 example: an expensive NER model, launched as a
 	// model server on each compute node, votes "not celebrity" when the
 	// text mentions no person at all.
-	nerLF := lf.NLPFunc[*corpus.Document]{
-		Meta:      lf.Meta{Name: "ner_no_person", Category: lf.ModelBased, Servable: false},
+	nerLF := drybell.NLPFunc[*corpus.Document]{
+		Meta:      drybell.Meta{Name: "ner_no_person", Category: drybell.ModelBased, Servable: false},
 		NewServer: func() *nlp.Server { return nlp.NewServer(0.02, 1) },
 		GetText:   func(d *corpus.Document) string { return d.Text() },
-		GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+		GetValue: func(_ *corpus.Document, res *nlp.Result) drybell.Label {
 			if len(res.People()) == 0 {
-				return labelmodel.Negative
+				return drybell.Negative
 			}
-			return labelmodel.Abstain
+			return drybell.Abstain
 		},
 	}
-	topicLF := lf.NLPFunc[*corpus.Document]{
-		Meta:      lf.Meta{Name: "topicmodel_offtopic", Category: lf.ModelBased, Servable: false},
+	topicLF := drybell.NLPFunc[*corpus.Document]{
+		Meta:      drybell.Meta{Name: "topicmodel_offtopic", Category: drybell.ModelBased, Servable: false},
 		NewServer: func() *nlp.Server { return nlp.NewServer(0, 1) },
 		GetText:   func(d *corpus.Document) string { return d.Text() },
-		GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+		GetValue: func(_ *corpus.Document, res *nlp.Result) drybell.Label {
 			switch res.TopTopic() {
 			case nlp.TopicEntertainment, "":
-				return labelmodel.Abstain
+				return drybell.Abstain
 			default:
-				return labelmodel.Negative
+				return drybell.Negative
 			}
 		},
 	}
 
-	// 3. Run the pipeline: stage to the distributed filesystem, execute
-	//    each labeling function as its own MapReduce job, train the
-	//    sampling-free generative model, persist probabilistic labels.
-	cfg := core.Config[*corpus.Document]{
-		Encode:     func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
-		Decode:     corpus.UnmarshalDocument,
-		LabelModel: labelmodel.Options{Steps: 400, Seed: 7},
+	// 3. Build the pipeline and run it: stage to the distributed
+	//    filesystem, execute each labeling function as its own MapReduce
+	//    job, train the sampling-free generative model, persist
+	//    probabilistic labels.
+	p, err := drybell.New[*corpus.Document](
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 400, Seed: 7}),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	res, err := core.Run(cfg, docs, []lf.Runner[*corpus.Document]{keywordLF, nerLF, topicLF})
+	res, err := p.Run(context.Background(), drybell.SliceSource(docs),
+		[]drybell.Runner[*corpus.Document]{keywordLF, nerLF, topicLF})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +98,7 @@ func main() {
 	}
 
 	// 4. Train the servable end model on the probabilistic labels.
-	clf, err := core.TrainContentClassifier(docs, res.Posteriors, docs[:200], core.ContentTrainConfig{
+	clf, err := drybell.TrainContentClassifier(docs, res.Posteriors, docs[:200], drybell.ContentTrainConfig{
 		Bigrams: true, Iterations: 30000, Seed: 3,
 	})
 	if err != nil {

@@ -9,15 +9,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/labelmodel"
 	"repro/internal/model"
+	"repro/pkg/drybell"
 )
 
 func main() {
@@ -29,11 +29,17 @@ func main() {
 	fmt.Printf("%d events; %d labeling functions over non-servable features\n",
 		len(events), len(runners))
 
-	res, err := core.Run(core.Config[*corpus.Event]{
-		Encode:     func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
-		Decode:     corpus.UnmarshalEvent,
-		LabelModel: labelmodel.Options{Steps: 800, Seed: 2},
-	}, events, runners)
+	p, err := drybell.New[*corpus.Event](
+		drybell.WithCodec(
+			func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
+			corpus.UnmarshalEvent,
+		),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 800, Seed: 2}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), drybell.SliceSource(events), runners)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,8 +66,8 @@ func main() {
 	}
 
 	// Train the same DNN architecture twice on the two label sets.
-	trainDNN := func(labels []float64) *core.EventClassifier {
-		clf, err := core.TrainEventClassifier(events, labels, core.EventTrainConfig{
+	trainDNN := func(labels []float64) *drybell.EventClassifier {
+		clf, err := drybell.TrainEventClassifier(events, labels, drybell.EventTrainConfig{
 			Hidden: []int{32, 16}, Epochs: 4, Seed: 3,
 		})
 		if err != nil {
@@ -70,10 +76,10 @@ func main() {
 		return clf
 	}
 	dryBell := trainDNN(res.Posteriors)
-	logicalOR := trainDNN(labelmodel.LogicalORPosteriors(res.Matrix))
+	logicalOR := trainDNN(drybell.LogicalORPosteriors(res.Matrix))
 
 	gold := corpus.EventGoldLabels(events)
-	report := func(name string, clf *core.EventClassifier) model.Metrics {
+	report := func(name string, clf *drybell.EventClassifier) model.Metrics {
 		scores, err := clf.Scores(events)
 		if err != nil {
 			log.Fatal(err)

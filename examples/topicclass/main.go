@@ -8,13 +8,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/labelmodel"
+	"repro/pkg/drybell"
 )
 
 func main() {
@@ -35,11 +35,17 @@ func main() {
 	fmt.Printf("topic classification: %d unlabeled, %d dev labels, %d LFs\n",
 		len(train), len(dev), len(runners))
 
-	res, err := core.Run(core.Config[*corpus.Document]{
-		Encode:     func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
-		Decode:     corpus.UnmarshalDocument,
-		LabelModel: labelmodel.Options{Steps: 800, Seed: 2},
-	}, train, runners)
+	p, err := drybell.New[*corpus.Document](
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 800, Seed: 2}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := p.Run(context.Background(), drybell.SliceSource(train), runners)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,13 +57,13 @@ func main() {
 		fmt.Printf("  %-34s %.3f\n", res.LFReport.PerLF[r.Index].Name, r.Accuracy)
 	}
 
-	weak, err := core.TrainContentClassifier(train, res.Posteriors, dev, core.ContentTrainConfig{
+	weak, err := drybell.TrainContentClassifier(train, res.Posteriors, dev, drybell.ContentTrainConfig{
 		Bigrams: true, Iterations: 20 * len(train), Seed: 3,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	baseline, err := core.TrainSupervisedBaseline(dev, core.ContentTrainConfig{
+	baseline, err := drybell.TrainSupervisedBaseline(dev, drybell.ContentTrainConfig{
 		Bigrams: true, Iterations: 20 * len(dev), Seed: 3,
 	})
 	if err != nil {

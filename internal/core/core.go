@@ -12,13 +12,23 @@
 //
 // The package is generic over the example type; content tasks use
 // *corpus.Document, the real-time events task uses *corpus.Event.
+//
+// Each stage is exposed as its own context-aware function (StageExamples,
+// ExecuteLFs, Denoise, PersistLabels) so callers can run them independently
+// and resume mid-pipeline from filesystem state, matching the paper's
+// loosely-coupled deployment. Run and RunContext compose all four. The
+// supported public surface for all of this is pkg/drybell; this package is
+// the implementation layer.
 package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
+	"iter"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/dfs"
@@ -28,10 +38,10 @@ import (
 	"repro/internal/recordio"
 )
 
-// Trainer selects the label-model optimizer.
+// Trainer selects the label-model optimizer by registry name.
 type Trainer string
 
-// Available trainers.
+// Built-in trainers, pre-registered in the trainer registry.
 const (
 	// TrainerSamplingFree is the paper's contribution (§5.2): marginal
 	// likelihood on a static compute graph, no sampling. The default.
@@ -45,6 +55,8 @@ const (
 // Config configures a pipeline run.
 type Config[T any] struct {
 	// FS is the distributed filesystem; defaults to a fresh in-memory one.
+	// Stage functions called separately must share an explicit FS (and
+	// WorkDir) to see each other's state.
 	FS dfs.FS
 	// WorkDir prefixes all pipeline paths on FS. Default "drybell".
 	WorkDir string
@@ -55,13 +67,16 @@ type Config[T any] struct {
 	Shards int
 	// Parallelism is the simulated cluster width. Default 4.
 	Parallelism int
-	// Trainer selects the label-model optimizer. Default sampling-free.
+	// Trainer names a registered label-model trainer. Default sampling-free.
 	Trainer Trainer
 	// LabelModel are the label-model training options.
 	LabelModel labelmodel.Options
 }
 
-func (c Config[T]) withDefaults() (Config[T], error) {
+// WithDefaults validates the config and fills in defaults. Callers that run
+// stages individually should normalize once and reuse the result, so the
+// defaulted in-memory FS is shared across stages.
+func (c Config[T]) WithDefaults() (Config[T], error) {
 	if c.Encode == nil || c.Decode == nil {
 		return c, fmt.Errorf("drybell: Config needs Encode and Decode")
 	}
@@ -82,6 +97,16 @@ func (c Config[T]) withDefaults() (Config[T], error) {
 	}
 	return c, nil
 }
+
+// InputBase is the DFS base path of the staged corpus.
+func (c Config[T]) InputBase() string { return c.WorkDir + "/input/examples" }
+
+// LabelsOutputBase is the DFS base path of the persisted probabilistic labels.
+func (c Config[T]) LabelsOutputBase() string { return c.WorkDir + "/output/problabels" }
+
+// VotesPrefix is the DFS prefix under which each labeling function writes
+// its vote shards ("<prefix>/<lf-name>").
+func (c Config[T]) VotesPrefix() string { return c.WorkDir + "/labels" }
 
 // Result is the output of a pipeline run.
 type Result struct {
@@ -106,82 +131,237 @@ type Timings struct {
 	Stage, Execute, TrainLabelModel, Persist time.Duration
 }
 
+// Examples adapts a slice to the streaming source shape the staged pipeline
+// consumes.
+func Examples[T any](xs []T) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		for _, x := range xs {
+			if !yield(x, nil) {
+				return
+			}
+		}
+	}
+}
+
 // Run executes the weak-supervision pipeline over the examples and labeling
 // functions, returning probabilistic training labels.
 func Run[T any](cfg Config[T], examples []T, runners []lf.Runner[T]) (*Result, error) {
-	cfg, err := cfg.withDefaults()
+	return RunContext(context.Background(), cfg, Examples(examples), runners)
+}
+
+// RunContext executes the four-stage pipeline over a streaming example
+// source under a context. Cancellation is honored between stages and
+// mid-stage during staging and labeling-function execution (between records
+// inside MapReduce tasks); the denoise and persist stages check the context
+// at stage entry.
+func RunContext[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], runners []lf.Runner[T]) (*Result, error) {
+	return RunObserved(ctx, cfg, src, runners, nil)
+}
+
+// RunObserved is RunContext with a per-stage observer: hook (if non-nil)
+// receives one StageEvent per completed or failed stage. This is the single
+// pipeline composition; Run, RunContext, and pkg/drybell's Pipeline.Run all
+// delegate here.
+func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], runners []lf.Runner[T], hook StageHook) (*Result, error) {
+	cfg, err := cfg.WithDefaults()
 	if err != nil {
 		return nil, err
-	}
-	if len(examples) == 0 {
-		return nil, fmt.Errorf("drybell: no examples")
 	}
 	if len(runners) == 0 {
 		return nil, fmt.Errorf("drybell: no labeling functions")
 	}
+	emit := func(ev StageEvent) {
+		if hook != nil {
+			hook(ev)
+		}
+	}
+	res := &Result{}
 
 	// Stage 1: write the corpus to the distributed filesystem.
 	t0 := time.Now()
-	records := make([][]byte, len(examples))
-	for i, x := range examples {
-		rec, err := cfg.Encode(x)
-		if err != nil {
-			return nil, fmt.Errorf("drybell: encode example %d: %w", i, err)
-		}
-		records[i] = rec
+	n, err := StageExamples(ctx, cfg, src)
+	emit(StageEvent{Stage: StageStage, Start: t0, Duration: time.Since(t0), Examples: n, Err: err})
+	if err != nil {
+		return nil, err
 	}
-	inputBase := cfg.WorkDir + "/input/examples"
-	if err := lf.Stage[T](cfg.FS, inputBase, records, cfg.Shards); err != nil {
-		return nil, fmt.Errorf("drybell: stage input: %w", err)
-	}
-	res := &Result{}
 	res.Timings.Stage = time.Since(t0)
 
 	// Stage 2: one MapReduce job per labeling function.
 	t1 := time.Now()
-	exec := &lf.Executor[T]{
-		FS:           cfg.FS,
-		InputBase:    inputBase,
-		OutputPrefix: cfg.WorkDir + "/labels",
-		Decode:       cfg.Decode,
-		Parallelism:  cfg.Parallelism,
-	}
-	matrix, report, err := exec.Execute(runners)
+	res.Matrix, res.LFReport, err = ExecuteLFs(ctx, cfg, runners)
+	emit(StageEvent{Stage: StageExecuteLFs, Start: t1, Duration: time.Since(t1), Examples: n, Report: res.LFReport, Err: err})
 	if err != nil {
 		return nil, err
 	}
-	res.Matrix = matrix
-	res.LFReport = report
 	res.Timings.Execute = time.Since(t1)
 
 	// Stage 3: denoise with the generative model.
 	t2 := time.Now()
-	var lm *labelmodel.Model
-	switch cfg.Trainer {
-	case TrainerSamplingFree:
-		lm, err = labelmodel.TrainSamplingFree(matrix, cfg.LabelModel)
-	case TrainerAnalytic:
-		lm, err = labelmodel.TrainAnalytic(matrix, cfg.LabelModel)
-	case TrainerGibbs:
-		lm, err = labelmodel.TrainGibbs(matrix, cfg.LabelModel)
-	default:
-		return nil, fmt.Errorf("drybell: unknown trainer %q", cfg.Trainer)
-	}
+	res.Model, res.Posteriors, err = Denoise(ctx, cfg.Trainer, res.Matrix, cfg.LabelModel)
+	emit(StageEvent{Stage: StageDenoise, Start: t2, Duration: time.Since(t2), Examples: len(res.Posteriors), Err: err})
 	if err != nil {
-		return nil, fmt.Errorf("drybell: train label model: %w", err)
+		return nil, err
 	}
-	res.Model = lm
-	res.Posteriors = lm.Posteriors(matrix)
 	res.Timings.TrainLabelModel = time.Since(t2)
 
 	// Stage 4: persist probabilistic labels for the production ML systems.
 	t3 := time.Now()
-	res.LabelsPath = cfg.WorkDir + "/output/problabels"
-	if err := WriteLabels(cfg.FS, res.LabelsPath, res.Posteriors, cfg.Shards); err != nil {
-		return nil, fmt.Errorf("drybell: persist labels: %w", err)
+	res.LabelsPath = cfg.LabelsOutputBase()
+	err = PersistLabels(ctx, cfg.FS, res.LabelsPath, res.Posteriors, cfg.Shards)
+	emit(StageEvent{Stage: StagePersist, Start: t3, Duration: time.Since(t3), Examples: len(res.Posteriors), LabelsPath: res.LabelsPath, Err: err})
+	if err != nil {
+		return nil, err
 	}
 	res.Timings.Persist = time.Since(t3)
 	return res, nil
+}
+
+// StageExamples encodes a streaming example source onto the distributed
+// filesystem as the pipeline's sharded input (stage 1), returning the number
+// of examples staged. The source is consumed exactly once and never
+// materialized as a slice. An empty source is an error, and nothing is
+// committed for it.
+func StageExamples[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error]) (int, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if src == nil {
+		return 0, fmt.Errorf("drybell: nil example source")
+	}
+	i := 0
+	records := func(yield func([]byte, error) bool) {
+		for x, err := range src {
+			if err != nil {
+				yield(nil, fmt.Errorf("drybell: example source: %w", err))
+				return
+			}
+			rec, err := cfg.Encode(x)
+			if err != nil {
+				yield(nil, fmt.Errorf("drybell: encode example %d: %w", i, err))
+				return
+			}
+			if !yield(rec, nil) {
+				return
+			}
+			i++
+		}
+	}
+	return StageRecords(ctx, cfg, records)
+}
+
+// StageRecords stages already-encoded records directly, skipping the codec —
+// the fast path for corpora that are already in the pipeline's record format
+// (e.g. validated JSONL dumps). Errors yielded by the source are returned
+// as-is.
+func StageRecords[T any](ctx context.Context, cfg Config[T], src iter.Seq2[[]byte, error]) (int, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if src == nil {
+		return 0, fmt.Errorf("drybell: nil record source")
+	}
+	w, err := mapreduce.NewInputWriter(cfg.FS, cfg.InputBase(), cfg.Shards)
+	if err != nil {
+		return 0, err
+	}
+	for rec, err := range src {
+		if err != nil {
+			return 0, err
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("drybell: stage input: %w", err)
+		}
+		if err := w.Append(rec); err != nil {
+			return 0, fmt.Errorf("drybell: stage input: %w", err)
+		}
+	}
+	// Refuse to commit an empty shard set: it would look like a validly
+	// staged corpus to a later resume and mask the upstream mistake.
+	if w.Count() == 0 {
+		return 0, fmt.Errorf("drybell: no examples")
+	}
+	if err := w.Commit(); err != nil {
+		return 0, fmt.Errorf("drybell: stage input: %w", err)
+	}
+	return w.Count(), nil
+}
+
+// ExecuteLFs runs every labeling function as its own MapReduce job over the
+// staged corpus (stage 2) and assembles the label matrix. It requires a
+// prior StageExamples with the same FS and WorkDir — possibly from another
+// process, since the staged corpus lives on the filesystem.
+func ExecuteLFs[T any](ctx context.Context, cfg Config[T], runners []lf.Runner[T]) (*labelmodel.Matrix, *lf.Report, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	return cfg.executor().ExecuteContext(ctx, runners)
+}
+
+// LoadMatrix reassembles the label matrix from vote shards a previous
+// ExecuteLFs left on the filesystem, without re-running anything. Column j
+// holds the votes of names[j].
+func LoadMatrix[T any](cfg Config[T], names []string) (*labelmodel.Matrix, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return cfg.executor().LoadMatrix(names)
+}
+
+func (c Config[T]) executor() *lf.Executor[T] {
+	return &lf.Executor[T]{
+		FS:           c.FS,
+		InputBase:    c.InputBase(),
+		OutputPrefix: c.VotesPrefix(),
+		Decode:       c.Decode,
+		Parallelism:  c.Parallelism,
+	}
+}
+
+// Denoise trains the named generative label model on the assembled matrix
+// (stage 3) and returns it with the probabilistic training labels. An empty
+// trainer name selects the sampling-free default; any other name must be in
+// the trainer registry.
+func Denoise(ctx context.Context, trainer Trainer, matrix *labelmodel.Matrix, opts labelmodel.Options) (*labelmodel.Model, []float64, error) {
+	if trainer == "" {
+		trainer = TrainerSamplingFree
+	}
+	fn, ok := LookupTrainer(trainer)
+	if !ok {
+		return nil, nil, fmt.Errorf("drybell: unknown trainer %q (registered: %s)", trainer, trainerList())
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, fmt.Errorf("drybell: train label model: %w", err)
+	}
+	lm, err := fn(matrix, opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("drybell: train label model: %w", err)
+	}
+	return lm, lm.Posteriors(matrix), nil
+}
+
+func trainerList() string {
+	names := TrainerNames()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = string(n)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// PersistLabels writes the probabilistic labels back to the filesystem
+// (stage 4) as the hand-off to the production training systems.
+func PersistLabels(ctx context.Context, fs dfs.FS, base string, labels []float64, shards int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("drybell: persist labels: %w", err)
+	}
+	if err := WriteLabels(fs, base, labels, shards); err != nil {
+		return fmt.Errorf("drybell: persist labels: %w", err)
+	}
+	return nil
 }
 
 // WriteLabels persists probabilistic labels as sharded recordio of

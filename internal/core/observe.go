@@ -1,0 +1,44 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/lf"
+)
+
+// StageName identifies one of the four pipeline stages.
+type StageName string
+
+// The four stages of the paper's Figure 4 flow.
+const (
+	StageStage      StageName = "stage"
+	StageExecuteLFs StageName = "execute-lfs"
+	StageDenoise    StageName = "denoise"
+	StagePersist    StageName = "persist"
+)
+
+// StageEvent is the structured observability record emitted to a StageHook
+// when a stage finishes, successfully or not. It carries the same data
+// Result.Timings and Result.LFReport aggregate, but per stage and in real
+// time.
+type StageEvent struct {
+	// Stage names the stage that finished.
+	Stage StageName
+	// Start is when the stage began; Duration is its wall time.
+	Start    time.Time
+	Duration time.Duration
+	// Examples is the number of examples the stage processed, when known:
+	// staged examples, matrix rows, posteriors computed, or labels written.
+	Examples int
+	// Report carries the per-labeling-function execution report. Only set
+	// for StageExecuteLFs.
+	Report *lf.Report
+	// LabelsPath is the DFS base the labels were written under. Only set
+	// for StagePersist.
+	LabelsPath string
+	// Err is the stage's error, nil on success.
+	Err error
+}
+
+// StageHook observes stage completions.
+type StageHook func(StageEvent)

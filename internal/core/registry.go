@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/labelmodel"
+)
+
+// TrainerFunc trains a generative label model on an assembled label matrix.
+// Implementations must be safe for concurrent use by independent pipelines.
+type TrainerFunc func(*labelmodel.Matrix, labelmodel.Options) (*labelmodel.Model, error)
+
+var (
+	trainersMu sync.RWMutex
+	trainers   = map[Trainer]TrainerFunc{
+		TrainerSamplingFree: labelmodel.TrainSamplingFree,
+		TrainerAnalytic:     labelmodel.TrainAnalytic,
+		TrainerGibbs:        labelmodel.TrainGibbs,
+	}
+)
+
+// RegisterTrainer makes a label-model trainer selectable by name in
+// Config.Trainer. Registering an empty name, a nil function, or a name that
+// is already taken is an error; the three built-in trainers are
+// pre-registered.
+func RegisterTrainer(name Trainer, fn TrainerFunc) error {
+	if name == "" {
+		return fmt.Errorf("drybell: RegisterTrainer with empty name")
+	}
+	if fn == nil {
+		return fmt.Errorf("drybell: RegisterTrainer %q with nil function", name)
+	}
+	trainersMu.Lock()
+	defer trainersMu.Unlock()
+	if _, dup := trainers[name]; dup {
+		return fmt.Errorf("drybell: trainer %q already registered", name)
+	}
+	trainers[name] = fn
+	return nil
+}
+
+// LookupTrainer returns the registered trainer for name.
+func LookupTrainer(name Trainer) (TrainerFunc, bool) {
+	trainersMu.RLock()
+	defer trainersMu.RUnlock()
+	fn, ok := trainers[name]
+	return fn, ok
+}
+
+// TrainerNames lists all registered trainer names, sorted.
+func TrainerNames() []Trainer {
+	trainersMu.RLock()
+	defer trainersMu.RUnlock()
+	out := make([]Trainer, 0, len(trainers))
+	for name := range trainers {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

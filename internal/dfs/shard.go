@@ -90,8 +90,20 @@ func ListShards(fs FS, base string) ([]string, error) {
 	return out, nil
 }
 
+// PublishShard commits one shard atomically: the data is written to a
+// ".partial" temp file and renamed into place, so readers only ever see a
+// complete shard. All shard writers go through here, keeping the commit
+// convention in one place.
+func PublishShard(fs FS, base string, i, n int, data []byte) error {
+	tmp := ShardPath(base, i, n) + ".partial"
+	if err := fs.WriteFile(tmp, data); err != nil {
+		return err
+	}
+	return fs.Rename(tmp, ShardPath(base, i, n))
+}
+
 // WriteSharded splits records round-robin into n shard files under base,
-// each committed atomically via a temp file + rename. Records are recordio
+// each committed atomically via PublishShard. Records are recordio
 // payloads; encoding is the caller's concern.
 func WriteSharded(fs FS, base string, records [][]byte, n int, encode func([][]byte) ([]byte, error)) error {
 	if n <= 0 {
@@ -107,11 +119,7 @@ func WriteSharded(fs FS, base string, records [][]byte, n int, encode func([][]b
 		if err != nil {
 			return fmt.Errorf("dfs: encode shard %d: %w", i, err)
 		}
-		tmp := ShardPath(base, i, n) + ".partial"
-		if err := fs.WriteFile(tmp, data); err != nil {
-			return err
-		}
-		if err := fs.Rename(tmp, ShardPath(base, i, n)); err != nil {
+		if err := PublishShard(fs, base, i, n, data); err != nil {
 			return err
 		}
 	}

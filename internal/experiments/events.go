@@ -1,15 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/corpus"
-	"repro/internal/dfs"
 	"repro/internal/labelmodel"
 	"repro/internal/model"
+	"repro/pkg/drybell"
 )
 
 // eventsRun holds the shared state for the events experiments (E1, Figure 6).
@@ -31,16 +32,20 @@ func runEvents(cfg Config) (*eventsRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	pc := core.Config[*corpus.Event]{
-		FS:      dfs.NewMem(),
-		Encode:  func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
-		Decode:  corpus.UnmarshalEvent,
-		Trainer: core.TrainerSamplingFree,
-		LabelModel: labelmodel.Options{
+	p, err := drybell.New[*corpus.Event](
+		drybell.WithCodec(
+			func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
+			corpus.UnmarshalEvent,
+		),
+		drybell.WithTrainer(drybell.TrainerSamplingFree),
+		drybell.WithLabelModel(labelmodel.Options{
 			Steps: cfg.LabelModelSteps, BatchSize: 64, LR: 0.05, Seed: cfg.Seed + 12,
-		},
+		}),
+	)
+	if err != nil {
+		return nil, err
 	}
-	res, err := core.Run(pc, events, apps.EventLFs(apps.NumEventLFs, cfg.Seed))
+	res, err := p.Run(context.Background(), drybell.SliceSource(events), apps.EventLFs(apps.NumEventLFs, cfg.Seed))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package lf
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -61,6 +62,12 @@ func Stage[T any](fs dfs.FS, base string, records [][]byte, shards int) error {
 // Execute runs every labeling function and returns the assembled m×n label
 // matrix, with column j holding runner j's votes in input-record order.
 func (e *Executor[T]) Execute(runners []Runner[T]) (*labelmodel.Matrix, *Report, error) {
+	return e.ExecuteContext(context.Background(), runners)
+}
+
+// ExecuteContext is Execute under a context: cancellation stops between jobs
+// and mid-job (between records), and the partial run commits no label matrix.
+func (e *Executor[T]) ExecuteContext(ctx context.Context, runners []Runner[T]) (*labelmodel.Matrix, *Report, error) {
 	if len(runners) == 0 {
 		return nil, nil, fmt.Errorf("lf: no labeling functions to execute")
 	}
@@ -84,10 +91,13 @@ func (e *Executor[T]) Execute(runners []Runner[T]) (*labelmodel.Matrix, *Report,
 	var matrix *labelmodel.Matrix
 
 	for j, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("lf: execute: %w", err)
+		}
 		meta := r.LFMeta()
 		outBase := e.OutputPrefix + "/" + meta.Name
 		jobStart := time.Now()
-		res, err := mapreduce.Run(mapreduce.Job{
+		res, err := mapreduce.RunContext(ctx, mapreduce.Job{
 			Name:        "lf-" + meta.Name,
 			FS:          e.FS,
 			InputBase:   e.InputBase,
@@ -126,6 +136,35 @@ func (e *Executor[T]) Execute(runners []Runner[T]) (*labelmodel.Matrix, *Report,
 	}
 	report.Duration = time.Since(start)
 	return matrix, report, nil
+}
+
+// LoadMatrix assembles the label matrix from vote shards already on the DFS
+// — the outputs of earlier Execute runs for the named functions — without
+// re-executing anything. Column j holds the votes of names[j]. This is how a
+// caller resumes a pipeline from persisted state: labeling functions are
+// independent executables sharing data via the filesystem, so their outputs
+// outlive the process that ran them.
+func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lf: no labeling function names to load")
+	}
+	var matrix *labelmodel.Matrix
+	for j, name := range names {
+		votes, err := e.loadVotes(e.OutputPrefix + "/" + name)
+		if err != nil {
+			return nil, fmt.Errorf("lf: load votes for %s: %w", name, err)
+		}
+		if matrix == nil {
+			matrix = labelmodel.NewMatrix(len(votes), len(names))
+		} else if len(votes) != matrix.NumExamples() {
+			return nil, fmt.Errorf("lf: %s has %d votes on the DFS, earlier functions have %d",
+				name, len(votes), matrix.NumExamples())
+		}
+		for i, v := range votes {
+			matrix.Set(i, j, v)
+		}
+	}
+	return matrix, nil
 }
 
 // loadVotes reads a function's sharded output back into input-record order.

@@ -24,6 +24,59 @@ func WriteInput(fs dfs.FS, base string, records [][]byte, n int) error {
 	})
 }
 
+// InputWriter stages a record stream into n recordio shards without holding
+// the records in one slice: record k goes to shard k%n, the same round-robin
+// layout WriteInput produces, so map-only outputs restore input order the
+// usual way. The encoded shard payloads are buffered in memory until Commit
+// — the FS contract is whole-file writes — so peak memory is the encoded
+// corpus, not the decoded examples plus a record slice. Shards are committed
+// atomically by Commit; an abandoned writer leaves no visible files.
+type InputWriter struct {
+	fs      dfs.FS
+	base    string
+	n       int
+	count   int
+	bufs    []bytes.Buffer
+	writers []*recordio.Writer
+}
+
+// NewInputWriter prepares a streaming staging writer for n shards under base.
+func NewInputWriter(fs dfs.FS, base string, n int) (*InputWriter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mapreduce: NewInputWriter with %d shards", n)
+	}
+	w := &InputWriter{fs: fs, base: base, n: n, bufs: make([]bytes.Buffer, n), writers: make([]*recordio.Writer, n)}
+	for i := range w.writers {
+		w.writers[i] = recordio.NewWriter(&w.bufs[i])
+	}
+	return w, nil
+}
+
+// Append adds one record to the stream.
+func (w *InputWriter) Append(rec []byte) error {
+	if err := w.writers[w.count%w.n].Write(rec); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *InputWriter) Count() int { return w.count }
+
+// Commit flushes and atomically publishes all n shards.
+func (w *InputWriter) Commit() error {
+	for i := 0; i < w.n; i++ {
+		if err := w.writers[i].Flush(); err != nil {
+			return err
+		}
+		if err := dfs.PublishShard(w.fs, w.base, i, w.n, w.bufs[i].Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadOutput reads and concatenates all records from the committed shard set
 // at base, in shard order then record order.
 func ReadOutput(fs dfs.FS, base string) ([][]byte, error) {

@@ -17,6 +17,7 @@ package mapreduce
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -175,6 +176,13 @@ type kv struct {
 
 // Run executes the job to completion and returns its result.
 func Run(job Job) (*Result, error) {
+	return RunContext(context.Background(), job)
+}
+
+// RunContext executes the job under a context. Cancellation is honored
+// between tasks and between records within a task; a canceled run returns an
+// error satisfying errors.Is(err, ctx.Err()) and commits no further output.
+func RunContext(ctx context.Context, job Job) (*Result, error) {
 	if job.Mapper == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
 	}
@@ -208,17 +216,24 @@ func Run(job Job) (*Result, error) {
 
 	// ---- Map phase ----
 	mapOut := make([][]kv, len(inputShards)) // per map task, emitted pairs
-	if err := runTasks(len(inputShards), job.Parallelism, func(i int) error {
+	if err := runTasks(ctx, len(inputShards), job.Parallelism, func(i int) error {
 		taskID := fmt.Sprintf("map-%05d", i)
 		var lastErr error
 		for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("mapreduce: task %s: %w", taskID, err)
+			}
 			countAttempt()
-			pairs, err := runMapAttempt(job, inputShards[i], taskID, attempt, i, counters)
+			pairs, err := runMapAttempt(ctx, job, inputShards[i], taskID, attempt, i, counters)
 			if err == nil {
 				mapOut[i] = pairs
 				return nil
 			}
 			lastErr = err
+			// A canceled attempt is not a worker failure; don't retry it.
+			if ctx.Err() != nil {
+				return fmt.Errorf("mapreduce: task %s: %w", taskID, lastErr)
+			}
 		}
 		return fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, job.MaxAttempts, lastErr)
 	}); err != nil {
@@ -272,17 +287,23 @@ func Run(job Job) (*Result, error) {
 	// ---- Reduce phase ----
 	res.ReduceTasks = job.NumReducers
 	reduceOut := make([][][]byte, job.NumReducers)
-	if err := runTasks(job.NumReducers, job.Parallelism, func(r int) error {
+	if err := runTasks(ctx, job.NumReducers, job.Parallelism, func(r int) error {
 		taskID := fmt.Sprintf("reduce-%05d", r)
 		var lastErr error
 		for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("mapreduce: task %s: %w", taskID, err)
+			}
 			countAttempt()
-			out, err := runReduceAttempt(job, parts[r], taskID, attempt, counters)
+			out, err := runReduceAttempt(ctx, job, parts[r], taskID, attempt, counters)
 			if err == nil {
 				reduceOut[r] = out
 				return nil
 			}
 			lastErr = err
+			if ctx.Err() != nil {
+				return fmt.Errorf("mapreduce: task %s: %w", taskID, lastErr)
+			}
 		}
 		return fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, job.MaxAttempts, lastErr)
 	}); err != nil {
@@ -312,8 +333,8 @@ func Run(job Job) (*Result, error) {
 
 // runMapAttempt executes one attempt of one map task. All effects are
 // buffered in the returned slice, so a failed attempt leaves no trace.
-func runMapAttempt(job Job, shardPath, taskID string, attempt, mapIdx int, counters *CounterSet) ([]kv, error) {
-	ctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
+func runMapAttempt(ctx context.Context, job Job, shardPath, taskID string, attempt, mapIdx int, counters *CounterSet) ([]kv, error) {
+	tctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
 	if job.FailureHook != nil {
 		if err := job.FailureHook(taskID, attempt); err != nil {
 			return nil, err
@@ -327,7 +348,7 @@ func runMapAttempt(job Job, shardPath, taskID string, attempt, mapIdx int, count
 	if err != nil {
 		return nil, err
 	}
-	if err := job.Mapper.Setup(ctx); err != nil {
+	if err := job.Mapper.Setup(tctx); err != nil {
 		return nil, fmt.Errorf("setup: %w", err)
 	}
 	var pairs []kv
@@ -340,11 +361,14 @@ func runMapAttempt(job Job, shardPath, taskID string, attempt, mapIdx int, count
 	}
 	var mapErr error
 	for _, rec := range records {
-		if mapErr = job.Mapper.Map(ctx, rec, emit); mapErr != nil {
+		if mapErr = ctx.Err(); mapErr != nil {
+			break
+		}
+		if mapErr = job.Mapper.Map(tctx, rec, emit); mapErr != nil {
 			break
 		}
 	}
-	tdErr := job.Mapper.Teardown(ctx)
+	tdErr := job.Mapper.Teardown(tctx)
 	if mapErr != nil {
 		return nil, mapErr
 	}
@@ -356,8 +380,8 @@ func runMapAttempt(job Job, shardPath, taskID string, attempt, mapIdx int, count
 
 // runReduceAttempt executes one attempt of one reduce task over its
 // pre-sorted partition.
-func runReduceAttempt(job Job, part []kv, taskID string, attempt int, counters *CounterSet) ([][]byte, error) {
-	ctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
+func runReduceAttempt(ctx context.Context, job Job, part []kv, taskID string, attempt int, counters *CounterSet) ([][]byte, error) {
+	tctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
 	if job.FailureHook != nil {
 		if err := job.FailureHook(taskID, attempt); err != nil {
 			return nil, err
@@ -370,6 +394,9 @@ func runReduceAttempt(job Job, part []kv, taskID string, attempt int, counters *
 		out = append(out, cp)
 	}
 	for i := 0; i < len(part); {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		j := i
 		for j < len(part) && part[j].key == part[i].key {
 			j++
@@ -378,7 +405,7 @@ func runReduceAttempt(job Job, part []kv, taskID string, attempt int, counters *
 		for k := i; k < j; k++ {
 			values = append(values, part[k].value)
 		}
-		if err := job.Reducer.Reduce(ctx, part[i].key, values, emit); err != nil {
+		if err := job.Reducer.Reduce(tctx, part[i].key, values, emit); err != nil {
 			return nil, err
 		}
 		i = j
@@ -387,11 +414,7 @@ func runReduceAttempt(job Job, part []kv, taskID string, attempt int, counters *
 }
 
 func commitShard(fs dfs.FS, base string, i, n int, data []byte) error {
-	tmp := dfs.ShardPath(base, i, n) + ".partial"
-	if err := fs.WriteFile(tmp, data); err != nil {
-		return err
-	}
-	return fs.Rename(tmp, dfs.ShardPath(base, i, n))
+	return dfs.PublishShard(fs, base, i, n, data)
 }
 
 func partition(key string, n int) int {
@@ -401,8 +424,9 @@ func partition(key string, n int) int {
 }
 
 // runTasks executes fn(0..n-1) on at most p goroutines, returning the first
-// error (all workers are drained before returning).
-func runTasks(n, p int, fn func(i int) error) error {
+// error (all workers are drained before returning). Dispatch stops once ctx
+// is done; already-running tasks observe cancellation themselves.
+func runTasks(ctx context.Context, n, p int, fn func(i int) error) error {
 	if p > n {
 		p = n
 	}
@@ -421,8 +445,15 @@ func runTasks(n, p int, fn func(i int) error) error {
 			}
 		}()
 	}
+	canceled := false
+dispatch:
 	for i := 0; i < n; i++ {
-		tasks <- i
+		select {
+		case tasks <- i:
+		case <-ctx.Done():
+			canceled = true
+			break dispatch
+		}
 	}
 	close(tasks)
 	wg.Wait()
@@ -431,6 +462,9 @@ func runTasks(n, p int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if canceled {
+		return fmt.Errorf("mapreduce: %w", ctx.Err())
 	}
 	return nil
 }

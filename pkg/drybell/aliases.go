@@ -1,0 +1,105 @@
+package drybell
+
+import (
+	"repro/internal/core"
+	"repro/internal/dfs"
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+)
+
+// The SDK re-exports the pipeline's data types under one import path, so
+// callers build labeling functions, inspect results, and configure training
+// without reaching into internal packages.
+
+// Runner is one executable labeling function: metadata plus the mapper that
+// computes its votes. Func and NLPFunc are the two implementations, the
+// paper's two C++ class templates (§5.1).
+type Runner[T any] = lf.Runner[T]
+
+// Func is the default labeling-function pipeline: a pure vote function run
+// in a MapReduce map task with no extra services.
+type Func[T any] = lf.Func[T]
+
+// NLPFunc is the model-server pipeline: Setup launches an NLP model server
+// on each compute node, GetText/GetValue compute the vote from annotations.
+type NLPFunc[T any] = lf.NLPFunc[T]
+
+// Meta describes one labeling function (name, category, servability).
+type Meta = lf.Meta
+
+// Category buckets weak-supervision sources the way Figure 2 does.
+type Category = lf.Category
+
+// Figure 2 categories.
+const (
+	SourceHeuristic  = lf.SourceHeuristic
+	ContentHeuristic = lf.ContentHeuristic
+	ModelBased       = lf.ModelBased
+	GraphBased       = lf.GraphBased
+)
+
+// Label is one labeling-function vote.
+type Label = labelmodel.Label
+
+// The three vote values.
+const (
+	Positive = labelmodel.Positive
+	Negative = labelmodel.Negative
+	Abstain  = labelmodel.Abstain
+)
+
+// Matrix is the assembled m×n label matrix Λ.
+type Matrix = labelmodel.Matrix
+
+// Model is the trained generative label model; its Accuracies and
+// RankByAccuracy expose the §3.3 diagnostics.
+type Model = labelmodel.Model
+
+// LabelModelOptions configure generative-model training (steps, batch size,
+// learning rate, priors). See WithLabelModel.
+type LabelModelOptions = labelmodel.Options
+
+// Result is the output of Pipeline.Run.
+type Result = core.Result
+
+// Timings records per-stage wall time inside a Result.
+type Timings = core.Timings
+
+// Report summarizes an ExecuteLFs stage; LFReport is its per-function entry.
+type (
+	Report   = lf.Report
+	LFReport = lf.LFReport
+)
+
+// FS is the distributed filesystem surface the pipeline stages data on.
+type FS = dfs.FS
+
+// NewMemFS returns a fresh in-memory filesystem, the default backing store.
+func NewMemFS() FS { return dfs.NewMem() }
+
+// NewDiskFS returns a disk-backed filesystem rooted at dir, for pipelines
+// whose state must survive the process (and be shared between processes).
+func NewDiskFS(dir string) (FS, error) { return dfs.NewDisk(dir) }
+
+// ListShards returns the complete, ordered shard set committed under base
+// (e.g. a VotesPath or LabelsPath), erroring on missing or inconsistent
+// shards so a partially written output is never consumed.
+func ListShards(fs FS, base string) ([]string, error) { return dfs.ListShards(fs, base) }
+
+// Names returns runner names in column order — the name list LoadMatrix
+// expects.
+func Names[T any](runners []Runner[T]) []string { return lf.Names(runners) }
+
+// ServableIndices returns the column indices of servable runners, the
+// Table 3 ablation subset.
+func ServableIndices[T any](runners []Runner[T]) []int { return lf.ServableIndices(runners) }
+
+// Census counts runners per category — the Figure 2 histogram.
+func Census[T any](runners []Runner[T]) map[Category]int { return lf.Census(runners) }
+
+// LogicalORPosteriors is the pre-DryBell status-quo baseline: label 1 iff
+// any function voted positive (§3.3, §6.4).
+func LogicalORPosteriors(mx *Matrix) []float64 { return labelmodel.LogicalORPosteriors(mx) }
+
+// HardLabels thresholds probabilistic labels at 1/2 into votes.
+func HardLabels(posteriors []float64) []Label { return labelmodel.HardLabels(posteriors) }

@@ -1,0 +1,48 @@
+package drybell
+
+import (
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// The discriminative side of the pipeline: servable end models trained on
+// the probabilistic labels (paper §5.3). Re-exported here so SDK users never
+// import internal/core.
+
+// ContentClassifier is the servable classifier for content tasks: hashing
+// feature extractor, logistic regression, tuned decision threshold.
+type ContentClassifier = core.ContentClassifier
+
+// ContentTrainConfig configures discriminative training for content tasks.
+type ContentTrainConfig = core.ContentTrainConfig
+
+// EventClassifier is the servable DNN for the real-time events task; it
+// reads only the real-time, event-level feature vector (§3.3, §6.4).
+type EventClassifier = core.EventClassifier
+
+// EventTrainConfig configures the events DNN.
+type EventTrainConfig = core.EventTrainConfig
+
+// TrainContentClassifier trains the servable logistic regression on
+// probabilistic labels and tunes the decision threshold for F1 on the
+// labeled dev set.
+func TrainContentClassifier(
+	train []*corpus.Document, softLabels []float64,
+	dev []*corpus.Document,
+	cfg ContentTrainConfig,
+) (*ContentClassifier, error) {
+	return core.TrainContentClassifier(train, softLabels, dev, cfg)
+}
+
+// TrainSupervisedBaseline trains the identical content classifier directly
+// on hand-labeled documents — the Tables 2-4 baseline.
+func TrainSupervisedBaseline(labeled []*corpus.Document, cfg ContentTrainConfig) (*ContentClassifier, error) {
+	return core.TrainSupervisedBaseline(labeled, cfg)
+}
+
+// TrainEventClassifier trains the DNN over servable event features on
+// probabilistic labels produced from the non-servable weak supervision —
+// the cross-feature transfer of §4.
+func TrainEventClassifier(train []*corpus.Event, softLabels []float64, cfg EventTrainConfig) (*EventClassifier, error) {
+	return core.TrainEventClassifier(train, softLabels, cfg)
+}

@@ -1,0 +1,208 @@
+// Package drybell is the public SDK for the Snorkel DryBell weak-supervision
+// pipeline (Bach et al., SIGMOD 2019). It is the one supported entry point;
+// the internal packages behind it are implementation detail.
+//
+// A Pipeline runs the paper's four-stage flow over a streaming source of
+// unlabeled examples:
+//
+//  1. Stage the corpus onto the distributed filesystem,
+//  2. ExecuteLFs: run each labeling function as its own MapReduce job,
+//  3. Denoise the votes into probabilistic labels with a generative model,
+//  4. Persist the labels for the production training systems.
+//
+// Construct one with functional options and run it end to end:
+//
+//	p, err := drybell.New[*corpus.Document](
+//		drybell.WithCodec(
+//			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+//			corpus.UnmarshalDocument,
+//		),
+//		drybell.WithTrainer(drybell.TrainerSamplingFree),
+//		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 800}),
+//	)
+//	res, err := p.Run(ctx, drybell.SliceSource(docs), runners)
+//
+// Every stage accepts a context.Context. Staging and labeling-function
+// execution honor cancellation mid-stage, down to individual MapReduce
+// records; the denoise and persist stages check the context at stage entry
+// (the trainers themselves run to completion once started). A canceled run
+// returns an error satisfying errors.Is(err, ctx.Err()) and commits no
+// further output. Each stage is also callable on its
+// own: because stages exchange data only through the filesystem — "labeling
+// functions are independent executables that use a distributed filesystem to
+// share data" (§5.4) — a Pipeline built over the same FS and work directory
+// can resume mid-flow from whatever state an earlier run (or another
+// process) left behind, e.g. ExecuteLFs over a previously staged corpus, or
+// LoadMatrix plus Denoise over previously computed votes.
+//
+// Label-model trainers are pluggable: RegisterTrainer adds a named trainer
+// to the registry and WithTrainer selects it, alongside the built-in
+// sampling-free, analytic, and Gibbs trainers. WithStageHook installs an
+// observer that receives one structured StageEvent per completed stage for
+// logging and metrics.
+package drybell
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Pipeline is a configured weak-supervision pipeline over example type T.
+// Construct it with New; the zero value is not usable. A Pipeline is
+// stateless between calls — all pipeline state lives on its filesystem — so
+// its methods are safe for sequential reuse and for resuming partial runs.
+type Pipeline[T any] struct {
+	cfg  core.Config[T]
+	hook StageHook
+}
+
+// New builds a Pipeline from functional options. WithCodec is required and
+// must carry the same example type T; all other options have defaults
+// (fresh in-memory filesystem, work directory "drybell", 8 shards,
+// parallelism 4, the sampling-free trainer). A trainer selected with
+// WithTrainer must already be registered.
+func New[T any](opts ...Option) (*Pipeline[T], error) {
+	s := &settings{}
+	for _, o := range opts {
+		if o.f != nil {
+			o.f(s)
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.codec == nil {
+		return nil, fmt.Errorf("drybell: New requires WithCodec")
+	}
+	codec, ok := s.codec.(Codec[T])
+	if !ok {
+		var zero T
+		return nil, fmt.Errorf("drybell: WithCodec was built for a different example type than the pipeline's %T", zero)
+	}
+	if s.trainer != "" && !HasTrainer(s.trainer) {
+		return nil, fmt.Errorf("drybell: unknown trainer %q (registered: %v)", s.trainer, Trainers())
+	}
+	cfg, err := core.Config[T]{
+		FS:          s.fs,
+		WorkDir:     s.workDir,
+		Encode:      codec.Encode,
+		Decode:      codec.Decode,
+		Shards:      s.shards,
+		Parallelism: s.parallelism,
+		Trainer:     core.Trainer(s.trainer),
+		LabelModel:  s.labelModel,
+	}.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline[T]{cfg: cfg, hook: s.hook}, nil
+}
+
+// FS returns the pipeline's filesystem. Share it (with the same work
+// directory) across Pipelines to resume stages started elsewhere.
+func (p *Pipeline[T]) FS() FS { return p.cfg.FS }
+
+// WorkDir returns the pipeline's work directory prefix on the filesystem.
+func (p *Pipeline[T]) WorkDir() string { return p.cfg.WorkDir }
+
+// InputPath returns the DFS base path of the staged corpus.
+func (p *Pipeline[T]) InputPath() string { return p.cfg.InputBase() }
+
+// LabelsPath returns the DFS base path where Persist writes the
+// probabilistic labels.
+func (p *Pipeline[T]) LabelsPath() string { return p.cfg.LabelsOutputBase() }
+
+// VotesPath returns the DFS base path under which ExecuteLFs writes the
+// named labeling function's vote shards.
+func (p *Pipeline[T]) VotesPath(name string) string { return p.cfg.VotesPrefix() + "/" + name }
+
+// Run executes all four stages: stage the source, execute the labeling
+// functions, denoise their votes, and persist the probabilistic labels.
+// Cancellation of ctx aborts with an error satisfying
+// errors.Is(err, ctx.Err()); see the package comment for how deep into each
+// stage cancellation reaches.
+func (p *Pipeline[T]) Run(ctx context.Context, src Source[T], runners []Runner[T]) (*Result, error) {
+	return core.RunObserved(ctx, p.cfg, src, runners, p.hook)
+}
+
+// Stage consumes the source once, encoding each example onto the filesystem
+// as the pipeline's sharded input (stage 1). The corpus never needs to fit
+// in one slice. It returns the number of examples staged.
+func (p *Pipeline[T]) Stage(ctx context.Context, src Source[T]) (int, error) {
+	start := time.Now()
+	n, err := core.StageExamples(ctx, p.cfg, src)
+	p.emit(StageEvent{Stage: StageStage, Start: start, Duration: time.Since(start), Examples: n, Err: err})
+	return n, err
+}
+
+// StageRecords is Stage for already-encoded records: the bytes go to the
+// filesystem as-is, skipping the codec. Use it when the corpus is already
+// in the pipeline's record format — e.g. a validated JSONL dump — to avoid
+// a decode/re-encode round-trip per record.
+func (p *Pipeline[T]) StageRecords(ctx context.Context, records Source[[]byte]) (int, error) {
+	start := time.Now()
+	n, err := core.StageRecords(ctx, p.cfg, records)
+	p.emit(StageEvent{Stage: StageStage, Start: start, Duration: time.Since(start), Examples: n, Err: err})
+	return n, err
+}
+
+// ExecuteLFs runs every labeling function as its own MapReduce job over the
+// staged corpus (stage 2) and assembles the label matrix, column j holding
+// runner j's votes in input order. The corpus may have been staged by an
+// earlier run or another process sharing the filesystem.
+func (p *Pipeline[T]) ExecuteLFs(ctx context.Context, runners []Runner[T]) (*Matrix, *Report, error) {
+	start := time.Now()
+	matrix, report, err := core.ExecuteLFs(ctx, p.cfg, runners)
+	ev := StageEvent{Stage: StageExecuteLFs, Start: start, Duration: time.Since(start), Report: report, Err: err}
+	if matrix != nil {
+		ev.Examples = matrix.NumExamples()
+	}
+	p.emit(ev)
+	return matrix, report, err
+}
+
+// LoadMatrix reassembles the label matrix from vote shards that an earlier
+// ExecuteLFs left on the filesystem, without re-running anything. Column j
+// holds the votes of names[j].
+func (p *Pipeline[T]) LoadMatrix(names []string) (*Matrix, error) {
+	return core.LoadMatrix(p.cfg, names)
+}
+
+// Denoise trains the configured generative label model on the matrix
+// (stage 3), returning the model and the probabilistic training labels
+// P(Y_i=1|Λ_i) aligned with the staged input.
+func (p *Pipeline[T]) Denoise(ctx context.Context, matrix *Matrix) (*Model, []float64, error) {
+	start := time.Now()
+	model, posteriors, err := core.Denoise(ctx, p.cfg.Trainer, matrix, p.cfg.LabelModel)
+	ev := StageEvent{Stage: StageDenoise, Start: start, Duration: time.Since(start), Examples: len(posteriors), Err: err}
+	p.emit(ev)
+	return model, posteriors, err
+}
+
+// Persist writes the probabilistic labels back to the filesystem (stage 4)
+// and returns the DFS base path they were written under.
+func (p *Pipeline[T]) Persist(ctx context.Context, labels []float64) (string, error) {
+	start := time.Now()
+	path := p.cfg.LabelsOutputBase()
+	err := core.PersistLabels(ctx, p.cfg.FS, path, labels, p.cfg.Shards)
+	p.emit(StageEvent{Stage: StagePersist, Start: start, Duration: time.Since(start), Examples: len(labels), LabelsPath: path, Err: err})
+	if err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Labels reads back the labels a previous Persist wrote, restoring input
+// order — the consumer side of the filesystem hand-off.
+func (p *Pipeline[T]) Labels() ([]float64, error) {
+	return core.ReadLabels(p.cfg.FS, p.cfg.LabelsOutputBase())
+}
+
+func (p *Pipeline[T]) emit(ev StageEvent) {
+	if p.hook != nil {
+		p.hook(ev)
+	}
+}

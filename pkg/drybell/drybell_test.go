@@ -1,0 +1,449 @@
+package drybell_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/drybell"
+)
+
+// doc is a minimal example type exercising the SDK exactly as an external
+// caller would: no internal packages, a JSON codec, keyword-based LFs.
+type doc struct {
+	ID   int    `json:"id"`
+	Text string `json:"text"`
+}
+
+func encodeDoc(d doc) ([]byte, error) { return json.Marshal(d) }
+
+func decodeDoc(b []byte) (doc, error) {
+	var d doc
+	err := json.Unmarshal(b, &d)
+	return d, err
+}
+
+func makeDocs(n int) []doc {
+	docs := make([]doc, n)
+	for i := range docs {
+		text := "plain report on infrastructure"
+		if i%3 == 0 {
+			text = "celebrity gossip from the redcarpet"
+		}
+		docs[i] = doc{ID: i, Text: text}
+	}
+	return docs
+}
+
+func keywordLF(name, keyword string, onHit drybell.Label) drybell.Func[doc] {
+	return drybell.Func[doc]{
+		Meta: drybell.Meta{Name: name, Category: drybell.ContentHeuristic, Servable: true},
+		Vote: func(d doc) drybell.Label {
+			if strings.Contains(d.Text, keyword) {
+				return onHit
+			}
+			return drybell.Abstain
+		},
+	}
+}
+
+func testRunners() []drybell.Runner[doc] {
+	return []drybell.Runner[doc]{
+		keywordLF("kw_gossip", "gossip", drybell.Positive),
+		keywordLF("kw_redcarpet", "redcarpet", drybell.Positive),
+		keywordLF("kw_infra", "infrastructure", drybell.Negative),
+	}
+}
+
+func newPipeline(t *testing.T, extra ...drybell.Option) *drybell.Pipeline[doc] {
+	t.Helper()
+	opts := append([]drybell.Option{
+		drybell.WithCodec(encodeDoc, decodeDoc),
+		drybell.WithShards(4),
+		drybell.WithParallelism(2),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 60, Seed: 5}),
+	}, extra...)
+	p, err := drybell.New[doc](opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestRunEndToEndWithHooks(t *testing.T) {
+	var events []drybell.StageEvent
+	p := newPipeline(t, drybell.WithStageHook(func(ev drybell.StageEvent) {
+		events = append(events, ev)
+	}))
+
+	docs := makeDocs(300)
+	res, err := p.Run(context.Background(), drybell.SliceSource(docs), testRunners())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := len(res.Posteriors); got != len(docs) {
+		t.Fatalf("posteriors = %d, want %d", got, len(docs))
+	}
+	for i, pr := range res.Posteriors {
+		if pr < 0 || pr > 1 {
+			t.Fatalf("posterior %d = %v out of [0,1]", i, pr)
+		}
+	}
+	if res.LabelsPath != p.LabelsPath() {
+		t.Fatalf("LabelsPath = %q, want %q", res.LabelsPath, p.LabelsPath())
+	}
+
+	// The persisted labels round-trip through the filesystem hand-off.
+	labels, err := p.Labels()
+	if err != nil {
+		t.Fatalf("Labels: %v", err)
+	}
+	if len(labels) != len(docs) {
+		t.Fatalf("read %d labels, want %d", len(labels), len(docs))
+	}
+	for i := range labels {
+		if labels[i] != res.Posteriors[i] {
+			t.Fatalf("label %d = %v, want %v", i, labels[i], res.Posteriors[i])
+		}
+	}
+
+	// One structured event per stage, in pipeline order, all successful.
+	wantStages := []drybell.StageName{
+		drybell.StageStage, drybell.StageExecuteLFs, drybell.StageDenoise, drybell.StagePersist,
+	}
+	if len(events) != len(wantStages) {
+		t.Fatalf("got %d stage events, want %d", len(events), len(wantStages))
+	}
+	for i, ev := range events {
+		if ev.Stage != wantStages[i] {
+			t.Fatalf("event %d stage = %q, want %q", i, ev.Stage, wantStages[i])
+		}
+		if ev.Err != nil {
+			t.Fatalf("event %q carries error: %v", ev.Stage, ev.Err)
+		}
+		if ev.Examples != len(docs) {
+			t.Fatalf("event %q examples = %d, want %d", ev.Stage, ev.Examples, len(docs))
+		}
+	}
+	execEv := events[1]
+	if execEv.Report == nil || len(execEv.Report.PerLF) != 3 {
+		t.Fatalf("execute-lfs event report = %+v, want 3 per-LF entries", execEv.Report)
+	}
+	if events[3].LabelsPath != p.LabelsPath() {
+		t.Fatalf("persist event path = %q, want %q", events[3].LabelsPath, p.LabelsPath())
+	}
+}
+
+func TestStreamingSource(t *testing.T) {
+	p := newPipeline(t)
+	const n = 200
+	// A generator source: examples are produced on the fly, never held in
+	// one slice.
+	src := func(yield func(doc, error) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(makeDocs(i + 1)[i], nil) {
+				return
+			}
+		}
+	}
+	staged, err := p.Stage(context.Background(), src)
+	if err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+	if staged != n {
+		t.Fatalf("staged %d, want %d", staged, n)
+	}
+	matrix, report, err := p.ExecuteLFs(context.Background(), testRunners())
+	if err != nil {
+		t.Fatalf("ExecuteLFs: %v", err)
+	}
+	if matrix.NumExamples() != n || report.Examples != n {
+		t.Fatalf("matrix %d / report %d examples, want %d", matrix.NumExamples(), report.Examples, n)
+	}
+}
+
+func TestStageRecordsSkipsCodec(t *testing.T) {
+	p := newPipeline(t)
+	docs := makeDocs(90)
+	records := make([][]byte, len(docs))
+	for i, d := range docs {
+		b, err := encodeDoc(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records[i] = b
+	}
+	n, err := p.StageRecords(context.Background(), drybell.SliceSource(records))
+	if err != nil {
+		t.Fatalf("StageRecords: %v", err)
+	}
+	if n != len(docs) {
+		t.Fatalf("staged %d, want %d", n, len(docs))
+	}
+	// The raw-record staging is byte-identical to codec staging: LFs decode
+	// and vote as usual.
+	matrix, report, err := p.ExecuteLFs(context.Background(), testRunners())
+	if err != nil {
+		t.Fatalf("ExecuteLFs: %v", err)
+	}
+	if matrix.NumExamples() != len(docs) || report.Examples != len(docs) {
+		t.Fatalf("matrix %d / report %d examples, want %d", matrix.NumExamples(), report.Examples, len(docs))
+	}
+}
+
+func TestSourceErrorAbortsStaging(t *testing.T) {
+	p := newPipeline(t)
+	boom := errors.New("upstream exploded")
+	src := func(yield func(doc, error) bool) {
+		if !yield(doc{ID: 0, Text: "ok"}, nil) {
+			return
+		}
+		yield(doc{}, boom)
+	}
+	if _, err := p.Stage(context.Background(), src); !errors.Is(err, boom) {
+		t.Fatalf("Stage error = %v, want wrapped %v", err, boom)
+	}
+}
+
+// TestCancellationMidStage proves Pipeline.Run honors context cancellation
+// mid-stage: the context is canceled from inside a labeling function while
+// its MapReduce job is running, and the pipeline aborts without persisting
+// labels.
+func TestCancellationMidStage(t *testing.T) {
+	p := newPipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var once atomic.Bool
+	saboteur := drybell.Func[doc]{
+		Meta: drybell.Meta{Name: "saboteur", Category: drybell.ContentHeuristic},
+		Vote: func(d doc) drybell.Label {
+			if once.CompareAndSwap(false, true) {
+				cancel() // cancel while this LF's job is mid-flight
+			}
+			return drybell.Abstain
+		},
+	}
+	_, err := p.Run(ctx, drybell.SliceSource(makeDocs(300)), []drybell.Runner[doc]{saboteur})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	// The aborted pipeline must not have committed probabilistic labels.
+	if _, err := p.Labels(); err == nil {
+		t.Fatal("Labels succeeded after canceled run, want error")
+	}
+}
+
+func TestCancellationBetweenStages(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Cancel as soon as the execute stage completes; Denoise must then
+	// refuse to start.
+	p := newPipeline(t, drybell.WithStageHook(func(ev drybell.StageEvent) {
+		if ev.Stage == drybell.StageExecuteLFs {
+			cancel()
+		}
+	}))
+	_, err := p.Run(ctx, drybell.SliceSource(makeDocs(120)), testRunners())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestCustomTrainerEndToEnd registers a trainer through the public registry
+// and selects it by name for a full pipeline run.
+func TestCustomTrainerEndToEnd(t *testing.T) {
+	var calls atomic.Int32
+	const name = "test-uniform-trainer"
+	err := drybell.RegisterTrainer(name, func(mx *drybell.Matrix, opts drybell.LabelModelOptions) (*drybell.Model, error) {
+		calls.Add(1)
+		n := mx.NumFuncs()
+		m := &drybell.Model{Alpha: make([]float64, n), Beta: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			m.Alpha[j] = 1 // every LF modeled as moderately accurate
+		}
+		return m, nil
+	})
+	if err != nil {
+		t.Fatalf("RegisterTrainer: %v", err)
+	}
+	if !drybell.HasTrainer(name) {
+		t.Fatalf("HasTrainer(%q) = false after registration", name)
+	}
+
+	p := newPipeline(t, drybell.WithTrainer(name))
+	res, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(150)), testRunners())
+	if err != nil {
+		t.Fatalf("Run with custom trainer: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("custom trainer ran %d times, want 1", calls.Load())
+	}
+	if res.Model.Alpha[0] != 1 {
+		t.Fatalf("result model alpha = %v, want the custom trainer's output", res.Model.Alpha)
+	}
+}
+
+func TestTrainerRegistryValidation(t *testing.T) {
+	if err := drybell.RegisterTrainer("", nil); err == nil {
+		t.Fatal("RegisterTrainer(\"\") succeeded, want error")
+	}
+	if err := drybell.RegisterTrainer(drybell.TrainerGibbs, func(mx *drybell.Matrix, opts drybell.LabelModelOptions) (*drybell.Model, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("re-registering a built-in trainer succeeded, want error")
+	}
+	if _, err := drybell.New[doc](
+		drybell.WithCodec(encodeDoc, decodeDoc),
+		drybell.WithTrainer("no-such-trainer"),
+	); err == nil || !strings.Contains(err.Error(), "no-such-trainer") {
+		t.Fatalf("New with unknown trainer = %v, want naming error", err)
+	}
+	for _, builtin := range []string{drybell.TrainerSamplingFree, drybell.TrainerAnalytic, drybell.TrainerGibbs} {
+		if !drybell.HasTrainer(builtin) {
+			t.Fatalf("built-in trainer %q not registered", builtin)
+		}
+	}
+}
+
+// TestResumeFromDFSState runs each stage in a separate Pipeline sharing one
+// filesystem, mimicking the paper's loosely-coupled deployment where
+// independent binaries coordinate only through the DFS.
+func TestResumeFromDFSState(t *testing.T) {
+	fs := drybell.NewMemFS()
+	shared := []drybell.Option{
+		drybell.WithCodec(encodeDoc, decodeDoc),
+		drybell.WithFS(fs),
+		drybell.WithWorkDir("resume"),
+		drybell.WithShards(3),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 60, Seed: 5}),
+	}
+	docs := makeDocs(200)
+	runners := testRunners()
+
+	// Process 1 stages the corpus.
+	p1, err := drybell.New[doc](shared...)
+	if err != nil {
+		t.Fatalf("New p1: %v", err)
+	}
+	if _, err := p1.Stage(context.Background(), drybell.SliceSource(docs)); err != nil {
+		t.Fatalf("Stage: %v", err)
+	}
+
+	// Process 2 executes the labeling functions over the staged corpus.
+	p2, err := drybell.New[doc](shared...)
+	if err != nil {
+		t.Fatalf("New p2: %v", err)
+	}
+	matrix, _, err := p2.ExecuteLFs(context.Background(), runners)
+	if err != nil {
+		t.Fatalf("ExecuteLFs: %v", err)
+	}
+
+	// Process 3 reloads the votes from the DFS (no re-execution), denoises,
+	// and persists.
+	p3, err := drybell.New[doc](shared...)
+	if err != nil {
+		t.Fatalf("New p3: %v", err)
+	}
+	reloaded, err := p3.LoadMatrix(drybell.Names(runners))
+	if err != nil {
+		t.Fatalf("LoadMatrix: %v", err)
+	}
+	if reloaded.NumExamples() != matrix.NumExamples() || reloaded.NumFuncs() != matrix.NumFuncs() {
+		t.Fatalf("reloaded matrix %dx%d, want %dx%d",
+			reloaded.NumExamples(), reloaded.NumFuncs(), matrix.NumExamples(), matrix.NumFuncs())
+	}
+	for i := 0; i < matrix.NumExamples(); i++ {
+		for j := 0; j < matrix.NumFuncs(); j++ {
+			if reloaded.At(i, j) != matrix.At(i, j) {
+				t.Fatalf("reloaded[%d,%d] = %d, want %d", i, j, reloaded.At(i, j), matrix.At(i, j))
+			}
+		}
+	}
+	_, posteriors, err := p3.Denoise(context.Background(), reloaded)
+	if err != nil {
+		t.Fatalf("Denoise: %v", err)
+	}
+	if _, err := p3.Persist(context.Background(), posteriors); err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+
+	// The piecewise run matches a one-shot Run over the same inputs.
+	oneShot, err := drybell.New[doc](
+		drybell.WithCodec(encodeDoc, decodeDoc),
+		drybell.WithShards(3),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 60, Seed: 5}),
+	)
+	if err != nil {
+		t.Fatalf("New one-shot: %v", err)
+	}
+	res, err := oneShot.Run(context.Background(), drybell.SliceSource(docs), runners)
+	if err != nil {
+		t.Fatalf("one-shot Run: %v", err)
+	}
+	for i := range posteriors {
+		if posteriors[i] != res.Posteriors[i] {
+			t.Fatalf("posterior %d: piecewise %v != one-shot %v", i, posteriors[i], res.Posteriors[i])
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []drybell.Option
+	}{
+		{"missing codec", nil},
+		{"nil codec funcs", []drybell.Option{drybell.WithCodec[doc](nil, nil)}},
+		{"zero shards", []drybell.Option{drybell.WithCodec(encodeDoc, decodeDoc), drybell.WithShards(0)}},
+		{"negative parallelism", []drybell.Option{drybell.WithCodec(encodeDoc, decodeDoc), drybell.WithParallelism(-1)}},
+		{"empty workdir", []drybell.Option{drybell.WithCodec(encodeDoc, decodeDoc), drybell.WithWorkDir("")}},
+		{"nil fs", []drybell.Option{drybell.WithCodec(encodeDoc, decodeDoc), drybell.WithFS(nil)}},
+		{"empty trainer", []drybell.Option{drybell.WithCodec(encodeDoc, decodeDoc), drybell.WithTrainer("")}},
+	}
+	for _, tc := range cases {
+		if _, err := drybell.New[doc](tc.opts...); err == nil {
+			t.Errorf("New with %s succeeded, want error", tc.name)
+		}
+	}
+
+	// A codec built for one example type cannot configure a pipeline of
+	// another.
+	if _, err := drybell.New[int](drybell.WithCodec(encodeDoc, decodeDoc)); err == nil {
+		t.Error("New[int] with doc codec succeeded, want type-mismatch error")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := newPipeline(t)
+	if _, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(10)), nil); err == nil {
+		t.Fatal("Run with no runners succeeded, want error")
+	}
+	if _, err := p.Run(context.Background(), drybell.SliceSource([]doc{}), testRunners()); err == nil {
+		t.Fatal("Run with empty source succeeded, want error")
+	}
+}
+
+func ExampleNew() {
+	p, err := drybell.New[doc](
+		drybell.WithCodec(encodeDoc, decodeDoc),
+		drybell.WithShards(2),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 40, Seed: 1}),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(60)), testRunners())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(len(res.Posteriors))
+	// Output: 60
+}

@@ -1,0 +1,23 @@
+package drybell
+
+import "repro/internal/core"
+
+// StageName identifies one of the four pipeline stages.
+type StageName = core.StageName
+
+// The four stages of the paper's Figure 4 flow.
+const (
+	StageStage      = core.StageStage
+	StageExecuteLFs = core.StageExecuteLFs
+	StageDenoise    = core.StageDenoise
+	StagePersist    = core.StagePersist
+)
+
+// StageEvent is the structured observability record emitted to the
+// WithStageHook observer when a stage finishes, successfully or not. It
+// carries the same data Result.Timings and Result.LFReport aggregate, but
+// per stage and in real time.
+type StageEvent = core.StageEvent
+
+// StageHook observes stage completions. See WithStageHook.
+type StageHook = core.StageHook

@@ -1,0 +1,128 @@
+package drybell
+
+import (
+	"fmt"
+
+	"repro/internal/labelmodel"
+)
+
+// Codec converts examples to and from the byte records stored on the
+// distributed filesystem.
+type Codec[T any] struct {
+	Encode func(T) ([]byte, error)
+	Decode func([]byte) (T, error)
+}
+
+// Option configures a Pipeline under construction. Options are applied in
+// order by New; a later option overrides an earlier one for the same
+// setting.
+type Option struct {
+	f func(*settings)
+}
+
+// settings is the untyped option sink. The codec is held as any so that
+// non-generic options compose with the generic WithCodec in one option list;
+// New re-checks the example type.
+type settings struct {
+	fs          FS
+	workDir     string
+	shards      int
+	parallelism int
+	trainer     string
+	labelModel  labelmodel.Options
+	hook        StageHook
+	codec       any
+	err         error
+}
+
+func (s *settings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// WithCodec sets the required example codec. The type parameter is inferred
+// from the two functions and must match the Pipeline's example type.
+func WithCodec[T any](encode func(T) ([]byte, error), decode func([]byte) (T, error)) Option {
+	return Option{f: func(s *settings) {
+		if encode == nil || decode == nil {
+			s.fail(fmt.Errorf("drybell: WithCodec requires both encode and decode"))
+			return
+		}
+		s.codec = Codec[T]{Encode: encode, Decode: decode}
+	}}
+}
+
+// WithFS sets the distributed filesystem the pipeline stages data on.
+// Default: a fresh in-memory filesystem. Use NewDiskFS to persist state
+// across processes, or share one FS across Pipelines to resume stages.
+func WithFS(fs FS) Option {
+	return Option{f: func(s *settings) {
+		if fs == nil {
+			s.fail(fmt.Errorf("drybell: WithFS(nil)"))
+			return
+		}
+		s.fs = fs
+	}}
+}
+
+// WithWorkDir sets the directory prefix for all pipeline paths on the
+// filesystem. Default "drybell".
+func WithWorkDir(dir string) Option {
+	return Option{f: func(s *settings) {
+		if dir == "" {
+			s.fail(fmt.Errorf("drybell: WithWorkDir(\"\")"))
+			return
+		}
+		s.workDir = dir
+	}}
+}
+
+// WithShards sets the input shard count. Default 8.
+func WithShards(n int) Option {
+	return Option{f: func(s *settings) {
+		if n <= 0 {
+			s.fail(fmt.Errorf("drybell: WithShards(%d), want > 0", n))
+			return
+		}
+		s.shards = n
+	}}
+}
+
+// WithParallelism sets the simulated cluster width per MapReduce job.
+// Default 4.
+func WithParallelism(n int) Option {
+	return Option{f: func(s *settings) {
+		if n <= 0 {
+			s.fail(fmt.Errorf("drybell: WithParallelism(%d), want > 0", n))
+			return
+		}
+		s.parallelism = n
+	}}
+}
+
+// WithTrainer selects the label-model trainer by registry name: one of the
+// built-ins (TrainerSamplingFree, TrainerAnalytic, TrainerGibbs) or a name
+// previously passed to RegisterTrainer. Default TrainerSamplingFree. New
+// fails if the name is not registered.
+func WithTrainer(name string) Option {
+	return Option{f: func(s *settings) {
+		if name == "" {
+			s.fail(fmt.Errorf("drybell: WithTrainer(\"\")"))
+			return
+		}
+		s.trainer = name
+	}}
+}
+
+// WithLabelModel sets the label-model training options for Denoise.
+func WithLabelModel(opts LabelModelOptions) Option {
+	return Option{f: func(s *settings) { s.labelModel = opts }}
+}
+
+// WithStageHook installs an observer receiving one StageEvent per completed
+// (or failed) stage. The hook runs synchronously on the pipeline goroutine;
+// keep it fast, or hand events off to a channel.
+func WithStageHook(hook StageHook) Option {
+	return Option{f: func(s *settings) { s.hook = hook }}
+}

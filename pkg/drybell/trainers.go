@@ -1,0 +1,41 @@
+package drybell
+
+import "repro/internal/core"
+
+// TrainerFunc trains a generative label model on an assembled label matrix.
+// Implementations must be safe for concurrent use by independent pipelines.
+type TrainerFunc = core.TrainerFunc
+
+// Built-in trainer names, always registered.
+const (
+	// TrainerSamplingFree is the paper's contribution (§5.2): marginal
+	// likelihood on a static compute graph, no sampling. The default.
+	TrainerSamplingFree = string(core.TrainerSamplingFree)
+	// TrainerAnalytic is the same objective with hand-derived gradients.
+	TrainerAnalytic = string(core.TrainerAnalytic)
+	// TrainerGibbs is the open-source Snorkel baseline.
+	TrainerGibbs = string(core.TrainerGibbs)
+)
+
+// RegisterTrainer makes a label-model trainer selectable via WithTrainer.
+// Names are global to the process; registering a duplicate, empty name, or
+// nil function is an error. Register custom trainers before calling New.
+func RegisterTrainer(name string, fn TrainerFunc) error {
+	return core.RegisterTrainer(core.Trainer(name), fn)
+}
+
+// HasTrainer reports whether a trainer name is registered.
+func HasTrainer(name string) bool {
+	_, ok := core.LookupTrainer(core.Trainer(name))
+	return ok
+}
+
+// Trainers lists all registered trainer names, sorted.
+func Trainers() []string {
+	names := core.TrainerNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = string(n)
+	}
+	return out
+}
