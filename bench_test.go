@@ -7,7 +7,9 @@ package repro
 
 import (
 	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -17,7 +19,9 @@ import (
 	"repro/internal/labelmodel"
 	"repro/internal/lf"
 	"repro/internal/model"
+	"repro/internal/serving"
 	"repro/pkg/drybell"
+	"repro/pkg/drybell/serve"
 )
 
 // benchCfg keeps per-iteration cost manageable; the shapes match the
@@ -309,4 +313,106 @@ func benchName(prefix string, n int) string {
 		n /= 10
 	}
 	return prefix + "=" + string(buf[i:])
+}
+
+// --- Online serving benchmarks (pkg/drybell/serve): throughput and tail
+// latency of the two request paths under parallel load, the numbers the
+// §5.3 production story lives or dies on.
+
+func newServeBenchServer(b *testing.B, runners []apps.DocRunner, lm *labelmodel.Model) *serve.Server[*corpus.Document] {
+	b.Helper()
+	reg, err := serving.OpenFSRegistry(dfs.NewMem(), "serving")
+	if err != nil {
+		b.Fatal(err)
+	}
+	art := &serving.Artifact{
+		Name: "bench-classifier", Kind: "logreg", Threshold: 0.5,
+		FeatureDim: 1 << 14, Bigrams: true,
+		Signals: []string{"text", "url", "language"},
+		Payload: []byte(`{"indices":[1,100,1000,5000],"values":[0.5,-0.25,1.0,-0.75]}`),
+	}
+	if _, err := reg.Stage(art); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.Promote("bench-classifier", 1); err != nil {
+		b.Fatal(err)
+	}
+	s, err := serve.New(serve.Config[*corpus.Document]{
+		Registry:   reg,
+		Model:      "bench-classifier",
+		Featurize:  serve.DocumentFeaturizer,
+		Runners:    runners,
+		LabelModel: lm,
+		MaxBatch:   64,
+		BatchWait:  500 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func benchDocs(b *testing.B, n int) []*corpus.Document {
+	b.Helper()
+	docs, err := corpus.GenerateTopic(corpus.TopicSpec{NumDocs: n, PositiveRate: 0.05, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return docs
+}
+
+func BenchmarkServePredict(b *testing.B) {
+	docs := benchDocs(b, 512)
+	s := newServeBenchServer(b, nil, nil)
+	ctx := context.Background()
+	var rr atomic.Int64
+	// Many client goroutines per core: micro-batching only shows up under
+	// concurrent load, and CI machines may expose few cores.
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(rr.Add(1))
+			if _, err := s.Predict(ctx, docs[i%len(docs)]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	m := s.Metrics()
+	b.ReportMetric(m.Batches.MeanSize, "recs/batch")
+	b.ReportMetric(m.Predict.P99Ms, "p99-ms")
+}
+
+func BenchmarkServeLabel(b *testing.B) {
+	// A modest rotating working set keeps the NLP cache honest: hits
+	// dominate, but misses and evictions still occur.
+	docs := benchDocs(b, 256)
+	runners := apps.TopicLFs(nil, 0, 17)
+	lm := &labelmodel.Model{Alpha: make([]float64, len(runners)), Beta: make([]float64, len(runners))}
+	for i := range lm.Alpha {
+		lm.Alpha[i] = 1.5
+	}
+	s := newServeBenchServer(b, runners, lm)
+	ctx := context.Background()
+	var rr atomic.Int64
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(rr.Add(1))
+			if _, err := s.Label(ctx, docs[i%len(docs)]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	m := s.Metrics()
+	if m.NLPCache != nil {
+		b.ReportMetric(100*m.NLPCache.HitRate, "cache-hit-%")
+	}
+	b.ReportMetric(m.Label.P99Ms, "p99-ms")
 }

@@ -12,11 +12,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 
 	"repro/internal/apps"
 	"repro/internal/corpus"
@@ -43,18 +46,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the pipeline context: the run aborts between
+	// records instead of dying mid-write, leaving the DFS state clean.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch *task {
 	case "topic", "product":
-		err = runContent(*task, *docs, *trainer, *seed, *steps)
+		err = runContent(ctx, *task, *docs, *trainer, *seed, *steps)
 	case "events":
-		err = runEvents(*docs, *trainer, *seed, *steps)
+		err = runEvents(ctx, *docs, *trainer, *seed, *steps)
 	default:
 		err = fmt.Errorf("unknown task %q", *task)
 	}
 	if err != nil {
+		code := 1
+		if errors.Is(err, context.Canceled) {
+			code = 130 // conventional interrupted-by-signal exit
+		}
 		fmt.Fprintf(os.Stderr, "drybell: %v\n", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
 }
 
@@ -71,7 +83,7 @@ func contentPipeline(trainer string, seed int64, steps int) (*drybell.Pipeline[*
 	)
 }
 
-func runContent(task string, n int, trainer string, seed int64, steps int) error {
+func runContent(ctx context.Context, task string, n int, trainer string, seed int64, steps int) error {
 	var docs []*corpus.Document
 	var runners []apps.DocRunner
 	var bigrams bool
@@ -102,7 +114,7 @@ func runContent(task string, n int, trainer string, seed int64, steps int) error
 	if err != nil {
 		return err
 	}
-	res, err := p.Run(context.Background(), drybell.SliceSource(train), runners)
+	res, err := p.Run(ctx, drybell.SliceSource(train), runners)
 	if err != nil {
 		return err
 	}
@@ -123,7 +135,7 @@ func runContent(task string, n int, trainer string, seed int64, steps int) error
 	return nil
 }
 
-func runEvents(n int, trainer string, seed int64, steps int) error {
+func runEvents(ctx context.Context, n int, trainer string, seed int64, steps int) error {
 	events, err := corpus.GenerateEvents(corpus.DefaultEventsSpec(n, seed))
 	if err != nil {
 		return err
@@ -144,7 +156,7 @@ func runEvents(n int, trainer string, seed int64, steps int) error {
 	if err != nil {
 		return err
 	}
-	res, err := p.Run(context.Background(), drybell.SliceSource(events), runners)
+	res, err := p.Run(ctx, drybell.SliceSource(events), runners)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,280 @@
+// Command drybelld is the online serving daemon: it answers /v1/predict
+// with the currently-promoted artifact from the FS-persisted serving
+// registry (micro-batched, hot-swappable) and /v1/label by running the
+// task's labeling functions online against a single record — the production
+// end state of the paper's §5.3 pipeline.
+//
+// State lives on the distributed filesystem under -root, so the daemon
+// recovers its promoted model across restarts, and a training run in
+// another process can stage new versions into the same registry for a live
+// promotion via POST /v1/promote (or /v1/reload).
+//
+// Usage:
+//
+//	drybelld -root /tmp/drybell-serve                 # bootstrap if empty, then serve
+//	drybelld -root /tmp/drybell-serve -mode train -seed 2   # stage a new version and exit
+//	curl -s localhost:8080/v1/predict -d @doc.json
+//	curl -s -X POST localhost:8080/v1/promote -d '{"version":2}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/corpus"
+	"repro/internal/kgraph"
+	"repro/internal/labelmodel"
+	"repro/internal/serving"
+	"repro/pkg/drybell"
+	"repro/pkg/drybell/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		root      = flag.String("root", "", "disk-backed DFS root; empty serves from memory (state dies with the process)")
+		task      = flag.String("task", "topic", "case study: topic or product")
+		model     = flag.String("model", "", "model line to serve (default <task>-classifier)")
+		mode      = flag.String("mode", "serve", "serve: run the daemon; train: stage a new version and exit")
+		docs      = flag.Int("docs", 4000, "bootstrap corpus size")
+		seed      = flag.Int64("seed", 1, "random seed for bootstrap training")
+		steps     = flag.Int("steps", 300, "label model gradient steps during bootstrap")
+		batch     = flag.Int("batch", 32, "max records per scoring micro-batch")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max wait to fill a micro-batch")
+		workers   = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache", 1024, "LRU capacity for online NLP/kgraph calls")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+	)
+	flag.Parse()
+	if *model == "" {
+		*model = *task + "-classifier"
+	}
+	if err := run(*addr, *root, *task, *model, *mode, *docs, *seed, *steps,
+		*batch, *batchWait, *workers, *cacheSize, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, root, task, model, mode string, docs int, seed int64, steps,
+	batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration) error {
+	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, and
+	// the serving loop drains before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var fsys drybell.FS
+	if root == "" {
+		fsys = drybell.NewMemFS()
+	} else {
+		var err error
+		if fsys, err = drybell.NewDiskFS(root); err != nil {
+			return err
+		}
+	}
+	reg, err := serving.OpenFSRegistry(fsys, "serving")
+	if err != nil {
+		return err
+	}
+	runners, bigrams, err := taskRunners(task, cacheSize, seed)
+	if err != nil {
+		return err
+	}
+
+	switch mode {
+	case "train":
+		version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, false)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("staged %s v%d; promote it on a running daemon with:\n", model, version)
+		fmt.Printf("  curl -s -X POST localhost%s/v1/promote -d '{\"version\":%d}'\n", portOf(addr), version)
+		return nil
+	case "serve":
+		if _, err := reg.Live(model); err != nil {
+			fmt.Printf("registry has no live %s; bootstrapping from %d synthetic documents...\n", model, docs)
+			version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, true)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("bootstrapped and promoted %s v%d\n", model, version)
+		}
+		return serveHTTP(ctx, addr, fsys, reg, model, runners, batch, batchWait, workers, cacheSize, drain)
+	default:
+		return fmt.Errorf("unknown mode %q (serve or train)", mode)
+	}
+}
+
+// taskRunners builds the task's labeling functions. The topic set queries
+// the knowledge graph through an LRU cache, standing in for the remote KG
+// service on the online path.
+func taskRunners(task string, cacheSize int, seed int64) ([]apps.DocRunner, bool, error) {
+	switch task {
+	case "topic":
+		kg, err := kgraph.NewCache(kgraph.Builtin(), cacheSize)
+		if err != nil {
+			return nil, false, err
+		}
+		return apps.TopicLFs(kg, 0.02, seed), true, nil
+	case "product":
+		return apps.ProductLFs(nil, seed), false, nil
+	default:
+		return nil, false, fmt.Errorf("unknown task %q (topic or product; the events DNN is not servable in-process)", task)
+	}
+}
+
+func labelModelPath(model string) string { return "serving/labelmodel/" + model + ".json" }
+
+// train runs the batch weak-supervision pipeline over a synthetic corpus on
+// the daemon's own filesystem, trains the servable classifier on the
+// probabilistic labels, stages it into the registry (promoting when asked),
+// and persists the label model so the online /v1/label path can denoise
+// votes without retraining.
+func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, model string,
+	runners []apps.DocRunner, bigrams bool, n int, seed int64, steps int, promote bool) (int, error) {
+	var all []*corpus.Document
+	var err error
+	switch task {
+	case "topic":
+		all, err = corpus.GenerateTopic(corpus.TopicSpec{NumDocs: n, PositiveRate: 0.05, Seed: seed})
+	case "product":
+		all, err = corpus.GenerateProduct(corpus.DefaultProductSpec(n, seed))
+	}
+	if err != nil {
+		return 0, err
+	}
+	split, err := corpus.MakeSplit(len(all), n/12, n/5, seed+1)
+	if err != nil {
+		return 0, err
+	}
+	trainDocs := corpus.Select(all, split.Train)
+	dev := corpus.Select(all, split.Dev)
+
+	p, err := drybell.New[*corpus.Document](
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithFS(fsys),
+		drybell.WithWorkDir("bootstrap/"+model),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2}),
+	)
+	if err != nil {
+		return 0, err
+	}
+	res, err := p.Run(ctx, drybell.SliceSource(trainDocs), runners)
+	if err != nil {
+		return 0, err
+	}
+	clf, err := drybell.TrainContentClassifier(trainDocs, res.Posteriors, dev, drybell.ContentTrainConfig{
+		FeatureDim: 1 << 16, Bigrams: bigrams, Iterations: 10 * len(trainDocs), Seed: seed + 3,
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	art, err := clf.Export(model)
+	if err != nil {
+		return 0, err
+	}
+	if err := serving.ValidateServable(art); err != nil {
+		return 0, err
+	}
+	probes := clf.Hasher.DocumentVectors(dev[:min(len(dev), 50)], clf.Bigrams)
+	if err := serving.ValidateLatency(art, probes, 100*time.Millisecond); err != nil {
+		return 0, err
+	}
+	staged, err := reg.Stage(art)
+	if err != nil {
+		return 0, err
+	}
+	if promote {
+		if err := reg.Promote(model, staged.Version); err != nil {
+			return 0, err
+		}
+	}
+	encoded, err := labelmodel.EncodeModel(res.Model)
+	if err != nil {
+		return 0, err
+	}
+	if err := fsys.WriteFile(labelModelPath(model), encoded); err != nil {
+		return 0, err
+	}
+	return staged.Version, nil
+}
+
+func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Catalog, model string,
+	runners []apps.DocRunner, batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration) error {
+	var lm *labelmodel.Model
+	if data, err := fsys.ReadFile(labelModelPath(model)); err == nil {
+		if lm, err = labelmodel.DecodeModel(data); err != nil {
+			return err
+		}
+		if lm.NumFuncs() != len(runners) {
+			fmt.Printf("persisted label model covers %d LFs, task has %d; /v1/label serves votes only\n",
+				lm.NumFuncs(), len(runners))
+			lm = nil
+		}
+	} else {
+		fmt.Println("no persisted label model; /v1/label serves votes only")
+	}
+
+	s, err := serve.New(serve.Config[*corpus.Document]{
+		Registry:   reg,
+		Model:      model,
+		Decode:     corpus.UnmarshalDocument,
+		Featurize:  serve.DocumentFeaturizer,
+		Runners:    runners,
+		LabelModel: lm,
+		MaxBatch:   batch,
+		BatchWait:  batchWait,
+		Workers:    workers,
+		CacheSize:  cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving %s v%d on %s (predict, label, metrics, promote under /v1)\n",
+		model, s.Version(), addr)
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting connections, let in-flight HTTP
+	// requests finish, then drain the batcher.
+	fmt.Println("signal received; draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	err = httpSrv.Shutdown(shutdownCtx)
+	s.Close()
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("drained; bye")
+	return nil
+}
+
+// portOf extracts the ":port" suffix for printed curl hints.
+func portOf(addr string) string {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[i:]
+		}
+	}
+	return addr
+}

@@ -19,9 +19,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/apps"
 	"repro/internal/corpus"
@@ -39,13 +42,24 @@ func main() {
 		list   = flag.Bool("list", false, "list the task's labeling functions and exit")
 	)
 	flag.Parse()
-	if err := run(*root, *task, *name, *input, *shards, *par, *list); err != nil {
+
+	// SIGINT/SIGTERM cancel the context so staging and LF execution abort
+	// between records; the DFS commit discipline means no partial shard
+	// becomes visible.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := run(ctx, *root, *task, *name, *input, *shards, *par, *list); err != nil {
+		code := 1
+		if errors.Is(err, context.Canceled) {
+			code = 130 // conventional interrupted-by-signal exit
+		}
 		fmt.Fprintf(os.Stderr, "lfrun: %v\n", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
 }
 
-func run(root, task, name, input string, shards, par int, list bool) error {
+func run(ctx context.Context, root, task, name, input string, shards, par int, list bool) error {
 	var runners []apps.DocRunner
 	switch task {
 	case "topic":
@@ -93,7 +107,6 @@ func run(root, task, name, input string, shards, par int, list bool) error {
 		return err
 	}
 
-	ctx := context.Background()
 	if input != "" {
 		records, err := readJSONL(input)
 		if err != nil {

@@ -23,8 +23,10 @@ type DocRunner = lf.Runner[*corpus.Document]
 // case study (§3.1): URL-based heuristics, keyword rules, NER-tagger-based
 // functions (including the paper's "no person → not celebrity" example),
 // topic-model-based negative heuristics, a knowledge-graph occupation
-// lookup, and a crawler aggregate-statistics heuristic.
-func TopicLFs(graph *kgraph.Graph, nerMissRate float64, seed int64) []DocRunner {
+// lookup, and a crawler aggregate-statistics heuristic. The graph is any
+// kgraph.Client — the graph itself offline, or a kgraph.Cache in front of
+// it on the online serving path; nil uses the builtin graph directly.
+func TopicLFs(graph kgraph.Client, nerMissRate float64, seed int64) []DocRunner {
 	if graph == nil {
 		graph = kgraph.Builtin()
 	}

@@ -89,14 +89,34 @@ func (c *ContentClassifier) Evaluate(docs []*corpus.Document) (model.Metrics, er
 	return model.Evaluate(c.Scores(docs), corpus.GoldLabels(docs), c.Threshold)
 }
 
-// StageForServing exports the classifier, validates its latency against the
-// budget on probe documents, stages it in the registry, and promotes it.
-func (c *ContentClassifier) StageForServing(
-	reg *serving.Registry, name string,
-	probes []*corpus.Document, budget time.Duration,
-) (*serving.Artifact, error) {
+// Export converts the classifier into a serving artifact carrying the full
+// featurizer config (dimension, bigrams) and the servable signal families it
+// reads, so an online server can rebuild the exact request-time featurizer
+// from the artifact alone.
+func (c *ContentClassifier) Export(name string) (*serving.Artifact, error) {
 	art, err := serving.ExportLogReg(name, c.Model, c.Threshold)
 	if err != nil {
+		return nil, err
+	}
+	art.Bigrams = c.Bigrams
+	// DocumentFeatures reads exactly these request-time fields.
+	art.Signals = []string{"text", "url", "language"}
+	return art, nil
+}
+
+// StageForServing exports the classifier, validates servability and latency
+// against the budget on probe documents, stages it in the registry, and
+// promotes it. Any Catalog works: the in-memory Registry for tests, or an
+// FSRegistry whose state a serving daemon recovers after restart.
+func (c *ContentClassifier) StageForServing(
+	reg serving.Catalog, name string,
+	probes []*corpus.Document, budget time.Duration,
+) (*serving.Artifact, error) {
+	art, err := c.Export(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := serving.ValidateServable(art); err != nil {
 		return nil, err
 	}
 	probeVecs := c.Hasher.DocumentVectors(probes, c.Bigrams)

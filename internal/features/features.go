@@ -35,6 +35,22 @@ func (v *SparseVector) Dot(w []float64) float64 {
 // NNZ returns the number of stored entries.
 func (v *SparseVector) NNZ() int { return len(v.Indices) }
 
+// DotBatch computes the inner product of every vector with one dense weight
+// vector in a single pass — the batch scoring primitive the online serving
+// path uses to score a micro-batch as one operation instead of per-request
+// calls.
+func DotBatch(xs []*SparseVector, w []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		s := 0.0
+		for k, idx := range x.Indices {
+			s += w[idx] * x.Values[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
 // L2 returns the Euclidean norm.
 func (v *SparseVector) L2() float64 {
 	s := 0.0

@@ -103,6 +103,8 @@ func PseudoTranslate(kw, lang string) string {
 }
 
 // IsCelebrity reports whether the graph knows the person as a celebrity.
-func IsCelebrity(g *Graph, personName string) bool {
+// It accepts any Client so the online serving path can answer through a
+// cache instead of the graph itself.
+func IsCelebrity(g Client, personName string) bool {
 	return g.Occupation(personName) == "celebrity"
 }

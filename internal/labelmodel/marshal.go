@@ -1,0 +1,32 @@
+package labelmodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EncodeModel serializes a trained generative model for persistence on the
+// distributed filesystem, so the online labeling path can score per-LF votes
+// with the same parameters a batch run learned — without retraining at
+// daemon startup.
+func EncodeModel(m *Model) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("labelmodel: EncodeModel(nil)")
+	}
+	if len(m.Alpha) != len(m.Beta) {
+		return nil, fmt.Errorf("labelmodel: model has %d alphas, %d betas", len(m.Alpha), len(m.Beta))
+	}
+	return json.Marshal(m)
+}
+
+// DecodeModel restores a model written by EncodeModel, validating shape.
+func DecodeModel(data []byte) (*Model, error) {
+	var m Model
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("labelmodel: decode model: %w", err)
+	}
+	if len(m.Alpha) == 0 || len(m.Alpha) != len(m.Beta) {
+		return nil, fmt.Errorf("labelmodel: decoded model has %d alphas, %d betas", len(m.Alpha), len(m.Beta))
+	}
+	return &m, nil
+}

@@ -1,0 +1,40 @@
+package labelmodel
+
+import "testing"
+
+func TestModelRoundTrip(t *testing.T) {
+	m := &Model{Alpha: []float64{1.5, -0.25, 0}, Beta: []float64{0.5, 1, 2}, LogPriorOdds: -0.3}
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LogPriorOdds != m.LogPriorOdds || len(got.Alpha) != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	votes := []Label{Positive, Negative, Abstain}
+	if a, b := m.PosteriorRow(votes), got.PosteriorRow(votes); a != b {
+		t.Errorf("posterior %v != %v after round trip", b, a)
+	}
+}
+
+func TestModelMarshalRejectsBadShapes(t *testing.T) {
+	if _, err := EncodeModel(nil); err == nil {
+		t.Error("nil model encoded")
+	}
+	if _, err := EncodeModel(&Model{Alpha: []float64{1}, Beta: nil}); err == nil {
+		t.Error("ragged model encoded")
+	}
+	if _, err := DecodeModel([]byte("{bad")); err == nil {
+		t.Error("corrupt bytes decoded")
+	}
+	if _, err := DecodeModel([]byte(`{"Alpha":[1],"Beta":[]}`)); err == nil {
+		t.Error("ragged model decoded")
+	}
+	if _, err := DecodeModel([]byte(`{"Alpha":[],"Beta":[]}`)); err == nil {
+		t.Error("empty model decoded")
+	}
+}

@@ -143,11 +143,15 @@ func (m *LogReg) Train(xs []*features.SparseVector, ys []float64, cfg TrainConfi
 	return nil
 }
 
-// PredictAll scores a batch.
+// PredictAll scores a batch. Unlike per-example Predict, it materializes the
+// FTRL weights once and scores every vector against the dense weight vector,
+// so batch inference does not redo the per-coordinate weight closed form for
+// every lookup.
 func (m *LogReg) PredictAll(xs []*features.SparseVector) []float64 {
-	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Predict(x)
+	m.materialize()
+	out := features.DotBatch(xs, m.weights)
+	for i, s := range out {
+		out[i] = sigmoid(s)
 	}
 	return out
 }
@@ -164,14 +168,19 @@ func (m *LogReg) NonZeroWeights() int {
 	return count
 }
 
-// Weights materializes the dense weight vector (for export/serving).
-func (m *LogReg) Weights() []float64 {
+// materialize refreshes the dense weight vector from the FTRL state.
+func (m *LogReg) materialize() {
 	if m.dirty {
 		for i := uint32(0); i < m.dim; i++ {
 			m.weights[i] = m.weight(i)
 		}
 		m.dirty = false
 	}
+}
+
+// Weights materializes the dense weight vector (for export/serving).
+func (m *LogReg) Weights() []float64 {
+	m.materialize()
 	out := make([]float64, m.dim)
 	copy(out, m.weights)
 	return out

@@ -1,0 +1,107 @@
+package nlp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func launchedServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer(0, 1)
+	if err := s.Launch(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCacheAvoidsRepeatAnnotation(t *testing.T) {
+	srv := launchedServer(t)
+	c, err := NewCache(srv, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Annotate("Ava Stone walks the redcarpet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Annotate("Ava Stone walks the redcarpet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Calls() != 1 {
+		t.Errorf("server calls = %d, want 1 (second hit cached)", srv.Calls())
+	}
+	if first != second {
+		t.Error("cache returned a different result object on hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheEvictsOldTexts(t *testing.T) {
+	srv := launchedServer(t)
+	c, _ := NewCache(srv, 2)
+	for _, text := range []string{"one", "two", "three", "one"} {
+		if _, err := c.Annotate(text); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "one" was evicted by "three", so it re-annotated: 4 model calls.
+	if srv.Calls() != 4 {
+		t.Errorf("server calls = %d, want 4 after eviction", srv.Calls())
+	}
+}
+
+type failingAnnotator struct{ calls int }
+
+func (f *failingAnnotator) Annotate(string) (*Result, error) {
+	f.calls++
+	return nil, errors.New("boom")
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	inner := &failingAnnotator{}
+	c, _ := NewCache(inner, 8)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Annotate("x"); err == nil {
+			t.Fatal("error swallowed")
+		}
+	}
+	if inner.calls != 3 {
+		t.Errorf("inner calls = %d, want 3 (errors not cached)", inner.calls)
+	}
+}
+
+func TestCacheRejectsBadArgs(t *testing.T) {
+	if _, err := NewCache(nil, 8); err == nil {
+		t.Error("nil annotator accepted")
+	}
+	if _, err := NewCache(NewServer(0, 1), 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	srv := launchedServer(t)
+	c, _ := NewCache(srv, 16)
+	var wg sync.WaitGroup
+	texts := []string{"alpha beat", "beta court", "gamma field", "delta stage"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := c.Annotate(texts[i%len(texts)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Hits() == 0 {
+		t.Error("no cache hits under repeated traffic")
+	}
+}

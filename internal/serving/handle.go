@@ -1,0 +1,49 @@
+package serving
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Handle is the lock-free hot-swap point between the promotion workflow and
+// the request path. Request handlers load the current *Server with a single
+// atomic pointer read and keep scoring against that snapshot; Promote swaps
+// in the next version without blocking them, so in-flight requests finish on
+// the version they started with and later requests see the new one. No
+// request ever observes a half-swapped state.
+type Handle struct {
+	p     atomic.Pointer[Server]
+	swaps atomic.Int64
+}
+
+// NewHandle returns a handle serving srv.
+func NewHandle(srv *Server) (*Handle, error) {
+	if srv == nil {
+		return nil, fmt.Errorf("serving: NewHandle(nil)")
+	}
+	h := &Handle{}
+	h.p.Store(srv)
+	return h, nil
+}
+
+// Current returns the server snapshot to score this request against. The
+// caller must use the returned server for the whole request (or batch) so
+// featurization and scoring agree on one model version.
+func (h *Handle) Current() *Server { return h.p.Load() }
+
+// Swap atomically replaces the served model and returns the previous one.
+// Swapping nil is a programming error and panics rather than taking the
+// request path down to a nil server.
+func (h *Handle) Swap(srv *Server) *Server {
+	if srv == nil {
+		panic("serving: Handle.Swap(nil)")
+	}
+	h.swaps.Add(1)
+	return h.p.Swap(srv)
+}
+
+// Version returns the live artifact version.
+func (h *Handle) Version() int { return h.Current().Artifact().Version }
+
+// Swaps returns how many promotions this handle has absorbed.
+func (h *Handle) Swaps() int64 { return h.swaps.Load() }

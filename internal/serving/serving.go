@@ -29,8 +29,54 @@ type Artifact struct {
 	Threshold float64 `json:"threshold"`
 	// FeatureDim is the expected input dimension.
 	FeatureDim uint32 `json:"feature_dim"`
+	// Bigrams records whether the feature extractor included bigrams, so an
+	// online server can rebuild the exact featurizer from the artifact alone.
+	Bigrams bool `json:"bigrams,omitempty"`
+	// Signals names the feature signal families the model reads (e.g.
+	// "text", "url"). Validation rejects artifacts whose signals are not
+	// available at serving time — the cross-feature invariant of §4.
+	Signals []string `json:"signals,omitempty"`
 	// Payload is the kind-specific model encoding.
 	Payload json.RawMessage `json:"payload"`
+}
+
+// servableSignals are the signal families available on the serving path
+// (§4: text, URL, language, and real-time event vectors arrive with the
+// request). Everything else — crawler aggregates, NER output, topic-model
+// scores, knowledge-graph lookups — exists only on the labeling side.
+var servableSignals = map[string]bool{
+	"text":     true,
+	"url":      true,
+	"language": true,
+	"event":    true,
+}
+
+// ServableSignals lists the signal families ValidateServable accepts,
+// sorted.
+func ServableSignals() []string {
+	out := make([]string, 0, len(servableSignals))
+	for s := range servableSignals {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateServable rejects artifacts that declare no feature signals or
+// declare a signal family unavailable at serving time. It is the staging
+// gate that keeps a model trained on labeling-side features (crawler stats,
+// NER, the knowledge graph) out of the serving stack.
+func ValidateServable(a *Artifact) error {
+	if len(a.Signals) == 0 {
+		return fmt.Errorf("serving: %s declares no feature signals; cannot verify servability", a.Name)
+	}
+	for _, s := range a.Signals {
+		if !servableSignals[s] {
+			return fmt.Errorf("serving: %s reads non-servable feature signal %q (servable: %v)",
+				a.Name, s, ServableSignals())
+		}
+	}
+	return nil
 }
 
 // logRegPayload is the sparse export of a trained logistic regression.
@@ -98,6 +144,16 @@ func (s *Server) Classify(x *features.SparseVector) bool {
 	return s.Score(x) >= s.art.Threshold
 }
 
+// ScoreBatch scores a micro-batch as one operation over the dense weight
+// vector — the batched-inference entry point of the online serving path.
+func (s *Server) ScoreBatch(xs []*features.SparseVector) []float64 {
+	out := features.DotBatch(xs, s.weights)
+	for i, v := range out {
+		out[i] = sigmoid(v)
+	}
+	return out
+}
+
 // Artifact returns the served artifact.
 func (s *Server) Artifact() *Artifact { return s.art }
 
@@ -109,14 +165,35 @@ func sigmoid(x float64) float64 {
 	return e / (1 + e)
 }
 
-// Registry is the versioned model store with a promotion workflow:
+// Catalog is the promotion-workflow surface of a versioned model store:
 // Stage → Validate → Promote; Rollback restores the previous live version.
-// Safe for concurrent use.
+// Registry is the in-memory implementation; FSRegistry persists every
+// transition to a dfs.FS so a serving daemon restart recovers the promoted
+// version from filesystem state.
+type Catalog interface {
+	// Stage registers a new version of the artifact and returns it with the
+	// version assigned. Staged versions are not served until promoted.
+	Stage(a *Artifact) (*Artifact, error)
+	// Promote makes the given staged version live.
+	Promote(name string, version int) error
+	// Rollback reverts to the previous version (live−1).
+	Rollback(name string) error
+	// Live returns the currently served artifact for the model line.
+	Live(name string) (*Artifact, error)
+	// Versions lists all staged versions of a model line, ascending.
+	Versions(name string) []int
+	// Names lists all model lines, sorted.
+	Names() []string
+}
+
+// Registry is the in-memory Catalog. Safe for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
 	versions map[string][]*Artifact // per name, ascending version
 	live     map[string]int         // live version per name
 }
+
+var _ Catalog = (*Registry)(nil)
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {

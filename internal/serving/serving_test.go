@@ -122,6 +122,65 @@ func TestRegistryRejectsAnonymous(t *testing.T) {
 	}
 }
 
+func TestValidateServable(t *testing.T) {
+	ok := &Artifact{Name: "m", Signals: []string{"text", "url", "language"}}
+	if err := ValidateServable(ok); err != nil {
+		t.Errorf("servable signals rejected: %v", err)
+	}
+	event := &Artifact{Name: "m", Signals: []string{"event"}}
+	if err := ValidateServable(event); err != nil {
+		t.Errorf("event signals rejected: %v", err)
+	}
+	for _, bad := range []string{"crawler", "ner", "topicmodel", "kgraph"} {
+		a := &Artifact{Name: "m", Signals: []string{"text", bad}}
+		if err := ValidateServable(a); err == nil {
+			t.Errorf("non-servable signal %q accepted", bad)
+		}
+	}
+	if err := ValidateServable(&Artifact{Name: "m"}); err == nil {
+		t.Error("artifact with no declared signals accepted")
+	}
+}
+
+func TestServableSignalsSorted(t *testing.T) {
+	got := ServableSignals()
+	if len(got) != 4 {
+		t.Fatalf("servable signals = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Errorf("unsorted: %v", got)
+		}
+	}
+}
+
+func TestScoreBatchMatchesScore(t *testing.T) {
+	m := trainedLogReg(t)
+	art, err := ExportLogReg("clf", m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []*features.SparseVector{
+		{Indices: []uint32{1}, Values: []float64{1}},
+		{Indices: []uint32{2}, Values: []float64{1}},
+		{Indices: []uint32{1, 2}, Values: []float64{0.5, 0.5}},
+		{},
+	}
+	batch := srv.ScoreBatch(xs)
+	if len(batch) != len(xs) {
+		t.Fatalf("batch scored %d of %d", len(batch), len(xs))
+	}
+	for i, x := range xs {
+		if want := srv.Score(x); absf(batch[i]-want) > 1e-15 {
+			t.Errorf("batch[%d] = %v, Score = %v", i, batch[i], want)
+		}
+	}
+}
+
 func TestValidateLatency(t *testing.T) {
 	m := trainedLogReg(t)
 	art, _ := ExportLogReg("clf", m, 0.5)

@@ -1,0 +1,196 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/dfs"
+)
+
+// FSRegistry is the Catalog backed by the distributed filesystem, so the
+// registry outlives any one process: artifacts staged by a training run are
+// visible to a serving daemon on the same FS, and a daemon restart recovers
+// the promoted version from filesystem state alone.
+//
+// Layout under the prefix:
+//
+//	<prefix>/models/<name>/v000042.json   one staged artifact version
+//	<prefix>/models/<name>/live           decimal live version marker
+//
+// Every read goes to the FS, so registries in different processes sharing
+// one FS observe each other's stages and promotions. The mutex serializes
+// only this process's stage operations (list-then-write); cross-process
+// writers racing Stage can collide on a version number, which mirrors real
+// registries requiring one staging pipeline per model line.
+type FSRegistry struct {
+	fs     dfs.FS
+	prefix string
+	mu     sync.Mutex
+}
+
+var _ Catalog = (*FSRegistry)(nil)
+
+// OpenFSRegistry returns a registry persisting under prefix on fs. The
+// prefix need not exist yet; an empty prefix uses "serving".
+func OpenFSRegistry(fs dfs.FS, prefix string) (*FSRegistry, error) {
+	if fs == nil {
+		return nil, fmt.Errorf("serving: OpenFSRegistry(nil fs)")
+	}
+	if prefix == "" {
+		prefix = "serving"
+	}
+	return &FSRegistry{fs: fs, prefix: prefix}, nil
+}
+
+func (r *FSRegistry) modelDir(name string) string {
+	return r.prefix + "/models/" + name
+}
+
+func (r *FSRegistry) versionPath(name string, version int) string {
+	return fmt.Sprintf("%s/v%06d.json", r.modelDir(name), version)
+}
+
+func (r *FSRegistry) livePath(name string) string {
+	return r.modelDir(name) + "/live"
+}
+
+// Stage implements Catalog.
+func (r *FSRegistry) Stage(a *Artifact) (*Artifact, error) {
+	if a.Name == "" {
+		return nil, fmt.Errorf("serving: artifact has no name")
+	}
+	if strings.ContainsAny(a.Name, "/ ") {
+		return nil, fmt.Errorf("serving: artifact name %q is not a valid registry path segment", a.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	versions := r.versions(a.Name)
+	next := 1
+	if len(versions) > 0 {
+		next = versions[len(versions)-1] + 1
+	}
+	cp := *a
+	cp.Version = next
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("serving: encode %s v%d: %w", a.Name, next, err)
+	}
+	if err := r.fs.WriteFile(r.versionPath(a.Name, next), data); err != nil {
+		return nil, fmt.Errorf("serving: stage %s v%d: %w", a.Name, next, err)
+	}
+	return &cp, nil
+}
+
+// Promote implements Catalog. Only a staged version can go live.
+func (r *FSRegistry) Promote(name string, version int) error {
+	if _, err := r.artifact(name, version); err != nil {
+		return fmt.Errorf("serving: %s has no staged version %d", name, version)
+	}
+	return r.setLive(name, version)
+}
+
+func (r *FSRegistry) setLive(name string, version int) error {
+	if err := r.fs.WriteFile(r.livePath(name), []byte(strconv.Itoa(version))); err != nil {
+		return fmt.Errorf("serving: mark %s v%d live: %w", name, version, err)
+	}
+	return nil
+}
+
+// Rollback implements Catalog.
+func (r *FSRegistry) Rollback(name string) error {
+	cur, err := r.liveVersion(name)
+	if err != nil || cur <= 1 {
+		return fmt.Errorf("serving: %s has no version to roll back to", name)
+	}
+	if _, err := r.artifact(name, cur-1); err != nil {
+		return fmt.Errorf("serving: rollback target %s v%d is not staged", name, cur-1)
+	}
+	return r.setLive(name, cur-1)
+}
+
+// Live implements Catalog.
+func (r *FSRegistry) Live(name string) (*Artifact, error) {
+	v, err := r.liveVersion(name)
+	if err != nil {
+		return nil, fmt.Errorf("serving: %s has no live version", name)
+	}
+	return r.artifact(name, v)
+}
+
+func (r *FSRegistry) liveVersion(name string) (int, error) {
+	data, err := r.fs.ReadFile(r.livePath(name))
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("serving: corrupt live marker for %s: %q", name, data)
+	}
+	return v, nil
+}
+
+func (r *FSRegistry) artifact(name string, version int) (*Artifact, error) {
+	data, err := r.fs.ReadFile(r.versionPath(name, version))
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("serving: decode %s v%d: %w", name, version, err)
+	}
+	return &a, nil
+}
+
+// versions lists staged version numbers, ascending.
+func (r *FSRegistry) versions(name string) []int {
+	paths, err := r.fs.List(r.modelDir(name) + "/v")
+	if err != nil {
+		return nil
+	}
+	var out []int
+	for _, p := range paths {
+		base := p[strings.LastIndexByte(p, '/')+1:]
+		if !strings.HasPrefix(base, "v") || !strings.HasSuffix(base, ".json") {
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimPrefix(strings.TrimSuffix(base, ".json"), "v"))
+		if err != nil || v < 1 {
+			continue
+		}
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Versions implements Catalog.
+func (r *FSRegistry) Versions(name string) []int { return r.versions(name) }
+
+// Names implements Catalog.
+func (r *FSRegistry) Names() []string {
+	prefix := r.prefix + "/models/"
+	paths, err := r.fs.List(prefix)
+	if err != nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range paths {
+		rest := strings.TrimPrefix(p, prefix)
+		i := strings.IndexByte(rest, '/')
+		if i <= 0 {
+			continue
+		}
+		name := rest[:i]
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package serving
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/internal/features"
+)
+
+func artifactFixture(name string) *Artifact {
+	return &Artifact{
+		Name: name, Kind: "logreg", Threshold: 0.5, FeatureDim: 8,
+		Signals: []string{"text", "url"},
+		Payload: []byte(`{"indices":[1],"values":[2.5]}`),
+	}
+}
+
+func TestFSRegistryLifecycle(t *testing.T) {
+	fs := dfs.NewMem()
+	reg, err := OpenFSRegistry(fs, "serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := reg.Stage(artifactFixture("m"))
+	if err != nil || v1.Version != 1 {
+		t.Fatalf("stage v1: %v, %v", v1, err)
+	}
+	v2, _ := reg.Stage(artifactFixture("m"))
+	if v2.Version != 2 {
+		t.Fatalf("stage v2 got version %d", v2.Version)
+	}
+	if _, err := reg.Live("m"); err == nil {
+		t.Error("live before promote")
+	}
+	if err := reg.Promote("m", 2); err != nil {
+		t.Fatal(err)
+	}
+	live, err := reg.Live("m")
+	if err != nil || live.Version != 2 || live.Threshold != 0.5 {
+		t.Fatalf("live = %+v, %v", live, err)
+	}
+	if err := reg.Rollback("m"); err != nil {
+		t.Fatal(err)
+	}
+	if live, _ := reg.Live("m"); live.Version != 1 {
+		t.Errorf("after rollback version = %d", live.Version)
+	}
+	if err := reg.Rollback("m"); err == nil {
+		t.Error("rollback past v1 accepted")
+	}
+	if got := reg.Versions("m"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("versions = %v", got)
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "m" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestFSRegistryPromoteNeverStaged(t *testing.T) {
+	reg, _ := OpenFSRegistry(dfs.NewMem(), "serving")
+	if err := reg.Promote("ghost", 1); err == nil {
+		t.Error("promoted a model line that was never staged")
+	}
+	if _, err := reg.Stage(artifactFixture("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Promote("m", 7); err == nil {
+		t.Error("promoted a version that was never staged")
+	}
+}
+
+func TestFSRegistryRejectsBadNames(t *testing.T) {
+	reg, _ := OpenFSRegistry(dfs.NewMem(), "serving")
+	if _, err := reg.Stage(&Artifact{}); err == nil {
+		t.Error("anonymous artifact accepted")
+	}
+	if _, err := reg.Stage(artifactFixture("a/b")); err == nil {
+		t.Error("path-traversing name accepted")
+	}
+}
+
+// TestFSRegistrySurvivesRestart is the daemon-restart story: a fresh
+// registry over the same FS recovers staged versions and the live marker.
+func TestFSRegistrySurvivesRestart(t *testing.T) {
+	fs, err := dfs.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1, _ := OpenFSRegistry(fs, "serving")
+	if _, err := reg1.Stage(artifactFixture("m")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg1.Stage(artifactFixture("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg1.Promote("m", 2); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, _ := OpenFSRegistry(fs, "serving")
+	live, err := reg2.Live("m")
+	if err != nil {
+		t.Fatalf("restarted registry lost live version: %v", err)
+	}
+	if live.Version != 2 || live.Name != "m" || len(live.Signals) != 2 {
+		t.Errorf("recovered artifact = %+v", live)
+	}
+	if srv, err := NewServer(live); err != nil {
+		t.Errorf("recovered artifact not servable: %v", err)
+	} else if srv.Artifact().Version != 2 {
+		t.Errorf("served version = %d", srv.Artifact().Version)
+	}
+	if got := reg2.Versions("m"); len(got) != 2 {
+		t.Errorf("recovered versions = %v", got)
+	}
+}
+
+func TestFSRegistryConcurrentStage(t *testing.T) {
+	reg, _ := OpenFSRegistry(dfs.NewMem(), "serving")
+	const n = 16
+	var wg sync.WaitGroup
+	versions := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, err := reg.Stage(artifactFixture("m"))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			versions[i] = a.Version
+		}(i)
+	}
+	wg.Wait()
+	seen := map[int]bool{}
+	for _, v := range versions {
+		if seen[v] {
+			t.Fatalf("version %d assigned twice", v)
+		}
+		seen[v] = true
+	}
+	if got := reg.Versions("m"); len(got) != n {
+		t.Errorf("staged %d versions, listed %d", n, len(got))
+	}
+}
+
+func TestHandleHotSwapKeepsInFlightConsistent(t *testing.T) {
+	mk := func(version int, weight string) *Server {
+		a := artifactFixture("m")
+		a.Version = version
+		a.Payload = []byte(`{"indices":[1],"values":[` + weight + `]}`)
+		srv, err := NewServer(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	h, err := NewHandle(mk(1, "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHandle(nil); err == nil {
+		t.Error("nil server accepted")
+	}
+	x := &features.SparseVector{Indices: []uint32{1}, Values: []float64{1}}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A request scores against one snapshot for its whole
+				// lifetime: the score may not change under its feet even
+				// when swaps land mid-request.
+				srv := h.Current()
+				score := srv.Score(x)
+				if got := srv.Score(x); got != score {
+					t.Errorf("score changed under one snapshot: %v then %v", score, got)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			h.Swap(mk(2, "-2"))
+		} else {
+			h.Swap(mk(1, "2"))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if h.Swaps() != 200 {
+		t.Errorf("swaps = %d, want 200", h.Swaps())
+	}
+	if v := h.Version(); v != 1 {
+		t.Errorf("final version = %d, want 1", v)
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrDraining is returned for requests that arrive after Close began.
+var ErrDraining = errors.New("serve: server is draining")
+
+// PredictResult is one /v1/predict answer.
+type PredictResult struct {
+	// Model and Version identify the artifact that scored the request.
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	// Score is P(positive); Positive applies the artifact's tuned threshold.
+	Score    float64 `json:"score"`
+	Positive bool    `json:"positive"`
+	// BatchSize is how many requests shared this request's matrix op.
+	BatchSize int `json:"batch_size"`
+}
+
+type predictReply struct {
+	res PredictResult
+	err error
+}
+
+type scoreRequest[T any] struct {
+	rec  T
+	done chan predictReply
+}
+
+// batcher turns a stream of single-record requests into micro-batches: a
+// collector goroutine gathers up to maxBatch records or waits at most `wait`
+// after the first arrival, then hands the batch to a worker pool that scores
+// it as one matrix op. Under load, batches fill instantly and throughput
+// scales with the pool; at low traffic, a lone request pays at most `wait`
+// of extra latency.
+type batcher[T any] struct {
+	in       chan scoreRequest[T]
+	work     chan []scoreRequest[T]
+	maxBatch int
+	wait     time.Duration
+	score    func([]T) ([]PredictResult, error)
+
+	mu     sync.RWMutex // guards closed vs. in-flight submits
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newBatcher[T any](maxBatch int, wait time.Duration, workers int, score func([]T) ([]PredictResult, error)) *batcher[T] {
+	b := &batcher[T]{
+		in:       make(chan scoreRequest[T], 4*maxBatch),
+		work:     make(chan []scoreRequest[T], workers),
+		maxBatch: maxBatch,
+		wait:     wait,
+		score:    score,
+	}
+	b.wg.Add(1 + workers)
+	go b.collect()
+	for i := 0; i < workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// submit enqueues one record and blocks until its batch is scored or ctx is
+// done. A context cancellation abandons only this caller's wait (including a
+// wait for queue space under overload) — an already-enqueued record is still
+// scored with the rest of its batch.
+func (b *batcher[T]) submit(ctx context.Context, rec T) (PredictResult, error) {
+	done := make(chan predictReply, 1)
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return PredictResult{}, ErrDraining
+	}
+	select {
+	case b.in <- scoreRequest[T]{rec: rec, done: done}:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return PredictResult{}, ctx.Err()
+	}
+	select {
+	case r := <-done:
+		return r.res, r.err
+	case <-ctx.Done():
+		return PredictResult{}, ctx.Err()
+	}
+}
+
+func (b *batcher[T]) collect() {
+	defer b.wg.Done()
+	defer close(b.work)
+	for {
+		first, ok := <-b.in
+		if !ok {
+			return
+		}
+		batch := []scoreRequest[T]{first}
+		timer := time.NewTimer(b.wait)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case r, ok := <-b.in:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		b.work <- batch
+	}
+}
+
+func (b *batcher[T]) worker() {
+	defer b.wg.Done()
+	for batch := range b.work {
+		recs := make([]T, len(batch))
+		for i, r := range batch {
+			recs[i] = r.rec
+		}
+		results, err := b.score(recs)
+		for i, r := range batch {
+			if err != nil {
+				r.done <- predictReply{err: err}
+				continue
+			}
+			res := results[i]
+			res.BatchSize = len(batch)
+			r.done <- predictReply{res: res}
+		}
+	}
+}
+
+// close stops accepting new requests and blocks until every accepted request
+// has been scored and answered — the graceful-drain half of SIGTERM
+// handling.
+func (b *batcher[T]) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.in)
+	b.mu.Unlock()
+	b.wg.Wait()
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; records larger than this are not
+// documents, they are abuse.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the HTTP/JSON API:
+//
+//	GET  /healthz     liveness plus the live model version
+//	POST /v1/predict  body: one record (e.g. a corpus.Document JSON)
+//	POST /v1/label    body: one record; runs the labeling functions online
+//	GET  /v1/metrics  counters, latency quantiles, batch histogram, cache
+//	POST /v1/promote  body: {"version": N}; hot-swaps a staged version live
+//	POST /v1/reload   re-reads the registry (promotions from other processes)
+func (s *Server[T]) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/label", s.handleLabel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return mux
+}
+
+func (s *Server[T]) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"model":   s.handle.Current().Artifact().Name,
+		"version": s.Version(),
+	})
+}
+
+func (s *Server[T]) decodeRecord(w http.ResponseWriter, r *http.Request) (T, bool) {
+	var zero T
+	if s.cfg.Decode == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("serve: no record decoder configured"))
+		return zero, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("read body: %w", err))
+		return zero, false
+	}
+	rec, err := s.cfg.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return zero, false
+	}
+	return rec, true
+}
+
+func (s *Server[T]) handlePredict(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.decodeRecord(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Predict(r.Context(), rec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server[T]) handleLabel(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.decodeRecord(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.Label(r.Context(), rec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server[T]) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server[T]) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Version int `json:"version"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode promote request: %w", err))
+		return
+	}
+	if err := s.Promote(req.Version); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": s.cfg.Model, "version": s.Version()})
+}
+
+func (s *Server[T]) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.Reload(); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"model": s.cfg.Model, "version": s.Version()})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoLabeler):
+		return http.StatusNotImplemented
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 (nginx's "client closed request")
+		// keeps these out of the 5xx rate.
+		return 499
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

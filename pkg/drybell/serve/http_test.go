@@ -1,0 +1,133 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/pkg/drybell/serve"
+)
+
+func httpFixture(t *testing.T) (*serve.Server[vec], *httptest.Server) {
+	t.Helper()
+	s, _ := newVecServer(t, serve.Config[vec]{BatchWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("non-JSON response %q: %v", data, err)
+	}
+	return resp.StatusCode, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := httpFixture(t)
+	code, body := getJSON(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body["status"] != "ok" || body["version"] != float64(1) {
+		t.Errorf("healthz = %d %v", code, body)
+	}
+}
+
+func TestHTTPPredict(t *testing.T) {
+	_, ts := httpFixture(t)
+	code, body := postJSON(t, ts.URL+"/v1/predict", `{"indices":[1],"values":[1]}`)
+	if code != http.StatusOK {
+		t.Fatalf("predict = %d %v", code, body)
+	}
+	if body["positive"] != true || body["version"] != float64(1) {
+		t.Errorf("predict body = %v", body)
+	}
+	if body["score"].(float64) < 0.9 {
+		t.Errorf("score = %v", body["score"])
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/predict", `{nope`); code != http.StatusBadRequest {
+		t.Errorf("malformed body = %d %v", code, body)
+	}
+}
+
+func TestHTTPPromoteFlow(t *testing.T) {
+	_, ts := httpFixture(t)
+	code, body := postJSON(t, ts.URL+"/v1/promote", `{"version":2}`)
+	if code != http.StatusOK || body["version"] != float64(2) {
+		t.Fatalf("promote = %d %v", code, body)
+	}
+	if _, body := postJSON(t, ts.URL+"/v1/predict", `{"indices":[1],"values":[1]}`); body["positive"] != false {
+		t.Errorf("post-promotion predict = %v", body)
+	}
+	if code, body := postJSON(t, ts.URL+"/v1/promote", `{"version":99}`); code != http.StatusConflict {
+		t.Errorf("promote unknown version = %d %v", code, body)
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/reload", `{}`); code != http.StatusOK {
+		t.Errorf("reload = %d", code)
+	}
+}
+
+func TestHTTPLabelNotConfigured(t *testing.T) {
+	_, ts := httpFixture(t)
+	code, body := postJSON(t, ts.URL+"/v1/label", `{"indices":[],"values":[]}`)
+	if code != http.StatusNotImplemented {
+		t.Errorf("label without runners = %d %v", code, body)
+	}
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	_, ts := httpFixture(t)
+	for i := 0; i < 5; i++ {
+		postJSON(t, ts.URL+"/v1/predict", `{"indices":[1],"values":[1]}`)
+	}
+	code, body := getJSON(t, ts.URL+"/v1/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	pred, ok := body["predict"].(map[string]any)
+	if !ok || pred["requests"] != float64(5) {
+		t.Errorf("predict stats = %v", body["predict"])
+	}
+	if body["model"] != "m" || body["version"] != float64(1) {
+		t.Errorf("metrics identity = %v %v", body["model"], body["version"])
+	}
+	if _, ok := body["batches"].(map[string]any); !ok {
+		t.Errorf("batches stats missing: %v", body)
+	}
+}
+
+func TestHTTPDrainReturns503(t *testing.T) {
+	s, ts := httpFixture(t)
+	s.Close()
+	code, body := postJSON(t, ts.URL+"/v1/predict", `{"indices":[1],"values":[1]}`)
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("draining predict = %d %v", code, body)
+	}
+}

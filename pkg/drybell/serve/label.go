@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+	"repro/internal/nlp"
+)
+
+// VoteRecord is one labeling function's online vote on a record.
+type VoteRecord struct {
+	LF       string `json:"lf"`
+	Category string `json:"category"`
+	// Vote is +1 (positive), -1 (negative), or 0 (abstain).
+	Vote int `json:"vote"`
+}
+
+// LabelResult is one /v1/label answer: the per-LF votes, and the label
+// model's denoised P(Y=1|votes) when a trained model is configured.
+type LabelResult struct {
+	Posterior *float64     `json:"posterior,omitempty"`
+	Votes     []VoteRecord `json:"votes"`
+}
+
+// labeler evaluates the registered labeling functions against one record,
+// outside the MapReduce machinery they run in offline. Func runners call
+// their vote function directly; NLPFunc runners share a single node-local
+// model server behind an LRU cache keyed on the annotated text, so repeated
+// traffic does not re-run the expensive NLP models.
+type labeler[T any] struct {
+	metas []lf.Meta
+	evals []func(T) (labelmodel.Label, error)
+	model *labelmodel.Model
+	cache *nlp.Cache // nil when no NLP runner is registered
+}
+
+func newLabeler[T any](runners []lf.Runner[T], model *labelmodel.Model, ann nlp.Annotator, cacheSize int) (*labeler[T], error) {
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("serve: labeler needs at least one runner")
+	}
+	if model != nil && model.NumFuncs() != len(runners) {
+		return nil, fmt.Errorf("serve: label model trained on %d LFs, %d runners registered",
+			model.NumFuncs(), len(runners))
+	}
+
+	// All NLP runners share one annotator — by default the first runner's
+	// model server (they are one per compute node offline too, §5.1) —
+	// wrapped in the LRU cache.
+	var cache *nlp.Cache
+	if ann == nil {
+		for _, r := range runners {
+			if f, ok := r.(lf.NLPFunc[T]); ok {
+				srv := f.NewServer()
+				if srv == nil {
+					return nil, fmt.Errorf("serve: lf %s: NewServer returned nil", f.Meta.Name)
+				}
+				if err := srv.Launch(); err != nil {
+					return nil, fmt.Errorf("serve: lf %s: %w", f.Meta.Name, err)
+				}
+				ann = srv
+				break
+			}
+		}
+	}
+	if ann != nil {
+		if c, ok := ann.(*nlp.Cache); ok {
+			cache = c
+		} else {
+			c, err := nlp.NewCache(ann, cacheSize)
+			if err != nil {
+				return nil, err
+			}
+			cache = c
+			ann = c
+		}
+	}
+
+	l := &labeler[T]{model: model, cache: cache}
+	for _, r := range runners {
+		meta := r.LFMeta()
+		l.metas = append(l.metas, meta)
+		switch f := r.(type) {
+		case lf.Func[T]:
+			vote := f.Vote
+			l.evals = append(l.evals, func(x T) (labelmodel.Label, error) {
+				v := vote(x)
+				if !v.Valid() {
+					return 0, fmt.Errorf("serve: lf %s: invalid vote %d", meta.Name, v)
+				}
+				return v, nil
+			})
+		case lf.NLPFunc[T]:
+			getText, getValue, shared := f.GetText, f.GetValue, ann
+			l.evals = append(l.evals, func(x T) (labelmodel.Label, error) {
+				res, err := shared.Annotate(getText(x))
+				if err != nil {
+					return 0, fmt.Errorf("serve: lf %s: %w", meta.Name, err)
+				}
+				v := getValue(x, res)
+				if !v.Valid() {
+					return 0, fmt.Errorf("serve: lf %s: invalid vote %d", meta.Name, v)
+				}
+				return v, nil
+			})
+		default:
+			return nil, fmt.Errorf("serve: lf %s: runner type %T has no online evaluator", meta.Name, r)
+		}
+	}
+	return l, nil
+}
+
+func (l *labeler[T]) label(x T) (LabelResult, error) {
+	votes := make([]labelmodel.Label, len(l.evals))
+	records := make([]VoteRecord, len(l.evals))
+	for i, eval := range l.evals {
+		v, err := eval(x)
+		if err != nil {
+			return LabelResult{}, err
+		}
+		votes[i] = v
+		records[i] = VoteRecord{LF: l.metas[i].Name, Category: string(l.metas[i].Category), Vote: int(v)}
+	}
+	out := LabelResult{Votes: records}
+	if l.model != nil {
+		p := l.model.PosteriorRow(votes)
+		out.Posterior = &p
+	}
+	return out, nil
+}
+
+func (l *labeler[T]) cacheSnapshot() *CacheSnapshot {
+	if l == nil || l.cache == nil {
+		return nil
+	}
+	return &CacheSnapshot{Hits: l.cache.Hits(), Misses: l.cache.Misses(), HitRate: l.cache.HitRate()}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow keeps the most recent request latencies in a fixed ring so
+// quantiles reflect current behavior, not the daemon's whole lifetime.
+const latencyWindow = 2048
+
+// ring is a fixed-size ring buffer of durations. Safe for concurrent use.
+type ring struct {
+	mu  sync.Mutex
+	buf []time.Duration
+	n   int // total observations, saturating at len(buf)
+	idx int
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]time.Duration, size)}
+}
+
+func (r *ring) add(d time.Duration) {
+	r.mu.Lock()
+	r.buf[r.idx] = d
+	r.idx = (r.idx + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// quantiles returns the requested quantiles (each in [0,1]) over the window,
+// or zeros when nothing has been observed.
+func (r *ring) quantiles(qs ...float64) []time.Duration {
+	r.mu.Lock()
+	sorted := make([]time.Duration, r.n)
+	copy(sorted, r.buf[:r.n])
+	r.mu.Unlock()
+	out := make([]time.Duration, len(qs))
+	if len(sorted) == 0 {
+		return out
+	}
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	for i, q := range qs {
+		k := int(q * float64(len(sorted)-1))
+		out[i] = sorted[k]
+	}
+	return out
+}
+
+// pathStats tracks one request path (/v1/predict or /v1/label).
+type pathStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	canceled atomic.Int64
+	latency  *ring
+}
+
+func newPathStats() *pathStats { return &pathStats{latency: newRing(latencyWindow)} }
+
+func (p *pathStats) observe(d time.Duration, err error) {
+	p.requests.Add(1)
+	switch {
+	case err == nil:
+		p.latency.add(d)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client abandoned the wait; that is not a serving failure.
+		p.canceled.Add(1)
+	default:
+		p.errors.Add(1)
+	}
+}
+
+// batchBuckets are the micro-batch size histogram boundaries: a batch of n
+// records lands in the first bucket whose bound is ≥ n.
+var batchBuckets = []struct {
+	bound int
+	label string
+}{
+	{1, "1"}, {2, "2"}, {4, "3-4"}, {8, "5-8"}, {16, "9-16"},
+	{32, "17-32"}, {64, "33-64"}, {1 << 30, "65+"},
+}
+
+// metrics is the server's observability state.
+type metrics struct {
+	start   time.Time
+	predict *pathStats
+	label   *pathStats
+
+	batches   atomic.Int64 // batches dispatched
+	batched   atomic.Int64 // records scored through batches
+	histogram [8]atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), predict: newPathStats(), label: newPathStats()}
+}
+
+func (m *metrics) observeBatch(n int) {
+	m.batches.Add(1)
+	m.batched.Add(int64(n))
+	for i, b := range batchBuckets {
+		if n <= b.bound {
+			m.histogram[i].Add(1)
+			return
+		}
+	}
+}
+
+// PathSnapshot reports one request path's counters and latency quantiles.
+// Canceled counts requests whose client abandoned the wait — kept apart
+// from Errors so flaky clients don't read as serving failures.
+type PathSnapshot struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Canceled int64   `json:"canceled,omitempty"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+func (p *pathStats) snapshot() PathSnapshot {
+	qs := p.latency.quantiles(0.50, 0.99)
+	return PathSnapshot{
+		Requests: p.requests.Load(),
+		Errors:   p.errors.Load(),
+		Canceled: p.canceled.Load(),
+		P50Ms:    float64(qs[0]) / float64(time.Millisecond),
+		P99Ms:    float64(qs[1]) / float64(time.Millisecond),
+	}
+}
+
+// BatchBucket is one bar of the batch-size histogram.
+type BatchBucket struct {
+	Size  string `json:"size"`
+	Count int64  `json:"count"`
+}
+
+// BatchSnapshot reports micro-batching behavior.
+type BatchSnapshot struct {
+	Dispatched int64         `json:"dispatched"`
+	Records    int64         `json:"records"`
+	MeanSize   float64       `json:"mean_size"`
+	Histogram  []BatchBucket `json:"histogram"`
+}
+
+// CacheSnapshot reports the online LF cache.
+type CacheSnapshot struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Snapshot is the /v1/metrics payload.
+type Snapshot struct {
+	Model         string         `json:"model"`
+	Version       int            `json:"version"`
+	Swaps         int64          `json:"swaps"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Predict       PathSnapshot   `json:"predict"`
+	Label         PathSnapshot   `json:"label"`
+	Batches       BatchSnapshot  `json:"batches"`
+	NLPCache      *CacheSnapshot `json:"nlp_cache,omitempty"`
+}
+
+func (m *metrics) batchSnapshot() BatchSnapshot {
+	s := BatchSnapshot{Dispatched: m.batches.Load(), Records: m.batched.Load()}
+	if s.Dispatched > 0 {
+		s.MeanSize = float64(s.Records) / float64(s.Dispatched)
+	}
+	for i, b := range batchBuckets {
+		if c := m.histogram[i].Load(); c > 0 {
+			s.Histogram = append(s.Histogram, BatchBucket{Size: b.label, Count: c})
+		}
+	}
+	return s
+}

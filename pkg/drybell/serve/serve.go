@@ -1,0 +1,328 @@
+// Package serve is the online serving subsystem of the drybell SDK: it
+// answers requests with the currently-promoted artifact from the serving
+// registry, completing the paper's §5.3 story (models are staged, validated,
+// promoted, and then *served in production*).
+//
+// A Server exposes two request paths over HTTP/JSON (see Handler):
+//
+//   - /v1/predict featurizes a record and scores it with the promoted
+//     artifact. Requests are micro-batched — collected for up to
+//     Config.BatchWait or Config.MaxBatch records, then scored as one
+//     matrix op by a worker pool — and model promotion hot-swaps through an
+//     atomic pointer, so in-flight requests finish on the version they
+//     started with and no request is dropped across a promotion.
+//   - /v1/label runs the registered labeling functions online against a
+//     single record and returns the label model's denoised posterior plus
+//     the per-LF votes. Expensive NLP model-server calls sit behind an LRU
+//     cache keyed on the annotated text.
+//
+// The registry is any serving.Catalog; with an FS-backed registry the
+// daemon's state survives restarts — a new Server recovers the promoted
+// version from filesystem state alone.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/features"
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+	"repro/internal/nlp"
+	"repro/internal/serving"
+)
+
+// ErrNoLabeler is returned by Label when no labeling functions were
+// configured.
+var ErrNoLabeler = errors.New("serve: no labeling functions configured")
+
+// Featurizer builds the request-time feature extractor for one artifact.
+// It is re-derived on every promotion so the extractor always agrees with
+// the live artifact's dimension and bigram setting.
+type Featurizer[T any] func(a *serving.Artifact) (func(T) *features.SparseVector, error)
+
+// Config assembles a Server.
+type Config[T any] struct {
+	// Registry is the model store; Model names the line to serve. The model
+	// must have a live (promoted) version. Required.
+	Registry serving.Catalog
+	Model    string
+
+	// Decode parses an HTTP request body into a record. Required for
+	// Handler; the programmatic Predict/Label paths work without it.
+	Decode func([]byte) (T, error)
+
+	// Featurize builds the servable feature extractor from the live
+	// artifact. Required. DocumentFeaturizer is the standard choice for
+	// content tasks.
+	Featurize Featurizer[T]
+
+	// Runners are the labeling functions behind /v1/label, in label-model
+	// column order. Optional; without them Label returns ErrNoLabeler.
+	Runners []lf.Runner[T]
+	// LabelModel is the trained generative model whose PosteriorRow
+	// denoises online votes. Optional; without it /v1/label returns votes
+	// only.
+	LabelModel *labelmodel.Model
+	// Annotator overrides the NLP service the labeler consults. Default:
+	// the first NLP runner's model server. It is wrapped in an LRU cache
+	// either way.
+	Annotator nlp.Annotator
+
+	// MaxBatch and BatchWait bound a micro-batch: score when MaxBatch
+	// records are waiting, or BatchWait after the first, whichever is
+	// sooner. Defaults 32 and 2ms.
+	MaxBatch  int
+	BatchWait time.Duration
+	// Workers sizes the scoring pool. Default GOMAXPROCS.
+	Workers int
+	// CacheSize bounds the NLP annotation LRU. Default 1024.
+	CacheSize int
+}
+
+// Server is the online serving engine. Construct with New; the zero value
+// is not usable. All methods are safe for concurrent use.
+type Server[T any] struct {
+	cfg     Config[T]
+	handle  *serving.Handle
+	batcher *batcher[T]
+	labeler *labeler[T]
+	metrics *metrics
+
+	// feat caches the built featurizer for the live artifact version, so
+	// the hot path pays Config.Featurize only once per promotion, not once
+	// per batch.
+	feat atomic.Pointer[featUnit[T]]
+
+	reloadMu sync.Mutex // serializes Reload's read-compare-swap
+}
+
+type featUnit[T any] struct {
+	version int
+	feat    func(T) *features.SparseVector
+}
+
+// New builds a Server over the registry's live artifact. It fails when the
+// model line has no promoted version — stage and promote one first (e.g.
+// ContentClassifier.StageForServing, or cmd/drybelld's train mode).
+func New[T any](cfg Config[T]) (*Server[T], error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("serve: Config.Registry is required")
+	}
+	if cfg.Model == "" {
+		return nil, fmt.Errorf("serve: Config.Model is required")
+	}
+	if cfg.Featurize == nil {
+		return nil, fmt.Errorf("serve: Config.Featurize is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.BatchWait <= 0 {
+		cfg.BatchWait = 2 * time.Millisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+
+	live, err := cfg.Registry.Live(cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w (stage and promote a version first)", err)
+	}
+	srv, err := buildServer(cfg.Featurize, live)
+	if err != nil {
+		return nil, err
+	}
+	handle, err := serving.NewHandle(srv)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server[T]{cfg: cfg, handle: handle, metrics: newMetrics()}
+	if len(cfg.Runners) > 0 {
+		s.labeler, err = newLabeler(cfg.Runners, cfg.LabelModel, cfg.Annotator, cfg.CacheSize)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.batcher = newBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.Workers, s.scoreBatch)
+	return s, nil
+}
+
+// buildServer validates an artifact end to end — servable signals, loadable
+// payload, buildable featurizer — before it can reach the request path.
+func buildServer[T any](featurize Featurizer[T], a *serving.Artifact) (*serving.Server, error) {
+	if err := serving.ValidateServable(a); err != nil {
+		return nil, err
+	}
+	srv, err := serving.NewServer(a)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := featurize(a); err != nil {
+		return nil, fmt.Errorf("serve: featurizer for %s v%d: %w", a.Name, a.Version, err)
+	}
+	return srv, nil
+}
+
+// Predict scores one record against the live model, sharing a matrix op
+// with whatever batch it lands in. It blocks until the batch is scored or
+// ctx is done.
+func (s *Server[T]) Predict(ctx context.Context, rec T) (PredictResult, error) {
+	start := time.Now()
+	res, err := s.batcher.submit(ctx, rec)
+	s.metrics.predict.observe(time.Since(start), err)
+	return res, err
+}
+
+// featurizerFor returns the cached featurizer for the artifact's version,
+// rebuilding it only when a promotion changed the version. Racing workers
+// may both rebuild after a swap; Featurize must be pure, so either result
+// is correct and the last store wins.
+func (s *Server[T]) featurizerFor(art *serving.Artifact) (func(T) *features.SparseVector, error) {
+	if u := s.feat.Load(); u != nil && u.version == art.Version {
+		return u.feat, nil
+	}
+	f, err := s.cfg.Featurize(art)
+	if err != nil {
+		return nil, err
+	}
+	s.feat.Store(&featUnit[T]{version: art.Version, feat: f})
+	return f, nil
+}
+
+// scoreBatch is the worker-pool entry: snapshot the live model once, then
+// featurize and score the whole batch against that snapshot, so every
+// request in a batch is answered by a single consistent model version.
+func (s *Server[T]) scoreBatch(recs []T) ([]PredictResult, error) {
+	srv := s.handle.Current()
+	art := srv.Artifact()
+	feat, err := s.featurizerFor(art)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]*features.SparseVector, len(recs))
+	for i, r := range recs {
+		xs[i] = feat(r)
+	}
+	scores := srv.ScoreBatch(xs)
+	out := make([]PredictResult, len(recs))
+	for i, score := range scores {
+		out[i] = PredictResult{
+			Model:    art.Name,
+			Version:  art.Version,
+			Score:    score,
+			Positive: score >= art.Threshold,
+		}
+	}
+	s.metrics.observeBatch(len(recs))
+	return out, nil
+}
+
+// Label runs every registered labeling function against the record and
+// denoises the votes with the label model when one is configured.
+func (s *Server[T]) Label(ctx context.Context, rec T) (LabelResult, error) {
+	if s.labeler == nil {
+		return LabelResult{}, ErrNoLabeler
+	}
+	if err := ctx.Err(); err != nil {
+		return LabelResult{}, err
+	}
+	start := time.Now()
+	res, err := s.labeler.label(rec)
+	s.metrics.label.observe(time.Since(start), err)
+	return res, err
+}
+
+// Promote makes a staged version live in the registry and hot-swaps it into
+// the request path. In-flight requests finish on the old version. If the
+// candidate fails validation, the registry's live marker is restored so the
+// registry and the request path keep agreeing on the serving version.
+func (s *Server[T]) Promote(version int) error {
+	prev := s.handle.Version()
+	if err := s.cfg.Registry.Promote(s.cfg.Model, version); err != nil {
+		return err
+	}
+	if err := s.Reload(); err != nil {
+		if rerr := s.cfg.Registry.Promote(s.cfg.Model, prev); rerr != nil {
+			return fmt.Errorf("%w (and restoring v%d live failed: %v)", err, prev, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// Rollback reverts the registry to the previous version and hot-swaps it in.
+func (s *Server[T]) Rollback() error {
+	if err := s.cfg.Registry.Rollback(s.cfg.Model); err != nil {
+		return err
+	}
+	return s.Reload()
+}
+
+// Reload re-reads the registry's live version and swaps it in if it differs
+// from the one being served — the path by which promotions made by another
+// process on a shared filesystem reach this daemon. The swap is atomic; a
+// failed validation leaves the current version serving.
+func (s *Server[T]) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	live, err := s.cfg.Registry.Live(s.cfg.Model)
+	if err != nil {
+		return err
+	}
+	if live.Version == s.handle.Version() {
+		return nil
+	}
+	srv, err := buildServer(s.cfg.Featurize, live)
+	if err != nil {
+		return err
+	}
+	s.handle.Swap(srv)
+	return nil
+}
+
+// Version returns the model version currently answering requests.
+func (s *Server[T]) Version() int { return s.handle.Version() }
+
+// Metrics returns a point-in-time snapshot of the server's counters.
+func (s *Server[T]) Metrics() Snapshot {
+	art := s.handle.Current().Artifact()
+	return Snapshot{
+		Model:         art.Name,
+		Version:       art.Version,
+		Swaps:         s.handle.Swaps(),
+		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
+		Predict:       s.metrics.predict.snapshot(),
+		Label:         s.metrics.label.snapshot(),
+		Batches:       s.metrics.batchSnapshot(),
+		NLPCache:      s.labeler.cacheSnapshot(),
+	}
+}
+
+// Close drains the request path: new Predicts fail with ErrDraining, and
+// Close blocks until every accepted request has been answered.
+func (s *Server[T]) Close() { s.batcher.close() }
+
+// DocumentFeaturizer is the standard Featurizer for content tasks: it
+// rebuilds the hashing extractor from the artifact's recorded dimension and
+// bigram setting, so request-time features match training exactly.
+func DocumentFeaturizer(a *serving.Artifact) (func(*corpus.Document) *features.SparseVector, error) {
+	h, err := features.NewHasher(a.FeatureDim)
+	if err != nil {
+		return nil, fmt.Errorf("serve: artifact %s v%d: %w", a.Name, a.Version, err)
+	}
+	bigrams := a.Bigrams
+	return func(d *corpus.Document) *features.SparseVector {
+		return h.DocumentVector(d, bigrams)
+	}, nil
+}
