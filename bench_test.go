@@ -319,7 +319,7 @@ func benchName(prefix string, n int) string {
 // latency of the two request paths under parallel load, the numbers the
 // §5.3 production story lives or dies on.
 
-func newServeBenchServer(b *testing.B, runners []apps.DocRunner, lm *labelmodel.Model) *serve.Server[*corpus.Document] {
+func newServeBenchServer(b *testing.B, runners []apps.DocLF, lm *labelmodel.Model) *serve.Server[*corpus.Document] {
 	b.Helper()
 	reg, err := serving.OpenFSRegistry(dfs.NewMem(), "serving")
 	if err != nil {
@@ -341,7 +341,7 @@ func newServeBenchServer(b *testing.B, runners []apps.DocRunner, lm *labelmodel.
 		Registry:   reg,
 		Model:      "bench-classifier",
 		Featurize:  serve.DocumentFeaturizer,
-		Runners:    runners,
+		LFs:        runners,
 		LabelModel: lm,
 		MaxBatch:   64,
 		BatchWait:  500 * time.Microsecond,
@@ -415,4 +415,86 @@ func BenchmarkServeLabel(b *testing.B) {
 		b.ReportMetric(100*m.NLPCache.HitRate, "cache-hit-%")
 	}
 	b.ReportMetric(m.Label.P99Ms, "p99-ms")
+}
+
+// --- Scalar vs vectorized LF execution: the two evaluation paths every
+// template supports (Vote per record vs VoteBatch per shard/batch). These
+// are the numbers behind the batch path's existence.
+
+// BenchmarkExecuteLFs runs the full topic LF set over a staged corpus
+// through the batch executor, once record-at-a-time and once through the
+// vectorized MapBatch path.
+func BenchmarkExecuteLFs(b *testing.B) {
+	docs := benchDocs(b, 2000)
+	recs, err := corpus.MarshalDocuments(docs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		noBatch bool
+	}{{"Batch", false}, {"Scalar", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fs := dfs.NewMem()
+			if err := lf.Stage[*corpus.Document](fs, "in/docs", recs, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := &lf.Executor[*corpus.Document]{
+					FS: fs, InputBase: "in/docs", OutputPrefix: "labels",
+					Decode: corpus.UnmarshalDocument, Parallelism: 4,
+					NoBatch: mode.noBatch,
+				}
+				if _, _, err := e.Execute(apps.TopicLFs(nil, 0, 21)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(docs))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+		})
+	}
+}
+
+// BenchmarkOnlineLabel compares the online labeler's per-record path
+// (Label) against the vectorized LabelBatch path over the same traffic.
+func BenchmarkOnlineLabel(b *testing.B) {
+	docs := benchDocs(b, 256)
+	runners := apps.TopicLFs(nil, 0, 17)
+	lm := &labelmodel.Model{Alpha: make([]float64, len(runners)), Beta: make([]float64, len(runners))}
+	for i := range lm.Alpha {
+		lm.Alpha[i] = 1.5
+	}
+	const batch = 64
+	b.Run("Scalar", func(b *testing.B) {
+		s := newServeBenchServer(b, apps.TopicLFs(nil, 0, 17), lm)
+		ctx := context.Background()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batch; k++ {
+				if _, err := s.Label(ctx, docs[n%len(docs)]); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "docs/s")
+	})
+	b.Run("Batch", func(b *testing.B) {
+		s := newServeBenchServer(b, apps.TopicLFs(nil, 0, 17), lm)
+		ctx := context.Background()
+		b.ResetTimer()
+		n := 0
+		for i := 0; i < b.N; i++ {
+			chunk := make([]*corpus.Document, batch)
+			for k := range chunk {
+				chunk[k] = docs[n%len(docs)]
+				n++
+			}
+			if _, err := s.LabelBatch(ctx, chunk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "docs/s")
+	})
 }

@@ -85,7 +85,7 @@ func contentPipeline(trainer string, seed int64, steps int) (*drybell.Pipeline[*
 
 func runContent(ctx context.Context, task string, n int, trainer string, seed int64, steps int) error {
 	var docs []*corpus.Document
-	var runners []apps.DocRunner
+	var runners []apps.DocLF
 	var bigrams bool
 	var err error
 	switch task {

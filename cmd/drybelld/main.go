@@ -113,10 +113,10 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 	}
 }
 
-// taskRunners builds the task's labeling functions. The topic set queries
-// the knowledge graph through an LRU cache, standing in for the remote KG
-// service on the online path.
-func taskRunners(task string, cacheSize int, seed int64) ([]apps.DocRunner, bool, error) {
+// taskRunners builds the task's labeling functions. Knowledge-graph LRU
+// caching is owned by the templates (the apps sets cache by default); the
+// daemon only passes its operator-tuned cache so -cache governs capacity.
+func taskRunners(task string, cacheSize int, seed int64) ([]apps.DocLF, bool, error) {
 	switch task {
 	case "topic":
 		kg, err := kgraph.NewCache(kgraph.Builtin(), cacheSize)
@@ -139,7 +139,7 @@ func labelModelPath(model string) string { return "serving/labelmodel/" + model 
 // and persists the label model so the online /v1/label path can denoise
 // votes without retraining.
 func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, model string,
-	runners []apps.DocRunner, bigrams bool, n int, seed int64, steps int, promote bool) (int, error) {
+	runners []apps.DocLF, bigrams bool, n int, seed int64, steps int, promote bool) (int, error) {
 	var all []*corpus.Document
 	var err error
 	switch task {
@@ -212,7 +212,7 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, mode
 }
 
 func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Catalog, model string,
-	runners []apps.DocRunner, batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration) error {
+	runners []apps.DocLF, batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration) error {
 	var lm *labelmodel.Model
 	if data, err := fsys.ReadFile(labelModelPath(model)); err == nil {
 		if lm, err = labelmodel.DecodeModel(data); err != nil {
@@ -232,7 +232,7 @@ func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Ca
 		Model:      model,
 		Decode:     corpus.UnmarshalDocument,
 		Featurize:  serve.DocumentFeaturizer,
-		Runners:    runners,
+		LFs:        runners,
 		LabelModel: lm,
 		MaxBatch:   batch,
 		BatchWait:  batchWait,

@@ -14,6 +14,9 @@
 //
 //	lfrun -root /tmp/dfs -task topic -lf ner_no_person -input docs.jsonl
 //	lfrun -root /tmp/dfs -task topic -list
+//
+// Tasks are discovered through the SDK's labeling-function registry
+// (pkg/drybell/lf), where each application registers its named Set.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/corpus"
 	"repro/pkg/drybell"
+	"repro/pkg/drybell/lf"
 )
 
 func main() {
@@ -60,19 +64,18 @@ func main() {
 }
 
 func run(ctx context.Context, root, task, name, input string, shards, par int, list bool) error {
-	var runners []apps.DocRunner
-	switch task {
-	case "topic":
-		runners = apps.TopicLFs(nil, 0.02, 1)
-	case "product":
-		runners = apps.ProductLFs(nil, 1)
-	default:
-		return fmt.Errorf("unknown task %q", task)
+	// The task sets register themselves in the SDK's LF registry; from
+	// here on the tool only discovers by name, never by constructor.
+	if err := apps.RegisterSets(1); err != nil {
+		return err
+	}
+	set, err := lf.Lookup[*corpus.Document](task)
+	if err != nil {
+		return err
 	}
 	if list {
 		fmt.Printf("%-34s %-18s %s\n", "name", "category", "servable")
-		for _, r := range runners {
-			m := r.LFMeta()
+		for _, m := range set.Metas() {
 			fmt.Printf("%-34s %-18s %v\n", m.Name, m.Category, m.Servable)
 		}
 		return nil
@@ -80,13 +83,8 @@ func run(ctx context.Context, root, task, name, input string, shards, par int, l
 	if root == "" {
 		return fmt.Errorf("-root is required")
 	}
-	var chosen drybell.Runner[*corpus.Document]
-	for _, r := range runners {
-		if r.LFMeta().Name == name {
-			chosen = r
-		}
-	}
-	if chosen == nil {
+	chosen, ok := set.Get(name)
+	if !ok {
 		return fmt.Errorf("no labeling function %q in task %s (use -list)", name, task)
 	}
 
@@ -121,7 +119,7 @@ func run(ctx context.Context, root, task, name, input string, shards, par int, l
 		fmt.Printf("staged %d documents into %d shards under %s\n", n, shards, root)
 	}
 
-	_, report, err := p.ExecuteLFs(ctx, []drybell.Runner[*corpus.Document]{chosen})
+	_, report, err := p.ExecuteLFs(ctx, []drybell.LF[*corpus.Document]{chosen})
 	if err != nil {
 		return err
 	}

@@ -43,7 +43,7 @@ func main() {
 		Model:      "topic-classifier",
 		Decode:     corpus.UnmarshalDocument,
 		Featurize:  serve.DocumentFeaturizer,
-		Runners:    runners,
+		LFs:        runners,
 		LabelModel: lm,
 		BatchWait:  time.Millisecond,
 	})
@@ -101,7 +101,7 @@ func main() {
 // trainAndStage runs the batch pipeline on a fresh synthetic corpus and
 // stages the resulting classifier, returning the trained label model.
 func trainAndStage(ctx context.Context, fsys drybell.FS, reg serving.Catalog,
-	runners []apps.DocRunner, seed int64) *drybell.Model {
+	runners []apps.DocLF, seed int64) *drybell.Model {
 	docs, err := corpus.GenerateTopic(corpus.TopicSpec{NumDocs: 1500, PositiveRate: 0.05, Seed: seed})
 	if err != nil {
 		log.Fatal(err)

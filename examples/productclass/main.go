@@ -79,11 +79,11 @@ func main() {
 	run("+ Knowledge Graph and internal models:", nil)
 }
 
-func subset(runners []apps.DocRunner, cols []int) []apps.DocRunner {
+func subset(runners []apps.DocLF, cols []int) []apps.DocLF {
 	if cols == nil {
 		return runners
 	}
-	out := make([]apps.DocRunner, len(cols))
+	out := make([]apps.DocLF, len(cols))
 	for i, j := range cols {
 		out[i] = runners[j]
 	}

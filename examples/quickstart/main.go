@@ -18,6 +18,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/nlp"
 	"repro/pkg/drybell"
+	"repro/pkg/drybell/lf"
 )
 
 func main() {
@@ -31,41 +32,41 @@ func main() {
 	// 2. Labeling functions: black-box voters built from whatever the
 	//    organization already has. Each returns Positive, Negative, or
 	//    Abstain.
-	keywordLF := drybell.Func[*corpus.Document]{
-		Meta: drybell.Meta{Name: "keyword_gossip", Category: drybell.ContentHeuristic, Servable: true},
-		Vote: func(d *corpus.Document) drybell.Label {
+	keywordLF := &lf.Func[*corpus.Document]{
+		Meta: lf.Meta{Name: "keyword_gossip", Category: lf.ContentHeuristic, Servable: true},
+		Fn: func(d *corpus.Document) lf.Label {
 			for _, kw := range []string{"paparazzi", "redcarpet", "gossip"} {
 				if strings.Contains(d.Text(), kw) {
-					return drybell.Positive
+					return lf.Positive
 				}
 			}
-			return drybell.Abstain
+			return lf.Abstain
 		},
 	}
 	// The paper's §5.1 example: an expensive NER model, launched as a
 	// model server on each compute node, votes "not celebrity" when the
 	// text mentions no person at all.
-	nerLF := drybell.NLPFunc[*corpus.Document]{
-		Meta:      drybell.Meta{Name: "ner_no_person", Category: drybell.ModelBased, Servable: false},
+	nerLF := &lf.NLPFunc[*corpus.Document]{
+		Meta:      lf.Meta{Name: "ner_no_person", Category: lf.ModelBased, Servable: false},
 		NewServer: func() *nlp.Server { return nlp.NewServer(0.02, 1) },
 		GetText:   func(d *corpus.Document) string { return d.Text() },
-		GetValue: func(_ *corpus.Document, res *nlp.Result) drybell.Label {
+		GetValue: func(_ *corpus.Document, res *nlp.Result) lf.Label {
 			if len(res.People()) == 0 {
-				return drybell.Negative
+				return lf.Negative
 			}
-			return drybell.Abstain
+			return lf.Abstain
 		},
 	}
-	topicLF := drybell.NLPFunc[*corpus.Document]{
-		Meta:      drybell.Meta{Name: "topicmodel_offtopic", Category: drybell.ModelBased, Servable: false},
+	topicLF := &lf.NLPFunc[*corpus.Document]{
+		Meta:      lf.Meta{Name: "topicmodel_offtopic", Category: lf.ModelBased, Servable: false},
 		NewServer: func() *nlp.Server { return nlp.NewServer(0, 1) },
 		GetText:   func(d *corpus.Document) string { return d.Text() },
-		GetValue: func(_ *corpus.Document, res *nlp.Result) drybell.Label {
+		GetValue: func(_ *corpus.Document, res *nlp.Result) lf.Label {
 			switch res.TopTopic() {
 			case nlp.TopicEntertainment, "":
-				return drybell.Abstain
+				return lf.Abstain
 			default:
-				return drybell.Negative
+				return lf.Negative
 			}
 		},
 	}
@@ -85,7 +86,7 @@ func main() {
 		log.Fatal(err)
 	}
 	res, err := p.Run(context.Background(), drybell.SliceSource(docs),
-		[]drybell.Runner[*corpus.Document]{keywordLF, nerLF, topicLF})
+		[]drybell.LF[*corpus.Document]{keywordLF, nerLF, topicLF})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,8 +94,8 @@ func main() {
 	fmt.Println("estimated labeling-function accuracies (no ground truth used):")
 	accs := res.Model.Accuracies()
 	for j, rep := range res.LFReport.PerLF {
-		fmt.Printf("  %-22s accuracy=%.3f votes=%d\n",
-			rep.Name, accs[j], rep.Positives+rep.Negatives)
+		fmt.Printf("  %-22s accuracy=%.3f coverage=%.3f votes=%d\n",
+			rep.Name, accs[j], res.Analysis.PerLF[j].Coverage, rep.Positives+rep.Negatives)
 	}
 
 	// 4. Train the servable end model on the probabilistic labels.

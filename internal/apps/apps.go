@@ -1,0 +1,37 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/pkg/drybell/lf"
+)
+
+// RegisterSets registers the three case studies' labeling-function sets
+// ("topic", "product", "events") in the public registry with default
+// wiring, so tools discover an application's functions by name instead of
+// linking the constructors directly. It is idempotent per process only if
+// called once; a duplicate registration is an error.
+func RegisterSets(seed int64) error {
+	topic, err := TopicSet(nil, 0.02, seed)
+	if err != nil {
+		return fmt.Errorf("apps: %w", err)
+	}
+	product, err := ProductSet(nil, seed)
+	if err != nil {
+		return fmt.Errorf("apps: %w", err)
+	}
+	events, err := EventSet(NumEventLFs, seed)
+	if err != nil {
+		return fmt.Errorf("apps: %w", err)
+	}
+	for _, reg := range []func() error{
+		func() error { return lf.Register(topic) },
+		func() error { return lf.Register(product) },
+		func() error { return lf.Register(events) },
+	} {
+		if err := reg(); err != nil {
+			return fmt.Errorf("apps: %w", err)
+		}
+	}
+	return nil
+}

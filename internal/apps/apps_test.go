@@ -9,9 +9,10 @@ import (
 	"repro/internal/kgraph"
 	"repro/internal/labelmodel"
 	"repro/internal/lf"
+	lfapi "repro/pkg/drybell/lf"
 )
 
-func executeDocLFs(t *testing.T, docs []*corpus.Document, runners []DocRunner) *labelmodel.Matrix {
+func executeDocLFs(t *testing.T, docs []*corpus.Document, runners []DocLF) *labelmodel.Matrix {
 	t.Helper()
 	fs := dfs.NewMem()
 	recs, err := corpus.MarshalDocuments(docs)
@@ -32,7 +33,7 @@ func executeDocLFs(t *testing.T, docs []*corpus.Document, runners []DocRunner) *
 	return mx
 }
 
-func executeEventLFs(t *testing.T, events []*corpus.Event, runners []EventRunner) *labelmodel.Matrix {
+func executeEventLFs(t *testing.T, events []*corpus.Event, runners []EventLF) *labelmodel.Matrix {
 	t.Helper()
 	fs := dfs.NewMem()
 	recs, err := corpus.MarshalEvents(events)
@@ -58,13 +59,13 @@ func TestTopicLFCountAndCensus(t *testing.T) {
 	if len(runners) != 10 {
 		t.Fatalf("topic LFs = %d, want 10 (Table 1)", len(runners))
 	}
-	census := lf.Census(runners)
+	census := lfapi.Census(runners)
 	for _, cat := range []lf.Category{lf.SourceHeuristic, lf.ContentHeuristic, lf.ModelBased, lf.GraphBased} {
 		if census[cat] == 0 {
 			t.Errorf("no %s LFs", cat)
 		}
 	}
-	servable := lf.ServableIndices(runners)
+	servable := lfapi.ServableIndices(runners)
 	if len(servable) == 0 || len(servable) == len(runners) {
 		t.Errorf("servable split degenerate: %v", servable)
 	}
@@ -75,8 +76,8 @@ func TestProductLFCount(t *testing.T) {
 	if len(runners) != 8 {
 		t.Fatalf("product LFs = %d, want 8 (Table 1)", len(runners))
 	}
-	if len(lf.ServableIndices(runners)) != 3 {
-		t.Errorf("servable product LFs = %d, want 3", len(lf.ServableIndices(runners)))
+	if len(lfapi.ServableIndices(runners)) != 3 {
+		t.Errorf("servable product LFs = %d, want 3", len(lfapi.ServableIndices(runners)))
 	}
 }
 
@@ -85,7 +86,7 @@ func TestEventLFCountAndFamilies(t *testing.T) {
 	if len(runners) != NumEventLFs {
 		t.Fatalf("event LFs = %d, want %d", len(runners), NumEventLFs)
 	}
-	census := lf.Census(runners)
+	census := lfapi.Census(runners)
 	if census[lf.ModelBased] < 20 || census[lf.GraphBased] < 30 || census[lf.ContentHeuristic] < 50 {
 		t.Errorf("family sizes off: %v", census)
 	}

@@ -5,19 +5,19 @@ import (
 	"math/rand"
 
 	"repro/internal/corpus"
-	"repro/internal/labelmodel"
-	"repro/internal/lf"
+	"repro/pkg/drybell/lf"
 )
 
-// EventRunner abbreviates the event labeling-function type.
-type EventRunner = lf.Runner[*corpus.Event]
+// EventLF abbreviates the event labeling-function type.
+type EventLF = lf.LF[*corpus.Event]
 
 // NumEventLFs is the paper's labeling-function count for the real-time
 // events task (§3.3: n = 140).
 const NumEventLFs = 140
 
 // EventLFs programmatically generates the events task's labeling functions
-// in the paper's three families, all defined over non-servable features:
+// in the paper's three families, all defined over non-servable features and
+// all instantiations of the model-based template's threshold slots:
 //
 //   - model-based (~30): linear scores over several aggregate statistics
 //     with thresholds — "several smaller models that had previously been
@@ -30,7 +30,7 @@ const NumEventLFs = 140
 // Thresholds and weights vary deterministically with seed, giving the LF
 // population the diverse accuracy/coverage profile that makes the
 // generative model's weighting matter (§3.3).
-func EventLFs(n int, seed int64) []EventRunner {
+func EventLFs(n int, seed int64) []EventLF {
 	if n <= 0 {
 		n = NumEventLFs
 	}
@@ -39,7 +39,7 @@ func EventLFs(n int, seed int64) []EventRunner {
 	numGraph := n * 4 / 14 // ≈40 of 140
 	numHeur := n - numModel - numGraph
 
-	out := make([]EventRunner, 0, n)
+	out := make([]EventLF, 0, n)
 	for k := 0; k < numModel; k++ {
 		out = append(out, modelBasedEventLF(k, rng))
 	}
@@ -52,9 +52,15 @@ func EventLFs(n int, seed int64) []EventRunner {
 	return out
 }
 
+// EventSet is EventLFs as a named, validated set for registry discovery.
+func EventSet(n int, seed int64) (*lf.Set[*corpus.Event], error) {
+	return lf.NewSet("events", EventLFs(n, seed)...)
+}
+
 // modelBasedEventLF scores a random 3-feature linear model over the
-// aggregates and votes outside a dead zone.
-func modelBasedEventLF(k int, rng *rand.Rand) EventRunner {
+// aggregates and votes outside a dead zone — the ModelFunc template
+// verbatim.
+func modelBasedEventLF(k int, rng *rand.Rand) EventLF {
 	f1 := rng.Intn(corpus.EventAggDim)
 	f2 := rng.Intn(corpus.EventAggDim)
 	f3 := rng.Intn(corpus.EventAggDim)
@@ -64,62 +70,44 @@ func modelBasedEventLF(k int, rng *rand.Rand) EventRunner {
 	hi := 2.0 + rng.Float64()*1.2
 	lo := -0.4 - rng.Float64()*0.8
 	norm := w1 + w2 + w3
-	return lf.Func[*corpus.Event]{
+	return &lf.ModelFunc[*corpus.Event]{
 		Meta: lf.Meta{Name: fmt.Sprintf("model_%03d", k), Category: lf.ModelBased, Servable: false},
-		Vote: func(e *corpus.Event) labelmodel.Label {
-			score := (w1*e.AggStats[f1] + w2*e.AggStats[f2] + w3*e.AggStats[f3]) / norm
-			switch {
-			case score > hi:
-				return labelmodel.Positive
-			case score < lo:
-				return labelmodel.Negative
-			default:
-				return labelmodel.Abstain
-			}
+		Score: func(e *corpus.Event) float64 {
+			return (w1*e.AggStats[f1] + w2*e.AggStats[f2] + w3*e.AggStats[f3]) / norm
 		},
+		PositiveAbove: hi,
+		NegativeBelow: lo,
 	}
 }
 
 // graphBasedEventLF fires positive on a low relationship-graph threshold:
 // high recall, lower precision.
-func graphBasedEventLF(k int, rng *rand.Rand) EventRunner {
+func graphBasedEventLF(k int, rng *rand.Rand) EventLF {
 	f := rng.Intn(corpus.EventGraphDim)
 	th := 0.8 + rng.Float64()*0.7 // low thresholds relative to the heuristics
-	return lf.Func[*corpus.Event]{
-		Meta: lf.Meta{Name: fmt.Sprintf("graph_%03d", k), Category: lf.GraphBased, Servable: false},
-		Vote: func(e *corpus.Event) labelmodel.Label {
-			if e.GraphScores[f] > th {
-				return labelmodel.Positive
-			}
-			return labelmodel.Abstain
-		},
-	}
+	return lf.Threshold(
+		lf.Meta{Name: fmt.Sprintf("graph_%03d", k), Category: lf.GraphBased, Servable: false},
+		func(e *corpus.Event) float64 { return e.GraphScores[f] },
+		th, lf.NeverNegative,
+	)
 }
 
 // heuristicEventLF is a single-feature threshold rule; a third are
 // negative-voting rules on low feature values.
-func heuristicEventLF(k int, rng *rand.Rand) EventRunner {
+func heuristicEventLF(k int, rng *rand.Rand) EventLF {
 	f := rng.Intn(corpus.EventAggDim)
 	if k%3 == 0 {
 		th := -0.5 - rng.Float64()*0.9
-		return lf.Func[*corpus.Event]{
-			Meta: lf.Meta{Name: fmt.Sprintf("heuristic_%03d", k), Category: lf.ContentHeuristic, Servable: false},
-			Vote: func(e *corpus.Event) labelmodel.Label {
-				if e.AggStats[f] < th {
-					return labelmodel.Negative
-				}
-				return labelmodel.Abstain
-			},
-		}
+		return lf.Threshold(
+			lf.Meta{Name: fmt.Sprintf("heuristic_%03d", k), Category: lf.ContentHeuristic, Servable: false},
+			func(e *corpus.Event) float64 { return e.AggStats[f] },
+			lf.NeverPositive, th,
+		)
 	}
 	th := 1.8 + rng.Float64()*1.2
-	return lf.Func[*corpus.Event]{
-		Meta: lf.Meta{Name: fmt.Sprintf("heuristic_%03d", k), Category: lf.ContentHeuristic, Servable: false},
-		Vote: func(e *corpus.Event) labelmodel.Label {
-			if e.AggStats[f] > th {
-				return labelmodel.Positive
-			}
-			return labelmodel.Abstain
-		},
-	}
+	return lf.Threshold(
+		lf.Meta{Name: fmt.Sprintf("heuristic_%03d", k), Category: lf.ContentHeuristic, Servable: false},
+		func(e *corpus.Event) float64 { return e.AggStats[f] },
+		th, lf.NeverNegative,
+	)
 }

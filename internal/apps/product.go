@@ -2,31 +2,26 @@ package apps
 
 import (
 	"strings"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/kgraph"
-	"repro/internal/labelmodel"
-	"repro/internal/lf"
 	"repro/internal/nlp"
+	"repro/pkg/drybell/lf"
 )
 
 // ProductLFs returns the eight labeling functions of the product-
 // classification case study (§3.2): keyword rules for the expanded category
 // (products plus accessories and parts), negative keyword rules for
 // out-of-category accessories, Knowledge Graph translation lookups covering
-// ten languages, the coarse topic-model negative heuristic, and a merchant
+// ten languages (the graph-based template, queried through its LRU cache),
+// the coarse topic-model negative heuristic, and a merchant
 // aggregate-statistics heuristic.
-func ProductLFs(graph *kgraph.Graph, seed int64) []DocRunner {
-	if graph == nil {
-		graph = kgraph.Builtin()
-	}
+func ProductLFs(graph kgraph.Client, seed int64) []DocLF {
+	client := cachedClient(graph)
 	newServer := func() *nlp.Server { return nlp.NewServer(0, seed) }
 
-	// Pre-expand translated keyword tables once; LF closures share them,
-	// the way the paper's LFs query the graph during development.
 	inCategory := append(append([]string{}, kgraph.BikeKeywords...), kgraph.BikeAccessoryKeywords...)
-	translatedIn := translationTable(graph, inCategory)
-	translatedOut := translationTable(graph, kgraph.OtherAccessoryKeywords)
 
 	containsAny := func(text string, words []string) bool {
 		for _, w := range words {
@@ -36,119 +31,152 @@ func ProductLFs(graph *kgraph.Graph, seed int64) []DocRunner {
 		}
 		return false
 	}
+	// The translated keyword tables are expanded from the graph client once,
+	// on first vote, exactly as the paper's LFs queried the graph during
+	// development; per-vote work is then lock-free map reads shared by every
+	// graph-backed function in the set. Expansion enumerates the ten serving
+	// locales (kgraph.Languages), the product task's language universe.
+	tables := &translationTables{keywords: inCategory}
 
-	return []DocRunner{
+	return []DocLF{
 		// --- Servable: English keyword rules. ---
-		lf.Func[*corpus.Document]{
+		&lf.Func[*corpus.Document]{
 			Meta: lf.Meta{Name: "keyword_bike_en", Category: lf.ContentHeuristic, Servable: true},
-			Vote: func(d *corpus.Document) labelmodel.Label {
+			Fn: func(d *corpus.Document) lf.Label {
 				if containsAny(d.Text(), kgraph.BikeKeywords) {
-					return labelmodel.Positive
+					return lf.Positive
 				}
-				return labelmodel.Abstain
+				return lf.Abstain
 			},
 		},
-		lf.Func[*corpus.Document]{
+		&lf.Func[*corpus.Document]{
 			Meta: lf.Meta{Name: "keyword_accessory_en", Category: lf.ContentHeuristic, Servable: true},
-			Vote: func(d *corpus.Document) labelmodel.Label {
+			Fn: func(d *corpus.Document) lf.Label {
 				// The expanded category: accessories and parts now count.
 				if containsAny(d.Text(), kgraph.BikeAccessoryKeywords) {
-					return labelmodel.Positive
+					return lf.Positive
 				}
-				return labelmodel.Abstain
+				return lf.Abstain
 			},
 		},
-		lf.Func[*corpus.Document]{
+		&lf.Func[*corpus.Document]{
 			Meta: lf.Meta{Name: "keyword_other_accessory_en", Category: lf.ContentHeuristic, Servable: true},
-			Vote: func(d *corpus.Document) labelmodel.Label {
+			Fn: func(d *corpus.Document) lf.Label {
 				text := d.Text()
 				if containsAny(text, kgraph.OtherAccessoryKeywords) &&
 					!containsAny(text, kgraph.BikeKeywords) &&
 					!containsAny(text, kgraph.BikeAccessoryKeywords) {
-					return labelmodel.Negative
+					return lf.Negative
 				}
-				return labelmodel.Abstain
+				return lf.Abstain
 			},
 		},
 
-		// --- Non-servable: Knowledge Graph translations (ten languages). ---
-		lf.Func[*corpus.Document]{
-			Meta: lf.Meta{Name: "kg_translated_bike", Category: lf.GraphBased, Servable: false},
-			Vote: func(d *corpus.Document) labelmodel.Label {
-				if forms, ok := translatedIn[d.Language]; ok && containsAny(d.Text(), forms) {
-					return labelmodel.Positive
+		// --- Non-servable: Knowledge Graph translations (ten languages),
+		// the graph-based template over the shared cached client. ---
+		&lf.GraphFunc[*corpus.Document]{
+			Meta:   lf.Meta{Name: "kg_translated_bike", Category: lf.GraphBased, Servable: false},
+			Client: client,
+			Query: func(g kgraph.Client, d *corpus.Document) lf.Label {
+				tables.expand(g)
+				if forms, ok := tables.in[d.Language]; ok && containsAny(d.Text(), forms) {
+					return lf.Positive
 				}
-				return labelmodel.Abstain
+				return lf.Abstain
 			},
 		},
-		lf.Func[*corpus.Document]{
-			Meta: lf.Meta{Name: "kg_translated_other_accessory", Category: lf.GraphBased, Servable: false},
-			Vote: func(d *corpus.Document) labelmodel.Label {
+		&lf.GraphFunc[*corpus.Document]{
+			Meta:   lf.Meta{Name: "kg_translated_other_accessory", Category: lf.GraphBased, Servable: false},
+			Client: client,
+			Query: func(g kgraph.Client, d *corpus.Document) lf.Label {
+				tables.expand(g)
 				text := d.Text()
-				if forms, ok := translatedOut[d.Language]; ok && containsAny(text, forms) {
-					if in, ok := translatedIn[d.Language]; !ok || !containsAny(text, in) {
-						return labelmodel.Negative
+				if forms, ok := tables.out[d.Language]; ok && containsAny(text, forms) {
+					if in, ok := tables.in[d.Language]; !ok || !containsAny(text, in) {
+						return lf.Negative
 					}
 				}
-				return labelmodel.Abstain
+				return lf.Abstain
 			},
 		},
 
 		// --- Non-servable: topic-model negative heuristic. ---
-		lf.NLPFunc[*corpus.Document]{
+		&lf.NLPFunc[*corpus.Document]{
 			Meta:      lf.Meta{Name: "topicmodel_unrelated", Category: lf.ModelBased, Servable: false},
 			NewServer: newServer,
 			GetText:   func(d *corpus.Document) string { return d.Text() },
-			GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+			GetValue: func(_ *corpus.Document, res *nlp.Result) lf.Label {
 				switch res.TopTopic() {
 				case nlp.TopicTravel, nlp.TopicFood, nlp.TopicFinance, nlp.TopicTechnology:
-					return labelmodel.Negative
+					return lf.Negative
 				default:
-					return labelmodel.Abstain
+					return lf.Abstain
 				}
 			},
 		},
 
-		// --- Non-servable: merchant aggregate statistics. ---
-		lf.Func[*corpus.Document]{
-			Meta: lf.Meta{Name: "crawler_listing_quality", Category: lf.SourceHeuristic, Servable: false},
-			Vote: func(d *corpus.Document) labelmodel.Label {
-				// Negative-only: under ~1.5% positives, low engagement is
-				// reliable negative evidence but high engagement is not
-				// precise enough to vote positive.
-				if d.Crawler.EngagementScore < 0.12 {
-					return labelmodel.Negative
-				}
-				return labelmodel.Abstain
-			},
-		},
+		// --- Non-servable: merchant aggregate statistics. Negative-only
+		// threshold slot: under ~1.5% positives, low engagement is reliable
+		// negative evidence but high engagement is not precise enough to
+		// vote positive. ---
+		lf.Threshold(
+			lf.Meta{Name: "crawler_listing_quality", Category: lf.SourceHeuristic, Servable: false},
+			func(d *corpus.Document) float64 { return d.Crawler.EngagementScore },
+			lf.NeverPositive, 0.12,
+		),
 
 		// --- Non-servable: internal merchant-category model (simulated as a
-		// high-precision combination of graph keyword + shopping context). ---
-		lf.Func[*corpus.Document]{
+		// high-precision combination of graph keyword + shopping context),
+		// thresholded through the model-based template's positive slot. ---
+		&lf.ModelFunc[*corpus.Document]{
 			Meta: lf.Meta{Name: "merchant_category_model", Category: lf.ModelBased, Servable: false},
-			Vote: func(d *corpus.Document) labelmodel.Label {
+			Score: func(d *corpus.Document) float64 {
+				tables.expand(client)
 				text := d.Text()
-				forms, ok := translatedIn[d.Language]
-				if !ok {
-					return labelmodel.Abstain
+				if forms, ok := tables.in[d.Language]; ok && containsAny(text, forms) &&
+					containsAny(text, nlp.TopicVocab[nlp.TopicShopping]) {
+					return 1
 				}
-				if containsAny(text, forms) && containsAny(text, nlp.TopicVocab[nlp.TopicShopping]) {
-					return labelmodel.Positive
-				}
-				return labelmodel.Abstain
+				return 0
 			},
+			PositiveAbove: 0.5,
+			NegativeBelow: lf.NeverNegative,
 		},
 	}
 }
 
-// translationTable builds language → localized keyword forms.
-func translationTable(g *kgraph.Graph, keywords []string) map[string][]string {
+// translationTables holds the language → localized-surface-form tables the
+// product set's graph-backed functions share, expanded from the knowledge
+// graph exactly once.
+type translationTables struct {
+	keywords []string // in-category keyword set
+	once     sync.Once
+	in, out  map[string][]string
+}
+
+// expand builds both tables through the (cached) client on first use.
+func (t *translationTables) expand(g kgraph.Client) {
+	t.once.Do(func() {
+		t.in = expandTranslations(g, t.keywords)
+		t.out = expandTranslations(g, kgraph.OtherAccessoryKeywords)
+	})
+}
+
+// expandTranslations asks the graph for every keyword's surface form in
+// each serving locale.
+func expandTranslations(g kgraph.Client, keywords []string) map[string][]string {
 	out := make(map[string][]string)
 	for _, kw := range keywords {
-		for _, tr := range g.TranslationsOf(kw) {
-			out[tr.Language] = append(out[tr.Language], tr.Form)
+		for _, lang := range kgraph.Languages {
+			if form, ok := g.Translate(kw, lang); ok {
+				out[lang] = append(out[lang], form)
+			}
 		}
 	}
 	return out
+}
+
+// ProductSet is ProductLFs as a named, validated set for registry discovery.
+func ProductSet(graph kgraph.Client, seed int64) (*lf.Set[*corpus.Document], error) {
+	return lf.NewSet("product", ProductLFs(graph, seed)...)
 }

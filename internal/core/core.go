@@ -36,6 +36,7 @@ import (
 	"repro/internal/lf"
 	"repro/internal/mapreduce"
 	"repro/internal/recordio"
+	lfapi "repro/pkg/drybell/lf"
 )
 
 // Trainer selects the label-model optimizer by registry name.
@@ -71,6 +72,10 @@ type Config[T any] struct {
 	Trainer Trainer
 	// LabelModel are the label-model training options.
 	LabelModel labelmodel.Options
+	// DevLabels optionally carries dev-set ground truth aligned with the
+	// input examples (Abstain = unlabeled). When present, the post-execution
+	// LF analysis reports per-function empirical accuracy against it.
+	DevLabels []labelmodel.Label
 }
 
 // WithDefaults validates the config and fills in defaults. Callers that run
@@ -119,6 +124,10 @@ type Result struct {
 	Posteriors []float64
 	// LFReport describes per-function execution.
 	LFReport *lf.Report
+	// Analysis is the development-loop report over the matrix (coverage,
+	// overlaps, conflicts, and empirical accuracy when Config.DevLabels are
+	// present).
+	Analysis *lfapi.Analysis
 	// LabelsPath is the DFS base where the probabilistic labels were
 	// persisted (sharded recordio of float64).
 	LabelsPath string
@@ -145,8 +154,8 @@ func Examples[T any](xs []T) iter.Seq2[T, error] {
 
 // Run executes the weak-supervision pipeline over the examples and labeling
 // functions, returning probabilistic training labels.
-func Run[T any](cfg Config[T], examples []T, runners []lf.Runner[T]) (*Result, error) {
-	return RunContext(context.Background(), cfg, Examples(examples), runners)
+func Run[T any](cfg Config[T], examples []T, lfs []lfapi.LF[T]) (*Result, error) {
+	return RunContext(context.Background(), cfg, Examples(examples), lfs)
 }
 
 // RunContext executes the four-stage pipeline over a streaming example
@@ -154,21 +163,24 @@ func Run[T any](cfg Config[T], examples []T, runners []lf.Runner[T]) (*Result, e
 // mid-stage during staging and labeling-function execution (between records
 // inside MapReduce tasks); the denoise and persist stages check the context
 // at stage entry.
-func RunContext[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], runners []lf.Runner[T]) (*Result, error) {
-	return RunObserved(ctx, cfg, src, runners, nil)
+func RunContext[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], lfs []lfapi.LF[T]) (*Result, error) {
+	return RunObserved(ctx, cfg, src, lfs, nil)
 }
 
 // RunObserved is RunContext with a per-stage observer: hook (if non-nil)
 // receives one StageEvent per completed or failed stage. This is the single
 // pipeline composition; Run, RunContext, and pkg/drybell's Pipeline.Run all
 // delegate here.
-func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], runners []lf.Runner[T], hook StageHook) (*Result, error) {
+func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], lfs []lfapi.LF[T], hook StageHook) (*Result, error) {
 	cfg, err := cfg.WithDefaults()
 	if err != nil {
 		return nil, err
 	}
-	if len(runners) == 0 {
-		return nil, fmt.Errorf("drybell: no labeling functions")
+	// Validate the function set before staging a single record: duplicate
+	// names would silently overwrite each other's vote shards on the DFS,
+	// and a doomed run should not commit a corpus first.
+	if err := lfapi.ValidateNames(lfs); err != nil {
+		return nil, fmt.Errorf("drybell: %w", err)
 	}
 	emit := func(ev StageEvent) {
 		if hook != nil {
@@ -188,12 +200,21 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 
 	// Stage 2: one MapReduce job per labeling function.
 	t1 := time.Now()
-	res.Matrix, res.LFReport, err = ExecuteLFs(ctx, cfg, runners)
+	res.Matrix, res.LFReport, err = ExecuteLFs(ctx, cfg, lfs)
 	emit(StageEvent{Stage: StageExecuteLFs, Start: t1, Duration: time.Since(t1), Examples: n, Report: res.LFReport, Err: err})
 	if err != nil {
 		return nil, err
 	}
 	res.Timings.Execute = time.Since(t1)
+
+	// Stage 2b: the development-loop analysis over the fresh matrix —
+	// coverage, overlaps, conflicts, and accuracy against any dev labels.
+	ta := time.Now()
+	res.Analysis, err = lfapi.Analyze(res.Matrix, lfapi.Metas(lfs), cfg.DevLabels)
+	emit(StageEvent{Stage: StageAnalyze, Start: ta, Duration: time.Since(ta), Examples: n, Analysis: res.Analysis, Err: err})
+	if err != nil {
+		return nil, fmt.Errorf("drybell: analyze labeling functions: %w", err)
+	}
 
 	// Stage 3: denoise with the generative model.
 	t2 := time.Now()
@@ -292,12 +313,12 @@ func StageRecords[T any](ctx context.Context, cfg Config[T], src iter.Seq2[[]byt
 // staged corpus (stage 2) and assembles the label matrix. It requires a
 // prior StageExamples with the same FS and WorkDir — possibly from another
 // process, since the staged corpus lives on the filesystem.
-func ExecuteLFs[T any](ctx context.Context, cfg Config[T], runners []lf.Runner[T]) (*labelmodel.Matrix, *lf.Report, error) {
+func ExecuteLFs[T any](ctx context.Context, cfg Config[T], lfs []lfapi.LF[T]) (*labelmodel.Matrix, *lf.Report, error) {
 	cfg, err := cfg.WithDefaults()
 	if err != nil {
 		return nil, nil, err
 	}
-	return cfg.executor().ExecuteContext(ctx, runners)
+	return cfg.executor().ExecuteContext(ctx, lfs)
 }
 
 // LoadMatrix reassembles the label matrix from vote shards a previous

@@ -4,15 +4,18 @@ import (
 	"time"
 
 	"repro/internal/lf"
+	lfapi "repro/pkg/drybell/lf"
 )
 
-// StageName identifies one of the four pipeline stages.
+// StageName identifies one of the pipeline stages.
 type StageName string
 
-// The four stages of the paper's Figure 4 flow.
+// The stages of the paper's Figure 4 flow, plus the development-loop
+// analysis that follows labeling-function execution.
 const (
 	StageStage      StageName = "stage"
 	StageExecuteLFs StageName = "execute-lfs"
+	StageAnalyze    StageName = "analyze-lfs"
 	StageDenoise    StageName = "denoise"
 	StagePersist    StageName = "persist"
 )
@@ -33,6 +36,9 @@ type StageEvent struct {
 	// Report carries the per-labeling-function execution report. Only set
 	// for StageExecuteLFs.
 	Report *lf.Report
+	// Analysis carries the development-loop report (per-LF coverage,
+	// overlaps, conflicts, empirical accuracy). Only set for StageAnalyze.
+	Analysis *lfapi.Analysis
 	// LabelsPath is the DFS base the labels were written under. Only set
 	// for StagePersist.
 	LabelsPath string

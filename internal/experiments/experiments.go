@@ -81,7 +81,7 @@ type contentTask struct {
 	name    string
 	docs    []*corpus.Document
 	split   corpus.Split
-	runners []apps.DocRunner
+	runners []apps.DocLF
 	bigrams bool
 	iters   int
 }

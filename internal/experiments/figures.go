@@ -10,6 +10,7 @@ import (
 	"repro/internal/kgraph"
 	"repro/internal/lf"
 	"repro/internal/model"
+	lfapi "repro/pkg/drybell/lf"
 )
 
 // Figure2Result reproduces Figure 2: the distribution of weak-supervision
@@ -24,9 +25,9 @@ func Figure2(cfg Config) (*Figure2Result, error) {
 	cfg = cfg.withDefaults()
 	g := kgraph.Builtin()
 	return &Figure2Result{Census: map[string]map[lf.Category]int{
-		"topic":   lf.Census(apps.TopicLFs(g, 0.02, cfg.Seed)),
-		"product": lf.Census(apps.ProductLFs(g, cfg.Seed)),
-		"events":  lf.Census(apps.EventLFs(apps.NumEventLFs, cfg.Seed)),
+		"topic":   lfapi.Census(apps.TopicLFs(g, 0.02, cfg.Seed)),
+		"product": lfapi.Census(apps.ProductLFs(g, cfg.Seed)),
+		"events":  lfapi.Census(apps.EventLFs(apps.NumEventLFs, cfg.Seed)),
 	}}, nil
 }
 

@@ -5,8 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/corpus"
-	"repro/internal/lf"
 	"repro/internal/model"
+	lfapi "repro/pkg/drybell/lf"
 )
 
 // Table1Result reproduces Table 1: corpus statistics per content task.
@@ -132,7 +132,7 @@ func Table3(cfg Config) (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		servableRun, err := cfg.runContent(t, lf.ServableIndices(t.runners), false)
+		servableRun, err := cfg.runContent(t, lfapi.ServableIndices(t.runners), false)
 		if err != nil {
 			return nil, err
 		}

@@ -3,17 +3,26 @@ package lf
 import (
 	"context"
 	"fmt"
+	"iter"
 	"time"
 
 	"repro/internal/dfs"
 	"repro/internal/labelmodel"
 	"repro/internal/mapreduce"
+	lfapi "repro/pkg/drybell/lf"
 )
 
 // Executor runs a set of labeling functions over a DFS-staged corpus and
 // assembles the label matrix. One MapReduce job per function, exactly as
 // DryBell runs one binary per function (§5.4); jobs run map-only so votes
 // stay aligned with input records.
+//
+// The executor consumes public-API lf.LF values and discovers their
+// capabilities by interface: NodeLocal functions get one instance per map
+// task (the per-compute-node model server of §5.1), Lifecycle brackets each
+// task, BatchVoter functions score a whole shard per call through the
+// engine's batch path, and CorpusFitter functions get a first streaming
+// pass over the staged corpus before their vote job launches.
 type Executor[T any] struct {
 	// FS holds the staged input and receives per-function vote shards.
 	FS dfs.FS
@@ -29,6 +38,9 @@ type Executor[T any] struct {
 	MaxAttempts int
 	// FailureHook is forwarded to every job, for failure-injection tests.
 	FailureHook func(taskID string, attempt int) error
+	// NoBatch forces record-at-a-time evaluation even for functions that
+	// implement BatchVoter — the scalar baseline for benchmarks and debug.
+	NoBatch bool
 }
 
 // LFReport describes one labeling function's execution.
@@ -38,11 +50,14 @@ type LFReport struct {
 	Servable bool
 	// Votes emitted by value.
 	Positives, Negatives, Abstains int64
-	// Duration of the function's MapReduce job.
+	// Duration of the function's MapReduce job (including a fit pass).
 	Duration time.Duration
 	// ModelServersLaunched counts per-node model-server launches (zero for
 	// default-pipeline functions).
 	ModelServersLaunched int64
+	// CorpusPasses is 2 for two-pass (aggregation-based) functions that
+	// needed a fit pass, 1 otherwise.
+	CorpusPasses int
 }
 
 // Report summarizes an Execute call.
@@ -60,49 +75,50 @@ func Stage[T any](fs dfs.FS, base string, records [][]byte, shards int) error {
 }
 
 // Execute runs every labeling function and returns the assembled m×n label
-// matrix, with column j holding runner j's votes in input-record order.
-func (e *Executor[T]) Execute(runners []Runner[T]) (*labelmodel.Matrix, *Report, error) {
-	return e.ExecuteContext(context.Background(), runners)
+// matrix, with column j holding function j's votes in input-record order.
+func (e *Executor[T]) Execute(lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
+	return e.ExecuteContext(context.Background(), lfs)
 }
 
 // ExecuteContext is Execute under a context: cancellation stops between jobs
-// and mid-job (between records), and the partial run commits no label matrix.
-func (e *Executor[T]) ExecuteContext(ctx context.Context, runners []Runner[T]) (*labelmodel.Matrix, *Report, error) {
-	if len(runners) == 0 {
-		return nil, nil, fmt.Errorf("lf: no labeling functions to execute")
-	}
+// and mid-job (between records or batches), and the partial run commits no
+// label matrix.
+func (e *Executor[T]) ExecuteContext(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
 	if e.Decode == nil {
 		return nil, nil, fmt.Errorf("lf: executor has no decoder")
 	}
-	seen := map[string]bool{}
-	for _, r := range runners {
-		name := r.LFMeta().Name
-		if name == "" {
-			return nil, nil, fmt.Errorf("lf: labeling function with empty name")
-		}
-		if seen[name] {
-			return nil, nil, fmt.Errorf("lf: duplicate labeling function name %q", name)
-		}
-		seen[name] = true
+	if err := lfapi.ValidateNames(lfs); err != nil {
+		return nil, nil, err
 	}
 
 	start := time.Now()
-	report := &Report{PerLF: make([]LFReport, len(runners))}
+	report := &Report{PerLF: make([]LFReport, len(lfs))}
 	var matrix *labelmodel.Matrix
 
-	for j, r := range runners {
+	for j, f := range lfs {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("lf: execute: %w", err)
 		}
-		meta := r.LFMeta()
+		meta := f.LFMeta()
 		outBase := e.OutputPrefix + "/" + meta.Name
 		jobStart := time.Now()
+
+		// Two-pass functions (AggregateFunc) fit their corpus-level
+		// statistics from the staged input before the vote job launches.
+		passes := 1
+		if fitter, ok := f.(lfapi.CorpusFitter[T]); ok && !fitter.Fitted() {
+			if err := fitter.FitCorpus(ctx, e.corpus()); err != nil {
+				return nil, nil, fmt.Errorf("lf: fit %s: %w", meta.Name, err)
+			}
+			passes = 2
+		}
+
 		res, err := mapreduce.RunContext(ctx, mapreduce.Job{
 			Name:        "lf-" + meta.Name,
 			FS:          e.FS,
 			InputBase:   e.InputBase,
 			OutputBase:  outBase,
-			Mapper:      r.Mapper(e.Decode),
+			Mapper:      e.mapperFor(ctx, f),
 			Parallelism: e.Parallelism,
 			MaxAttempts: e.MaxAttempts,
 			FailureHook: e.FailureHook,
@@ -110,12 +126,12 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, runners []Runner[T]) (
 		if err != nil {
 			return nil, nil, fmt.Errorf("lf: execute %s: %w", meta.Name, err)
 		}
-		votes, err := e.loadVotes(outBase)
+		votes, err := e.loadVotes(meta.Name, outBase)
 		if err != nil {
-			return nil, nil, fmt.Errorf("lf: load votes for %s: %w", meta.Name, err)
+			return nil, nil, err
 		}
 		if matrix == nil {
-			matrix = labelmodel.NewMatrix(len(votes), len(runners))
+			matrix = labelmodel.NewMatrix(len(votes), len(lfs))
 			report.Examples = len(votes)
 		} else if len(votes) != report.Examples {
 			return nil, nil, fmt.Errorf("lf: %s produced %d votes, earlier functions produced %d",
@@ -124,18 +140,126 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, runners []Runner[T]) (
 		for i, v := range votes {
 			matrix.Set(i, j, v)
 		}
-		rep := LFReport{
+		report.PerLF[j] = LFReport{
 			Name: meta.Name, Category: meta.Category, Servable: meta.Servable,
 			Duration:             time.Since(jobStart),
 			Positives:            res.Counters["votes/"+meta.Name+"/positive"],
 			Negatives:            res.Counters["votes/"+meta.Name+"/negative"],
 			Abstains:             res.Counters["votes/"+meta.Name+"/abstain"],
 			ModelServersLaunched: res.Counters["model-servers-launched"],
+			CorpusPasses:         passes,
 		}
-		report.PerLF[j] = rep
 	}
 	report.Duration = time.Since(start)
 	return matrix, report, nil
+}
+
+// mapperFor adapts one labeling function to the MapReduce engine, choosing
+// the batch-capable adapter when the function vectorizes and batching is
+// not disabled.
+func (e *Executor[T]) mapperFor(ctx context.Context, f lfapi.LF[T]) mapreduce.Mapper {
+	task := lfTask[T]{ctx: ctx, f: f, decode: e.Decode}
+	if !e.NoBatch {
+		if _, ok := f.(lfapi.BatchVoter[T]); ok {
+			return &lfBatchTask[T]{task}
+		}
+	}
+	return &task
+}
+
+// lfTask adapts one labeling function to a MapReduce mapper, one vote per
+// record. Per task (simulated compute node) it derives a NodeLocal instance
+// and brackets it with the function's Lifecycle — the paper's "launch a
+// model server on each node in Setup, stop it in Teardown".
+type lfTask[T any] struct {
+	ctx    context.Context
+	f      lfapi.LF[T]
+	decode func([]byte) (T, error)
+}
+
+// instance returns this task's per-node function instance.
+func (m *lfTask[T]) instance(tctx *mapreduce.TaskContext) lfapi.LF[T] {
+	return tctx.State().(lfapi.LF[T])
+}
+
+// Setup implements mapreduce.Mapper.
+func (m *lfTask[T]) Setup(tctx *mapreduce.TaskContext) error {
+	inst := m.f
+	if nl, ok := m.f.(lfapi.NodeLocal[T]); ok {
+		inst = nl.ForNode()
+	}
+	if lc, ok := inst.(lfapi.Lifecycle); ok {
+		if err := lc.Setup(m.ctx); err != nil {
+			return fmt.Errorf("lf %s: setup: %w", m.f.LFMeta().Name, err)
+		}
+	}
+	if owner, ok := inst.(interface{ OwnsModelServer() bool }); ok && owner.OwnsModelServer() {
+		tctx.Counters.Inc("model-servers-launched", 1)
+	}
+	tctx.SetState(inst)
+	return nil
+}
+
+// Map implements mapreduce.Mapper.
+func (m *lfTask[T]) Map(tctx *mapreduce.TaskContext, rec []byte, emit mapreduce.Emitter) error {
+	name := m.f.LFMeta().Name
+	x, err := m.decode(rec)
+	if err != nil {
+		return fmt.Errorf("lf %s: %w", name, err)
+	}
+	v, err := m.instance(tctx).Vote(m.ctx, x)
+	if err != nil {
+		return err
+	}
+	if !v.Valid() {
+		return fmt.Errorf("lf %s: invalid vote %d", name, v)
+	}
+	countVote(tctx, name, v)
+	emit("", encodeVote(v))
+	return nil
+}
+
+// Teardown implements mapreduce.Mapper.
+func (m *lfTask[T]) Teardown(tctx *mapreduce.TaskContext) error {
+	inst, ok := tctx.State().(lfapi.LF[T])
+	if !ok {
+		return nil // Setup never ran
+	}
+	if lc, ok := inst.(lfapi.Lifecycle); ok {
+		if err := lc.Teardown(m.ctx); err != nil {
+			return fmt.Errorf("lf %s: teardown: %w", m.f.LFMeta().Name, err)
+		}
+	}
+	return nil
+}
+
+// lfBatchTask is the vectorized adapter: the engine hands each task's
+// records over in one MapBatch call, and the function scores them through
+// its VoteBatch in a single invocation.
+type lfBatchTask[T any] struct {
+	lfTask[T]
+}
+
+// MapBatch implements mapreduce.BatchMapper.
+func (m *lfBatchTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, emit mapreduce.Emitter) error {
+	name := m.f.LFMeta().Name
+	xs := make([]T, len(records))
+	for i, rec := range records {
+		x, err := m.decode(rec)
+		if err != nil {
+			return fmt.Errorf("lf %s: %w", name, err)
+		}
+		xs[i] = x
+	}
+	votes, err := lfapi.VoteAll(m.ctx, m.instance(tctx), xs)
+	if err != nil {
+		return err
+	}
+	for _, v := range votes {
+		countVote(tctx, name, v)
+		emit("", encodeVote(v))
+	}
+	return nil
 }
 
 // LoadMatrix assembles the label matrix from vote shards already on the DFS
@@ -150,9 +274,9 @@ func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
 	}
 	var matrix *labelmodel.Matrix
 	for j, name := range names {
-		votes, err := e.loadVotes(e.OutputPrefix + "/" + name)
+		votes, err := e.loadVotes(name, e.OutputPrefix+"/"+name)
 		if err != nil {
-			return nil, fmt.Errorf("lf: load votes for %s: %w", name, err)
+			return nil, err
 		}
 		if matrix == nil {
 			matrix = labelmodel.NewMatrix(len(votes), len(names))
@@ -167,14 +291,50 @@ func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
 	return matrix, nil
 }
 
+// corpus streams the staged input back as decoded examples — the first pass
+// of two-pass functions. Iteration order is per-shard, not the original
+// staging order, which aggregation cannot observe.
+func (e *Executor[T]) corpus() iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		var zero T
+		shards, err := dfs.ListShards(e.FS, e.InputBase)
+		if err != nil {
+			yield(zero, err)
+			return
+		}
+		for _, shard := range shards {
+			data, err := e.FS.ReadFile(shard)
+			if err != nil {
+				yield(zero, err)
+				return
+			}
+			recs, err := readAllRecords(data)
+			if err != nil {
+				yield(zero, fmt.Errorf("shard %s: %w", shard, err))
+				return
+			}
+			for _, rec := range recs {
+				x, err := e.Decode(rec)
+				if err != nil {
+					yield(zero, err)
+					return
+				}
+				if !yield(x, nil) {
+					return
+				}
+			}
+		}
+	}
+}
+
 // loadVotes reads a function's sharded output back into input-record order.
 // Map-only jobs write output shard i from input shard i, and WriteInput
 // staged record k into shard k%n at position k/n, so the original index of
 // the r-th record of shard s is s + r·n.
-func (e *Executor[T]) loadVotes(base string) ([]labelmodel.Label, error) {
+func (e *Executor[T]) loadVotes(name, base string) ([]labelmodel.Label, error) {
 	shards, err := dfs.ListShards(e.FS, base)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("lf: load votes for %s: %w", name, err)
 	}
 	n := len(shards)
 	perShard := make([][]labelmodel.Label, n)
@@ -182,15 +342,15 @@ func (e *Executor[T]) loadVotes(base string) ([]labelmodel.Label, error) {
 	for s, shard := range shards {
 		data, err := e.FS.ReadFile(shard)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("lf: load votes for %s: %w", name, err)
 		}
 		recs, err := readAllRecords(data)
 		if err != nil {
-			return nil, fmt.Errorf("shard %s: %w", shard, err)
+			return nil, fmt.Errorf("lf: load votes for %s: shard %s: %w", name, shard, err)
 		}
 		votes := make([]labelmodel.Label, len(recs))
 		for r, rec := range recs {
-			v, err := decodeVote(rec)
+			v, err := decodeVote(name, rec)
 			if err != nil {
 				return nil, fmt.Errorf("shard %s record %d: %w", shard, r, err)
 			}
@@ -204,10 +364,30 @@ func (e *Executor[T]) loadVotes(base string) ([]labelmodel.Label, error) {
 		for r, v := range votes {
 			idx := s + r*n
 			if idx >= total {
-				return nil, fmt.Errorf("lf: shard layout inconsistent (index %d of %d)", idx, total)
+				return nil, fmt.Errorf("lf: %s: shard layout inconsistent (index %d of %d)", name, idx, total)
 			}
 			out[idx] = v
 		}
 	}
 	return out, nil
+}
+
+func countVote(ctx *mapreduce.TaskContext, name string, v labelmodel.Label) {
+	ctx.Counters.Inc("votes/"+name+"/"+v.String(), 1)
+}
+
+func encodeVote(v labelmodel.Label) []byte { return []byte{byte(int8(v))} }
+
+// decodeVote parses one stored vote byte, rejecting anything outside the
+// three legal values and naming the labeling function in every error —
+// corrupt shards must say whose output is bad.
+func decodeVote(name string, rec []byte) (labelmodel.Label, error) {
+	if len(rec) != 1 {
+		return 0, fmt.Errorf("lf %s: vote record has %d bytes, want 1", name, len(rec))
+	}
+	v := labelmodel.Label(int8(rec[0]))
+	if !v.Valid() {
+		return 0, fmt.Errorf("lf %s: stored vote byte %d out of range (want -1, 0, or +1)", name, int8(rec[0]))
+	}
+	return v, nil
 }

@@ -1,64 +1,53 @@
-// Package lf implements Snorkel DryBell's labeling-function template
-// library (paper §5.1). The paper's C++ class templates become Go generics:
+// Package lf is the batch execution engine behind the public labeling-
+// function API (repro/pkg/drybell/lf): it adapts lf.LF values to MapReduce
+// jobs over the distributed filesystem. Each labeling function executes as
+// its own job writing votes to "labels/<name>" — "labeling functions are
+// independent executables that use a distributed filesystem to share data"
+// (§5.4) — and the Executor assembles the per-function outputs into the
+// label matrix Λ.
 //
-//   - Func[T] is the default pipeline (the paper's LabelingFunction): a pure
-//     function from an example to a vote, executed in a MapReduce map task
-//     with no extra services.
-//   - NLPFunc[T] is the model-server pipeline (NLPLabelingFunction): a
-//     GetText slot selecting the text to annotate and a GetValue slot
-//     computing the vote from the example and the NLP result. The template
-//     launches an NLP model server on each compute node in the task's Setup
-//     hook and stops it in Teardown, because the NLP models are too
-//     expensive to run anywhere but the offline labeling pipeline.
-//
-// Each labeling function executes as its own job writing votes to the
-// distributed filesystem — "labeling functions are independent executables
-// that use a distributed filesystem to share data" (§5.4) — and the
-// Executor assembles the per-function outputs into the label matrix Λ.
+// The authoring surface (templates, combinators, sets, analysis) lives in
+// the public package; this package owns only execution. The legacy Runner
+// types below predate the public API and remain as thin conversion shims
+// for one release.
 package lf
 
 import (
-	"fmt"
-
 	"repro/internal/labelmodel"
-	"repro/internal/mapreduce"
 	"repro/internal/nlp"
+	lfapi "repro/pkg/drybell/lf"
 )
+
+// Meta describes one labeling function. It is the public API's Meta.
+type Meta = lfapi.Meta
 
 // Category buckets weak-supervision sources the way Figure 2 does.
-type Category string
+type Category = lfapi.Category
 
-// Figure 2 categories.
+// Figure 2 categories, re-exported from the public API.
 const (
-	SourceHeuristic  Category = "source-heuristic"  // URL/source patterns, aggregate stats
-	ContentHeuristic Category = "content-heuristic" // keywords and content patterns
-	ModelBased       Category = "model-based"       // internal model predictions
-	GraphBased       Category = "graph-based"       // knowledge/entity graphs
+	SourceHeuristic  = lfapi.SourceHeuristic
+	ContentHeuristic = lfapi.ContentHeuristic
+	ModelBased       = lfapi.ModelBased
+	GraphBased       = lfapi.GraphBased
 )
 
-// Meta describes one labeling function.
-type Meta struct {
-	// Name is unique within an application; it names the function's DFS
-	// output ("labels/<name>").
-	Name string
-	// Category is the Figure 2 bucket.
-	Category Category
-	// Servable records whether the function reads only production-servable
-	// signals. Non-servable functions are the ones cross-feature serving
-	// exists for (§4, Table 3).
-	Servable bool
-}
-
-// Runner is one executable labeling function: metadata plus the mapper that
-// computes its votes. Implementations are Func and NLPFunc.
+// Runner is the pre-SDK labeling-function shape: metadata plus a conversion
+// to the public API value both engines execute.
+//
+// Deprecated: author functions with repro/pkg/drybell/lf templates instead;
+// Runner remains only so code written against the old aliases keeps
+// compiling for one release.
 type Runner[T any] interface {
 	// LFMeta returns the function's metadata.
 	LFMeta() Meta
-	// Mapper returns the MapReduce mapper computing one vote per record.
-	Mapper(decode func([]byte) (T, error)) mapreduce.Mapper
+	// LF converts the runner to its public-API equivalent.
+	LF() lfapi.LF[T]
 }
 
-// Func is the default labeling-function pipeline: a pure vote function.
+// Func is the legacy default-pipeline template.
+//
+// Deprecated: use repro/pkg/drybell/lf.Func (field Fn).
 type Func[T any] struct {
 	Meta Meta
 	// Vote inspects one example and returns a vote or abstains.
@@ -68,25 +57,12 @@ type Func[T any] struct {
 // LFMeta implements Runner.
 func (f Func[T]) LFMeta() Meta { return f.Meta }
 
-// Mapper implements Runner.
-func (f Func[T]) Mapper(decode func([]byte) (T, error)) mapreduce.Mapper {
-	return mapreduce.MapFunc(func(ctx *mapreduce.TaskContext, rec []byte, emit mapreduce.Emitter) error {
-		x, err := decode(rec)
-		if err != nil {
-			return fmt.Errorf("lf %s: %w", f.Meta.Name, err)
-		}
-		v := f.Vote(x)
-		if !v.Valid() {
-			return fmt.Errorf("lf %s: invalid vote %d", f.Meta.Name, v)
-		}
-		countVote(ctx, f.Meta.Name, v)
-		emit("", encodeVote(v))
-		return nil
-	})
-}
+// LF implements Runner.
+func (f Func[T]) LF() lfapi.LF[T] { return &lfapi.Func[T]{Meta: f.Meta, Fn: f.Vote} }
 
-// NLPFunc is the model-server pipeline. GetText and GetValue are the two
-// template slots from the paper's example (§5.1).
+// NLPFunc is the legacy model-server template.
+//
+// Deprecated: use repro/pkg/drybell/lf.NLPFunc.
 type NLPFunc[T any] struct {
 	Meta Meta
 	// NewServer constructs the model server launched on each compute node.
@@ -100,101 +76,18 @@ type NLPFunc[T any] struct {
 // LFMeta implements Runner.
 func (f NLPFunc[T]) LFMeta() Meta { return f.Meta }
 
-// Mapper implements Runner.
-func (f NLPFunc[T]) Mapper(decode func([]byte) (T, error)) mapreduce.Mapper {
-	return &nlpMapper[T]{f: f, decode: decode}
+// LF implements Runner.
+func (f NLPFunc[T]) LF() lfapi.LF[T] {
+	return &lfapi.NLPFunc[T]{Meta: f.Meta, NewServer: f.NewServer, GetText: f.GetText, GetValue: f.GetValue}
 }
 
-type nlpMapper[T any] struct {
-	f      NLPFunc[T]
-	decode func([]byte) (T, error)
-}
-
-// Setup launches the model server on this compute node.
-func (m *nlpMapper[T]) Setup(ctx *mapreduce.TaskContext) error {
-	srv := m.f.NewServer()
-	if srv == nil {
-		return fmt.Errorf("lf %s: NewServer returned nil", m.f.Meta.Name)
-	}
-	if err := srv.Launch(); err != nil {
-		return fmt.Errorf("lf %s: launch model server: %w", m.f.Meta.Name, err)
-	}
-	ctx.SetState(srv)
-	ctx.Counters.Inc("model-servers-launched", 1)
-	return nil
-}
-
-// Map annotates the example through the node-local server and votes.
-func (m *nlpMapper[T]) Map(ctx *mapreduce.TaskContext, rec []byte, emit mapreduce.Emitter) error {
-	x, err := m.decode(rec)
-	if err != nil {
-		return fmt.Errorf("lf %s: %w", m.f.Meta.Name, err)
-	}
-	srv := ctx.State().(*nlp.Server)
-	res, err := srv.Annotate(m.f.GetText(x))
-	if err != nil {
-		return fmt.Errorf("lf %s: annotate: %w", m.f.Meta.Name, err)
-	}
-	v := m.f.GetValue(x, res)
-	if !v.Valid() {
-		return fmt.Errorf("lf %s: invalid vote %d", m.f.Meta.Name, v)
-	}
-	countVote(ctx, m.f.Meta.Name, v)
-	emit("", encodeVote(v))
-	return nil
-}
-
-// Teardown stops the node-local server.
-func (m *nlpMapper[T]) Teardown(ctx *mapreduce.TaskContext) error {
-	if srv, ok := ctx.State().(*nlp.Server); ok && srv != nil {
-		srv.Stop()
-	}
-	return nil
-}
-
-func countVote(ctx *mapreduce.TaskContext, name string, v labelmodel.Label) {
-	ctx.Counters.Inc("votes/"+name+"/"+v.String(), 1)
-}
-
-func encodeVote(v labelmodel.Label) []byte { return []byte{byte(int8(v))} }
-
-func decodeVote(rec []byte) (labelmodel.Label, error) {
-	if len(rec) != 1 {
-		return 0, fmt.Errorf("lf: vote record has %d bytes, want 1", len(rec))
-	}
-	v := labelmodel.Label(int8(rec[0]))
-	if !v.Valid() {
-		return 0, fmt.Errorf("lf: invalid stored vote %d", int8(rec[0]))
-	}
-	return v, nil
-}
-
-// Census counts runners per category — the Figure 2 histogram.
-func Census[T any](runners []Runner[T]) map[Category]int {
-	out := map[Category]int{}
-	for _, r := range runners {
-		out[r.LFMeta().Category]++
-	}
-	return out
-}
-
-// ServableIndices returns the column indices of servable runners, the
-// Table 3 ablation subset.
-func ServableIndices[T any](runners []Runner[T]) []int {
-	var out []int
-	for j, r := range runners {
-		if r.LFMeta().Servable {
-			out = append(out, j)
-		}
-	}
-	return out
-}
-
-// Names returns runner names in column order.
-func Names[T any](runners []Runner[T]) []string {
-	out := make([]string, len(runners))
-	for j, r := range runners {
-		out[j] = r.LFMeta().Name
+// FromRunners converts legacy runners to public-API labeling functions.
+//
+// Deprecated: migrate call sites to repro/pkg/drybell/lf values directly.
+func FromRunners[T any](runners []Runner[T]) []lfapi.LF[T] {
+	out := make([]lfapi.LF[T], len(runners))
+	for i, r := range runners {
+		out[i] = r.LF()
 	}
 	return out
 }

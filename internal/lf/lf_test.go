@@ -1,6 +1,7 @@
 package lf
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/labelmodel"
 	"repro/internal/nlp"
+	lfapi "repro/pkg/drybell/lf"
 )
 
 func stageDocs(t *testing.T, fs dfs.FS, docs []*corpus.Document, shards int) {
@@ -40,20 +42,20 @@ func testDocs() []*corpus.Document {
 	}
 }
 
-func keywordLF() Func[*corpus.Document] {
-	return Func[*corpus.Document]{
-		Meta: Meta{Name: "keyword_gossip", Category: ContentHeuristic, Servable: true},
-		Vote: func(d *corpus.Document) labelmodel.Label {
+func keywordLF() lfapi.LF[*corpus.Document] {
+	return lfapi.New(
+		Meta{Name: "keyword_gossip", Category: ContentHeuristic, Servable: true},
+		func(d *corpus.Document) labelmodel.Label {
 			if strings.Contains(d.Body, "gossip") {
 				return labelmodel.Positive
 			}
 			return labelmodel.Abstain
 		},
-	}
+	)
 }
 
-func nerLF() NLPFunc[*corpus.Document] {
-	return NLPFunc[*corpus.Document]{
+func nerLF() lfapi.LF[*corpus.Document] {
+	return &lfapi.NLPFunc[*corpus.Document]{
 		Meta:      Meta{Name: "ner_no_person", Category: ModelBased, Servable: false},
 		NewServer: func() *nlp.Server { return nlp.NewServer(0, 1) },
 		GetText:   func(d *corpus.Document) string { return d.Text() },
@@ -70,7 +72,7 @@ func TestExecuteAssemblesMatrixInInputOrder(t *testing.T) {
 	fs := dfs.NewMem()
 	docs := testDocs()
 	stageDocs(t, fs, docs, 2)
-	mx, rep, err := docExecutor(fs).Execute([]Runner[*corpus.Document]{keywordLF(), nerLF()})
+	mx, rep, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{keywordLF(), nerLF()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestExecuteOrderInvariantToShardCount(t *testing.T) {
 	for _, shards := range []int{1, 2, 3, 5} {
 		fs := dfs.NewMem()
 		stageDocs(t, fs, docs, shards)
-		mx, _, err := docExecutor(fs).Execute([]Runner[*corpus.Document]{keywordLF()})
+		mx, _, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{keywordLF()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,10 +131,44 @@ func TestExecuteOrderInvariantToShardCount(t *testing.T) {
 	}
 }
 
+// TestScalarAndBatchPathsAgree runs the same staged corpus through the
+// vectorized MapBatch path and the record-at-a-time path and requires
+// identical matrices and vote counters.
+func TestScalarAndBatchPathsAgree(t *testing.T) {
+	docs := testDocs()
+	run := func(noBatch bool) (*labelmodel.Matrix, *Report) {
+		fs := dfs.NewMem()
+		stageDocs(t, fs, docs, 3)
+		e := docExecutor(fs)
+		e.NoBatch = noBatch
+		mx, rep, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), nerLF()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mx, rep
+	}
+	bmx, brep := run(false)
+	smx, srep := run(true)
+	for i := 0; i < bmx.NumExamples(); i++ {
+		for j := 0; j < bmx.NumFuncs(); j++ {
+			if bmx.At(i, j) != smx.At(i, j) {
+				t.Fatalf("batch and scalar disagree at (%d,%d): %v vs %v", i, j, bmx.At(i, j), smx.At(i, j))
+			}
+		}
+	}
+	for j := range brep.PerLF {
+		if brep.PerLF[j].Positives != srep.PerLF[j].Positives ||
+			brep.PerLF[j].Negatives != srep.PerLF[j].Negatives ||
+			brep.PerLF[j].Abstains != srep.PerLF[j].Abstains {
+			t.Fatalf("vote counters diverge for %s: %+v vs %+v", brep.PerLF[j].Name, brep.PerLF[j], srep.PerLF[j])
+		}
+	}
+}
+
 func TestNLPServerLaunchedPerTask(t *testing.T) {
 	fs := dfs.NewMem()
 	stageDocs(t, fs, testDocs(), 3)
-	_, rep, err := docExecutor(fs).Execute([]Runner[*corpus.Document]{nerLF()})
+	_, rep, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{nerLF()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,19 +183,20 @@ func TestExecuteValidation(t *testing.T) {
 	stageDocs(t, fs, testDocs(), 1)
 	e := docExecutor(fs)
 	if _, _, err := e.Execute(nil); err == nil {
-		t.Error("empty runner set accepted")
+		t.Error("empty LF set accepted")
 	}
-	if _, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF(), keywordLF()}); err == nil {
+	if _, _, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), keywordLF()}); err == nil {
 		t.Error("duplicate names accepted")
+	} else if !strings.Contains(err.Error(), "keyword_gossip") {
+		t.Errorf("duplicate-name error does not name the function: %v", err)
 	}
-	anon := keywordLF()
-	anon.Meta.Name = ""
-	if _, _, err := e.Execute([]Runner[*corpus.Document]{anon}); err == nil {
+	anon := lfapi.New(Meta{}, func(*corpus.Document) labelmodel.Label { return labelmodel.Abstain })
+	if _, _, err := e.Execute([]lfapi.LF[*corpus.Document]{anon}); err == nil {
 		t.Error("empty name accepted")
 	}
 	bad := docExecutor(fs)
 	bad.Decode = nil
-	if _, _, err := bad.Execute([]Runner[*corpus.Document]{keywordLF()}); err == nil {
+	if _, _, err := bad.Execute([]lfapi.LF[*corpus.Document]{keywordLF()}); err == nil {
 		t.Error("nil decoder accepted")
 	}
 }
@@ -175,7 +212,7 @@ func TestExecuteSurvivesWorkerFailures(t *testing.T) {
 		}
 		return nil
 	}
-	mx, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF(), nerLF()})
+	mx, _, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), nerLF()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +227,7 @@ func TestExecutePermanentFailure(t *testing.T) {
 	e := docExecutor(fs)
 	e.MaxAttempts = 2
 	e.FailureHook = func(string, int) error { return errors.New("down") }
-	if _, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF()}); err == nil {
+	if _, _, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF()}); err == nil {
 		t.Error("permanent failure not surfaced")
 	}
 }
@@ -198,14 +235,15 @@ func TestExecutePermanentFailure(t *testing.T) {
 func TestInvalidVoteRejected(t *testing.T) {
 	fs := dfs.NewMem()
 	stageDocs(t, fs, testDocs(), 1)
-	bad := Func[*corpus.Document]{
-		Meta: Meta{Name: "bad"},
-		Vote: func(*corpus.Document) labelmodel.Label { return labelmodel.Label(7) },
-	}
+	bad := lfapi.New(Meta{Name: "bad"}, func(*corpus.Document) labelmodel.Label { return labelmodel.Label(7) })
 	e := docExecutor(fs)
 	e.MaxAttempts = 1
-	if _, _, err := e.Execute([]Runner[*corpus.Document]{bad}); err == nil {
-		t.Error("invalid vote accepted")
+	_, _, err := e.Execute([]lfapi.LF[*corpus.Document]{bad})
+	if err == nil {
+		t.Fatal("invalid vote accepted")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("invalid-vote error does not name the function: %v", err)
 	}
 }
 
@@ -216,38 +254,144 @@ func TestDecodeErrorSurfaced(t *testing.T) {
 	}
 	e := docExecutor(fs)
 	e.MaxAttempts = 1
-	if _, _, err := e.Execute([]Runner[*corpus.Document]{keywordLF()}); err == nil {
+	if _, _, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF()}); err == nil {
 		t.Error("decode error swallowed")
 	}
 }
 
-func TestCensusAndSubsets(t *testing.T) {
-	runners := []Runner[*corpus.Document]{keywordLF(), nerLF()}
-	census := Census(runners)
-	if census[ContentHeuristic] != 1 || census[ModelBased] != 1 {
-		t.Errorf("census = %v", census)
+// TestAggregateTwoPassExecution stages a corpus and runs an aggregation-
+// based function: the executor must fit the corpus statistics first (two
+// passes) and the votes must reflect the corpus-level mean.
+func TestAggregateTwoPassExecution(t *testing.T) {
+	docs := testDocs()
+	for i, d := range docs {
+		d.Crawler.EngagementScore = float64(i) / 4 // 0, .25, .5, .75, 1 → mean .5
 	}
-	servable := ServableIndices(runners)
-	if len(servable) != 1 || servable[0] != 0 {
-		t.Errorf("servable = %v", servable)
+	fs := dfs.NewMem()
+	stageDocs(t, fs, docs, 2)
+	agg := &lfapi.AggregateFunc[*corpus.Document]{
+		Meta:    Meta{Name: "above_mean_engagement", Category: SourceHeuristic},
+		Extract: func(d *corpus.Document) float64 { return d.Crawler.EngagementScore },
+		VoteWith: func(_ *corpus.Document, v float64, s lfapi.Summary) labelmodel.Label {
+			if v > s.Mean {
+				return labelmodel.Positive
+			}
+			return labelmodel.Negative
+		},
 	}
-	names := Names(runners)
-	if names[0] != "keyword_gossip" || names[1] != "ner_no_person" {
-		t.Errorf("names = %v", names)
+	mx, rep, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerLF[0].CorpusPasses != 2 {
+		t.Errorf("corpus passes = %d, want 2", rep.PerLF[0].CorpusPasses)
+	}
+	want := []labelmodel.Label{labelmodel.Negative, labelmodel.Negative, labelmodel.Negative, labelmodel.Positive, labelmodel.Positive}
+	for i, w := range want {
+		if mx.At(i, 0) != w {
+			t.Errorf("aggregate vote[%d] = %v, want %v", i, mx.At(i, 0), w)
+		}
+	}
+	if s, ok := agg.Summary(); !ok || s.Count != 5 || s.Mean != 0.5 {
+		t.Errorf("summary = %+v ok=%v, want count 5 mean 0.5", s, ok)
+	}
+}
+
+// TestLoadMatrixResumesFromDFS re-assembles votes from shards written by an
+// earlier Execute, without re-running anything.
+func TestLoadMatrixResumesFromDFS(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+	e := docExecutor(fs)
+	mx, _, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), nerLF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := docExecutor(fs)
+	got, err := re.LoadMatrix([]string{"keyword_gossip", "ner_no_person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mx.NumExamples(); i++ {
+		for j := 0; j < mx.NumFuncs(); j++ {
+			if got.At(i, j) != mx.At(i, j) {
+				t.Fatalf("resumed matrix differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestLegacyRunnerConversion proves the deprecated Runner aliases still
+// execute through the new engine.
+func TestLegacyRunnerConversion(t *testing.T) {
+	legacy := Func[*corpus.Document]{
+		Meta: Meta{Name: "legacy_gossip", Category: ContentHeuristic, Servable: true},
+		Vote: func(d *corpus.Document) labelmodel.Label {
+			if strings.Contains(d.Body, "gossip") {
+				return labelmodel.Positive
+			}
+			return labelmodel.Abstain
+		},
+	}
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+	mx, _, err := docExecutor(fs).Execute(FromRunners([]Runner[*corpus.Document]{legacy}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.At(0, 0) != labelmodel.Positive || mx.At(1, 0) != labelmodel.Abstain {
+		t.Error("legacy runner votes wrong through conversion")
+	}
+	// Legacy NLPFunc converts too, and runs per-node servers.
+	legacyNLP := NLPFunc[*corpus.Document]{
+		Meta:      Meta{Name: "legacy_ner", Category: ModelBased},
+		NewServer: func() *nlp.Server { return nlp.NewServer(0, 1) },
+		GetText:   func(d *corpus.Document) string { return d.Text() },
+		GetValue: func(_ *corpus.Document, res *nlp.Result) labelmodel.Label {
+			if len(res.People()) == 0 {
+				return labelmodel.Negative
+			}
+			return labelmodel.Abstain
+		},
+	}
+	_, rep, err := docExecutor(fs).Execute(FromRunners([]Runner[*corpus.Document]{legacyNLP}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerLF[0].ModelServersLaunched != 2 {
+		t.Errorf("legacy NLP servers launched = %d, want 2", rep.PerLF[0].ModelServersLaunched)
 	}
 }
 
 func TestVoteEncodingRoundTrip(t *testing.T) {
 	for _, v := range []labelmodel.Label{labelmodel.Negative, labelmodel.Abstain, labelmodel.Positive} {
-		got, err := decodeVote(encodeVote(v))
+		got, err := decodeVote("x", encodeVote(v))
 		if err != nil || got != v {
 			t.Errorf("round trip %v: %v, %v", v, got, err)
 		}
 	}
-	if _, err := decodeVote([]byte{7}); err == nil {
-		t.Error("invalid stored vote accepted")
+	if _, err := decodeVote("lfname", []byte{7}); err == nil {
+		t.Error("out-of-range stored vote accepted")
+	} else if !strings.Contains(err.Error(), "lfname") {
+		t.Errorf("decode error does not name the function: %v", err)
 	}
-	if _, err := decodeVote([]byte{1, 2}); err == nil {
+	if _, err := decodeVote("lfname", []byte{1, 2}); err == nil {
 		t.Error("long record accepted")
+	}
+}
+
+// TestCancellationStopsExecution cancels mid-run from inside an LF.
+func TestCancellationStopsExecution(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	saboteur := lfapi.New(Meta{Name: "saboteur"}, func(*corpus.Document) labelmodel.Label {
+		cancel()
+		return labelmodel.Abstain
+	})
+	e := docExecutor(fs)
+	e.MaxAttempts = 1
+	if _, _, err := e.ExecuteContext(ctx, []lfapi.LF[*corpus.Document]{saboteur}); !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
 	}
 }

@@ -77,6 +77,16 @@ func (f MapFunc) Map(ctx *TaskContext, record []byte, emit Emitter) error {
 // Teardown implements Mapper.
 func (MapFunc) Teardown(*TaskContext) error { return nil }
 
+// BatchMapper is an optional Mapper extension. When a job's Mapper
+// implements it, the engine delivers each task's records as one MapBatch
+// call instead of one Map call per record, letting vectorized user code
+// amortize per-record overhead (e.g. a labeling function's VoteBatch).
+// Emissions must be equivalent to mapping each record in order; Setup and
+// Teardown still bracket the call.
+type BatchMapper interface {
+	MapBatch(ctx *TaskContext, records [][]byte, emit Emitter) error
+}
+
 // Reducer folds all values for a key into zero or more output records.
 // Values arrive in a deterministic order (by map task, then emission order).
 type Reducer interface {
@@ -360,12 +370,18 @@ func runMapAttempt(ctx context.Context, job Job, shardPath, taskID string, attem
 		seq++
 	}
 	var mapErr error
-	for _, rec := range records {
-		if mapErr = ctx.Err(); mapErr != nil {
-			break
+	if bm, ok := job.Mapper.(BatchMapper); ok {
+		if mapErr = ctx.Err(); mapErr == nil {
+			mapErr = bm.MapBatch(tctx, records, emit)
 		}
-		if mapErr = job.Mapper.Map(tctx, rec, emit); mapErr != nil {
-			break
+	} else {
+		for _, rec := range records {
+			if mapErr = ctx.Err(); mapErr != nil {
+				break
+			}
+			if mapErr = job.Mapper.Map(tctx, rec, emit); mapErr != nil {
+				break
+			}
 		}
 	}
 	tdErr := job.Mapper.Teardown(tctx)

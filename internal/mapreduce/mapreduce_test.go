@@ -382,3 +382,67 @@ func recordsToStrings(recs [][]byte) []string {
 	}
 	return out
 }
+
+// batchUpper is a BatchMapper: one MapBatch call per task's records.
+type batchUpper struct {
+	mu        sync.Mutex
+	batchSize []int
+}
+
+func (m *batchUpper) Setup(*TaskContext) error    { return nil }
+func (m *batchUpper) Teardown(*TaskContext) error { return nil }
+func (m *batchUpper) Map(*TaskContext, []byte, Emitter) error {
+	return errors.New("Map must not be called when MapBatch is implemented")
+}
+func (m *batchUpper) MapBatch(_ *TaskContext, records [][]byte, emit Emitter) error {
+	m.mu.Lock()
+	m.batchSize = append(m.batchSize, len(records))
+	m.mu.Unlock()
+	for _, rec := range records {
+		emit("", []byte(strings.ToUpper(string(rec))))
+	}
+	return nil
+}
+
+// TestBatchMapperGetsWholeShards: the engine hands each task's records to
+// MapBatch in one call, output equals the record-at-a-time job.
+func TestBatchMapperGetsWholeShards(t *testing.T) {
+	fs := dfs.NewMem()
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta"}
+	stageWords(t, fs, "in/w", words, 3)
+	m := &batchUpper{}
+	res, err := Run(Job{
+		Name: "batch-upper", FS: fs,
+		InputBase: "in/w", OutputBase: "out/w",
+		Mapper: m, Parallelism: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OutputShards) != 3 {
+		t.Fatalf("output shards = %d", len(res.OutputShards))
+	}
+	if len(m.batchSize) != 3 {
+		t.Fatalf("MapBatch calls = %d, want one per shard", len(m.batchSize))
+	}
+	total := 0
+	for _, n := range m.batchSize {
+		total += n
+	}
+	if total != len(words) {
+		t.Fatalf("batched records = %d, want %d", total, len(words))
+	}
+	out, err := ReadOutput(fs, "out/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, rec := range out {
+		got[string(rec)] = true
+	}
+	for _, w := range words {
+		if !got[strings.ToUpper(w)] {
+			t.Errorf("missing output for %q", w)
+		}
+	}
+}

@@ -4,25 +4,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfs"
 	"repro/internal/labelmodel"
-	"repro/internal/lf"
+	internallf "repro/internal/lf"
+	"repro/pkg/drybell/lf"
 )
 
-// The SDK re-exports the pipeline's data types under one import path, so
-// callers build labeling functions, inspect results, and configure training
-// without reaching into internal packages.
+// The SDK re-exports the pipeline's data types under one import path. The
+// labeling-function authoring API lives in the subpackage
+// repro/pkg/drybell/lf; the central aliases below re-export its core types
+// so simple pipelines need a single import.
 
-// Runner is one executable labeling function: metadata plus the mapper that
-// computes its votes. Func and NLPFunc are the two implementations, the
-// paper's two C++ class templates (§5.1).
-type Runner[T any] = lf.Runner[T]
-
-// Func is the default labeling-function pipeline: a pure vote function run
-// in a MapReduce map task with no extra services.
-type Func[T any] = lf.Func[T]
-
-// NLPFunc is the model-server pipeline: Setup launches an NLP model server
-// on each compute node, GetText/GetValue compute the vote from annotations.
-type NLPFunc[T any] = lf.NLPFunc[T]
+// LF is one labeling function: metadata plus a vote. Author them with the
+// templates and combinators of repro/pkg/drybell/lf (Func, NLPFunc,
+// GraphFunc, ModelFunc, AggregateFunc, Threshold, Invert, FirstOf, All).
+type LF[T any] = lf.LF[T]
 
 // Meta describes one labeling function (name, category, servability).
 type Meta = lf.Meta
@@ -48,6 +42,13 @@ const (
 	Abstain  = labelmodel.Abstain
 )
 
+// Analysis is the development-loop report over an executed label matrix;
+// LFAnalysis is its per-function row. See lf.Analyze and WithDevLabels.
+type (
+	Analysis   = lf.Analysis
+	LFAnalysis = lf.LFAnalysis
+)
+
 // Matrix is the assembled m×n label matrix Λ.
 type Matrix = labelmodel.Matrix
 
@@ -67,8 +68,8 @@ type Timings = core.Timings
 
 // Report summarizes an ExecuteLFs stage; LFReport is its per-function entry.
 type (
-	Report   = lf.Report
-	LFReport = lf.LFReport
+	Report   = internallf.Report
+	LFReport = internallf.LFReport
 )
 
 // FS is the distributed filesystem surface the pipeline stages data on.
@@ -86,16 +87,16 @@ func NewDiskFS(dir string) (FS, error) { return dfs.NewDisk(dir) }
 // shards so a partially written output is never consumed.
 func ListShards(fs FS, base string) ([]string, error) { return dfs.ListShards(fs, base) }
 
-// Names returns runner names in column order — the name list LoadMatrix
-// expects.
-func Names[T any](runners []Runner[T]) []string { return lf.Names(runners) }
+// Names returns labeling-function names in column order — the name list
+// LoadMatrix expects.
+func Names[T any](lfs []LF[T]) []string { return lf.Names(lfs) }
 
-// ServableIndices returns the column indices of servable runners, the
+// ServableIndices returns the column indices of servable functions, the
 // Table 3 ablation subset.
-func ServableIndices[T any](runners []Runner[T]) []int { return lf.ServableIndices(runners) }
+func ServableIndices[T any](lfs []LF[T]) []int { return lf.ServableIndices(lfs) }
 
-// Census counts runners per category — the Figure 2 histogram.
-func Census[T any](runners []Runner[T]) map[Category]int { return lf.Census(runners) }
+// Census counts labeling functions per category — the Figure 2 histogram.
+func Census[T any](lfs []LF[T]) map[Category]int { return lf.Census(lfs) }
 
 // LogicalORPosteriors is the pre-DryBell status-quo baseline: label 1 iff
 // any function voted positive (§3.3, §6.4).
@@ -103,3 +104,29 @@ func LogicalORPosteriors(mx *Matrix) []float64 { return labelmodel.LogicalORPost
 
 // HardLabels thresholds probabilistic labels at 1/2 into votes.
 func HardLabels(posteriors []float64) []Label { return labelmodel.HardLabels(posteriors) }
+
+// ---------------------------------------------------------------------------
+// Legacy aliases, kept for one release.
+
+// Runner is the pre-lf-package labeling-function interface.
+//
+// Deprecated: author functions against repro/pkg/drybell/lf and pass
+// []drybell.LF[T]; convert stragglers with FromRunners.
+type Runner[T any] = internallf.Runner[T]
+
+// Func is the legacy default-pipeline template (field Vote).
+//
+// Deprecated: use repro/pkg/drybell/lf.Func (field Fn), which also serves
+// the online labeling path.
+type Func[T any] = internallf.Func[T]
+
+// NLPFunc is the legacy model-server template.
+//
+// Deprecated: use repro/pkg/drybell/lf.NLPFunc.
+type NLPFunc[T any] = internallf.NLPFunc[T]
+
+// FromRunners converts legacy runners into the labeling functions the
+// pipeline executes.
+//
+// Deprecated: migrate call sites to repro/pkg/drybell/lf values directly.
+func FromRunners[T any](runners []Runner[T]) []LF[T] { return internallf.FromRunners(runners) }

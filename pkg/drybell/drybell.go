@@ -20,7 +20,11 @@
 //		drybell.WithTrainer(drybell.TrainerSamplingFree),
 //		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: 800}),
 //	)
-//	res, err := p.Run(ctx, drybell.SliceSource(docs), runners)
+//	res, err := p.Run(ctx, drybell.SliceSource(docs), lfs)
+//
+// The labeling functions themselves are authored against the template
+// library in repro/pkg/drybell/lf — the same lf.LF values also serve the
+// online /v1/label path (pkg/drybell/serve).
 //
 // Every stage accepts a context.Context. Staging and labeling-function
 // execution honor cancellation mid-stage, down to individual MapReduce
@@ -48,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/pkg/drybell/lf"
 )
 
 // Pipeline is a configured weak-supervision pipeline over example type T.
@@ -94,6 +99,7 @@ func New[T any](opts ...Option) (*Pipeline[T], error) {
 		Parallelism: s.parallelism,
 		Trainer:     core.Trainer(s.trainer),
 		LabelModel:  s.labelModel,
+		DevLabels:   s.devLabels,
 	}.WithDefaults()
 	if err != nil {
 		return nil, err
@@ -120,12 +126,14 @@ func (p *Pipeline[T]) LabelsPath() string { return p.cfg.LabelsOutputBase() }
 func (p *Pipeline[T]) VotesPath(name string) string { return p.cfg.VotesPrefix() + "/" + name }
 
 // Run executes all four stages: stage the source, execute the labeling
-// functions, denoise their votes, and persist the probabilistic labels.
-// Cancellation of ctx aborts with an error satisfying
+// functions (analyzing the resulting matrix for the development loop),
+// denoise their votes, and persist the probabilistic labels. The function
+// set is validated up front — duplicate or empty names fail before anything
+// is staged. Cancellation of ctx aborts with an error satisfying
 // errors.Is(err, ctx.Err()); see the package comment for how deep into each
 // stage cancellation reaches.
-func (p *Pipeline[T]) Run(ctx context.Context, src Source[T], runners []Runner[T]) (*Result, error) {
-	return core.RunObserved(ctx, p.cfg, src, runners, p.hook)
+func (p *Pipeline[T]) Run(ctx context.Context, src Source[T], lfs []LF[T]) (*Result, error) {
+	return core.RunObserved(ctx, p.cfg, src, lfs, p.hook)
 }
 
 // Stage consumes the source once, encoding each example onto the filesystem
@@ -153,15 +161,31 @@ func (p *Pipeline[T]) StageRecords(ctx context.Context, records Source[[]byte]) 
 // staged corpus (stage 2) and assembles the label matrix, column j holding
 // runner j's votes in input order. The corpus may have been staged by an
 // earlier run or another process sharing the filesystem.
-func (p *Pipeline[T]) ExecuteLFs(ctx context.Context, runners []Runner[T]) (*Matrix, *Report, error) {
+func (p *Pipeline[T]) ExecuteLFs(ctx context.Context, lfs []LF[T]) (*Matrix, *Report, error) {
 	start := time.Now()
-	matrix, report, err := core.ExecuteLFs(ctx, p.cfg, runners)
+	matrix, report, err := core.ExecuteLFs(ctx, p.cfg, lfs)
 	ev := StageEvent{Stage: StageExecuteLFs, Start: start, Duration: time.Since(start), Report: report, Err: err}
 	if matrix != nil {
 		ev.Examples = matrix.NumExamples()
 	}
 	p.emit(ev)
 	return matrix, report, err
+}
+
+// Analyze computes the development-loop report over an executed label
+// matrix: per-function coverage, overlaps, conflicts, and — when the
+// pipeline was built WithDevLabels — empirical accuracy. metas must be the
+// executed functions' metadata in matrix column order (lf.Metas of the set
+// passed to ExecuteLFs). The report is also emitted as a StageAnalyze event.
+func (p *Pipeline[T]) Analyze(matrix *Matrix, metas []Meta) (*Analysis, error) {
+	start := time.Now()
+	analysis, err := lf.Analyze(matrix, metas, p.cfg.DevLabels)
+	ev := StageEvent{Stage: StageAnalyze, Start: start, Duration: time.Since(start), Analysis: analysis, Err: err}
+	if matrix != nil {
+		ev.Examples = matrix.NumExamples()
+	}
+	p.emit(ev)
+	return analysis, err
 }
 
 // LoadMatrix reassembles the label matrix from vote shards that an earlier

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/pkg/drybell"
+	"repro/pkg/drybell/lf"
 )
 
 // doc is a minimal example type exercising the SDK exactly as an external
@@ -39,20 +40,20 @@ func makeDocs(n int) []doc {
 	return docs
 }
 
-func keywordLF(name, keyword string, onHit drybell.Label) drybell.Func[doc] {
-	return drybell.Func[doc]{
-		Meta: drybell.Meta{Name: name, Category: drybell.ContentHeuristic, Servable: true},
-		Vote: func(d doc) drybell.Label {
+func keywordLF(name, keyword string, onHit drybell.Label) drybell.LF[doc] {
+	return lf.New(
+		drybell.Meta{Name: name, Category: drybell.ContentHeuristic, Servable: true},
+		func(d doc) drybell.Label {
 			if strings.Contains(d.Text, keyword) {
 				return onHit
 			}
 			return drybell.Abstain
 		},
-	}
+	)
 }
 
-func testRunners() []drybell.Runner[doc] {
-	return []drybell.Runner[doc]{
+func testRunners() []drybell.LF[doc] {
+	return []drybell.LF[doc]{
 		keywordLF("kw_gossip", "gossip", drybell.Positive),
 		keywordLF("kw_redcarpet", "redcarpet", drybell.Positive),
 		keywordLF("kw_infra", "infrastructure", drybell.Negative),
@@ -113,7 +114,8 @@ func TestRunEndToEndWithHooks(t *testing.T) {
 
 	// One structured event per stage, in pipeline order, all successful.
 	wantStages := []drybell.StageName{
-		drybell.StageStage, drybell.StageExecuteLFs, drybell.StageDenoise, drybell.StagePersist,
+		drybell.StageStage, drybell.StageExecuteLFs, drybell.StageAnalyze,
+		drybell.StageDenoise, drybell.StagePersist,
 	}
 	if len(events) != len(wantStages) {
 		t.Fatalf("got %d stage events, want %d", len(events), len(wantStages))
@@ -133,8 +135,11 @@ func TestRunEndToEndWithHooks(t *testing.T) {
 	if execEv.Report == nil || len(execEv.Report.PerLF) != 3 {
 		t.Fatalf("execute-lfs event report = %+v, want 3 per-LF entries", execEv.Report)
 	}
-	if events[3].LabelsPath != p.LabelsPath() {
-		t.Fatalf("persist event path = %q, want %q", events[3].LabelsPath, p.LabelsPath())
+	if events[2].Analysis == nil || len(events[2].Analysis.PerLF) != 3 {
+		t.Fatalf("analyze event analysis = %+v, want 3 per-LF rows", events[2].Analysis)
+	}
+	if events[4].LabelsPath != p.LabelsPath() {
+		t.Fatalf("persist event path = %q, want %q", events[4].LabelsPath, p.LabelsPath())
 	}
 }
 
@@ -219,16 +224,16 @@ func TestCancellationMidStage(t *testing.T) {
 	defer cancel()
 
 	var once atomic.Bool
-	saboteur := drybell.Func[doc]{
-		Meta: drybell.Meta{Name: "saboteur", Category: drybell.ContentHeuristic},
-		Vote: func(d doc) drybell.Label {
+	saboteur := lf.New(
+		drybell.Meta{Name: "saboteur", Category: drybell.ContentHeuristic},
+		func(d doc) drybell.Label {
 			if once.CompareAndSwap(false, true) {
 				cancel() // cancel while this LF's job is mid-flight
 			}
 			return drybell.Abstain
 		},
-	}
-	_, err := p.Run(ctx, drybell.SliceSource(makeDocs(300)), []drybell.Runner[doc]{saboteur})
+	)
+	_, err := p.Run(ctx, drybell.SliceSource(makeDocs(300)), []drybell.LF[doc]{saboteur})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("Run error = %v, want context.Canceled", err)
 	}
@@ -446,4 +451,96 @@ func ExampleNew() {
 	}
 	fmt.Println(len(res.Posteriors))
 	// Output: 60
+}
+
+// TestDevLabelsAnalysis: a pipeline built WithDevLabels reports empirical
+// accuracy in the StageAnalyze event and in Result.Analysis.
+func TestDevLabelsAnalysis(t *testing.T) {
+	docs := makeDocs(120)
+	dev := make([]drybell.Label, len(docs))
+	for i := range docs {
+		if i%3 == 0 {
+			dev[i] = drybell.Positive
+		} else {
+			dev[i] = drybell.Negative
+		}
+	}
+	var analyzeEv *drybell.StageEvent
+	p := newPipeline(t,
+		drybell.WithDevLabels(dev),
+		drybell.WithStageHook(func(ev drybell.StageEvent) {
+			if ev.Stage == drybell.StageAnalyze {
+				analyzeEv = &ev
+			}
+		}),
+	)
+	res, err := p.Run(context.Background(), drybell.SliceSource(docs), testRunners())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Analysis == nil || analyzeEv == nil || analyzeEv.Analysis == nil {
+		t.Fatal("no analysis surfaced")
+	}
+	if res.Analysis.DevLabeled != len(docs) {
+		t.Errorf("devLabeled = %d, want %d", res.Analysis.DevLabeled, len(docs))
+	}
+	// kw_gossip fires exactly on the docs dev-labeled positive: perfect
+	// empirical accuracy and 1/3 coverage.
+	row := res.Analysis.PerLF[0]
+	if row.Name != "kw_gossip" || row.EmpiricalAccuracy != 1 {
+		t.Errorf("kw_gossip analysis = %+v", row)
+	}
+	if row.Coverage < 0.33 || row.Coverage > 0.34 {
+		t.Errorf("kw_gossip coverage = %v", row.Coverage)
+	}
+
+	// A dev set that does not match the corpus fails the run at analysis.
+	bad := newPipeline(t, drybell.WithDevLabels(dev[:10]))
+	if _, err := bad.Run(context.Background(), drybell.SliceSource(docs), testRunners()); err == nil {
+		t.Error("mismatched dev labels accepted")
+	}
+}
+
+// TestDuplicateLFNamesFailBeforeStaging: duplicate names are rejected up
+// front, before any corpus shard is committed.
+func TestDuplicateLFNamesFailBeforeStaging(t *testing.T) {
+	p := newPipeline(t)
+	dup := []drybell.LF[doc]{
+		keywordLF("same_name", "gossip", drybell.Positive),
+		keywordLF("same_name", "redcarpet", drybell.Positive),
+	}
+	_, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(50)), dup)
+	if err == nil {
+		t.Fatal("duplicate LF names accepted")
+	}
+	if !strings.Contains(err.Error(), "same_name") {
+		t.Errorf("error does not name the duplicate: %v", err)
+	}
+	// Nothing was staged for the doomed run.
+	if _, err := drybell.ListShards(p.FS(), p.InputPath()); err == nil {
+		t.Error("corpus was staged despite invalid LF set")
+	}
+}
+
+// TestDeprecatedAliasesStillRun keeps the one-release compatibility
+// promise: the old Func/Runner shapes convert and execute.
+func TestDeprecatedAliasesStillRun(t *testing.T) {
+	legacy := drybell.Func[doc]{
+		Meta: drybell.Meta{Name: "legacy_kw", Category: drybell.ContentHeuristic, Servable: true},
+		Vote: func(d doc) drybell.Label {
+			if strings.Contains(d.Text, "gossip") {
+				return drybell.Positive
+			}
+			return drybell.Abstain
+		},
+	}
+	p := newPipeline(t)
+	res, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(60)),
+		drybell.FromRunners([]drybell.Runner[doc]{legacy}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LFReport.PerLF[0].Name != "legacy_kw" || res.LFReport.PerLF[0].Positives == 0 {
+		t.Errorf("legacy LF report = %+v", res.LFReport.PerLF[0])
+	}
 }

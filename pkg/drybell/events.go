@@ -5,10 +5,12 @@ import "repro/internal/core"
 // StageName identifies one of the four pipeline stages.
 type StageName = core.StageName
 
-// The four stages of the paper's Figure 4 flow.
+// The stages of the paper's Figure 4 flow, plus the development-loop
+// analysis emitted after labeling-function execution.
 const (
 	StageStage      = core.StageStage
 	StageExecuteLFs = core.StageExecuteLFs
+	StageAnalyze    = core.StageAnalyze
 	StageDenoise    = core.StageDenoise
 	StagePersist    = core.StagePersist
 )

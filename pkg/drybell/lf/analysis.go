@@ -1,0 +1,151 @@
+package lf
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/labelmodel"
+)
+
+// LFAnalysis is one labeling function's row in the development-loop report.
+type LFAnalysis struct {
+	Name     string   `json:"name"`
+	Category Category `json:"category"`
+	Servable bool     `json:"servable"`
+
+	// Coverage is the fraction of examples the function voted on.
+	Coverage float64 `json:"coverage"`
+	// Overlaps is the fraction of examples where the function voted and at
+	// least one other function also voted.
+	Overlaps float64 `json:"overlaps"`
+	// Conflicts is the fraction of examples where the function voted and at
+	// least one other function voted the other way.
+	Conflicts float64 `json:"conflicts"`
+
+	// Positives and Negatives count the function's votes by value.
+	Positives int `json:"positives"`
+	Negatives int `json:"negatives"`
+
+	// Correct/Incorrect count votes against the dev labels (only where both
+	// the function and the dev set have an opinion); EmpiricalAccuracy is
+	// Correct/(Correct+Incorrect). All zero when no dev labels were given
+	// or the function never voted on a labeled example.
+	Correct           int     `json:"correct"`
+	Incorrect         int     `json:"incorrect"`
+	EmpiricalAccuracy float64 `json:"empirical_accuracy"`
+}
+
+// Analysis is the Snorkel development-loop report over an executed label
+// matrix: per-function coverage, overlaps, conflicts, and — when dev labels
+// are available — empirical accuracy. It is what an engineer iterates
+// against when authoring labeling functions (§5.1's development loop).
+type Analysis struct {
+	// Examples is the number of matrix rows analyzed.
+	Examples int `json:"examples"`
+	// DevLabeled counts the dev labels that carried an opinion (non-abstain).
+	DevLabeled int `json:"dev_labeled"`
+	// PerLF holds one row per labeling function, in matrix column order.
+	PerLF []LFAnalysis `json:"per_lf"`
+}
+
+// Analyze computes the report for a label matrix whose column j was voted
+// by the function described by metas[j]. dev optionally carries ground
+// truth aligned with the matrix rows — Abstain entries mean "unlabeled";
+// pass nil for no dev set. A non-nil dev must have one entry per row.
+func Analyze(mx *labelmodel.Matrix, metas []Meta, dev []Label) (*Analysis, error) {
+	if mx == nil {
+		return nil, fmt.Errorf("lf: Analyze(nil matrix)")
+	}
+	m, n := mx.NumExamples(), mx.NumFuncs()
+	if len(metas) != n {
+		return nil, fmt.Errorf("lf: Analyze: %d metas for a %d-column matrix", len(metas), n)
+	}
+	if dev != nil && len(dev) != m {
+		return nil, fmt.Errorf("lf: Analyze: %d dev labels for %d examples", len(dev), m)
+	}
+
+	report := &Analysis{Examples: m, PerLF: make([]LFAnalysis, n)}
+	for j, meta := range metas {
+		report.PerLF[j] = LFAnalysis{Name: meta.Name, Category: meta.Category, Servable: meta.Servable}
+	}
+	for _, d := range dev {
+		if d != Abstain {
+			report.DevLabeled++
+		}
+	}
+
+	covered := make([]int, n)  // rows with a vote
+	overlap := make([]int, n)  // rows with a vote and another voter
+	conflict := make([]int, n) // rows with a vote and a disagreeing voter
+	for i := 0; i < m; i++ {
+		// Per-row vote totals make overlap/conflict O(1) per cell: another
+		// voter exists iff the row has >1 voters, and a disagreeing voter
+		// iff the row holds a vote of the other sign.
+		pos, neg := 0, 0
+		for j := 0; j < n; j++ {
+			switch mx.At(i, j) {
+			case Positive:
+				pos++
+			case Negative:
+				neg++
+			}
+		}
+		voters := pos + neg
+		if voters == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			v := mx.At(i, j)
+			if v == Abstain {
+				continue
+			}
+			row := &report.PerLF[j]
+			if v == Positive {
+				row.Positives++
+			} else {
+				row.Negatives++
+			}
+			covered[j]++
+			if voters > 1 {
+				overlap[j]++
+			}
+			if (v == Positive && neg > 0) || (v == Negative && pos > 0) {
+				conflict[j]++
+			}
+			if dev != nil && dev[i] != Abstain {
+				if v == dev[i] {
+					row.Correct++
+				} else {
+					row.Incorrect++
+				}
+			}
+		}
+	}
+	for j := range report.PerLF {
+		row := &report.PerLF[j]
+		row.Coverage = float64(covered[j]) / float64(m)
+		row.Overlaps = float64(overlap[j]) / float64(m)
+		row.Conflicts = float64(conflict[j]) / float64(m)
+		if t := row.Correct + row.Incorrect; t > 0 {
+			row.EmpiricalAccuracy = float64(row.Correct) / float64(t)
+		}
+	}
+	return report, nil
+}
+
+// String renders the report as the fixed-width table the development loop
+// prints between iterations.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-18s %8s %8s %9s %8s\n", "name", "category", "coverage", "overlaps", "conflicts", "emp.acc")
+	for _, row := range a.PerLF {
+		acc := "    -"
+		if row.Correct+row.Incorrect > 0 {
+			acc = fmt.Sprintf("%8.3f", row.EmpiricalAccuracy)
+		}
+		fmt.Fprintf(&b, "%-34s %-18s %8.3f %8.3f %9.3f %s\n",
+			row.Name, row.Category, row.Coverage, row.Overlaps, row.Conflicts, acc)
+	}
+	fmt.Fprintf(&b, "%d examples, %d dev-labeled\n", a.Examples, a.DevLabeled)
+	return b.String()
+}

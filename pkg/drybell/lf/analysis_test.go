@@ -1,0 +1,126 @@
+package lf_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/labelmodel"
+	"repro/pkg/drybell/lf"
+)
+
+// goldenMatrix is the hand-computed 5×4 fixture:
+//
+//	row   LF0  LF1  LF2  LF3   dev
+//	 0     +    +    .    -     -
+//	 1     .    -    -    .     -
+//	 2     +    .    .    .     +
+//	 3     -    +    .    .     . (unlabeled)
+//	 4     .    .    .    .     -
+func goldenMatrix(t *testing.T) (*labelmodel.Matrix, []lf.Meta, []lf.Label) {
+	t.Helper()
+	votes := [][]lf.Label{
+		{lf.Positive, lf.Positive, lf.Abstain, lf.Negative},
+		{lf.Abstain, lf.Negative, lf.Negative, lf.Abstain},
+		{lf.Positive, lf.Abstain, lf.Abstain, lf.Abstain},
+		{lf.Negative, lf.Positive, lf.Abstain, lf.Abstain},
+		{lf.Abstain, lf.Abstain, lf.Abstain, lf.Abstain},
+	}
+	mx := labelmodel.NewMatrix(5, 4)
+	for i, row := range votes {
+		for j, v := range row {
+			mx.Set(i, j, v)
+		}
+	}
+	metas := []lf.Meta{
+		{Name: "lf0", Category: lf.ContentHeuristic, Servable: true},
+		{Name: "lf1", Category: lf.ModelBased},
+		{Name: "lf2", Category: lf.GraphBased},
+		{Name: "lf3", Category: lf.SourceHeuristic},
+	}
+	dev := []lf.Label{lf.Negative, lf.Negative, lf.Positive, lf.Abstain, lf.Negative}
+	return mx, metas, dev
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAnalyzeGolden(t *testing.T) {
+	mx, metas, dev := goldenMatrix(t)
+	a, err := lf.Analyze(mx, metas, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Examples != 5 || a.DevLabeled != 4 {
+		t.Fatalf("examples=%d devLabeled=%d, want 5 and 4", a.Examples, a.DevLabeled)
+	}
+	want := []lf.LFAnalysis{
+		{Name: "lf0", Coverage: 0.6, Overlaps: 0.4, Conflicts: 0.4, Positives: 2, Negatives: 1, Correct: 1, Incorrect: 1, EmpiricalAccuracy: 0.5},
+		{Name: "lf1", Coverage: 0.6, Overlaps: 0.6, Conflicts: 0.4, Positives: 2, Negatives: 1, Correct: 1, Incorrect: 1, EmpiricalAccuracy: 0.5},
+		{Name: "lf2", Coverage: 0.2, Overlaps: 0.2, Conflicts: 0, Positives: 0, Negatives: 1, Correct: 1, Incorrect: 0, EmpiricalAccuracy: 1},
+		{Name: "lf3", Coverage: 0.2, Overlaps: 0.2, Conflicts: 0.2, Positives: 0, Negatives: 1, Correct: 1, Incorrect: 0, EmpiricalAccuracy: 1},
+	}
+	for j, w := range want {
+		got := a.PerLF[j]
+		if got.Name != w.Name ||
+			!approx(got.Coverage, w.Coverage) || !approx(got.Overlaps, w.Overlaps) ||
+			!approx(got.Conflicts, w.Conflicts) ||
+			got.Positives != w.Positives || got.Negatives != w.Negatives ||
+			got.Correct != w.Correct || got.Incorrect != w.Incorrect ||
+			!approx(got.EmpiricalAccuracy, w.EmpiricalAccuracy) {
+			t.Errorf("PerLF[%d] = %+v, want %+v", j, got, w)
+		}
+	}
+	if got := a.PerLF[0].Category; got != lf.ContentHeuristic {
+		t.Errorf("category not carried through: %v", got)
+	}
+	if !a.PerLF[0].Servable || a.PerLF[1].Servable {
+		t.Error("servable flags not carried through")
+	}
+}
+
+func TestAnalyzeWithoutDevLabels(t *testing.T) {
+	mx, metas, _ := goldenMatrix(t)
+	a, err := lf.Analyze(mx, metas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DevLabeled != 0 {
+		t.Errorf("devLabeled = %d without dev labels", a.DevLabeled)
+	}
+	for _, row := range a.PerLF {
+		if row.Correct != 0 || row.Incorrect != 0 || row.EmpiricalAccuracy != 0 {
+			t.Errorf("%s has accuracy fields without dev labels: %+v", row.Name, row)
+		}
+	}
+	// Coverage statistics are unaffected by the dev set.
+	if !approx(a.PerLF[0].Coverage, 0.6) {
+		t.Errorf("coverage = %v", a.PerLF[0].Coverage)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	mx, metas, dev := goldenMatrix(t)
+	if _, err := lf.Analyze(nil, metas, nil); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	if _, err := lf.Analyze(mx, metas[:2], nil); err == nil {
+		t.Error("meta/column mismatch accepted")
+	}
+	if _, err := lf.Analyze(mx, metas, dev[:3]); err == nil {
+		t.Error("short dev set accepted")
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	mx, metas, dev := goldenMatrix(t)
+	a, err := lf.Analyze(mx, metas, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.String()
+	for _, want := range []string{"lf0", "coverage", "conflicts", "5 examples, 4 dev-labeled"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

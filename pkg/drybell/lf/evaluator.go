@@ -1,0 +1,143 @@
+package lf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/labelmodel"
+	"repro/internal/nlp"
+)
+
+// DefaultAnnotationCacheSize bounds the Evaluator's shared NLP annotation
+// LRU when no size is configured.
+const DefaultAnnotationCacheSize = 1024
+
+// Evaluator evaluates a fixed labeling-function set outside the MapReduce
+// machinery — the execution core of the online serving path, operating on
+// the very same LF values the batch executor runs as jobs.
+//
+// Construction resolves the set's shared NLP service: expensive model
+// servers are one-per-node offline, so online every NLP function in the set
+// consults a single annotator behind an LRU cache keyed on the annotated
+// text. NewEvaluator injects it into every Annotatable function; Setup then
+// readies remaining lifecycles (graph caches, etc.).
+type Evaluator[T any] struct {
+	lfs   []LF[T]
+	metas []Meta
+	cache *nlp.Cache // nil when the set has no NLP functions
+}
+
+// NewEvaluator builds an evaluator over the set, validating name
+// uniqueness. ann overrides the NLP service (nil asks the set's first
+// AnnotatorSource); cacheSize bounds the annotation LRU (<=0 selects
+// DefaultAnnotationCacheSize).
+func NewEvaluator[T any](lfs []LF[T], ann nlp.Annotator, cacheSize int) (*Evaluator[T], error) {
+	if err := ValidateNames(lfs); err != nil {
+		return nil, err
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultAnnotationCacheSize
+	}
+
+	// Resolve the shared annotator: explicit override, else the first
+	// function that can supply one. Sets with no NLP functions need none —
+	// a source answering ErrNoAnnotator (e.g. a combinator over pure
+	// heuristics) just passes; only a failed launch aborts.
+	if ann == nil {
+		for _, f := range lfs {
+			src, ok := f.(AnnotatorSource)
+			if !ok {
+				continue
+			}
+			a, err := src.NewAnnotator()
+			if errors.Is(err, ErrNoAnnotator) {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			ann = a
+			break
+		}
+	}
+	e := &Evaluator[T]{lfs: append([]LF[T](nil), lfs...), metas: Metas(lfs)}
+	if ann != nil {
+		cache, ok := ann.(*nlp.Cache)
+		if !ok {
+			var err error
+			if cache, err = nlp.NewCache(ann, cacheSize); err != nil {
+				return nil, err
+			}
+		}
+		e.cache = cache
+		for _, f := range e.lfs {
+			if a, ok := f.(Annotatable); ok {
+				a.SetAnnotator(cache)
+			}
+		}
+	}
+	return e, nil
+}
+
+// Setup readies every function's lifecycle (no-op for those without one).
+func (e *Evaluator[T]) Setup(ctx context.Context) error { return SetupAll(ctx, e.lfs) }
+
+// Teardown releases function lifecycles.
+func (e *Evaluator[T]) Teardown(ctx context.Context) error { return TeardownAll(ctx, e.lfs) }
+
+// Len returns the number of functions.
+func (e *Evaluator[T]) Len() int { return len(e.lfs) }
+
+// Metas returns function metadata in column order.
+func (e *Evaluator[T]) Metas() []Meta { return e.metas }
+
+// Names returns function names in column order.
+func (e *Evaluator[T]) Names() []string { return Names(e.lfs) }
+
+// LFs returns the evaluated functions in column order.
+func (e *Evaluator[T]) LFs() []LF[T] { return append([]LF[T](nil), e.lfs...) }
+
+// NLPCache returns the shared annotation cache, or nil when the set has no
+// NLP functions.
+func (e *Evaluator[T]) NLPCache() *nlp.Cache { return e.cache }
+
+// VoteRow evaluates every function against one example — one row of the
+// label matrix, the online /v1/label path.
+func (e *Evaluator[T]) VoteRow(ctx context.Context, x T) ([]Label, error) {
+	votes := make([]Label, len(e.lfs))
+	for j, f := range e.lfs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lf %s: %w", e.metas[j].Name, err)
+		}
+		v, err := f.Vote(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkVote(e.metas[j], v); err != nil {
+			return nil, err
+		}
+		votes[j] = v
+	}
+	return votes, nil
+}
+
+// VoteMatrix evaluates every function against a batch of examples,
+// column-by-column through the vectorized VoteBatch path where functions
+// implement it. Row i holds example i's votes in function order.
+func (e *Evaluator[T]) VoteMatrix(ctx context.Context, xs []T) (*labelmodel.Matrix, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("lf: VoteMatrix over no examples")
+	}
+	mx := labelmodel.NewMatrix(len(xs), len(e.lfs))
+	for j, f := range e.lfs {
+		votes, err := VoteAll(ctx, f, xs)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range votes {
+			mx.Set(i, j, v)
+		}
+	}
+	return mx, nil
+}

@@ -1,0 +1,309 @@
+// Package lf is the public labeling-function authoring API of the drybell
+// SDK — the Go rendering of Snorkel DryBell's template library (paper §5.1,
+// Figure 2). Engineers author weak-supervision sources against a small set
+// of class templates and a few combinators; the system owns execution. The
+// same LF values run on both engines:
+//
+//   - the batch executor (internal MapReduce jobs sharing data over the
+//     distributed filesystem, one job per function, §5.4), via
+//     drybell.Pipeline, and
+//   - the online serving path (pkg/drybell/serve's /v1/label), via a shared
+//     Evaluator.
+//
+// The paper's five template classes map to:
+//
+//   - Func: the default pipeline (LabelingFunction) — a pure heuristic.
+//   - NLPFunc: the model-server pipeline (NLPLabelingFunction) — launches an
+//     NLP model server per compute node offline, or consults one shared
+//     cached annotator online.
+//   - GraphFunc: the knowledge-graph pipeline — queries a kgraph.Client
+//     through an injected LRU cache.
+//   - ModelFunc: the model-based pipeline — thresholds an internal
+//     classifier's score into votes.
+//   - AggregateFunc: the aggregation-based pipeline — a two-pass function
+//     whose first pass computes corpus-level statistics.
+//
+// Combinators (Threshold, Invert, FirstOf, All) derive new functions from
+// existing ones, a Set names an application's functions for discovery, and
+// Analyze produces the Snorkel development-loop report (coverage, overlaps,
+// conflicts, empirical accuracy against a dev set).
+package lf
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sort"
+
+	"repro/internal/labelmodel"
+	"repro/internal/nlp"
+)
+
+// Label is one labeling-function vote: Positive, Negative, or Abstain.
+type Label = labelmodel.Label
+
+// The three vote values. Abstain means "no opinion" and carries no signal.
+const (
+	Positive = labelmodel.Positive
+	Negative = labelmodel.Negative
+	Abstain  = labelmodel.Abstain
+)
+
+// Category buckets weak-supervision sources the way the paper's Figure 2
+// does.
+type Category string
+
+// Figure 2 categories.
+const (
+	SourceHeuristic  Category = "source-heuristic"  // URL/source patterns, aggregate stats
+	ContentHeuristic Category = "content-heuristic" // keywords and content patterns
+	ModelBased       Category = "model-based"       // internal model predictions
+	GraphBased       Category = "graph-based"       // knowledge/entity graphs
+)
+
+// Meta describes one labeling function.
+type Meta struct {
+	// Name is unique within an application; it names the function's DFS
+	// output ("labels/<name>") and its column in analysis reports.
+	Name string
+	// Category is the Figure 2 bucket.
+	Category Category
+	// Servable records whether the function reads only production-servable
+	// signals. Non-servable functions are the ones cross-feature serving
+	// exists for (§4, Table 3).
+	Servable bool
+}
+
+// LF is one labeling function over example type T: metadata plus a vote. It
+// is the single abstraction both execution engines consume — the batch
+// executor runs each LF as its own MapReduce job, the online serving path
+// evaluates the same values per request.
+//
+// Implementations may additionally implement BatchVoter (vectorized
+// scoring), Lifecycle (expensive resources), NodeLocal (per-compute-node
+// state), CorpusFitter (two-pass corpus statistics), and Annotatable
+// (injected shared NLP service); engines discover these capabilities by
+// interface assertion.
+type LF[T any] interface {
+	// LFMeta returns the function's metadata.
+	LFMeta() Meta
+	// Vote inspects one example and votes or abstains. Implementations must
+	// return only valid labels; an error marks the example unlabelable by
+	// this function and fails the surrounding evaluation.
+	Vote(ctx context.Context, x T) (Label, error)
+}
+
+// BatchVoter is the optional vectorized extension of LF: VoteBatch scores
+// many examples in one call, letting engines amortize per-call overhead
+// (and implementations share per-batch work). It must be equivalent to
+// calling Vote on each example in order.
+type BatchVoter[T any] interface {
+	VoteBatch(ctx context.Context, xs []T) ([]Label, error)
+}
+
+// Lifecycle is implemented by labeling functions holding expensive
+// resources (model servers, graph connections). Engines call Setup before
+// the first Vote and Teardown after the last. Both must be safe to call
+// more than once.
+type Lifecycle interface {
+	Setup(ctx context.Context) error
+	Teardown(ctx context.Context) error
+}
+
+// NodeLocal is implemented by labeling functions that maintain per-compute-
+// node state — the paper's NLPLabelingFunction launches a model server on
+// every node of its MapReduce job. The batch executor calls ForNode once per
+// task (simulated node) and runs Setup/Vote/Teardown on the returned
+// instance; the online path uses the base value directly (one node).
+type NodeLocal[T any] interface {
+	ForNode() LF[T]
+}
+
+// Annotatable is implemented by labeling functions that consult an NLP
+// annotator and accept an injected one — how the online serving path shares
+// a single cached model server across every NLP function in a set.
+type Annotatable interface {
+	SetAnnotator(a nlp.Annotator)
+}
+
+// AnnotatorSource is implemented by labeling functions that can supply the
+// NLP service for their set (NLPFunc launches its configured model server).
+// The Evaluator asks each source in set order when no annotator was
+// injected; a source with nothing to offer (e.g. a combinator with no NLP
+// members) returns an error wrapping ErrNoAnnotator and the scan moves on.
+type AnnotatorSource interface {
+	NewAnnotator() (nlp.Annotator, error)
+}
+
+// ErrNoAnnotator is returned (wrapped) by an AnnotatorSource that cannot
+// supply an annotator — a soft "ask elsewhere", distinct from a failed
+// model-server launch.
+var ErrNoAnnotator = errors.New("no annotator available")
+
+// CorpusFitter is implemented by two-pass labeling functions whose votes
+// depend on corpus-level statistics (AggregateFunc). The batch executor
+// streams the staged corpus through FitCorpus before launching the vote
+// job; the online path serves from a summary frozen offline. The iteration
+// order of the corpus is unspecified.
+type CorpusFitter[T any] interface {
+	FitCorpus(ctx context.Context, corpus iter.Seq2[T, error]) error
+	// Fitted reports whether the function already holds its statistics.
+	Fitted() bool
+}
+
+// checkVote validates a vote on behalf of a template, naming the function.
+func checkVote(meta Meta, v Label) error {
+	if !v.Valid() {
+		return fmt.Errorf("lf %s: invalid vote %d", meta.Name, int8(v))
+	}
+	return nil
+}
+
+// batchCtxStride bounds how many records a streaming corpus pass processes
+// between context checks.
+const batchCtxStride = 256
+
+// VoteAll evaluates one labeling function over many examples, preferring
+// the vectorized VoteBatch when the function implements BatchVoter and
+// falling back to a scalar loop otherwise. It is the shared execution
+// primitive of the batch executor's map tasks and the online batch path.
+func VoteAll[T any](ctx context.Context, f LF[T], xs []T) ([]Label, error) {
+	meta := f.LFMeta()
+	if bv, ok := f.(BatchVoter[T]); ok {
+		votes, err := bv.VoteBatch(ctx, xs)
+		if err != nil {
+			return nil, err
+		}
+		if len(votes) != len(xs) {
+			return nil, fmt.Errorf("lf %s: VoteBatch returned %d votes for %d examples", meta.Name, len(votes), len(xs))
+		}
+		for _, v := range votes {
+			if err := checkVote(meta, v); err != nil {
+				return nil, err
+			}
+		}
+		return votes, nil
+	}
+	votes := make([]Label, len(xs))
+	for i, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lf %s: %w", meta.Name, err)
+		}
+		v, err := f.Vote(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkVote(meta, v); err != nil {
+			return nil, err
+		}
+		votes[i] = v
+	}
+	return votes, nil
+}
+
+// ValidateNames checks that the set is non-empty and every function has a
+// unique, non-empty name. Duplicate names would silently overwrite each
+// other's vote shards at "labels/<name>" on the distributed filesystem.
+func ValidateNames[T any](lfs []LF[T]) error {
+	if len(lfs) == 0 {
+		return fmt.Errorf("lf: no labeling functions")
+	}
+	seen := make(map[string]int, len(lfs))
+	for j, f := range lfs {
+		name := f.LFMeta().Name
+		if name == "" {
+			return fmt.Errorf("lf: labeling function at index %d has an empty name", j)
+		}
+		if prev, dup := seen[name]; dup {
+			return fmt.Errorf("lf: duplicate labeling function name %q (columns %d and %d); votes would overwrite each other at labels/%s",
+				name, prev, j, name)
+		}
+		seen[name] = j
+	}
+	return nil
+}
+
+// SetupAll runs Setup on every function implementing Lifecycle, in order.
+// On failure it tears down the functions already set up and returns the
+// setup error.
+func SetupAll[T any](ctx context.Context, lfs []LF[T]) error {
+	for i, f := range lfs {
+		lc, ok := f.(Lifecycle)
+		if !ok {
+			continue
+		}
+		if err := lc.Setup(ctx); err != nil {
+			for k := i - 1; k >= 0; k-- {
+				if prev, ok := lfs[k].(Lifecycle); ok {
+					_ = prev.Teardown(ctx)
+				}
+			}
+			return fmt.Errorf("lf %s: setup: %w", f.LFMeta().Name, err)
+		}
+	}
+	return nil
+}
+
+// TeardownAll runs Teardown on every function implementing Lifecycle and
+// returns the first error after attempting all of them.
+func TeardownAll[T any](ctx context.Context, lfs []LF[T]) error {
+	var first error
+	for _, f := range lfs {
+		if lc, ok := f.(Lifecycle); ok {
+			if err := lc.Teardown(ctx); err != nil && first == nil {
+				first = fmt.Errorf("lf %s: teardown: %w", f.LFMeta().Name, err)
+			}
+		}
+	}
+	return first
+}
+
+// Names returns function names in column order.
+func Names[T any](lfs []LF[T]) []string {
+	out := make([]string, len(lfs))
+	for j, f := range lfs {
+		out[j] = f.LFMeta().Name
+	}
+	return out
+}
+
+// Metas returns function metadata in column order.
+func Metas[T any](lfs []LF[T]) []Meta {
+	out := make([]Meta, len(lfs))
+	for j, f := range lfs {
+		out[j] = f.LFMeta()
+	}
+	return out
+}
+
+// Census counts functions per category — the Figure 2 histogram.
+func Census[T any](lfs []LF[T]) map[Category]int {
+	out := map[Category]int{}
+	for _, f := range lfs {
+		out[f.LFMeta().Category]++
+	}
+	return out
+}
+
+// ServableIndices returns the column indices of servable functions, the
+// Table 3 ablation subset.
+func ServableIndices[T any](lfs []LF[T]) []int {
+	var out []int
+	for j, f := range lfs {
+		if f.LFMeta().Servable {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// sortedCategories returns census keys in stable order, for reports.
+func sortedCategories(census map[Category]int) []Category {
+	out := make([]Category, 0, len(census))
+	for c := range census {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -1,0 +1,123 @@
+package lf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Set is a named, validated collection of labeling functions — one
+// application's weak-supervision sources, in label-matrix column order. A
+// Set's functions are guaranteed to have unique non-empty names.
+type Set[T any] struct {
+	name   string
+	lfs    []LF[T]
+	byName map[string]LF[T]
+}
+
+// NewSet builds a named set, validating that every function has a unique
+// non-empty name (duplicate names would overwrite each other's vote shards
+// on the distributed filesystem).
+func NewSet[T any](name string, lfs ...LF[T]) (*Set[T], error) {
+	if name == "" {
+		return nil, fmt.Errorf("lf: set needs a name")
+	}
+	if err := ValidateNames(lfs); err != nil {
+		return nil, fmt.Errorf("lf: set %q: %w", name, err)
+	}
+	byName := make(map[string]LF[T], len(lfs))
+	for _, f := range lfs {
+		byName[f.LFMeta().Name] = f
+	}
+	return &Set[T]{name: name, lfs: append([]LF[T](nil), lfs...), byName: byName}, nil
+}
+
+// Name returns the set's (application) name.
+func (s *Set[T]) Name() string { return s.name }
+
+// Len returns the number of functions.
+func (s *Set[T]) Len() int { return len(s.lfs) }
+
+// LFs returns the functions in column order. The slice is a copy; the
+// functions are not.
+func (s *Set[T]) LFs() []LF[T] { return append([]LF[T](nil), s.lfs...) }
+
+// Get returns the named function.
+func (s *Set[T]) Get(name string) (LF[T], bool) {
+	f, ok := s.byName[name]
+	return f, ok
+}
+
+// Names returns function names in column order.
+func (s *Set[T]) Names() []string { return Names(s.lfs) }
+
+// Metas returns function metadata in column order.
+func (s *Set[T]) Metas() []Meta { return Metas(s.lfs) }
+
+// Census counts functions per category — the Figure 2 histogram.
+func (s *Set[T]) Census() map[Category]int { return Census(s.lfs) }
+
+// ServableIndices returns the column indices of servable functions.
+func (s *Set[T]) ServableIndices() []int { return ServableIndices(s.lfs) }
+
+// ---------------------------------------------------------------------------
+// Registry: per-application LF discovery.
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]any{}
+)
+
+// Register adds a set to the process-wide registry under its name, so tools
+// can discover an application's labeling functions without linking against
+// its package directly. Registering a name twice is an error; Unregister
+// first to replace.
+func Register[T any](s *Set[T]) error {
+	if s == nil {
+		return fmt.Errorf("lf: Register(nil)")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.name]; dup {
+		return fmt.Errorf("lf: set %q already registered", s.name)
+	}
+	registry[s.name] = s
+	return nil
+}
+
+// Lookup returns the registered set with the given name. The example type
+// must match the one the set was registered with.
+func Lookup[T any](name string) (*Set[T], error) {
+	registryMu.RLock()
+	v, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("lf: no registered set %q (registered: %v)", name, RegisteredSets())
+	}
+	s, ok := v.(*Set[T])
+	if !ok {
+		return nil, fmt.Errorf("lf: set %q is registered for a different example type (%T)", name, v)
+	}
+	return s, nil
+}
+
+// Unregister removes a registered set, reporting whether it existed.
+func Unregister(name string) bool {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	_, ok := registry[name]
+	delete(registry, name)
+	return ok
+}
+
+// RegisteredSets returns the registered set names, sorted.
+func RegisteredSets() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -30,6 +30,7 @@ type settings struct {
 	parallelism int
 	trainer     string
 	labelModel  labelmodel.Options
+	devLabels   []labelmodel.Label
 	hook        StageHook
 	codec       any
 	err         error
@@ -118,6 +119,18 @@ func WithTrainer(name string) Option {
 // WithLabelModel sets the label-model training options for Denoise.
 func WithLabelModel(opts LabelModelOptions) Option {
 	return Option{f: func(s *settings) { s.labelModel = opts }}
+}
+
+// WithDevLabels attaches dev-set ground truth, aligned with the input
+// examples, to the pipeline's labeling-function analysis: the StageAnalyze
+// report then includes each function's empirical accuracy — the signal the
+// Snorkel development loop iterates on. Use Abstain for unlabeled examples.
+// The label count must match the staged corpus exactly; Run fails at the
+// analysis stage otherwise.
+func WithDevLabels(labels []Label) Option {
+	return Option{f: func(s *settings) {
+		s.devLabels = append([]Label(nil), labels...)
+	}}
 }
 
 // WithStageHook installs an observer receiving one StageEvent per completed

@@ -15,17 +15,19 @@ const maxBodyBytes = 1 << 20
 
 // Handler returns the HTTP/JSON API:
 //
-//	GET  /healthz     liveness plus the live model version
-//	POST /v1/predict  body: one record (e.g. a corpus.Document JSON)
-//	POST /v1/label    body: one record; runs the labeling functions online
-//	GET  /v1/metrics  counters, latency quantiles, batch histogram, cache
-//	POST /v1/promote  body: {"version": N}; hot-swaps a staged version live
-//	POST /v1/reload   re-reads the registry (promotions from other processes)
+//	GET  /healthz         liveness plus the live model version
+//	POST /v1/predict      body: one record (e.g. a corpus.Document JSON)
+//	POST /v1/label        body: one record; runs the labeling functions online
+//	POST /v1/label/batch  body: JSON array of records; vectorized labeling
+//	GET  /v1/metrics      counters, latency quantiles, batch histogram, cache
+//	POST /v1/promote      body: {"version": N}; hot-swaps a staged version live
+//	POST /v1/reload       re-reads the registry (promotions from other processes)
 func (s *Server[T]) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/label", s.handleLabel)
+	mux.HandleFunc("POST /v1/label/batch", s.handleLabelBatch)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
@@ -78,6 +80,45 @@ func (s *Server[T]) handleLabel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := s.Label(r.Context(), rec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// maxLabelBatch bounds one /v1/label/batch request; bigger corpora belong
+// on the batch pipeline.
+const maxLabelBatch = 1024
+
+func (s *Server[T]) handleLabelBatch(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Decode == nil {
+		writeError(w, http.StatusNotImplemented, errors.New("serve: no record decoder configured"))
+		return
+	}
+	var raw []json.RawMessage
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&raw); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode batch: %w", err))
+		return
+	}
+	if len(raw) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("serve: empty batch"))
+		return
+	}
+	if len(raw) > maxLabelBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: batch of %d exceeds limit %d", len(raw), maxLabelBatch))
+		return
+	}
+	recs := make([]T, len(raw))
+	for i, body := range raw {
+		rec, err := s.cfg.Decode(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("record %d: %w", i, err))
+			return
+		}
+		recs[i] = rec
+	}
+	res, err := s.LabelBatch(r.Context(), recs)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

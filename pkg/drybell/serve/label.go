@@ -1,11 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/labelmodel"
-	"repro/internal/lf"
 	"repro/internal/nlp"
+	"repro/pkg/drybell/lf"
 )
 
 // VoteRecord is one labeling function's online vote on a record.
@@ -23,115 +24,83 @@ type LabelResult struct {
 	Votes     []VoteRecord `json:"votes"`
 }
 
-// labeler evaluates the registered labeling functions against one record,
-// outside the MapReduce machinery they run in offline. Func runners call
-// their vote function directly; NLPFunc runners share a single node-local
-// model server behind an LRU cache keyed on the annotated text, so repeated
-// traffic does not re-run the expensive NLP models.
+// labeler evaluates the registered labeling functions against records,
+// outside the MapReduce machinery they run in offline. It is a thin layer
+// over the authoring API's shared Evaluator: the very same lf.LF values the
+// batch executor runs as jobs answer here per request, with every NLP
+// function in the set consulting one node-local model server behind an LRU
+// cache keyed on the annotated text.
 type labeler[T any] struct {
+	eval  *lf.Evaluator[T]
 	metas []lf.Meta
-	evals []func(T) (labelmodel.Label, error)
 	model *labelmodel.Model
-	cache *nlp.Cache // nil when no NLP runner is registered
 }
 
-func newLabeler[T any](runners []lf.Runner[T], model *labelmodel.Model, ann nlp.Annotator, cacheSize int) (*labeler[T], error) {
-	if len(runners) == 0 {
-		return nil, fmt.Errorf("serve: labeler needs at least one runner")
+func newLabeler[T any](lfs []lf.LF[T], model *labelmodel.Model, ann nlp.Annotator, cacheSize int) (*labeler[T], error) {
+	if len(lfs) == 0 {
+		return nil, fmt.Errorf("serve: labeler needs at least one labeling function")
 	}
-	if model != nil && model.NumFuncs() != len(runners) {
-		return nil, fmt.Errorf("serve: label model trained on %d LFs, %d runners registered",
-			model.NumFuncs(), len(runners))
+	if model != nil && model.NumFuncs() != len(lfs) {
+		return nil, fmt.Errorf("serve: label model trained on %d LFs, %d functions registered",
+			model.NumFuncs(), len(lfs))
 	}
-
-	// All NLP runners share one annotator — by default the first runner's
-	// model server (they are one per compute node offline too, §5.1) —
-	// wrapped in the LRU cache.
-	var cache *nlp.Cache
-	if ann == nil {
-		for _, r := range runners {
-			if f, ok := r.(lf.NLPFunc[T]); ok {
-				srv := f.NewServer()
-				if srv == nil {
-					return nil, fmt.Errorf("serve: lf %s: NewServer returned nil", f.Meta.Name)
-				}
-				if err := srv.Launch(); err != nil {
-					return nil, fmt.Errorf("serve: lf %s: %w", f.Meta.Name, err)
-				}
-				ann = srv
-				break
-			}
-		}
+	eval, err := lf.NewEvaluator(lfs, ann, cacheSize)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
-	if ann != nil {
-		if c, ok := ann.(*nlp.Cache); ok {
-			cache = c
-		} else {
-			c, err := nlp.NewCache(ann, cacheSize)
-			if err != nil {
-				return nil, err
-			}
-			cache = c
-			ann = c
-		}
+	if err := eval.Setup(context.Background()); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
-
-	l := &labeler[T]{model: model, cache: cache}
-	for _, r := range runners {
-		meta := r.LFMeta()
-		l.metas = append(l.metas, meta)
-		switch f := r.(type) {
-		case lf.Func[T]:
-			vote := f.Vote
-			l.evals = append(l.evals, func(x T) (labelmodel.Label, error) {
-				v := vote(x)
-				if !v.Valid() {
-					return 0, fmt.Errorf("serve: lf %s: invalid vote %d", meta.Name, v)
-				}
-				return v, nil
-			})
-		case lf.NLPFunc[T]:
-			getText, getValue, shared := f.GetText, f.GetValue, ann
-			l.evals = append(l.evals, func(x T) (labelmodel.Label, error) {
-				res, err := shared.Annotate(getText(x))
-				if err != nil {
-					return 0, fmt.Errorf("serve: lf %s: %w", meta.Name, err)
-				}
-				v := getValue(x, res)
-				if !v.Valid() {
-					return 0, fmt.Errorf("serve: lf %s: invalid vote %d", meta.Name, v)
-				}
-				return v, nil
-			})
-		default:
-			return nil, fmt.Errorf("serve: lf %s: runner type %T has no online evaluator", meta.Name, r)
-		}
-	}
-	return l, nil
+	return &labeler[T]{eval: eval, metas: eval.Metas(), model: model}, nil
 }
 
-func (l *labeler[T]) label(x T) (LabelResult, error) {
-	votes := make([]labelmodel.Label, len(l.evals))
-	records := make([]VoteRecord, len(l.evals))
-	for i, eval := range l.evals {
-		v, err := eval(x)
-		if err != nil {
-			return LabelResult{}, err
+// label evaluates one record — one label-matrix row plus its posterior.
+func (l *labeler[T]) label(ctx context.Context, x T) (LabelResult, error) {
+	votes, err := l.eval.VoteRow(ctx, x)
+	if err != nil {
+		return LabelResult{}, fmt.Errorf("serve: %w", err)
+	}
+	return l.result(votes), nil
+}
+
+// labelBatch evaluates many records through the vectorized VoteBatch path,
+// one column (labeling function) at a time.
+func (l *labeler[T]) labelBatch(ctx context.Context, xs []T) ([]LabelResult, error) {
+	mx, err := l.eval.VoteMatrix(ctx, xs)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	out := make([]LabelResult, len(xs))
+	row := make([]labelmodel.Label, len(l.metas))
+	for i := range xs {
+		for j := range l.metas {
+			row[j] = mx.At(i, j)
 		}
-		votes[i] = v
-		records[i] = VoteRecord{LF: l.metas[i].Name, Category: string(l.metas[i].Category), Vote: int(v)}
+		out[i] = l.result(row)
+	}
+	return out, nil
+}
+
+func (l *labeler[T]) result(votes []labelmodel.Label) LabelResult {
+	records := make([]VoteRecord, len(votes))
+	for j, v := range votes {
+		records[j] = VoteRecord{LF: l.metas[j].Name, Category: string(l.metas[j].Category), Vote: int(v)}
 	}
 	out := LabelResult{Votes: records}
 	if l.model != nil {
 		p := l.model.PosteriorRow(votes)
 		out.Posterior = &p
 	}
-	return out, nil
+	return out
 }
 
 func (l *labeler[T]) cacheSnapshot() *CacheSnapshot {
-	if l == nil || l.cache == nil {
+	if l == nil {
 		return nil
 	}
-	return &CacheSnapshot{Hits: l.cache.Hits(), Misses: l.cache.Misses(), HitRate: l.cache.HitRate()}
+	cache := l.eval.NLPCache()
+	if cache == nil {
+		return nil
+	}
+	return &CacheSnapshot{Hits: cache.Hits(), Misses: cache.Misses(), HitRate: cache.HitRate()}
 }

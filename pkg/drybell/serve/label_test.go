@@ -24,7 +24,7 @@ func docArtifact() *serving.Artifact {
 	}
 }
 
-func newDocServer(t *testing.T, runners []apps.DocRunner, lm *labelmodel.Model) *serve.Server[*corpus.Document] {
+func newDocServer(t *testing.T, runners []apps.DocLF, lm *labelmodel.Model) *serve.Server[*corpus.Document] {
 	t.Helper()
 	reg, _ := serving.OpenFSRegistry(dfs.NewMem(), "serving")
 	if _, err := reg.Stage(docArtifact()); err != nil {
@@ -38,7 +38,7 @@ func newDocServer(t *testing.T, runners []apps.DocRunner, lm *labelmodel.Model) 
 		Model:      "topic-classifier",
 		Decode:     corpus.UnmarshalDocument,
 		Featurize:  serve.DocumentFeaturizer,
-		Runners:    runners,
+		LFs:        runners,
 		LabelModel: lm,
 		CacheSize:  64,
 	})
@@ -165,7 +165,7 @@ func TestLabelerRejectsModelShapeMismatch(t *testing.T) {
 		Registry:   reg,
 		Model:      "topic-classifier",
 		Featurize:  serve.DocumentFeaturizer,
-		Runners:    runners,
+		LFs:        runners,
 		LabelModel: uniformModel(len(runners) + 3),
 	})
 	if err == nil {
@@ -189,5 +189,47 @@ func TestLabelUsesKGraphCache(t *testing.T) {
 	}
 	if kg.Hits() == 0 {
 		t.Error("knowledge-graph cache saw no hits under repeated traffic")
+	}
+}
+
+// TestLabelBatchMatchesScalar: the vectorized online path must produce
+// exactly the per-record results, posterior included.
+func TestLabelBatchMatchesScalar(t *testing.T) {
+	runners := apps.TopicLFs(nil, 0, 1)
+	s := newDocServer(t, runners, uniformModel(len(runners)))
+	docs := []*corpus.Document{
+		celebrityDoc(),
+		{ID: "d2", Title: "rate decision", Body: "dividend earnings outlook", URL: "https://newsroom.example/9", Language: "en"},
+		{ID: "d3", Title: "city update", Body: "roadworks schedule", URL: "https://metro.example/4", Language: "en"},
+	}
+	batch, err := s.LabelBatch(context.Background(), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(docs) {
+		t.Fatalf("batch results = %d, want %d", len(batch), len(docs))
+	}
+	for i, d := range docs {
+		single, err := s.Label(context.Background(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single.Votes) != len(batch[i].Votes) {
+			t.Fatalf("doc %d: vote counts differ", i)
+		}
+		for j := range single.Votes {
+			if single.Votes[j] != batch[i].Votes[j] {
+				t.Errorf("doc %d vote %d: scalar %+v != batch %+v", i, j, single.Votes[j], batch[i].Votes[j])
+			}
+		}
+		if (single.Posterior == nil) != (batch[i].Posterior == nil) {
+			t.Fatalf("doc %d: posterior presence differs", i)
+		}
+		if single.Posterior != nil && *single.Posterior != *batch[i].Posterior {
+			t.Errorf("doc %d: posterior %v != %v", i, *single.Posterior, *batch[i].Posterior)
+		}
+	}
+	if _, err := s.LabelBatch(context.Background(), nil); err != nil {
+		t.Errorf("empty batch should be a no-op, got %v", err)
 	}
 }

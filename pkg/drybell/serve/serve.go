@@ -33,9 +33,9 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/features"
 	"repro/internal/labelmodel"
-	"repro/internal/lf"
 	"repro/internal/nlp"
 	"repro/internal/serving"
+	"repro/pkg/drybell/lf"
 )
 
 // ErrNoLabeler is returned by Label when no labeling functions were
@@ -63,16 +63,17 @@ type Config[T any] struct {
 	// content tasks.
 	Featurize Featurizer[T]
 
-	// Runners are the labeling functions behind /v1/label, in label-model
-	// column order. Optional; without them Label returns ErrNoLabeler.
-	Runners []lf.Runner[T]
+	// LFs are the labeling functions behind /v1/label, in label-model
+	// column order — the same lf.LF values the batch pipeline executes.
+	// Optional; without them Label returns ErrNoLabeler.
+	LFs []lf.LF[T]
 	// LabelModel is the trained generative model whose PosteriorRow
 	// denoises online votes. Optional; without it /v1/label returns votes
 	// only.
 	LabelModel *labelmodel.Model
 	// Annotator overrides the NLP service the labeler consults. Default:
-	// the first NLP runner's model server. It is wrapped in an LRU cache
-	// either way.
+	// the set's first NLP function launches its model server. It is wrapped
+	// in an LRU cache and injected into every NLP function either way.
 	Annotator nlp.Annotator
 
 	// MaxBatch and BatchWait bound a micro-batch: score when MaxBatch
@@ -148,8 +149,8 @@ func New[T any](cfg Config[T]) (*Server[T], error) {
 	}
 
 	s := &Server[T]{cfg: cfg, handle: handle, metrics: newMetrics()}
-	if len(cfg.Runners) > 0 {
-		s.labeler, err = newLabeler(cfg.Runners, cfg.LabelModel, cfg.Annotator, cfg.CacheSize)
+	if len(cfg.LFs) > 0 {
+		s.labeler, err = newLabeler(cfg.LFs, cfg.LabelModel, cfg.Annotator, cfg.CacheSize)
 		if err != nil {
 			return nil, err
 		}
@@ -238,9 +239,39 @@ func (s *Server[T]) Label(ctx context.Context, rec T) (LabelResult, error) {
 		return LabelResult{}, err
 	}
 	start := time.Now()
-	res, err := s.labeler.label(rec)
+	res, err := s.labeler.label(ctx, rec)
 	s.metrics.label.observe(time.Since(start), err)
 	return res, err
+}
+
+// LabelBatch labels many records in one call through the labeling
+// functions' vectorized VoteBatch path — one column at a time instead of
+// one record at a time, amortizing per-call overhead the way the batch
+// executor's map tasks do.
+func (s *Server[T]) LabelBatch(ctx context.Context, recs []T) ([]LabelResult, error) {
+	if s.labeler == nil {
+		return nil, ErrNoLabeler
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.labeler.labelBatch(ctx, recs)
+	if err != nil {
+		// One failed request, not len(recs) of them — the batch fails as
+		// a unit, so the error path is observed exactly once.
+		s.metrics.label.observe(time.Since(start), err)
+		return nil, err
+	}
+	// Each record counts as one labeling, at the batch's amortized latency.
+	per := time.Duration(int64(time.Since(start)) / int64(len(recs)))
+	for range recs {
+		s.metrics.label.observe(per, nil)
+	}
+	return res, nil
 }
 
 // Promote makes a staged version live in the registry and hot-swaps it into
