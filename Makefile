@@ -1,0 +1,40 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml), so `make verify` locally is the merge gate.
+
+# bench pipes `go test` into the recorder; without pipefail a benchmark
+# failure after the first result line would still exit 0.
+SHELL := /bin/bash -o pipefail
+
+# Perf-critical benchmarks: label-model training (P1), labeling-function
+# pipeline throughput (P2), online serving, and LF execution. `make bench`
+# runs them and merges the numbers into $(BENCH_OUT) under $(BENCH_LABEL),
+# building the repository's performance trajectory release over release.
+BENCH      ?= BenchmarkP1_SamplingFreeVsGibbs|BenchmarkP2_PipelineThroughput|BenchmarkServePredict$$|BenchmarkExecuteLFs
+BENCHTIME  ?= 1s
+# Each benchmark runs BENCHCOUNT times and the recorder keeps the fastest
+# observation, so a noisy neighbour can't skew the committed trajectory.
+BENCHCOUNT ?= 3
+BENCH_OUT  ?= BENCH_pr4.json
+BENCH_LABEL ?= pr4
+
+.PHONY: build test verify bench bench-smoke
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+verify: build
+	test -z "$$(gofmt -l .)"
+	go vet ./...
+	go test ./...
+
+bench:
+	go test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . \
+		| go run ./tools/benchjson -out $(BENCH_OUT) -label $(BENCH_LABEL)
+
+# One-iteration smoke of the perf-critical benchmarks; CI runs this so the
+# hot paths cannot silently rot between perf investigations.
+bench-smoke:
+	$(MAKE) bench BENCHTIME=1x BENCH_OUT=/tmp/drybell-bench-smoke.json BENCH_LABEL=smoke

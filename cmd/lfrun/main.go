@@ -5,10 +5,11 @@
 // (§5.1).
 //
 // The corpus is staged from a JSON-lines file into a disk-backed DFS root,
-// the named function runs as its own MapReduce job, and the vote shard
-// paths are printed. A second invocation against the same root adds another
-// function's votes alongside the first — exactly the loose coupling the
-// paper describes, built on the drybell SDK's per-stage API.
+// the named function runs as its own MapReduce job, and the columnar vote
+// artifact's shard paths are printed. A second invocation against the same
+// root merges another function's votes into the artifact alongside the
+// first — exactly the loose coupling the paper describes, built on the
+// drybell SDK's per-stage API.
 //
 // Usage:
 //
@@ -42,7 +43,7 @@ func main() {
 		name   = flag.String("lf", "", "labeling function name to run")
 		input  = flag.String("input", "", "JSON-lines document file to stage (omit if already staged)")
 		shards = flag.Int("shards", 8, "input shards when staging")
-		par    = flag.Int("parallelism", 4, "simulated cluster width")
+		par    = flag.Int("parallelism", 0, "simulated cluster width (0 = one node per CPU)")
 		list   = flag.Bool("list", false, "list the task's labeling functions and exit")
 	)
 	flag.Parse()
@@ -92,15 +93,18 @@ func run(ctx context.Context, root, task, name, input string, shards, par int, l
 	if err != nil {
 		return err
 	}
-	p, err := drybell.New[*corpus.Document](
+	opts := []drybell.Option{
 		drybell.WithCodec(
 			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
 			corpus.UnmarshalDocument,
 		),
 		drybell.WithFS(fsys),
 		drybell.WithShards(shards),
-		drybell.WithParallelism(par),
-	)
+	}
+	if par > 0 {
+		opts = append(opts, drybell.WithParallelism(par))
+	}
+	p, err := drybell.New[*corpus.Document](opts...)
 	if err != nil {
 		return err
 	}
@@ -126,7 +130,9 @@ func run(ctx context.Context, root, task, name, input string, shards, par int, l
 	rep := report.PerLF[0]
 	fmt.Printf("%s: %d examples in %v (pos %d / neg %d / abstain %d)\n",
 		rep.Name, report.Examples, rep.Duration.Round(1e6), rep.Positives, rep.Negatives, rep.Abstains)
-	paths, err := drybell.ListShards(fsys, p.VotesPath(rep.Name))
+	// Votes from every invocation accumulate as columns of one columnar
+	// artifact; print its shards so the operator can see the shared state.
+	paths, err := drybell.ListShards(fsys, p.VotesBase())
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"iter"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -45,8 +46,14 @@ type Trainer string
 // Built-in trainers, pre-registered in the trainer registry.
 const (
 	// TrainerSamplingFree is the paper's contribution (§5.2): marginal
-	// likelihood on a static compute graph, no sampling. The default.
+	// likelihood on a static compute graph, no sampling. The default, and
+	// the reference implementation.
 	TrainerSamplingFree Trainer = "samplingfree"
+	// TrainerSamplingFreeFast is the vectorized production trainer: the
+	// same objective optimized by full-batch projected Newton over the
+	// compacted (deduplicated) vote matrix, converging to the reference
+	// trainer's optimum in a handful of deterministic steps.
+	TrainerSamplingFreeFast Trainer = "samplingfree-fast"
 	// TrainerAnalytic is the same objective with hand-derived gradients.
 	TrainerAnalytic Trainer = "analytic"
 	// TrainerGibbs is the open-source Snorkel baseline.
@@ -66,7 +73,8 @@ type Config[T any] struct {
 	Decode func([]byte) (T, error)
 	// Shards is the input sharding. Default 8.
 	Shards int
-	// Parallelism is the simulated cluster width. Default 4.
+	// Parallelism is the simulated cluster width. Default
+	// runtime.GOMAXPROCS(0): one simulated compute node per usable CPU.
 	Parallelism int
 	// Trainer names a registered label-model trainer. Default sampling-free.
 	Trainer Trainer
@@ -95,7 +103,7 @@ func (c Config[T]) WithDefaults() (Config[T], error) {
 		c.Shards = 8
 	}
 	if c.Parallelism <= 0 {
-		c.Parallelism = 4
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.Trainer == "" {
 		c.Trainer = TrainerSamplingFree
@@ -109,8 +117,9 @@ func (c Config[T]) InputBase() string { return c.WorkDir + "/input/examples" }
 // LabelsOutputBase is the DFS base path of the persisted probabilistic labels.
 func (c Config[T]) LabelsOutputBase() string { return c.WorkDir + "/output/problabels" }
 
-// VotesPrefix is the DFS prefix under which each labeling function writes
-// its vote shards ("<prefix>/<lf-name>").
+// VotesPrefix is the DFS prefix of vote state: ExecuteLFs maintains the
+// columnar vote artifact at "<prefix>/votes", and legacy per-function
+// recordio shard sets at "<prefix>/<lf-name>" remain loadable.
 func (c Config[T]) VotesPrefix() string { return c.WorkDir + "/labels" }
 
 // Result is the output of a pipeline run.
@@ -321,9 +330,10 @@ func ExecuteLFs[T any](ctx context.Context, cfg Config[T], lfs []lfapi.LF[T]) (*
 	return cfg.executor().ExecuteContext(ctx, lfs)
 }
 
-// LoadMatrix reassembles the label matrix from vote shards a previous
+// LoadMatrix reassembles the label matrix from vote state a previous
 // ExecuteLFs left on the filesystem, without re-running anything. Column j
-// holds the votes of names[j].
+// holds the votes of names[j]. The columnar artifact is preferred; legacy
+// per-function shard layouts load through the compatibility reader.
 func LoadMatrix[T any](cfg Config[T], names []string) (*labelmodel.Matrix, error) {
 	cfg, err := cfg.WithDefaults()
 	if err != nil {

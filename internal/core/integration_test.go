@@ -57,10 +57,28 @@ func TestProductPipelineOnDiskDFS(t *testing.T) {
 		t.Fatalf("persisted %d labels for %d examples", len(labels), len(train))
 	}
 
-	// Per-LF vote shards exist on disk, one output set per function.
-	for _, rep := range res.LFReport.PerLF {
-		if _, err := dfs.ListShards(disk, "pipeline/product/labels/"+rep.Name); err != nil {
-			t.Errorf("votes for %s missing: %v", rep.Name, err)
+	// The columnar vote artifact is durable on disk and restores the exact
+	// matrix (every LF's column) without re-running any job.
+	if _, err := dfs.ListShards(disk, "pipeline/product/labels/votes"); err != nil {
+		t.Errorf("columnar vote artifact missing: %v", err)
+	}
+	names := make([]string, len(res.LFReport.PerLF))
+	for i, rep := range res.LFReport.PerLF {
+		names[i] = rep.Name
+	}
+	reloaded, err := LoadMatrix(cfg, names)
+	if err != nil {
+		t.Fatalf("reload matrix from columnar votes: %v", err)
+	}
+	if reloaded.NumExamples() != res.Matrix.NumExamples() || reloaded.NumFuncs() != res.Matrix.NumFuncs() {
+		t.Fatalf("reloaded matrix is %d×%d, want %d×%d",
+			reloaded.NumExamples(), reloaded.NumFuncs(), res.Matrix.NumExamples(), res.Matrix.NumFuncs())
+	}
+	for i := 0; i < reloaded.NumExamples(); i++ {
+		for j := 0; j < reloaded.NumFuncs(); j++ {
+			if reloaded.At(i, j) != res.Matrix.At(i, j) {
+				t.Fatalf("reloaded vote [%d,%d] = %d, want %d", i, j, reloaded.At(i, j), res.Matrix.At(i, j))
+			}
 		}
 	}
 

@@ -15,9 +15,10 @@ type TrainerFunc func(*labelmodel.Matrix, labelmodel.Options) (*labelmodel.Model
 var (
 	trainersMu sync.RWMutex
 	trainers   = map[Trainer]TrainerFunc{
-		TrainerSamplingFree: labelmodel.TrainSamplingFree,
-		TrainerAnalytic:     labelmodel.TrainAnalytic,
-		TrainerGibbs:        labelmodel.TrainGibbs,
+		TrainerSamplingFree:     labelmodel.TrainSamplingFree,
+		TrainerSamplingFreeFast: labelmodel.TrainSamplingFreeFast,
+		TrainerAnalytic:         labelmodel.TrainAnalytic,
+		TrainerGibbs:            labelmodel.TrainGibbs,
 	}
 )
 

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/labelmodel"
+)
+
+// TestDenoiseTrainerSwitchEquivalence: the pipeline's denoise stage must
+// produce interchangeable labels whether it runs the reference trainer or
+// the vectorized fast trainer — the registry wiring plus the equivalence
+// contract proven in detail by the labelmodel package's own tests.
+func TestDenoiseTrainerSwitchEquivalence(t *testing.T) {
+	mx, _, err := labelmodel.Synthesize(labelmodel.SynthSpec{
+		NumExamples:   2000,
+		PriorPositive: 0.5,
+		Accuracies:    []float64{0.9, 0.8, 0.85, 0.75, 0.7},
+		Propensities:  []float64{0.45, 0.4, 0.3, 0.25, 0.35},
+		Seed:          23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-batch options converge both trainers to the shared optimum.
+	opts := labelmodel.Options{Steps: 4000, BatchSize: mx.NumExamples(), LR: 0.05, Seed: 7}
+	ctx := context.Background()
+	_, ref, err := Denoise(ctx, TrainerSamplingFree, mx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fast, err := Denoise(ctx, TrainerSamplingFreeFast, mx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(ref[i]-fast[i]) > 1e-4 {
+			t.Fatalf("posterior %d: %v (reference) vs %v (fast)", i, ref[i], fast[i])
+		}
+	}
+}

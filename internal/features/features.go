@@ -9,8 +9,11 @@ package features
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/corpus"
 	"repro/internal/nlp"
@@ -36,11 +39,47 @@ func (v *SparseVector) Dot(w []float64) float64 {
 func (v *SparseVector) NNZ() int { return len(v.Indices) }
 
 // DotBatch computes the inner product of every vector with one dense weight
-// vector in a single pass — the batch scoring primitive the online serving
-// path uses to score a micro-batch as one operation instead of per-request
-// calls.
+// vector — the batch scoring primitive the online serving path uses to
+// score a micro-batch as one operation instead of per-request calls. Large
+// batches are split across runtime.GOMAXPROCS workers.
 func DotBatch(xs []*SparseVector, w []float64) []float64 {
-	out := make([]float64, len(xs))
+	return DotBatchInto(xs, w, make([]float64, len(xs)))
+}
+
+// dotBatchParallelMin is the batch size below which DotBatchInto stays on
+// the caller's goroutine; small batches don't amortize worker spawns.
+const dotBatchParallelMin = 256
+
+// DotBatchInto is DotBatch writing into a caller-provided slice (which must
+// have len(xs) entries) and returning it — the allocation-free form for
+// callers that score batches continuously and reuse buffers.
+func DotBatchInto(xs []*SparseVector, w []float64, out []float64) []float64 {
+	if len(out) != len(xs) {
+		panic(fmt.Sprintf("features: DotBatchInto got %d outputs for %d vectors", len(out), len(xs)))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if len(xs) < dotBatchParallelMin || workers == 1 {
+		dotRange(xs, w, out)
+		return out
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(xs) + workers - 1) / workers
+	for lo := 0; lo < len(xs); lo += chunk {
+		hi := min(lo+chunk, len(xs))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			dotRange(xs[lo:hi], w, out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func dotRange(xs []*SparseVector, w []float64, out []float64) {
 	for i, x := range xs {
 		s := 0.0
 		for k, idx := range x.Indices {
@@ -48,7 +87,6 @@ func DotBatch(xs []*SparseVector, w []float64) []float64 {
 		}
 		out[i] = s
 	}
-	return out
 }
 
 // L2 returns the Euclidean norm.
@@ -57,19 +95,7 @@ func (v *SparseVector) L2() float64 {
 	for _, x := range v.Values {
 		s += x * x
 	}
-	return sqrt(s)
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	// Newton iterations are plenty for feature norms.
-	z := x
-	for i := 0; i < 32; i++ {
-		z = 0.5 * (z + x/z)
-	}
-	return z
+	return math.Sqrt(s)
 }
 
 // Hasher maps token features into a fixed-dimension space by hashing

@@ -1,0 +1,177 @@
+package labelmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMatrix draws an m×n matrix with roughly the given non-abstain rate.
+func randomMatrix(t *testing.T, m, n int, voteRate float64, seed int64) *Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mx := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() >= voteRate {
+				continue
+			}
+			if rng.Float64() < 0.5 {
+				mx.Set(i, j, Positive)
+			} else {
+				mx.Set(i, j, Negative)
+			}
+		}
+	}
+	return mx
+}
+
+// naiveCompactCounts reproduces Compact's aggregates with a plain map.
+func naiveCompactCounts(mx *Matrix) (unique int, voted []int64) {
+	seen := map[string]bool{}
+	voted = make([]int64, mx.NumFuncs())
+	buf := make([]byte, mx.NumFuncs())
+	for i := 0; i < mx.NumExamples(); i++ {
+		for j, v := range mx.Row(i) {
+			buf[j] = byte(v)
+			if v != Abstain {
+				voted[j]++
+			}
+		}
+		seen[string(buf)] = true
+	}
+	return len(seen), voted
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	// Sizes straddle the packed-uint64 (n ≤ 32) and string-key paths.
+	for _, tc := range []struct {
+		m, n int
+		rate float64
+	}{
+		{1, 1, 1}, {7, 3, 0.5}, {500, 10, 0.3}, {300, 32, 0.2}, {200, 40, 0.25}, {64, 2, 0.9},
+	} {
+		mx := randomMatrix(t, tc.m, tc.n, tc.rate, int64(tc.m*100+tc.n))
+		cm := mx.Compact()
+		back := cm.Reconstruct()
+		if back.NumExamples() != tc.m || back.NumFuncs() != tc.n {
+			t.Fatalf("%d×%d: reconstructed %d×%d", tc.m, tc.n, back.NumExamples(), back.NumFuncs())
+		}
+		for i := 0; i < tc.m; i++ {
+			for j := 0; j < tc.n; j++ {
+				if back.At(i, j) != mx.At(i, j) {
+					t.Fatalf("%d×%d: vote [%d,%d] = %d after round trip, want %d",
+						tc.m, tc.n, i, j, back.At(i, j), mx.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCompactMultiplicitiesAndCounts(t *testing.T) {
+	for _, n := range []int{4, 10, 31, 33, 40} {
+		mx := randomMatrix(t, 800, n, 0.35, int64(n))
+		cm := mx.Compact()
+
+		wantUnique, wantVoted := naiveCompactCounts(mx)
+		if cm.NumUnique() != wantUnique {
+			t.Fatalf("n=%d: %d unique rows, naive says %d", n, cm.NumUnique(), wantUnique)
+		}
+		total := int32(0)
+		for _, mult := range cm.Mult {
+			if mult <= 0 {
+				t.Fatalf("n=%d: non-positive multiplicity %d", n, mult)
+			}
+			total += mult
+		}
+		if int(total) != mx.NumExamples() {
+			t.Fatalf("n=%d: multiplicities sum to %d, want %d", n, total, mx.NumExamples())
+		}
+		for j, v := range cm.Voted {
+			if v != wantVoted[j] {
+				t.Fatalf("n=%d: Voted[%d] = %d, want %d", n, j, v, wantVoted[j])
+			}
+		}
+
+		// Each distinct row's packed counts agree with its dense form, each
+		// example maps to a row matching its votes, and every multiplicity
+		// equals the number of examples pointing at the row.
+		refCount := make([]int32, cm.NumUnique())
+		for i, r := range cm.RowOf {
+			refCount[r]++
+			votes := cm.RowVotes(int(r))
+			pos, neg := 0, 0
+			for j, v := range mx.Row(i) {
+				if votes[j] != v {
+					t.Fatalf("n=%d: example %d vote %d disagrees with its distinct row", n, i, j)
+				}
+				switch v {
+				case Positive:
+					pos++
+				case Negative:
+					neg++
+				}
+			}
+			if cm.PosCount(int(r)) != pos || cm.NegCount(int(r)) != neg {
+				t.Fatalf("n=%d: row %d packed counts (%d,%d), want (%d,%d)",
+					n, r, cm.PosCount(int(r)), cm.NegCount(int(r)), pos, neg)
+			}
+		}
+		for r, mult := range cm.Mult {
+			if refCount[r] != mult {
+				t.Fatalf("n=%d: row %d multiplicity %d, but %d examples map to it", n, r, mult, refCount[r])
+			}
+		}
+	}
+}
+
+func TestCompactDuplicateHeavy(t *testing.T) {
+	// Three literal patterns repeated: U must be 3 regardless of m.
+	mx := NewMatrix(999, 5)
+	patterns := [][]Label{
+		{Positive, Abstain, Negative, Abstain, Abstain},
+		{Abstain, Abstain, Abstain, Abstain, Abstain},
+		{Negative, Negative, Positive, Positive, Positive},
+	}
+	for i := 0; i < mx.NumExamples(); i++ {
+		mx.SetRow(i, patterns[i%3])
+	}
+	cm := mx.Compact()
+	if cm.NumUnique() != 3 {
+		t.Fatalf("3 patterns compacted to %d rows", cm.NumUnique())
+	}
+	for _, mult := range cm.Mult {
+		if mult != 333 {
+			t.Fatalf("multiplicity %d, want 333", mult)
+		}
+	}
+}
+
+func TestCompactRejectsInvalidVotes(t *testing.T) {
+	mx := NewMatrix(4, 3)
+	mx.data[5] = 7 // bypass Set's validation, as a corrupt decode would
+	if _, err := mx.compactChecked(); err == nil {
+		t.Fatal("compactChecked accepted an out-of-range vote")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compact did not panic on an out-of-range vote")
+		}
+	}()
+	mx.Compact()
+}
+
+func TestRowTableGrowth(t *testing.T) {
+	// Force growth: all-unique keys through a deliberately tiny table.
+	tab := newRowTable(0)
+	for k := 0; k < 5000; k++ {
+		if _, fresh := tab.insert(uint64(k)*2654435761, int32(k)); !fresh {
+			t.Fatalf("key %d reported as duplicate", k)
+		}
+	}
+	for k := 0; k < 5000; k++ {
+		v, fresh := tab.insert(uint64(k)*2654435761, -2)
+		if fresh || v != int32(k) {
+			t.Fatalf("key %d lookup = (%d, %v), want (%d, false)", k, v, fresh, k)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package labelmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSoftplusSigmoidNegMatchesStdlib sweeps the kernel's whole input range
+// against the stdlib formulas. The kernel trades the last few digits for
+// pipeline-friendly evaluation (degree-8 exp, shared reciprocal); its
+// ~3e−9 worst-case relative error is still orders of magnitude inside the
+// trainer's convergence tolerance and the equivalence-test margins.
+func TestSoftplusSigmoidNegMatchesStdlib(t *testing.T) {
+	for x := 0.0; x <= 60; x += 0.000917 {
+		sp, sig := softplusSigmoidNeg(x)
+		e := math.Exp(-x)
+		wantSp := math.Log1p(e)
+		wantSig := 1 / (1 + e)
+		if math.Abs(sp-wantSp) > 1e-8*(1+wantSp) {
+			t.Fatalf("softplus(e^-%v) = %v, want %v", x, sp, wantSp)
+		}
+		if math.Abs(sig-wantSig) > 1e-8 {
+			t.Fatalf("sigmoid(%v) = %v, want %v", x, sig, wantSig)
+		}
+	}
+	// Cutoff region: beyond 40 the kernel returns the exact limits.
+	if sp, sig := softplusSigmoidNeg(41); sp != 0 || sig != 1 {
+		t.Fatalf("softplusSigmoidNeg(41) = (%v, %v), want (0, 1)", sp, sig)
+	}
+}
+
+func TestExpPolyMatchesStdlib(t *testing.T) {
+	for x := -45.0; x <= 0; x += 0.000613 {
+		got := expPoly(x)
+		want := math.Exp(x)
+		if math.Abs(got-want) > 5e-9*want {
+			t.Fatalf("expPoly(%v) = %v, want %v (rel err %.2e)",
+				x, got, want, math.Abs(got-want)/want)
+		}
+	}
+}

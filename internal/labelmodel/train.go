@@ -114,6 +114,10 @@ func initBeta(mx *Matrix, alpha float64) []float64 {
 	return out
 }
 
+// maxAlpha is the upper bound of the accuracy-parameter projection shared by
+// every trainer: it keeps log-odds finite for unanimous functions.
+const maxAlpha = 3.0
+
 // clampAlpha projects α onto [0, maxAlpha] after each gradient step.
 //
 // This enforces data programming's core assumption that labeling functions
@@ -127,7 +131,6 @@ func initBeta(mx *Matrix, alpha float64) []float64 {
 // the upper bound keeps log-odds finite for unanimous functions. A truly
 // adversarial (below-chance) function pins at α = 0 and is simply ignored.
 func clampAlpha(alpha []float64) {
-	const maxAlpha = 3.0
 	for j, a := range alpha {
 		if a < 0 {
 			alpha[j] = 0

@@ -15,7 +15,10 @@ import (
 // Executor runs a set of labeling functions over a DFS-staged corpus and
 // assembles the label matrix. One MapReduce job per function, exactly as
 // DryBell runs one binary per function (§5.4); jobs run map-only so votes
-// stay aligned with input records.
+// stay aligned with input records. The assembled matrix is persisted as a
+// single columnar vote artifact (see WriteVotes) rather than one recordio
+// shard set per function, and LoadMatrix restores it — or a legacy per-
+// function layout — without re-running anything.
 //
 // The executor consumes public-API lf.LF values and discovers their
 // capabilities by interface: NodeLocal functions get one instance per map
@@ -28,7 +31,9 @@ type Executor[T any] struct {
 	FS dfs.FS
 	// InputBase is the staged corpus (see Stage).
 	InputBase string
-	// OutputPrefix prefixes per-function outputs: "<prefix>/<lf-name>".
+	// OutputPrefix locates vote output: the columnar artifact lives at
+	// "<prefix>/votes", and legacy per-function recordio shard sets at
+	// "<prefix>/<lf-name>" remain readable by LoadMatrix.
 	OutputPrefix string
 	// Decode parses one input record.
 	Decode func([]byte) (T, error)
@@ -41,6 +46,14 @@ type Executor[T any] struct {
 	// NoBatch forces record-at-a-time evaluation even for functions that
 	// implement BatchVoter — the scalar baseline for benchmarks and debug.
 	NoBatch bool
+	// PerLFJobs restores the paper's literal deployment shape: one
+	// MapReduce job per labeling function (§5.4), each decoding the staged
+	// corpus itself. The default fused mode runs all functions in a single
+	// map-only job — each record is decoded once instead of once per
+	// function, and every task emits finished columnar vote rows — which is
+	// several times cheaper in-process while producing the identical
+	// matrix, report counters, and per-task lifecycle behaviour.
+	PerLFJobs bool
 }
 
 // LFReport describes one labeling function's execution.
@@ -90,17 +103,110 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, lfs []lfapi.LF[T]) (*l
 	if err := lfapi.ValidateNames(lfs); err != nil {
 		return nil, nil, err
 	}
+	if e.PerLFJobs {
+		return e.executePerLF(ctx, lfs)
+	}
+	return e.executeFused(ctx, lfs)
+}
 
+// executeFused runs every labeling function inside one map-only job: each
+// task decodes its shard once, evaluates all functions over the decoded
+// records (vectorized where they support it), and emits one n-byte columnar
+// vote row per record.
+func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
+	start := time.Now()
+	report := &Report{PerLF: make([]LFReport, len(lfs))}
+	names := make([]string, len(lfs))
+	passes := make([]int, len(lfs))
+	for j, f := range lfs {
+		names[j] = f.LFMeta().Name
+		passes[j] = 1
+		// Two-pass functions (AggregateFunc) fit their corpus-level
+		// statistics from the staged input before the vote job launches.
+		if fitter, ok := f.(lfapi.CorpusFitter[T]); ok && !fitter.Fitted() {
+			if err := fitter.FitCorpus(ctx, e.corpus()); err != nil {
+				return nil, nil, fmt.Errorf("lf: fit %s: %w", names[j], err)
+			}
+			passes[j] = 2
+		}
+	}
+
+	res, err := mapreduce.RunContext(ctx, mapreduce.Job{
+		Name:          "lf-votes",
+		FS:            e.FS,
+		InputBase:     e.InputBase,
+		Mapper:        &fusedTask[T]{ctx: ctx, lfs: lfs, decode: e.Decode, noBatch: e.NoBatch},
+		CollectOutput: true,
+		Parallelism:   e.Parallelism,
+		MaxAttempts:   e.MaxAttempts,
+		FailureHook:   e.FailureHook,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("lf: execute: %w", err)
+	}
+	total := 0
+	for _, shard := range res.MapOutputs {
+		total += len(shard)
+	}
+	if total == 0 {
+		return nil, nil, fmt.Errorf("lf: staged corpus at %s is empty", e.InputBase)
+	}
+	matrix := labelmodel.NewMatrix(total, len(lfs))
+	nsh := len(res.MapOutputs)
+	for s, shard := range res.MapOutputs {
+		for r, rec := range shard {
+			if len(rec) != len(lfs) {
+				return nil, nil, fmt.Errorf("lf: vote row has %d bytes for %d functions", len(rec), len(lfs))
+			}
+			idx := s + r*nsh
+			if idx >= total {
+				return nil, nil, fmt.Errorf("lf: shard layout inconsistent (index %d of %d)", idx, total)
+			}
+			for j, bt := range rec {
+				v := labelmodel.Label(int8(bt))
+				if !v.Valid() {
+					return nil, nil, fmt.Errorf("lf %s: vote byte %d out of range", names[j], int8(bt))
+				}
+				matrix.Set(idx, j, v)
+			}
+		}
+	}
+	report.Examples = total
+	dur := time.Since(start)
+	for j, f := range lfs {
+		meta := f.LFMeta()
+		// The functions share one fused pass; each reports its wall time.
+		report.PerLF[j] = LFReport{
+			Name: meta.Name, Category: meta.Category, Servable: meta.Servable,
+			Duration:             dur,
+			Positives:            res.Counters["votes/"+meta.Name+"/positive"],
+			Negatives:            res.Counters["votes/"+meta.Name+"/negative"],
+			Abstains:             res.Counters["votes/"+meta.Name+"/abstain"],
+			ModelServersLaunched: res.Counters["model-servers-launched/"+meta.Name],
+			CorpusPasses:         passes[j],
+		}
+	}
+	if err := publishVotes(e.FS, e.votesBase(), matrix, names, nsh); err != nil {
+		return nil, nil, err
+	}
+	report.Duration = time.Since(start)
+	return matrix, report, nil
+}
+
+// executePerLF is the one-job-per-function mode (Executor.PerLFJobs).
+func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
 	start := time.Now()
 	report := &Report{PerLF: make([]LFReport, len(lfs))}
 	var matrix *labelmodel.Matrix
+	names := make([]string, len(lfs))
+	shardCount := 0
 
 	for j, f := range lfs {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, fmt.Errorf("lf: execute: %w", err)
 		}
 		meta := f.LFMeta()
-		outBase := e.OutputPrefix + "/" + meta.Name
+		names[j] = meta.Name
 		jobStart := time.Now()
 
 		// Two-pass functions (AggregateFunc) fit their corpus-level
@@ -113,32 +219,68 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, lfs []lfapi.LF[T]) (*l
 			passes = 2
 		}
 
+		// The job collects its votes in memory instead of committing a
+		// per-function recordio shard set: each function's column is merged
+		// into the one columnar artifact right after its job (see
+		// publishVotes below), so a vote persists as one byte instead of a
+		// framed record written and re-read per function.
 		res, err := mapreduce.RunContext(ctx, mapreduce.Job{
-			Name:        "lf-" + meta.Name,
-			FS:          e.FS,
-			InputBase:   e.InputBase,
-			OutputBase:  outBase,
-			Mapper:      e.mapperFor(ctx, f),
-			Parallelism: e.Parallelism,
-			MaxAttempts: e.MaxAttempts,
-			FailureHook: e.FailureHook,
+			Name:          "lf-" + meta.Name,
+			FS:            e.FS,
+			InputBase:     e.InputBase,
+			Mapper:        e.mapperFor(ctx, f),
+			CollectOutput: true,
+			Parallelism:   e.Parallelism,
+			MaxAttempts:   e.MaxAttempts,
+			FailureHook:   e.FailureHook,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("lf: execute %s: %w", meta.Name, err)
 		}
-		votes, err := e.loadVotes(meta.Name, outBase)
-		if err != nil {
-			return nil, nil, err
+		total := 0
+		for _, shard := range res.MapOutputs {
+			total += len(shard)
+		}
+		if total == 0 {
+			return nil, nil, fmt.Errorf("lf: staged corpus at %s is empty", e.InputBase)
 		}
 		if matrix == nil {
-			matrix = labelmodel.NewMatrix(len(votes), len(lfs))
-			report.Examples = len(votes)
-		} else if len(votes) != report.Examples {
+			matrix = labelmodel.NewMatrix(total, len(lfs))
+			report.Examples = total
+			shardCount = len(res.MapOutputs)
+		} else if total != report.Examples {
 			return nil, nil, fmt.Errorf("lf: %s produced %d votes, earlier functions produced %d",
-				meta.Name, len(votes), report.Examples)
+				meta.Name, total, report.Examples)
 		}
-		for i, v := range votes {
-			matrix.Set(i, j, v)
+		// Input shard s holds records s, s+N, s+2N, …: the map-only layout
+		// that restores staging order.
+		n := len(res.MapOutputs)
+		for s, shard := range res.MapOutputs {
+			for r, rec := range shard {
+				v, err := decodeVote(meta.Name, rec)
+				if err != nil {
+					return nil, nil, fmt.Errorf("lf: execute %s: shard %d record %d: %w", meta.Name, s, r, err)
+				}
+				idx := s + r*n
+				if idx >= total {
+					return nil, nil, fmt.Errorf("lf: %s: shard layout inconsistent (index %d of %d)", meta.Name, idx, total)
+				}
+				matrix.Set(idx, j, v)
+			}
+		}
+		// Per-function durability, matching the paper's independent-job
+		// deployment: this function's column is merged into the artifact as
+		// soon as its job finishes, so a later function's failure (or a
+		// crash) loses only the unfinished work. Incrementally re-merging a
+		// growing artifact is O(n²·m) across a run — the deliberate price
+		// of per-function durability in this fidelity mode; the default
+		// fused mode publishes once.
+		col := labelmodel.NewMatrix(total, 1)
+		for i := 0; i < total; i++ {
+			col.Set(i, 0, matrix.At(i, j))
+		}
+		if err := publishVotes(e.FS, e.votesBase(), col, names[j:j+1], shardCount); err != nil {
+			return nil, nil, err
 		}
 		report.PerLF[j] = LFReport{
 			Name: meta.Name, Category: meta.Category, Servable: meta.Servable,
@@ -153,6 +295,126 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, lfs []lfapi.LF[T]) (*l
 	report.Duration = time.Since(start)
 	return matrix, report, nil
 }
+
+// publishVotes merges freshly executed votes into the columnar artifact and
+// commits it, so independent invocations accumulate columns — the paper's
+// loose coupling, where each labeling function can run as its own process
+// and later runs add votes alongside earlier ones (see cmd/lfrun). The
+// filesystem has atomic renames but no compare-and-swap, so a concurrent
+// writer between our read and our write could make its columns vanish;
+// after each write the meta is re-read and the merge retried until every
+// column that was visible survives together with ours.
+func publishVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string, shards int) error {
+	const attempts = 4
+	for try := 0; try < attempts; try++ {
+		merged, mergedNames := mergeVotes(fs, base, mx, names)
+		if err := WriteVotes(fs, base, merged, mergedNames, shards); err != nil {
+			return err
+		}
+		// Verify the full artifact, not just the meta: interleaved shard
+		// renames from a concurrent writer leave a mixed-generation set,
+		// which the integrity check detects — treat that like lost columns
+		// and merge again. Whoever verifies last converges the artifact to
+		// the union.
+		after, err := VerifyVotes(fs, base)
+		if err != nil {
+			continue
+		}
+		have := make(map[string]bool, len(after))
+		for _, name := range after {
+			have[name] = true
+		}
+		lost := false
+		for _, name := range mergedNames {
+			if !have[name] {
+				lost = true
+				break
+			}
+		}
+		if !lost {
+			return nil
+		}
+	}
+	return fmt.Errorf("lf: vote artifact at %s kept changing under concurrent writers; giving up after %d attempts", base, attempts)
+}
+
+// mergeVotes combines freshly executed votes with an existing columnar
+// artifact: existing columns keep their position (same-named columns are
+// replaced by the fresh votes), new columns append in execution order. An
+// absent, unreadable, or different-corpus artifact (example count mismatch)
+// is simply superseded by the fresh votes.
+func mergeVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string) (*labelmodel.Matrix, []string) {
+	if !HasVotes(fs, base) {
+		return mx, names
+	}
+	// Common case first, from the meta alone: the fresh run covers every
+	// stored column (e.g. re-running the standard whole-set pipeline), so
+	// nothing of the old artifact survives and its shards need not even be
+	// read.
+	oldNames, err := VoteNames(fs, base)
+	if err != nil {
+		return mx, names
+	}
+	freshSet := make(map[string]bool, len(names))
+	for _, name := range names {
+		freshSet[name] = true
+	}
+	allCovered := true
+	for _, name := range oldNames {
+		if !freshSet[name] {
+			allCovered = false
+			break
+		}
+	}
+	if allCovered {
+		return mx, names
+	}
+	old, _, err := ReadVotes(fs, base, nil)
+	if err != nil || old.NumExamples() != mx.NumExamples() {
+		return mx, names
+	}
+	fresh := make(map[string]int, len(names))
+	for j, name := range names {
+		fresh[name] = j
+	}
+	oldIdx := make(map[string]int, len(oldNames))
+	for j, name := range oldNames {
+		oldIdx[name] = j
+	}
+	mergedNames := append([]string(nil), oldNames...)
+	for _, name := range names {
+		if _, ok := oldIdx[name]; !ok {
+			mergedNames = append(mergedNames, name)
+		}
+	}
+	// Per merged column: read from the fresh matrix when present (fresh
+	// votes win), otherwise from the old artifact.
+	type src struct{ fromNew, col int }
+	srcs := make([]src, len(mergedNames))
+	for k, name := range mergedNames {
+		if j, ok := fresh[name]; ok {
+			srcs[k] = src{1, j}
+		} else {
+			srcs[k] = src{0, oldIdx[name]}
+		}
+	}
+	merged := labelmodel.NewMatrix(mx.NumExamples(), len(mergedNames))
+	row := make([]labelmodel.Label, len(mergedNames))
+	for i := 0; i < merged.NumExamples(); i++ {
+		for k, s := range srcs {
+			if s.fromNew == 1 {
+				row[k] = mx.At(i, s.col)
+			} else {
+				row[k] = old.At(i, s.col)
+			}
+		}
+		merged.SetRow(i, row)
+	}
+	return merged, mergedNames
+}
+
+// votesBase is the DFS base of the columnar vote artifact.
+func (e *Executor[T]) votesBase() string { return e.OutputPrefix + "/votes" }
 
 // mapperFor adapts one labeling function to the MapReduce engine, choosing
 // the batch-capable adapter when the function vectorizes and batching is
@@ -233,6 +495,149 @@ func (m *lfTask[T]) Teardown(tctx *mapreduce.TaskContext) error {
 	return nil
 }
 
+// fusedTask evaluates the whole labeling-function set inside one map task:
+// records are decoded once, every function votes over the decoded slice
+// (through its vectorized VoteBatch when available), and the task emits one
+// packed n-byte vote row per record — the columnar layout the vote artifact
+// and the matrix assembly consume directly. Per-node semantics match the
+// per-function jobs exactly: each task derives NodeLocal instances and
+// brackets them with Lifecycle, so e.g. one NLP model server still launches
+// per simulated compute node.
+type fusedTask[T any] struct {
+	ctx     context.Context
+	lfs     []lfapi.LF[T]
+	decode  func([]byte) (T, error)
+	noBatch bool
+}
+
+// fusedState is the per-task state: one instance per function, plus how
+// many completed Setup (for teardown after a mid-setup failure).
+type fusedState[T any] struct {
+	instances []lfapi.LF[T]
+	started   int
+}
+
+// Setup implements mapreduce.Mapper. The engine does not call Teardown
+// after a failed Setup, so a mid-set failure tears down the instances that
+// already started before returning — otherwise their model servers would
+// leak once per task attempt.
+func (m *fusedTask[T]) Setup(tctx *mapreduce.TaskContext) error {
+	st := &fusedState[T]{instances: make([]lfapi.LF[T], len(m.lfs))}
+	tctx.SetState(st)
+	for j, f := range m.lfs {
+		inst := f
+		if nl, ok := f.(lfapi.NodeLocal[T]); ok {
+			inst = nl.ForNode()
+		}
+		if lc, ok := inst.(lfapi.Lifecycle); ok {
+			if err := lc.Setup(m.ctx); err != nil {
+				err = fmt.Errorf("lf %s: setup: %w", f.LFMeta().Name, err)
+				if tdErr := m.Teardown(tctx); tdErr != nil {
+					return fmt.Errorf("%w (and tearing down earlier functions failed: %v)", err, tdErr)
+				}
+				return err
+			}
+		}
+		if owner, ok := inst.(interface{ OwnsModelServer() bool }); ok && owner.OwnsModelServer() {
+			tctx.Counters.Inc("model-servers-launched/"+f.LFMeta().Name, 1)
+		}
+		st.instances[j] = inst
+		st.started = j + 1
+	}
+	return nil
+}
+
+// Map implements mapreduce.Mapper for interface completeness; the engine
+// always drives fused tasks through MapBatch.
+func (m *fusedTask[T]) Map(tctx *mapreduce.TaskContext, rec []byte, emit mapreduce.Emitter) error {
+	return m.MapBatch(tctx, [][]byte{rec}, emit)
+}
+
+// MapBatch implements mapreduce.BatchMapper.
+func (m *fusedTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, emit mapreduce.Emitter) error {
+	st := tctx.State().(*fusedState[T])
+	xs := make([]T, len(records))
+	for i, rec := range records {
+		x, err := m.decode(rec)
+		if err != nil {
+			return fmt.Errorf("lf-votes: %w", err)
+		}
+		xs[i] = x
+	}
+	n := len(m.lfs)
+	rows := make([]byte, len(records)*n)
+	for j, inst := range st.instances {
+		meta := m.lfs[j].LFMeta()
+		var votes []labelmodel.Label
+		var err error
+		if m.noBatch {
+			votes, err = scalarVotes(m.ctx, meta.Name, inst, xs)
+		} else {
+			votes, err = lfapi.VoteAll(m.ctx, inst, xs)
+		}
+		if err != nil {
+			return err
+		}
+		var pos, neg, abs int64
+		for i, v := range votes {
+			rows[i*n+j] = byte(v)
+			switch v {
+			case labelmodel.Positive:
+				pos++
+			case labelmodel.Negative:
+				neg++
+			default:
+				abs++
+			}
+		}
+		// One counter flush per function per task, not one per vote.
+		tctx.Counters.Inc("votes/"+meta.Name+"/positive", pos)
+		tctx.Counters.Inc("votes/"+meta.Name+"/negative", neg)
+		tctx.Counters.Inc("votes/"+meta.Name+"/abstain", abs)
+	}
+	for i := range records {
+		emit("", rows[i*n:(i+1)*n])
+	}
+	return nil
+}
+
+// Teardown implements mapreduce.Mapper.
+func (m *fusedTask[T]) Teardown(tctx *mapreduce.TaskContext) error {
+	st, ok := tctx.State().(*fusedState[T])
+	if !ok {
+		return nil // Setup never ran
+	}
+	var firstErr error
+	for j, inst := range st.instances[:st.started] {
+		if lc, ok := inst.(lfapi.Lifecycle); ok {
+			if err := lc.Teardown(m.ctx); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("lf %s: teardown: %w", m.lfs[j].LFMeta().Name, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// scalarVotes forces record-at-a-time evaluation (the NoBatch baseline),
+// with the same validation VoteAll applies.
+func scalarVotes[T any](ctx context.Context, name string, f lfapi.LF[T], xs []T) ([]labelmodel.Label, error) {
+	votes := make([]labelmodel.Label, len(xs))
+	for i, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("lf %s: %w", name, err)
+		}
+		v, err := f.Vote(ctx, x)
+		if err != nil {
+			return nil, err
+		}
+		if !v.Valid() {
+			return nil, fmt.Errorf("lf %s: invalid vote %d", name, v)
+		}
+		votes[i] = v
+	}
+	return votes, nil
+}
+
 // lfBatchTask is the vectorized adapter: the engine hands each task's
 // records over in one MapBatch call, and the function scores them through
 // its VoteBatch in a single invocation.
@@ -262,15 +667,47 @@ func (m *lfBatchTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte,
 	return nil
 }
 
-// LoadMatrix assembles the label matrix from vote shards already on the DFS
-// — the outputs of earlier Execute runs for the named functions — without
-// re-executing anything. Column j holds the votes of names[j]. This is how a
-// caller resumes a pipeline from persisted state: labeling functions are
-// independent executables sharing data via the filesystem, so their outputs
-// outlive the process that ran them.
+// LoadMatrix assembles the label matrix from vote state already on the DFS
+// — the output of an earlier Execute run — without re-executing anything.
+// Column j holds the votes of names[j]. This is how a caller resumes a
+// pipeline from persisted state: labeling functions share data via the
+// filesystem, so their outputs outlive the process that ran them.
+//
+// The columnar vote artifact is tried first; a filesystem carrying only the
+// legacy layout (one recordio shard set per function under
+// "<prefix>/<lf-name>", what Execute wrote before the columnar format)
+// still loads through the compatibility path below.
 func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lf: no labeling function names to load")
+	}
+	if HasVotes(e.FS, e.votesBase()) {
+		stored, err := VoteNames(e.FS, e.votesBase())
+		if err != nil {
+			return nil, err
+		}
+		have := make(map[string]bool, len(stored))
+		for _, name := range stored {
+			have[name] = true
+		}
+		var missing []string
+		for _, name := range names {
+			if !have[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) == 0 {
+			mx, _, err := ReadVotes(e.FS, e.votesBase(), names)
+			return mx, err
+		}
+		if len(missing) < len(names) {
+			// Mixed state: some columns live in the artifact, the rest in
+			// legacy per-function shard sets written by an older binary
+			// against the same root. Serve both.
+			return e.loadMixed(names, have)
+		}
+		// None of the requested functions are in the artifact (it belongs
+		// to a different set); fall through to the legacy layout.
 	}
 	var matrix *labelmodel.Matrix
 	for j, name := range names {
@@ -282,6 +719,44 @@ func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
 			matrix = labelmodel.NewMatrix(len(votes), len(names))
 		} else if len(votes) != matrix.NumExamples() {
 			return nil, fmt.Errorf("lf: %s has %d votes on the DFS, earlier functions have %d",
+				name, len(votes), matrix.NumExamples())
+		}
+		for i, v := range votes {
+			matrix.Set(i, j, v)
+		}
+	}
+	return matrix, nil
+}
+
+// loadMixed assembles a matrix whose columns are split between the columnar
+// artifact (names in have) and legacy per-function shard sets.
+func (e *Executor[T]) loadMixed(names []string, have map[string]bool) (*labelmodel.Matrix, error) {
+	var present []string
+	for _, name := range names {
+		if have[name] {
+			present = append(present, name)
+		}
+	}
+	cmx, _, err := ReadVotes(e.FS, e.votesBase(), present)
+	if err != nil {
+		return nil, err
+	}
+	matrix := labelmodel.NewMatrix(cmx.NumExamples(), len(names))
+	k := 0
+	for j, name := range names {
+		if have[name] {
+			for i := 0; i < matrix.NumExamples(); i++ {
+				matrix.Set(i, j, cmx.At(i, k))
+			}
+			k++
+			continue
+		}
+		votes, err := e.loadVotes(name, e.OutputPrefix+"/"+name)
+		if err != nil {
+			return nil, err
+		}
+		if len(votes) != matrix.NumExamples() {
+			return nil, fmt.Errorf("lf: %s has %d legacy votes on the DFS, the vote artifact has %d examples",
 				name, len(votes), matrix.NumExamples())
 		}
 		for i, v := range votes {

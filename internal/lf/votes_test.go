@@ -1,0 +1,502 @@
+package lf
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/dfs"
+	"repro/internal/labelmodel"
+	"repro/internal/mapreduce"
+	"repro/internal/recordio"
+	lfapi "repro/pkg/drybell/lf"
+)
+
+func randomVotes(t *testing.T, m, n int, seed int64) *labelmodel.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mx := labelmodel.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			mx.Set(i, j, labelmodel.Label(rng.Intn(3)-1))
+		}
+	}
+	return mx
+}
+
+func TestVotesRoundTrip(t *testing.T) {
+	for _, tc := range []struct{ m, n, shards int }{
+		{1, 1, 1}, {17, 3, 4}, {100, 7, 8}, {64, 2, 64}, {5, 4, 8},
+	} {
+		fs := dfs.NewMem()
+		mx := randomVotes(t, tc.m, tc.n, int64(tc.m))
+		names := make([]string, tc.n)
+		for j := range names {
+			names[j] = string(rune('a' + j))
+		}
+		if err := WriteVotes(fs, "labels/votes", mx, names, tc.shards); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !HasVotes(fs, "labels/votes") {
+			t.Fatalf("%+v: artifact not detected after write", tc)
+		}
+		got, gotNames, err := ReadVotes(fs, "labels/votes", nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if len(gotNames) != tc.n {
+			t.Fatalf("%+v: %d names back", tc, len(gotNames))
+		}
+		for i := 0; i < tc.m; i++ {
+			for j := 0; j < tc.n; j++ {
+				if got.At(i, j) != mx.At(i, j) {
+					t.Fatalf("%+v: vote [%d,%d] = %d, want %d", tc, i, j, got.At(i, j), mx.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestVotesColumnSelection(t *testing.T) {
+	fs := dfs.NewMem()
+	mx := randomVotes(t, 40, 4, 9)
+	if err := WriteVotes(fs, "labels/votes", mx, []string{"w", "x", "y", "z"}, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Select a reordered subset: column 0 of the result must be "y" (stored
+	// column 2), column 1 must be "w" (stored column 0).
+	got, _, err := ReadVotes(fs, "labels/votes", []string{"y", "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumFuncs() != 2 {
+		t.Fatalf("selected matrix has %d columns", got.NumFuncs())
+	}
+	for i := 0; i < 40; i++ {
+		if got.At(i, 0) != mx.At(i, 2) || got.At(i, 1) != mx.At(i, 0) {
+			t.Fatalf("row %d: selection [%d %d], want [%d %d]",
+				i, got.At(i, 0), got.At(i, 1), mx.At(i, 2), mx.At(i, 0))
+		}
+	}
+	if _, _, err := ReadVotes(fs, "labels/votes", []string{"nope"}); err == nil ||
+		!strings.Contains(err.Error(), "no column") {
+		t.Fatalf("unknown column error = %v", err)
+	}
+}
+
+func TestVotesCorruptionDetected(t *testing.T) {
+	fs := dfs.NewMem()
+	mx := randomVotes(t, 60, 5, 21)
+	names := []string{"a", "b", "c", "d", "e"}
+	if err := WriteVotes(fs, "labels/votes", mx, names, 4); err != nil {
+		t.Fatal(err)
+	}
+	shard := dfs.ShardPath("labels/votes", 2, 4)
+	// Flip a payload byte: the checksum must catch it.
+	if err := fs.Corrupt(shard, voteShardHeaderSize+3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadVotes(fs, "labels/votes", nil); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("corrupt shard error = %v", err)
+	}
+	// A damaged header (magic) is caught before the checksum.
+	if err := fs.Corrupt(shard, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadVotes(fs, "labels/votes", nil); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("bad magic error = %v", err)
+	}
+}
+
+func TestExecutePersistsColumnarVotes(t *testing.T) {
+	fs := dfs.NewMem()
+	docs := testDocs()
+	stageDocs(t, fs, docs, 2)
+	exec := docExecutor(fs)
+	mx, _, err := exec.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), nerLF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No per-LF recordio shard sets anymore — only the columnar artifact.
+	if _, err := dfs.ListShards(fs, "labels/keyword_gossip"); err == nil {
+		t.Error("per-LF recordio shards still written")
+	}
+	names, err := VoteNames(fs, "labels/votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "keyword_gossip" || names[1] != "ner_no_person" {
+		t.Fatalf("artifact names = %v", names)
+	}
+	loaded, err := exec.LoadMatrix(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mx.NumExamples(); i++ {
+		for j := 0; j < mx.NumFuncs(); j++ {
+			if loaded.At(i, j) != mx.At(i, j) {
+				t.Fatalf("loaded vote [%d,%d] = %d, want %d", i, j, loaded.At(i, j), mx.At(i, j))
+			}
+		}
+	}
+}
+
+// TestExecuteMergesAcrossInvocations is the lfrun workflow: independent
+// Execute calls against the same filesystem accumulate columns in the one
+// artifact, and re-running a function replaces its column.
+func TestExecuteMergesAcrossInvocations(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+
+	if _, _, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{keywordLF()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{nerLF()}); err != nil {
+		t.Fatal(err)
+	}
+	names, err := VoteNames(fs, "labels/votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("after two single-LF runs, artifact has columns %v", names)
+	}
+	mx, err := docExecutor(fs).LoadMatrix([]string{"keyword_gossip", "ner_no_person"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx.NumExamples() != 5 || mx.NumFuncs() != 2 {
+		t.Fatalf("merged matrix is %d×%d", mx.NumExamples(), mx.NumFuncs())
+	}
+	// Doc 0 contains "gossip": keyword column intact after the second run.
+	if mx.At(0, 0) != labelmodel.Positive {
+		t.Errorf("keyword vote for doc 0 = %d after merge, want positive", mx.At(0, 0))
+	}
+	// Re-running an existing function keeps one column, not two.
+	if _, _, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{keywordLF()}); err != nil {
+		t.Fatal(err)
+	}
+	names, _ = VoteNames(fs, "labels/votes")
+	if len(names) != 2 {
+		t.Fatalf("after re-running keyword LF, artifact has columns %v", names)
+	}
+}
+
+// TestLoadMatrixLegacyLayout: a filesystem holding only the pre-columnar
+// per-LF recordio shard sets must still load, bit for bit.
+func TestLoadMatrixLegacyLayout(t *testing.T) {
+	fs := dfs.NewMem()
+	votesA := []labelmodel.Label{labelmodel.Positive, labelmodel.Abstain, labelmodel.Negative, labelmodel.Abstain, labelmodel.Positive}
+	votesB := []labelmodel.Label{labelmodel.Abstain, labelmodel.Negative, labelmodel.Negative, labelmodel.Positive, labelmodel.Abstain}
+	writeLegacy := func(name string, votes []labelmodel.Label) {
+		recs := make([][]byte, len(votes))
+		for i, v := range votes {
+			recs[i] = encodeVote(v)
+		}
+		if err := mapreduce.WriteInput(fs, "labels/"+name, recs, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeLegacy("alpha", votesA)
+	writeLegacy("beta", votesB)
+
+	mx, err := docExecutor(fs).LoadMatrix([]string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range votesA {
+		if mx.At(i, 0) != votesA[i] || mx.At(i, 1) != votesB[i] {
+			t.Fatalf("legacy row %d = [%d %d], want [%d %d]",
+				i, mx.At(i, 0), mx.At(i, 1), votesA[i], votesB[i])
+		}
+	}
+}
+
+// TestLegacyVoteShardRejectsBadByte: the compatibility reader keeps the
+// defensive decoding of the old format.
+func TestLegacyVoteShardRejectsBadByte(t *testing.T) {
+	fs := dfs.NewMem()
+	var buf bytes.Buffer
+	if err := recordio.WriteAll(&buf, [][]byte{{0x7}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dfs.PublishShard(fs, "labels/bad", 0, 1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := docExecutor(fs).LoadMatrix([]string{"bad"}); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("legacy bad vote error = %v", err)
+	}
+}
+
+// TestFusedMatchesPerLFJobs: the fused single-job mode and the paper's
+// one-job-per-function mode must produce identical matrices, counters, and
+// model-server launch counts.
+func TestFusedMatchesPerLFJobs(t *testing.T) {
+	docs := testDocs()
+	run := func(perLF bool) (*labelmodel.Matrix, *Report) {
+		fs := dfs.NewMem()
+		stageDocs(t, fs, docs, 3)
+		e := docExecutor(fs)
+		e.PerLFJobs = perLF
+		mx, rep, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), nerLF()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mx, rep
+	}
+	fmx, frep := run(false)
+	pmx, prep := run(true)
+	if fmx.NumExamples() != pmx.NumExamples() || fmx.NumFuncs() != pmx.NumFuncs() {
+		t.Fatalf("fused %d×%d vs per-LF %d×%d", fmx.NumExamples(), fmx.NumFuncs(), pmx.NumExamples(), pmx.NumFuncs())
+	}
+	for i := 0; i < fmx.NumExamples(); i++ {
+		for j := 0; j < fmx.NumFuncs(); j++ {
+			if fmx.At(i, j) != pmx.At(i, j) {
+				t.Fatalf("modes disagree at (%d,%d): %v vs %v", i, j, fmx.At(i, j), pmx.At(i, j))
+			}
+		}
+	}
+	for j := range frep.PerLF {
+		f, p := frep.PerLF[j], prep.PerLF[j]
+		if f.Positives != p.Positives || f.Negatives != p.Negatives || f.Abstains != p.Abstains {
+			t.Errorf("%s: counters diverge between modes: %+v vs %+v", f.Name, f, p)
+		}
+		if f.ModelServersLaunched != p.ModelServersLaunched {
+			t.Errorf("%s: model servers launched %d (fused) vs %d (per-LF)",
+				f.Name, f.ModelServersLaunched, p.ModelServersLaunched)
+		}
+	}
+}
+
+// TestReadVotesDuplicateNames: requesting the same column twice must yield
+// two identical, correct columns (not stale buffer contents).
+func TestReadVotesDuplicateNames(t *testing.T) {
+	fs := dfs.NewMem()
+	mx := randomVotes(t, 30, 3, 5)
+	if err := WriteVotes(fs, "labels/votes", mx, []string{"a", "b", "c"}, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadVotes(fs, "labels/votes", []string{"b", "b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if got.At(i, 0) != mx.At(i, 1) || got.At(i, 1) != mx.At(i, 1) || got.At(i, 2) != mx.At(i, 0) {
+			t.Fatalf("row %d: duplicated selection [%d %d %d], want [%d %d %d]",
+				i, got.At(i, 0), got.At(i, 1), got.At(i, 2), mx.At(i, 1), mx.At(i, 1), mx.At(i, 0))
+		}
+	}
+}
+
+// TestLoadMatrixMixedLayout: columns split between the columnar artifact
+// and legacy per-function shard sets (an old root upgraded mid-stream)
+// must load together.
+func TestLoadMatrixMixedLayout(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+	// Legacy shards for "old_lf", as the previous binary would have left.
+	legacy := []labelmodel.Label{labelmodel.Negative, labelmodel.Positive, labelmodel.Abstain, labelmodel.Positive, labelmodel.Negative}
+	recs := make([][]byte, len(legacy))
+	for i, v := range legacy {
+		recs[i] = encodeVote(v)
+	}
+	if err := mapreduce.WriteInput(fs, "labels/old_lf", recs, 2); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh Execute writes the columnar artifact for the new function.
+	mx, _, err := docExecutor(fs).Execute([]lfapi.LF[*corpus.Document]{keywordLF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := docExecutor(fs).LoadMatrix([]string{"old_lf", "keyword_gossip"})
+	if err != nil {
+		t.Fatalf("mixed-layout load: %v", err)
+	}
+	for i := range legacy {
+		if loaded.At(i, 0) != legacy[i] {
+			t.Fatalf("legacy column row %d = %d, want %d", i, loaded.At(i, 0), legacy[i])
+		}
+		if loaded.At(i, 1) != mx.At(i, 0) {
+			t.Fatalf("columnar column row %d = %d, want %d", i, loaded.At(i, 1), mx.At(i, 0))
+		}
+	}
+	// A request for only legacy names must also work while the artifact
+	// exists for an unrelated set.
+	legacyOnly, err := docExecutor(fs).LoadMatrix([]string{"old_lf"})
+	if err != nil {
+		t.Fatalf("legacy-only load with artifact present: %v", err)
+	}
+	if legacyOnly.At(1, 0) != labelmodel.Positive {
+		t.Fatalf("legacy-only column wrong: %d", legacyOnly.At(1, 0))
+	}
+}
+
+// lifecycleLF wraps a plain LF with Setup/Teardown counters for leak tests.
+type lifecycleLF struct {
+	lfapi.LF[*corpus.Document]
+	fail      bool
+	setups    *int
+	teardowns *int
+}
+
+func (l *lifecycleLF) Setup(context.Context) error {
+	if l.fail {
+		return errors.New("injected setup failure")
+	}
+	*l.setups++
+	return nil
+}
+
+func (l *lifecycleLF) Teardown(context.Context) error {
+	*l.teardowns++
+	return nil
+}
+
+// TestFusedSetupFailureTearsDownEarlierLFs: when a later function's Setup
+// fails, the functions already set up in the same fused task must be torn
+// down (the engine does not call Teardown after a failed Setup).
+func TestFusedSetupFailureTearsDownEarlierLFs(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+	var setups, teardowns int
+	ok := &lifecycleLF{LF: keywordLF(), setups: &setups, teardowns: &teardowns}
+	bad := &lifecycleLF{
+		LF:   lfapi.New(Meta{Name: "doomed"}, func(*corpus.Document) labelmodel.Label { return labelmodel.Abstain }),
+		fail: true, setups: &setups, teardowns: &teardowns,
+	}
+	e := docExecutor(fs)
+	e.MaxAttempts = 1
+	if _, _, err := e.Execute([]lfapi.LF[*corpus.Document]{ok, bad}); err == nil {
+		t.Fatal("setup failure not surfaced")
+	}
+	if setups == 0 {
+		t.Fatal("test wiring broken: first LF never set up")
+	}
+	if teardowns != setups {
+		t.Errorf("%d setups but %d teardowns: instances leaked", setups, teardowns)
+	}
+}
+
+// TestPublishVotesConcurrentWriters: independent processes merging into the
+// same artifact concurrently (the lfrun loose-coupling workflow) must not
+// lose each other's columns — publishVotes re-reads and retries until every
+// visible column survives.
+func TestPublishVotesConcurrentWriters(t *testing.T) {
+	fs := dfs.NewMem()
+	const writers = 8
+	const m = 40
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mx := randomVotes(t, m, 1, int64(w+1))
+			errs[w] = publishVotes(fs, "labels/votes", mx, []string{fmt.Sprintf("lf-%d", w)}, 4)
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	names, err := VoteNames(fs, "labels/votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != writers {
+		t.Fatalf("artifact holds %d columns after %d concurrent writers: %v", len(names), writers, names)
+	}
+}
+
+// TestPerLFJobsPersistIncrementally: in per-LF mode a later function's
+// failure must not lose the votes of functions that already completed.
+func TestPerLFJobsPersistIncrementally(t *testing.T) {
+	fs := dfs.NewMem()
+	stageDocs(t, fs, testDocs(), 2)
+	bad := lfapi.New(Meta{Name: "explodes"}, func(*corpus.Document) labelmodel.Label { return labelmodel.Label(9) })
+	e := docExecutor(fs)
+	e.PerLFJobs = true
+	e.MaxAttempts = 1
+	if _, _, err := e.Execute([]lfapi.LF[*corpus.Document]{keywordLF(), bad}); err == nil {
+		t.Fatal("invalid vote not surfaced")
+	}
+	// The first function's column is already durable on the DFS.
+	mx, err := docExecutor(fs).LoadMatrix([]string{"keyword_gossip"})
+	if err != nil {
+		t.Fatalf("first LF's votes not persisted before the failure: %v", err)
+	}
+	if mx.At(0, 0) != labelmodel.Positive {
+		t.Errorf("persisted vote wrong: %d", mx.At(0, 0))
+	}
+}
+
+// TestWriteVotesShardCountChange: re-publishing with a different shard
+// count must clean up the old set — a mixed set would make ListShards
+// reject the artifact forever.
+func TestWriteVotesShardCountChange(t *testing.T) {
+	fs := dfs.NewMem()
+	mx := randomVotes(t, 48, 3, 77)
+	names := []string{"a", "b", "c"}
+	if err := WriteVotes(fs, "labels/votes", mx, names, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVotes(fs, "labels/votes", mx, names, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadVotes(fs, "labels/votes", nil)
+	if err != nil {
+		t.Fatalf("read after shard-count change: %v", err)
+	}
+	for i := 0; i < 48; i++ {
+		for j := 0; j < 3; j++ {
+			if got.At(i, j) != mx.At(i, j) {
+				t.Fatalf("vote [%d,%d] wrong after reshard", i, j)
+			}
+		}
+	}
+	paths, err := fs.List("labels/votes-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("%d shard files after reshard, want 4: %v", len(paths), paths)
+	}
+}
+
+// TestReadVotesDetectsTornGenerations: shards from two different write
+// generations (interleaved concurrent writers) must be rejected, not mixed.
+func TestReadVotesDetectsTornGenerations(t *testing.T) {
+	fs := dfs.NewMem()
+	mx := randomVotes(t, 24, 2, 13)
+	if err := WriteVotes(fs, "labels/votes", mx, []string{"a", "b"}, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Steal one shard from this write, then write again (new generation)
+	// and splice the stale shard back in — simulating a torn set.
+	shard := dfs.ShardPath("labels/votes", 1, 4)
+	old, err := fs.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteVotes(fs, "labels/votes", mx, []string{"a", "b"}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(shard, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadVotes(fs, "labels/votes", nil); err == nil ||
+		!strings.Contains(err.Error(), "generation") {
+		t.Fatalf("torn generations error = %v", err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -119,8 +120,16 @@ type Job struct {
 	// mode: map emissions are written in input order, one output shard per
 	// input shard, and keys are ignored for partitioning.
 	NumReducers int
+	// CollectOutput, valid only in map-only mode, skips committing output
+	// shards and instead returns every task's emitted values in
+	// Result.MapOutputs. Callers that post-process map output before
+	// persisting it (e.g. the labeling-function executor assembling a
+	// columnar vote artifact across jobs) use this to avoid a write-and-
+	// reread round trip through the filesystem.
+	CollectOutput bool
 	// Parallelism bounds concurrently running tasks; it simulates the number
-	// of compute nodes. Defaults to 4.
+	// of compute nodes. Defaults to runtime.GOMAXPROCS(0), the number of
+	// usable CPUs.
 	Parallelism int
 	// MaxAttempts bounds attempts per task before the job fails. Defaults to 3.
 	MaxAttempts int
@@ -138,8 +147,12 @@ type Result struct {
 	ReduceTasks int
 	// Attempts counts all task attempts, including failures.
 	Attempts int
-	// OutputShards lists the committed output shard paths in order.
+	// OutputShards lists the committed output shard paths in order. Empty
+	// when the job ran with CollectOutput.
 	OutputShards []string
+	// MapOutputs holds, per input shard, the values emitted by its map task
+	// in emission order. Populated only when the job ran with CollectOutput.
+	MapOutputs [][][]byte
 }
 
 // CounterSet is a concurrency-safe set of named int64 counters.
@@ -202,8 +215,11 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	if job.FS == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no filesystem", job.Name)
 	}
+	if job.CollectOutput && job.NumReducers > 0 {
+		return nil, fmt.Errorf("mapreduce: job %q collects output but has %d reducers", job.Name, job.NumReducers)
+	}
 	if job.Parallelism <= 0 {
-		job.Parallelism = 4
+		job.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if job.MaxAttempts <= 0 {
 		job.MaxAttempts = 3
@@ -251,6 +267,19 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	}
 
 	if job.NumReducers == 0 {
+		if job.CollectOutput {
+			res.MapOutputs = make([][][]byte, len(mapOut))
+			for i, pairs := range mapOut {
+				vals := make([][]byte, len(pairs))
+				for k, p := range pairs {
+					vals[k] = p.value
+				}
+				res.MapOutputs[i] = vals
+			}
+			res.Counters = counters.Snapshot()
+			res.Attempts = int(attempts)
+			return res, nil
+		}
 		// Map-only: write map outputs shard-for-shard in input order.
 		for i, pairs := range mapOut {
 			var buf bytes.Buffer

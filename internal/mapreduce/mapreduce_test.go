@@ -446,3 +446,62 @@ func TestBatchMapperGetsWholeShards(t *testing.T) {
 		}
 	}
 }
+
+func TestCollectOutputReturnsWithoutCommitting(t *testing.T) {
+	fs := dfs.NewMem()
+	var recs [][]byte
+	for i := 0; i < 30; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("r%03d", i)))
+	}
+	if err := WriteInput(fs, "in/c", recs, 4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Job{
+		Name: "collect", FS: fs, InputBase: "in/c", CollectOutput: true,
+		Parallelism: 8,
+		Mapper: MapFunc(func(_ *TaskContext, rec []byte, emit Emitter) error {
+			emit("", bytes.ToUpper(rec))
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OutputShards) != 0 {
+		t.Errorf("collect mode committed shards: %v", res.OutputShards)
+	}
+	if len(res.MapOutputs) != 4 {
+		t.Fatalf("MapOutputs for %d shards, want 4", len(res.MapOutputs))
+	}
+	// Per-shard outputs line up with the round-robin staging layout.
+	for s, shard := range res.MapOutputs {
+		want := 0
+		for j := s; j < 30; j += 4 {
+			if got := string(shard[want]); got != strings.ToUpper(fmt.Sprintf("r%03d", j)) {
+				t.Fatalf("shard %d output %d = %q", s, want, got)
+			}
+			want++
+		}
+		if len(shard) != want {
+			t.Fatalf("shard %d has %d outputs, want %d", s, len(shard), want)
+		}
+	}
+	// Nothing new appeared on the filesystem.
+	paths, err := fs.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if !strings.HasPrefix(p, "in/c") {
+			t.Errorf("collect mode wrote %s", p)
+		}
+	}
+	// Collect with reducers is rejected up front.
+	if _, err := Run(Job{
+		Name: "bad", FS: fs, InputBase: "in/c", CollectOutput: true, NumReducers: 2,
+		Mapper:  MapFunc(func(_ *TaskContext, _ []byte, _ Emitter) error { return nil }),
+		Reducer: ReduceFunc(func(_ *TaskContext, _ string, _ [][]byte, _ Emitter) error { return nil }),
+	}); err == nil {
+		t.Error("CollectOutput with reducers accepted")
+	}
+}

@@ -144,12 +144,19 @@ func (m *LogReg) Train(xs []*features.SparseVector, ys []float64, cfg TrainConfi
 }
 
 // PredictAll scores a batch. Unlike per-example Predict, it materializes the
-// FTRL weights once and scores every vector against the dense weight vector,
-// so batch inference does not redo the per-coordinate weight closed form for
-// every lookup.
+// FTRL weights once and scores every vector against the dense weight vector
+// (in parallel across GOMAXPROCS workers for large batches), so batch
+// inference does not redo the per-coordinate weight closed form for every
+// lookup.
 func (m *LogReg) PredictAll(xs []*features.SparseVector) []float64 {
+	return m.PredictAllInto(xs, make([]float64, len(xs)))
+}
+
+// PredictAllInto is PredictAll writing into a caller-provided slice of
+// len(xs), the allocation-free form for continuous batch scoring.
+func (m *LogReg) PredictAllInto(xs []*features.SparseVector, out []float64) []float64 {
 	m.materialize()
-	out := features.DotBatch(xs, m.weights)
+	features.DotBatchInto(xs, m.weights, out)
 	for i, s := range out {
 		out[i] = sigmoid(s)
 	}

@@ -147,7 +147,14 @@ func (s *Server) Classify(x *features.SparseVector) bool {
 // ScoreBatch scores a micro-batch as one operation over the dense weight
 // vector — the batched-inference entry point of the online serving path.
 func (s *Server) ScoreBatch(xs []*features.SparseVector) []float64 {
-	out := features.DotBatch(xs, s.weights)
+	return s.ScoreBatchInto(xs, make([]float64, len(xs)))
+}
+
+// ScoreBatchInto is ScoreBatch writing into a caller-provided slice of
+// len(xs); the serving hot path reuses per-worker buffers through it so
+// steady-state scoring allocates nothing per batch.
+func (s *Server) ScoreBatchInto(xs []*features.SparseVector, out []float64) []float64 {
+	features.DotBatchInto(xs, s.weights, out)
 	for i, v := range out {
 		out[i] = sigmoid(v)
 	}

@@ -121,8 +121,15 @@ func (p *Pipeline[T]) InputPath() string { return p.cfg.InputBase() }
 // probabilistic labels.
 func (p *Pipeline[T]) LabelsPath() string { return p.cfg.LabelsOutputBase() }
 
-// VotesPath returns the DFS base path under which ExecuteLFs writes the
-// named labeling function's vote shards.
+// VotesBase returns the DFS base path of the columnar vote artifact
+// ExecuteLFs maintains: every executed function's votes in one sharded,
+// byte-per-vote matrix, with a ".meta" sidecar naming the columns.
+func (p *Pipeline[T]) VotesBase() string { return p.cfg.VotesPrefix() + "/votes" }
+
+// VotesPath returns the legacy per-function vote base path
+// ("<prefix>/<name>"). Current pipelines persist all votes in the single
+// columnar artifact at VotesBase; this path only locates shard sets written
+// by older runs, which LoadMatrix still reads.
 func (p *Pipeline[T]) VotesPath(name string) string { return p.cfg.VotesPrefix() + "/" + name }
 
 // Run executes all four stages: stage the source, execute the labeling
@@ -188,9 +195,12 @@ func (p *Pipeline[T]) Analyze(matrix *Matrix, metas []Meta) (*Analysis, error) {
 	return analysis, err
 }
 
-// LoadMatrix reassembles the label matrix from vote shards that an earlier
+// LoadMatrix reassembles the label matrix from vote state that an earlier
 // ExecuteLFs left on the filesystem, without re-running anything. Column j
-// holds the votes of names[j].
+// holds the votes of names[j]. The columnar artifact at VotesBase is read
+// when present (selecting and reordering columns by name); filesystems
+// holding only the legacy per-function shard sets load through the
+// compatibility reader.
 func (p *Pipeline[T]) LoadMatrix(names []string) (*Matrix, error) {
 	return core.LoadMatrix(p.cfg, names)
 }

@@ -91,7 +91,9 @@ func WithShards(n int) Option {
 }
 
 // WithParallelism sets the simulated cluster width per MapReduce job.
-// Default 4.
+// Default runtime.GOMAXPROCS(0) — one simulated compute node per usable
+// CPU, so labeling throughput scales with the machine unless explicitly
+// capped.
 func WithParallelism(n int) Option {
 	return Option{f: func(s *settings) {
 		if n <= 0 {

@@ -43,14 +43,17 @@ type batcher[T any] struct {
 	work     chan []scoreRequest[T]
 	maxBatch int
 	wait     time.Duration
-	score    func([]T) ([]PredictResult, error)
+	// score fills out (len(recs) entries of the worker's reusable buffer)
+	// and returns it; results are copied into each caller's reply before
+	// the worker reuses the buffer for its next batch.
+	score func(recs []T, out []PredictResult) ([]PredictResult, error)
 
 	mu     sync.RWMutex // guards closed vs. in-flight submits
 	closed bool
 	wg     sync.WaitGroup
 }
 
-func newBatcher[T any](maxBatch int, wait time.Duration, workers int, score func([]T) ([]PredictResult, error)) *batcher[T] {
+func newBatcher[T any](maxBatch int, wait time.Duration, workers int, score func(recs []T, out []PredictResult) ([]PredictResult, error)) *batcher[T] {
 	b := &batcher[T]{
 		in:       make(chan scoreRequest[T], 4*maxBatch),
 		work:     make(chan []scoreRequest[T], workers),
@@ -121,12 +124,17 @@ func (b *batcher[T]) collect() {
 
 func (b *batcher[T]) worker() {
 	defer b.wg.Done()
+	// Worker-owned buffers, reused across batches: replies copy result
+	// values out before the next batch overwrites them, so steady-state
+	// scoring allocates nothing per batch in this layer.
+	recs := make([]T, 0, b.maxBatch)
+	out := make([]PredictResult, 0, b.maxBatch)
 	for batch := range b.work {
-		recs := make([]T, len(batch))
-		for i, r := range batch {
-			recs[i] = r.rec
+		recs = recs[:0]
+		for _, r := range batch {
+			recs = append(recs, r.rec)
 		}
-		results, err := b.score(recs)
+		results, err := b.score(recs, out[:len(batch)])
 		for i, r := range batch {
 			if err != nil {
 				r.done <- predictReply{err: err}

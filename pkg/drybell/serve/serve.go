@@ -101,6 +101,9 @@ type Server[T any] struct {
 	// per batch.
 	feat atomic.Pointer[featUnit[T]]
 
+	// scratch pools scoreBatch's feature and score buffers.
+	scratch sync.Pool
+
 	reloadMu sync.Mutex // serializes Reload's read-compare-swap
 }
 
@@ -201,22 +204,38 @@ func (s *Server[T]) featurizerFor(art *serving.Artifact) (func(T) *features.Spar
 	return f, nil
 }
 
+// scoreScratch holds the per-call feature and score buffers of scoreBatch,
+// pooled so steady-state scoring allocates only the feature vectors
+// themselves.
+type scoreScratch struct {
+	xs     []*features.SparseVector
+	scores []float64
+}
+
 // scoreBatch is the worker-pool entry: snapshot the live model once, then
 // featurize and score the whole batch against that snapshot, so every
 // request in a batch is answered by a single consistent model version.
-func (s *Server[T]) scoreBatch(recs []T) ([]PredictResult, error) {
+// Results are written into the worker's reusable out buffer.
+func (s *Server[T]) scoreBatch(recs []T, out []PredictResult) ([]PredictResult, error) {
 	srv := s.handle.Current()
 	art := srv.Artifact()
 	feat, err := s.featurizerFor(art)
 	if err != nil {
 		return nil, err
 	}
-	xs := make([]*features.SparseVector, len(recs))
+	sc, _ := s.scratch.Get().(*scoreScratch)
+	if sc == nil {
+		sc = &scoreScratch{}
+	}
+	if cap(sc.xs) < len(recs) {
+		sc.xs = make([]*features.SparseVector, len(recs))
+		sc.scores = make([]float64, len(recs))
+	}
+	xs, scores := sc.xs[:len(recs)], sc.scores[:len(recs)]
 	for i, r := range recs {
 		xs[i] = feat(r)
 	}
-	scores := srv.ScoreBatch(xs)
-	out := make([]PredictResult, len(recs))
+	srv.ScoreBatchInto(xs, scores)
 	for i, score := range scores {
 		out[i] = PredictResult{
 			Model:    art.Name,
@@ -225,6 +244,8 @@ func (s *Server[T]) scoreBatch(recs []T) ([]PredictResult, error) {
 			Positive: score >= art.Threshold,
 		}
 	}
+	clear(xs) // drop feature-vector references before pooling
+	s.scratch.Put(sc)
 	s.metrics.observeBatch(len(recs))
 	return out, nil
 }
