@@ -52,20 +52,27 @@ func main() {
 		workers   = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
 		cacheSize = flag.Int("cache", 1024, "LRU capacity for online NLP/kgraph calls")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+		retries   = flag.Int("retries", 2, "per-task retries (after the first attempt) for the training pipeline's MapReduce jobs")
+		resume    = flag.Bool("resume", false, "resume a crashed training run from DFS checkpoints instead of restarting (needs -root)")
 	)
 	flag.Parse()
 	if *model == "" {
 		*model = *task + "-classifier"
 	}
+	if *resume && *root == "" {
+		fmt.Fprintln(os.Stderr, "drybelld: -resume needs a durable -root; a fresh in-memory filesystem has no state to resume from")
+		os.Exit(2)
+	}
 	if err := run(*addr, *root, *task, *model, *mode, *docs, *seed, *steps,
-		*batch, *batchWait, *workers, *cacheSize, *drain); err != nil {
+		*batch, *batchWait, *workers, *cacheSize, *drain, *retries, *resume); err != nil {
 		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(addr, root, task, model, mode string, docs int, seed int64, steps,
-	batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration) error {
+	batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration,
+	retries int, resume bool) error {
 	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, and
 	// the serving loop drains before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -91,7 +98,7 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 
 	switch mode {
 	case "train":
-		version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, false)
+		version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, retries, resume, false)
 		if err != nil {
 			return err
 		}
@@ -101,7 +108,7 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 	case "serve":
 		if _, err := reg.Live(model); err != nil {
 			fmt.Printf("registry has no live %s; bootstrapping from %d synthetic documents...\n", model, docs)
-			version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, true)
+			version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, retries, resume, true)
 			if err != nil {
 				return err
 			}
@@ -137,9 +144,12 @@ func labelModelPath(model string) string { return "serving/labelmodel/" + model 
 // the daemon's own filesystem, trains the servable classifier on the
 // probabilistic labels, stages it into the registry (promoting when asked),
 // and persists the label model so the online /v1/label path can denoise
-// votes without retraining.
+// votes without retraining. With resume, a run that crashed mid-pipeline
+// picks up from the checkpoints the distributed runtime left on the DFS:
+// the staged corpus is trusted, completed vote state is loaded, and only
+// unfinished tasks re-execute.
 func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, model string,
-	runners []apps.DocLF, bigrams bool, n int, seed int64, steps int, promote bool) (int, error) {
+	runners []apps.DocLF, bigrams bool, n int, seed int64, steps, retries int, resume, promote bool) (int, error) {
 	var all []*corpus.Document
 	var err error
 	switch task {
@@ -165,6 +175,8 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, mode
 		),
 		drybell.WithFS(fsys),
 		drybell.WithWorkDir("bootstrap/"+model),
+		drybell.WithRetries(retries),
+		drybell.WithResume(resume),
 		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2}),
 	)
 	if err != nil {

@@ -9,4 +9,14 @@
 // everything under internal/ is implementation detail behind it. The
 // runnable entry points live under cmd/ and examples/, and the root
 // package holds only the benchmark harness (bench_test.go).
+//
+// Labeling functions execute on a coordinator/worker MapReduce runtime
+// (internal/mapreduce) with per-task retry budgets, speculative
+// re-execution of stragglers, and DFS-checkpointed task manifests. Two
+// pipeline options surface the failure model: WithRetries sets the
+// per-task attempt budget, and WithResume recovers a crashed run from
+// filesystem state — skipping the staged corpus, loading completed vote
+// artifacts, and re-executing only tasks without committed checkpoints.
+// WithStragglerAfter enables deadline-based speculation. See the
+// "Distributed execution" section of README.md.
 package repro

@@ -76,6 +76,26 @@ type Config[T any] struct {
 	// Parallelism is the simulated cluster width. Default
 	// runtime.GOMAXPROCS(0): one simulated compute node per usable CPU.
 	Parallelism int
+	// MaxAttempts is the per-task retry budget for labeling-function
+	// MapReduce jobs: a task may fail this many times (worker crashes,
+	// filesystem faults) before the run does. Default 3.
+	MaxAttempts int
+	// StragglerAfter enables deadline-based speculative re-execution in the
+	// execution runtime: a task attempt still running after this duration
+	// gets one speculative sibling, and the first commit wins. Zero
+	// disables speculation.
+	StragglerAfter time.Duration
+	// Resume makes the pipeline recover a crashed run from filesystem state
+	// instead of restarting from zero: staging is skipped when the corpus
+	// is already committed, completed vote artifacts are loaded instead of
+	// re-executed, and a partially executed vote job re-runs only the tasks
+	// without committed checkpoints (see mapreduce.Job.Resume).
+	Resume bool
+
+	// knownExamples carries the staged record count from the staging stage
+	// to the execute stage inside one RunObserved call, so the resume fast
+	// path validates the vote artifact without re-scanning the corpus.
+	knownExamples int
 	// Trainer names a registered label-model trainer. Default sampling-free.
 	Trainer Trainer
 	// LabelModel are the label-model training options.
@@ -198,19 +218,41 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	}
 	res := &Result{}
 
-	// Stage 1: write the corpus to the distributed filesystem.
+	// Stage 1: write the corpus to the distributed filesystem. A resuming
+	// pipeline trusts a corpus an earlier run already committed — stages
+	// exchange data only through the filesystem (§5.4), so its presence is
+	// the checkpoint — and skips the encode/stage pass entirely.
 	t0 := time.Now()
-	n, err := StageExamples(ctx, cfg, src)
-	emit(StageEvent{Stage: StageStage, Start: t0, Duration: time.Since(t0), Examples: n, Err: err})
+	var n int
+	stageResumed := false
+	if cfg.Resume {
+		// The cheap path is the count sidecar staging wrote (validated
+		// against the committed shards by Stat); a corpus staged by an older
+		// binary without one still resumes via the full scan.
+		if staged, serr := mapreduce.ReadStagedCount(cfg.FS, cfg.InputBase()); serr == nil {
+			n, stageResumed = staged, true
+		} else if staged, serr := mapreduce.CountRecords(cfg.FS, cfg.InputBase()); serr == nil && staged > 0 {
+			n, stageResumed = staged, true
+		}
+	}
+	if !stageResumed {
+		n, err = StageExamples(ctx, cfg, src)
+	}
+	emit(StageEvent{Stage: StageStage, Start: t0, Duration: time.Since(t0), Examples: n, Resumed: stageResumed, Err: err})
 	if err != nil {
 		return nil, err
 	}
 	res.Timings.Stage = time.Since(t0)
 
-	// Stage 2: one MapReduce job per labeling function.
+	// Stage 2: execute the labeling functions on the distributed runtime.
 	t1 := time.Now()
+	cfg.knownExamples = n
 	res.Matrix, res.LFReport, err = ExecuteLFs(ctx, cfg, lfs)
-	emit(StageEvent{Stage: StageExecuteLFs, Start: t1, Duration: time.Since(t1), Examples: n, Report: res.LFReport, Err: err})
+	ev := StageEvent{Stage: StageExecuteLFs, Start: t1, Duration: time.Since(t1), Examples: n, Report: res.LFReport, Err: err}
+	if res.LFReport != nil {
+		ev.Resumed = res.LFReport.ResumedFromVotes
+	}
+	emit(ev)
 	if err != nil {
 		return nil, err
 	}
@@ -344,11 +386,15 @@ func LoadMatrix[T any](cfg Config[T], names []string) (*labelmodel.Matrix, error
 
 func (c Config[T]) executor() *lf.Executor[T] {
 	return &lf.Executor[T]{
-		FS:           c.FS,
-		InputBase:    c.InputBase(),
-		OutputPrefix: c.VotesPrefix(),
-		Decode:       c.Decode,
-		Parallelism:  c.Parallelism,
+		FS:             c.FS,
+		InputBase:      c.InputBase(),
+		OutputPrefix:   c.VotesPrefix(),
+		Decode:         c.Decode,
+		Parallelism:    c.Parallelism,
+		MaxAttempts:    c.MaxAttempts,
+		StragglerAfter: c.StragglerAfter,
+		Resume:         c.Resume,
+		KnownExamples:  c.knownExamples,
 	}
 }
 

@@ -42,6 +42,10 @@ type StageEvent struct {
 	// LabelsPath is the DFS base the labels were written under. Only set
 	// for StagePersist.
 	LabelsPath string
+	// Resumed is true when the stage was satisfied from filesystem state a
+	// previous run committed (Config.Resume): a corpus already staged, or a
+	// vote artifact loaded instead of executed.
+	Resumed bool
 	// Err is the stage's error, nil on success.
 	Err error
 }

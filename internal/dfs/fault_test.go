@@ -1,0 +1,179 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FaultFS must behave identically over the in-memory and disk stores; every
+// test here runs against both via eachFS.
+
+func TestFaultFSPassThrough(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		f := NewFaultFS(fs, 1)
+		if err := f.WriteFile("a/b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		data, err := f.ReadFile("a/b")
+		if err != nil || string(data) != "x" {
+			t.Fatalf("ReadFile = %q, %v", data, err)
+		}
+		if err := f.Rename("a/b", "a/c"); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := f.Stat("a/c"); err != nil || n != 1 {
+			t.Fatalf("Stat = %d, %v", n, err)
+		}
+		paths, err := f.List("a/")
+		if err != nil || len(paths) != 1 || paths[0] != "a/c" {
+			t.Fatalf("List = %v, %v", paths, err)
+		}
+		if err := f.Remove("a/c"); err != nil {
+			t.Fatal(err)
+		}
+		if f.Injected() != 0 {
+			t.Errorf("transparent FaultFS injected %d faults", f.Injected())
+		}
+		if f.OpCount(OpWrite) != 1 || f.OpCount(OpRead) != 1 {
+			t.Errorf("op counts: write=%d read=%d", f.OpCount(OpWrite), f.OpCount(OpRead))
+		}
+	})
+}
+
+func TestFaultFSScriptedFaults(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		f := NewFaultFS(fs, 1)
+		f.FailNext(OpWrite, "victim", 2)
+		// Non-matching paths are untouched.
+		if err := f.WriteFile("other/file", []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		// The next two matching writes fail, and fail *before* any effect.
+		for i := 0; i < 2; i++ {
+			err := f.WriteFile("dir/victim-1", []byte("boom"))
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("write %d: err = %v, want injected fault", i, err)
+			}
+			if _, err := f.ReadFile("dir/victim-1"); !IsNotExist(err) {
+				t.Fatalf("failed write left a file behind (read err = %v)", err)
+			}
+		}
+		// The rule is exhausted; the third write succeeds.
+		if err := f.WriteFile("dir/victim-1", []byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		if f.Injected() != 2 {
+			t.Errorf("injected = %d, want 2", f.Injected())
+		}
+	})
+}
+
+func TestFaultFSScriptedRenameFault(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		f := NewFaultFS(fs, 1)
+		if err := f.WriteFile("tmp/x.partial", []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+		f.FailNext(OpRename, "x.partial", 1)
+		// Rename matches on either side of the move.
+		if err := f.Rename("tmp/x.partial", "tmp/x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("rename err = %v, want injected fault", err)
+		}
+		// The source survives an injected rename fault untouched.
+		if _, err := f.Stat("tmp/x.partial"); err != nil {
+			t.Fatalf("source gone after injected rename fault: %v", err)
+		}
+		if _, err := f.Stat("tmp/x"); !IsNotExist(err) {
+			t.Fatalf("destination appeared despite injected fault (err = %v)", err)
+		}
+		if err := f.Rename("tmp/x.partial", "tmp/x"); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestFaultFSProbabilisticDeterministic(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		run := func(seed int64) []bool {
+			f := NewFaultFS(fs, seed)
+			f.FailProb(OpWrite, 0.5)
+			outcomes := make([]bool, 40)
+			for i := range outcomes {
+				err := f.WriteFile("p/q", []byte("v"))
+				if err != nil && !errors.Is(err, ErrInjected) {
+					t.Fatalf("unexpected real error: %v", err)
+				}
+				outcomes[i] = err != nil
+			}
+			return outcomes
+		}
+		a, b := run(7), run(7)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("same seed diverged at op %d", i)
+			}
+		}
+		failed := 0
+		for _, x := range a {
+			if x {
+				failed++
+			}
+		}
+		if failed == 0 || failed == len(a) {
+			t.Errorf("p=0.5 produced %d/%d failures; injection looks broken", failed, len(a))
+		}
+	})
+}
+
+func TestFaultFSProbPathScoping(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		f := NewFaultFS(fs, 3)
+		f.FailProbPath(OpWrite, "_attempts/", 1.0)
+		if err := f.WriteFile("job/_attempts/map-00000/a0001.out", nil); !errors.Is(err, ErrInjected) {
+			t.Fatalf("scoped path err = %v, want injected", err)
+		}
+		if err := f.WriteFile("job/output-00000-of-00001", nil); err != nil {
+			t.Fatalf("out-of-scope path failed: %v", err)
+		}
+	})
+}
+
+func TestFaultFSLatency(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		f := NewFaultFS(fs, 1)
+		f.SetLatency(20 * time.Millisecond)
+		start := time.Now()
+		if err := f.WriteFile("slow/file", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < 20*time.Millisecond {
+			t.Errorf("write took %v, want >= 20ms of injected latency", d)
+		}
+	})
+}
+
+// PublishShard over a FaultFS: an injected rename fault aborts the commit
+// with the temp file intact and no visible shard — the atomic-commit
+// property the runtime's retry loop depends on.
+func TestFaultFSPublishShardAtomicity(t *testing.T) {
+	eachFS(t, func(t *testing.T, fs FS) {
+		f := NewFaultFS(fs, 1)
+		f.FailNext(OpRename, "out/data", 1)
+		err := PublishShard(f, "out/data", 0, 2, []byte("payload"))
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("PublishShard err = %v, want injected fault", err)
+		}
+		if _, err := f.Stat(ShardPath("out/data", 0, 2)); !IsNotExist(err) {
+			t.Fatalf("shard visible after failed commit (err = %v)", err)
+		}
+		// A retry goes through cleanly.
+		if err := PublishShard(f, "out/data", 0, 2, []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.ReadFile(ShardPath("out/data", 0, 2))
+		if err != nil || string(got) != "payload" {
+			t.Fatalf("shard after retry = %q, %v", got, err)
+		}
+	})
+}

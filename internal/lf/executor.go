@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"strings"
 	"time"
 
 	"repro/internal/dfs"
@@ -41,6 +42,24 @@ type Executor[T any] struct {
 	Parallelism int
 	// MaxAttempts per task (worker failures are retried).
 	MaxAttempts int
+	// StragglerAfter enables the runtime's deadline-based speculative
+	// re-execution for vote jobs: a task attempt still running after this
+	// duration gets one speculative sibling, first commit wins.
+	StragglerAfter time.Duration
+	// Resume enables checkpoint/resume for vote execution. At the job level
+	// the coordinator records per-task manifests so a crashed Execute
+	// re-runs only uncommitted tasks; at the stage level a completed
+	// columnar vote artifact covering every requested function is loaded
+	// directly without launching any job.
+	Resume bool
+	// ScratchBase overrides the runtime scratch area for vote jobs.
+	// Default "<OutputPrefix>/_runtime".
+	ScratchBase string
+	// KnownExamples, when positive, is the staged corpus's record count as
+	// already established by the caller (e.g. the pipeline's staging
+	// stage). The resume fast path then validates the vote artifact against
+	// it instead of re-scanning every input shard.
+	KnownExamples int
 	// FailureHook is forwarded to every job, for failure-injection tests.
 	FailureHook func(taskID string, attempt int) error
 	// NoBatch forces record-at-a-time evaluation even for functions that
@@ -80,6 +99,17 @@ type Report struct {
 	Examples int
 	// Duration is the wall time across all jobs.
 	Duration time.Duration
+	// TaskAttempts counts MapReduce task attempts launched across all vote
+	// jobs, including retries and speculative attempts.
+	TaskAttempts int
+	// TasksResumed counts tasks satisfied from a prior run's checkpoints
+	// instead of re-executing (only non-zero with Executor.Resume).
+	TasksResumed int
+	// SpeculativeAttempts counts straggler-triggered speculative launches.
+	SpeculativeAttempts int
+	// ResumedFromVotes is true when the whole execution was skipped because
+	// a completed vote artifact already covered every requested function.
+	ResumedFromVotes bool
 }
 
 // Stage writes examples to the DFS as the executor's sharded input.
@@ -103,10 +133,97 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, lfs []lfapi.LF[T]) (*l
 	if err := lfapi.ValidateNames(lfs); err != nil {
 		return nil, nil, err
 	}
+	if e.Resume {
+		if mx, report, ok := e.resumeFromVotes(lfs); ok {
+			return mx, report, nil
+		}
+	}
 	if e.PerLFJobs {
 		return e.executePerLF(ctx, lfs)
 	}
 	return e.executeFused(ctx, lfs)
+}
+
+// resumeFromVotes is the stage-level resume fast path: when the columnar
+// vote artifact already holds every requested function's votes for exactly
+// the staged corpus, the matrix is loaded back and no job runs. Anything
+// short of a complete match — artifact absent, functions missing, row count
+// different — falls through to task-level execution (whose own manifests
+// then skip committed work).
+func (e *Executor[T]) resumeFromVotes(lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, bool) {
+	base := e.votesBase()
+	if !HasVotes(e.FS, base) {
+		return nil, nil, false
+	}
+	stored, err := VoteNames(e.FS, base)
+	if err != nil {
+		return nil, nil, false
+	}
+	have := make(map[string]bool, len(stored))
+	for _, name := range stored {
+		have[name] = true
+	}
+	names := make([]string, len(lfs))
+	for j, f := range lfs {
+		names[j] = f.LFMeta().Name
+		if !have[names[j]] {
+			return nil, nil, false
+		}
+	}
+	staged := e.KnownExamples
+	if staged <= 0 {
+		var err error
+		if staged, err = mapreduce.ReadStagedCount(e.FS, e.InputBase); err != nil {
+			if staged, err = mapreduce.CountRecords(e.FS, e.InputBase); err != nil {
+				return nil, nil, false
+			}
+		}
+	}
+	start := time.Now()
+	mx, _, err := ReadVotes(e.FS, base, names)
+	if err != nil || mx.NumExamples() != staged {
+		return nil, nil, false
+	}
+	// The report is reconstructed from the matrix itself; per-node detail
+	// (model-server launches, corpus passes) belongs to the run that
+	// actually executed.
+	report := &Report{
+		PerLF:            make([]LFReport, len(lfs)),
+		Examples:         staged,
+		ResumedFromVotes: true,
+	}
+	for j, f := range lfs {
+		meta := f.LFMeta()
+		r := LFReport{Name: meta.Name, Category: meta.Category, Servable: meta.Servable}
+		for i := 0; i < staged; i++ {
+			switch mx.At(i, j) {
+			case labelmodel.Positive:
+				r.Positives++
+			case labelmodel.Negative:
+				r.Negatives++
+			default:
+				r.Abstains++
+			}
+		}
+		report.PerLF[j] = r
+	}
+	report.Duration = time.Since(start)
+	return mx, report, true
+}
+
+// scratch is the DFS runtime area for vote jobs.
+func (e *Executor[T]) scratch() string {
+	if e.ScratchBase != "" {
+		return e.ScratchBase
+	}
+	return e.OutputPrefix + "/_runtime"
+}
+
+// resumeKeyFor fingerprints the executed function set (order matters: it
+// fixes the columnar row layout), so checkpoints from a different set are
+// never reused.
+func resumeKeyFor(names []string) string {
+	return "lfs:" + strings.Join(names, "\x1f")
 }
 
 // executeFused runs every labeling function inside one map-only job: each
@@ -132,18 +249,25 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 	}
 
 	res, err := mapreduce.RunContext(ctx, mapreduce.Job{
-		Name:          "lf-votes",
-		FS:            e.FS,
-		InputBase:     e.InputBase,
-		Mapper:        &fusedTask[T]{ctx: ctx, lfs: lfs, decode: e.Decode, noBatch: e.NoBatch},
-		CollectOutput: true,
-		Parallelism:   e.Parallelism,
-		MaxAttempts:   e.MaxAttempts,
-		FailureHook:   e.FailureHook,
+		Name:           "lf-votes",
+		FS:             e.FS,
+		InputBase:      e.InputBase,
+		Mapper:         &fusedTask[T]{ctx: ctx, lfs: lfs, decode: e.Decode, noBatch: e.NoBatch},
+		CollectOutput:  true,
+		Parallelism:    e.Parallelism,
+		MaxAttempts:    e.MaxAttempts,
+		StragglerAfter: e.StragglerAfter,
+		Resume:         e.Resume,
+		ScratchBase:    e.scratch(),
+		ResumeKey:      resumeKeyFor(names),
+		FailureHook:    e.FailureHook,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("lf: execute: %w", err)
 	}
+	report.TaskAttempts = res.Attempts
+	report.TasksResumed = res.SkippedTasks
+	report.SpeculativeAttempts = res.SpeculativeAttempts
 	total := 0
 	for _, shard := range res.MapOutputs {
 		total += len(shard)
@@ -225,18 +349,25 @@ func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		// publishVotes below), so a vote persists as one byte instead of a
 		// framed record written and re-read per function.
 		res, err := mapreduce.RunContext(ctx, mapreduce.Job{
-			Name:          "lf-" + meta.Name,
-			FS:            e.FS,
-			InputBase:     e.InputBase,
-			Mapper:        e.mapperFor(ctx, f),
-			CollectOutput: true,
-			Parallelism:   e.Parallelism,
-			MaxAttempts:   e.MaxAttempts,
-			FailureHook:   e.FailureHook,
+			Name:           "lf-" + meta.Name,
+			FS:             e.FS,
+			InputBase:      e.InputBase,
+			Mapper:         e.mapperFor(ctx, f),
+			CollectOutput:  true,
+			Parallelism:    e.Parallelism,
+			MaxAttempts:    e.MaxAttempts,
+			StragglerAfter: e.StragglerAfter,
+			Resume:         e.Resume,
+			ScratchBase:    e.scratch() + "/" + meta.Name,
+			ResumeKey:      resumeKeyFor(names[j : j+1]),
+			FailureHook:    e.FailureHook,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("lf: execute %s: %w", meta.Name, err)
 		}
+		report.TaskAttempts += res.Attempts
+		report.TasksResumed += res.SkippedTasks
+		report.SpeculativeAttempts += res.SpeculativeAttempts
 		total := 0
 		for _, shard := range res.MapOutputs {
 			total += len(shard)
@@ -429,6 +560,19 @@ func (e *Executor[T]) mapperFor(ctx context.Context, f lfapi.LF[T]) mapreduce.Ma
 	return &task
 }
 
+// attemptCtx prefers the engine's per-attempt context over the run context:
+// votes evaluated under it stop promptly when the coordinator cancels a
+// losing speculative attempt, freeing the worker. The attempt context is a
+// child of the run context, so run-level cancellation still reaches every
+// vote. Setup/Teardown stay on the run context — a canceled attempt must
+// still stop whatever its Setup started.
+func attemptCtx(tctx *mapreduce.TaskContext, run context.Context) context.Context {
+	if tctx.Ctx != nil {
+		return tctx.Ctx
+	}
+	return run
+}
+
 // lfTask adapts one labeling function to a MapReduce mapper, one vote per
 // record. Per task (simulated compute node) it derives a NodeLocal instance
 // and brackets it with the function's Lifecycle — the paper's "launch a
@@ -469,7 +613,7 @@ func (m *lfTask[T]) Map(tctx *mapreduce.TaskContext, rec []byte, emit mapreduce.
 	if err != nil {
 		return fmt.Errorf("lf %s: %w", name, err)
 	}
-	v, err := m.instance(tctx).Vote(m.ctx, x)
+	v, err := m.instance(tctx).Vote(attemptCtx(tctx, m.ctx), x)
 	if err != nil {
 		return err
 	}
@@ -556,6 +700,7 @@ func (m *fusedTask[T]) Map(tctx *mapreduce.TaskContext, rec []byte, emit mapredu
 // MapBatch implements mapreduce.BatchMapper.
 func (m *fusedTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, emit mapreduce.Emitter) error {
 	st := tctx.State().(*fusedState[T])
+	ctx := attemptCtx(tctx, m.ctx)
 	xs := make([]T, len(records))
 	for i, rec := range records {
 		x, err := m.decode(rec)
@@ -571,9 +716,9 @@ func (m *fusedTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, e
 		var votes []labelmodel.Label
 		var err error
 		if m.noBatch {
-			votes, err = scalarVotes(m.ctx, meta.Name, inst, xs)
+			votes, err = scalarVotes(ctx, meta.Name, inst, xs)
 		} else {
-			votes, err = lfapi.VoteAll(m.ctx, inst, xs)
+			votes, err = lfapi.VoteAll(ctx, inst, xs)
 		}
 		if err != nil {
 			return err
@@ -656,7 +801,7 @@ func (m *lfBatchTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte,
 		}
 		xs[i] = x
 	}
-	votes, err := lfapi.VoteAll(m.ctx, m.instance(tctx), xs)
+	votes, err := lfapi.VoteAll(attemptCtx(tctx, m.ctx), m.instance(tctx), xs)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,397 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// taskState is the coordinator's bookkeeping for one task across attempts.
+type taskState struct {
+	spec TaskSpec // attempt 0 template; each launch stamps its own Attempt
+
+	mu         sync.Mutex
+	launched   int // attempts launched, including speculative
+	failures   int // failed attempts, charged against the retry budget
+	done       bool
+	result     *TaskResult // winning attempt
+	canonical  []string    // promoted output paths of the winner
+	cancels    map[int]context.CancelFunc
+	speculated bool
+	timer      *time.Timer
+	resumed    *manifest // non-nil when satisfied from a prior run's checkpoint
+}
+
+// promoteFn moves a winning attempt's committed output to its canonical
+// paths (atomic renames) and returns them. It runs under the task lock, so
+// exactly one attempt per task is ever promoted: first commit wins.
+type promoteFn func(t *taskState, res *TaskResult) ([]string, error)
+
+// coordinator schedules a job's tasks through a queue onto a worker pool,
+// enforcing per-task retry budgets, launching speculative attempts for
+// stragglers, promoting exactly one attempt's output per task, and
+// checkpointing completed tasks for resume.
+type coordinator struct {
+	job      *Job
+	workers  []Worker
+	scratch  string
+	key      string
+	counters *CounterSet
+
+	attempts    atomic.Int64
+	speculative atomic.Int64
+	skipped     int
+
+	manifests map[string]*manifest
+
+	promotedMu sync.Mutex
+	promoted   []string // canonical paths promoted this run, for failure cleanup
+}
+
+func (c *coordinator) mergeCounters(m map[string]int64) {
+	for k, v := range m {
+		c.counters.Inc(k, v)
+	}
+}
+
+// discard removes a losing or failed attempt's committed files. The paths
+// are attempt-scoped, so this is pure hygiene — nothing ever reads them.
+func (c *coordinator) discard(res *TaskResult) {
+	if res == nil {
+		return
+	}
+	for _, p := range res.Paths {
+		_ = c.job.FS.Remove(p)
+	}
+}
+
+func (c *coordinator) recordPromoted(paths []string) {
+	c.promotedMu.Lock()
+	c.promoted = append(c.promoted, paths...)
+	c.promotedMu.Unlock()
+}
+
+// runPhase drives one phase's tasks to completion: every non-resumed task is
+// queued, workers pull attempts, failures are retried within the budget, and
+// stragglers get one speculative sibling. It returns the first permanent
+// task failure, or a wrapped ctx error on cancellation.
+func (c *coordinator) runPhase(ctx context.Context, tasks []*taskState, promote promoteFn) error {
+	live := 0
+	for _, t := range tasks {
+		if t.resumed == nil {
+			live++
+		}
+	}
+	if live == 0 {
+		return nil
+	}
+	phaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Each task enqueues at most 1 initial + MaxAttempts-1 retries + 1
+	// speculative launch, so this capacity makes every send non-blocking.
+	queue := make(chan *taskState, len(tasks)*(c.job.MaxAttempts+2))
+	var pending atomic.Int64
+	pending.Store(int64(live))
+	allDone := make(chan struct{})
+	finish := func() {
+		if pending.Add(-1) == 0 {
+			close(allDone)
+		}
+	}
+	var errOnce sync.Once
+	var phaseErr error
+	fail := func(err error) {
+		errOnce.Do(func() {
+			phaseErr = err
+			cancel()
+		})
+	}
+	enqueue := func(t *taskState) {
+		select {
+		case queue <- t:
+		case <-phaseCtx.Done():
+		}
+	}
+	for _, t := range tasks {
+		if t.resumed == nil {
+			queue <- t
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for {
+				select {
+				case <-phaseCtx.Done():
+					return
+				case t := <-queue:
+					c.runAttempt(phaseCtx, w, t, promote, enqueue, fail, finish)
+				}
+			}
+		}(w)
+	}
+	select {
+	case <-allDone:
+	case <-phaseCtx.Done():
+	}
+	cancel()
+	wg.Wait()
+	for _, t := range tasks {
+		t.mu.Lock()
+		if t.timer != nil {
+			t.timer.Stop()
+		}
+		t.mu.Unlock()
+	}
+	if phaseErr != nil {
+		return phaseErr
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("mapreduce: %w", err)
+	}
+	return nil
+}
+
+// runAttempt executes one attempt of one task on the given worker and folds
+// the outcome back into the task's state.
+func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskState,
+	promote promoteFn, enqueue func(*taskState), fail func(error), finish func()) {
+	t.mu.Lock()
+	if t.done || t.failures >= c.job.MaxAttempts {
+		t.mu.Unlock()
+		return
+	}
+	t.launched++
+	spec := t.spec
+	spec.Attempt = t.launched
+	actx, acancel := context.WithCancel(phaseCtx)
+	t.cancels[spec.Attempt] = acancel
+	if c.job.StragglerAfter > 0 && t.timer == nil {
+		// Deadline-based straggler detection: if the task is still running
+		// when the deadline passes, launch one speculative sibling. The
+		// first attempt to commit wins; the other is canceled and its
+		// attempt-scoped output discarded.
+		tt := t
+		t.timer = time.AfterFunc(c.job.StragglerAfter, func() { c.speculate(tt, enqueue) })
+	}
+	t.mu.Unlock()
+
+	c.attempts.Add(1)
+	res, err := w.RunTask(actx, spec)
+	acancel()
+	if err == nil && res == nil {
+		// Job.Workers is an extension seam: a backend breaking the "result
+		// or error" contract is a task failure, not a panic.
+		err = fmt.Errorf("worker returned neither a result nor an error")
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cancels, spec.Attempt)
+	if t.done {
+		// A sibling already won. This attempt's output is unreferenced and
+		// its counters are discarded, so speculation never double-counts.
+		c.discard(res)
+		return
+	}
+	if err != nil {
+		// Failed attempts' counter increments are discarded along with their
+		// output: exactly one attempt per task — the winner — contributes
+		// counters, so a job's counters are deterministic under retries,
+		// speculation, and injected faults.
+		if phaseCtx.Err() != nil {
+			// Phase shutdown (cancellation or another task's permanent
+			// failure) — not this task's fault; don't charge the budget.
+			return
+		}
+		t.failures++
+		if t.failures >= c.job.MaxAttempts {
+			if len(t.cancels) > 0 {
+				// A sibling attempt is still running; a speculative copy's
+				// failure must not kill a task whose original may yet
+				// commit. The sibling decides the task's fate: its success
+				// completes the task, its failure lands here with no
+				// sibling left and fails the job.
+				return
+			}
+			fail(fmt.Errorf("mapreduce: task %s failed after %d attempts: %w",
+				spec.TaskID(), c.job.MaxAttempts, err))
+			return
+		}
+		enqueue(t)
+		return
+	}
+	canonical, perr := promote(t, res)
+	if perr != nil {
+		// The attempt computed fine but its output could not be moved into
+		// place (e.g. an injected rename fault). Re-execute: output is
+		// deterministic, so a later attempt re-promotes the same bytes.
+		c.discard(res)
+		if phaseCtx.Err() != nil {
+			return
+		}
+		t.failures++
+		if t.failures >= c.job.MaxAttempts {
+			if len(t.cancels) > 0 {
+				return // a sibling is still running; let it decide (above)
+			}
+			fail(fmt.Errorf("mapreduce: task %s: commit failed after %d attempts: %w",
+				spec.TaskID(), c.job.MaxAttempts, perr))
+			return
+		}
+		enqueue(t)
+		return
+	}
+	t.done = true
+	t.result = res
+	t.canonical = canonical
+	c.recordPromoted(canonical)
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	for _, cfn := range t.cancels {
+		cfn() // kill the straggler sibling, if any
+	}
+	c.mergeCounters(res.Counters)
+	if c.job.Resume {
+		// Best effort: a lost manifest costs one re-execution on resume,
+		// never correctness.
+		_ = writeManifest(c.job.FS, c.scratch, &manifest{
+			Key:      c.key,
+			Task:     spec.TaskID(),
+			Index:    spec.Index,
+			Reduce:   spec.Kind == ReduceTask,
+			Records:  res.Records,
+			Paths:    canonical,
+			Counters: res.Counters,
+		})
+	}
+	finish()
+}
+
+// speculate launches at most one speculative sibling for a straggling task.
+// It requires an attempt to actually be in flight: a task whose attempt
+// failed fast (or whose retry is still queued) is not a straggler, and
+// speculating on it would just duplicate work.
+func (c *coordinator) speculate(t *taskState, enqueue func(*taskState)) {
+	t.mu.Lock()
+	if t.done || t.speculated || len(t.cancels) == 0 || t.failures >= c.job.MaxAttempts {
+		t.mu.Unlock()
+		return
+	}
+	t.speculated = true
+	t.mu.Unlock()
+	c.speculative.Add(1)
+	enqueue(t)
+}
+
+// adoptManifest marks a task as satisfied by a prior run's checkpoint,
+// replaying its counters.
+func (c *coordinator) adoptManifest(t *taskState, m *manifest) {
+	t.resumed = m
+	t.canonical = m.Paths
+	c.skipped++
+	c.mergeCounters(m.Counters)
+}
+
+// cleanupScratch removes runtime files under the scratch area. With prefix
+// "" everything goes (fresh jobs leave no trace); with "_attempts/" only the
+// attempt leftovers go and checkpoints survive for the next resume.
+func (c *coordinator) cleanupScratch(prefix string) {
+	paths, err := c.job.FS.List(c.scratch + "/" + prefix)
+	if err != nil {
+		return
+	}
+	for _, p := range paths {
+		if strings.HasPrefix(p, c.scratch+"/") {
+			_ = c.job.FS.Remove(p)
+		}
+	}
+}
+
+// cleanupFailedRun restores the no-partial-output invariant for jobs running
+// without Resume: every canonical path promoted this run, plus the whole
+// scratch area, is removed so a failed job commits nothing a reader could
+// consume.
+func (c *coordinator) cleanupFailedRun() {
+	c.promotedMu.Lock()
+	promoted := c.promoted
+	c.promoted = nil
+	c.promotedMu.Unlock()
+	for _, p := range promoted {
+		_ = c.job.FS.Remove(p)
+	}
+	c.cleanupScratch("")
+}
+
+// promoteMapOnly returns the promotion function for map-only jobs: the
+// attempt's single output file becomes final output shard i — or, for
+// collecting jobs running with Resume, the task's checkpoint file.
+func (c *coordinator) promoteMapOnly(numShards int) promoteFn {
+	return func(t *taskState, res *TaskResult) ([]string, error) {
+		if c.job.CollectOutput && !t.spec.Persist {
+			return nil, nil // values live in memory only
+		}
+		// Job.Workers is an extension seam: a backend returning success
+		// without a committed file is a task failure, not a panic.
+		if len(res.Paths) != 1 {
+			return nil, fmt.Errorf("worker committed %d output files, want 1", len(res.Paths))
+		}
+		var target string
+		if c.job.CollectOutput {
+			target = taskOutputPath(c.scratch, res.TaskID)
+		} else {
+			target = dfs.ShardPath(c.job.OutputBase, t.spec.Index, numShards)
+		}
+		if err := c.job.FS.Rename(res.Paths[0], target); err != nil {
+			return nil, err
+		}
+		return []string{target}, nil
+	}
+}
+
+// promoteShuffle returns the promotion function for map tasks of reducing
+// jobs: each partition file moves to its canonical shuffle path. A partially
+// promoted set from an earlier commit failure is simply overwritten — every
+// partition ends up from the single winning attempt.
+func (c *coordinator) promoteShuffle() promoteFn {
+	return func(t *taskState, res *TaskResult) ([]string, error) {
+		if len(res.Paths) != c.job.NumReducers {
+			return nil, fmt.Errorf("worker committed %d shuffle partitions, want %d",
+				len(res.Paths), c.job.NumReducers)
+		}
+		canonical := make([]string, len(res.Paths))
+		for r, p := range res.Paths {
+			target := shufflePath(c.scratch, t.spec.Index, r)
+			if err := c.job.FS.Rename(p, target); err != nil {
+				return nil, err
+			}
+			canonical[r] = target
+		}
+		return canonical, nil
+	}
+}
+
+// promoteReduce returns the promotion function for reduce tasks: the
+// attempt's output becomes final output shard r.
+func (c *coordinator) promoteReduce() promoteFn {
+	return func(t *taskState, res *TaskResult) ([]string, error) {
+		if len(res.Paths) != 1 {
+			return nil, fmt.Errorf("worker committed %d output files, want 1", len(res.Paths))
+		}
+		target := dfs.ShardPath(c.job.OutputBase, t.spec.Index, c.job.NumReducers)
+		if err := c.job.FS.Rename(res.Paths[0], target); err != nil {
+			return nil, err
+		}
+		return []string{target}, nil
+	}
+}

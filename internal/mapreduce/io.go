@@ -2,6 +2,7 @@ package mapreduce
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -64,8 +65,21 @@ func (w *InputWriter) Append(rec []byte) error {
 // Count returns the number of records appended so far.
 func (w *InputWriter) Count() int { return w.count }
 
-// Commit flushes and atomically publishes all n shards.
+// stagedCount is the sidecar InputWriter.Commit records next to the staged
+// shards: the record count plus each shard's byte size, so a reader can
+// validate that the sidecar describes the shard set actually on the
+// filesystem (a crash between re-staging and sidecar write leaves a stale
+// sidecar, which the size check rejects) with Stat calls instead of a scan.
+type stagedCount struct {
+	Records int     `json:"records"`
+	Sizes   []int64 `json:"sizes"`
+}
+
+// Commit flushes and atomically publishes all n shards, then records the
+// staged record count in a sidecar (see ReadStagedCount) so later runs can
+// learn the corpus size without re-scanning every shard.
 func (w *InputWriter) Commit() error {
+	sizes := make([]int64, w.n)
 	for i := 0; i < w.n; i++ {
 		if err := w.writers[i].Flush(); err != nil {
 			return err
@@ -73,8 +87,36 @@ func (w *InputWriter) Commit() error {
 		if err := dfs.PublishShard(w.fs, w.base, i, w.n, w.bufs[i].Bytes()); err != nil {
 			return err
 		}
+		sizes[i] = int64(w.bufs[i].Len())
 	}
-	return nil
+	data, err := json.Marshal(stagedCount{Records: w.count, Sizes: sizes})
+	if err != nil {
+		return err
+	}
+	return w.fs.WriteFile(w.base+".count", data)
+}
+
+// ReadStagedCount returns the record count an InputWriter.Commit recorded
+// for the staged corpus at base, after verifying the sidecar still matches
+// the committed shard set (shard count and per-shard sizes, via Stat).
+// Callers fall back to CountRecords — a full scan — when the sidecar is
+// absent, stale, or was never written (older runs, WriteInput stagings).
+func ReadStagedCount(fs dfs.FS, base string) (int, error) {
+	data, err := fs.ReadFile(base + ".count")
+	if err != nil {
+		return 0, err
+	}
+	var sc stagedCount
+	if err := json.Unmarshal(data, &sc); err != nil || sc.Records <= 0 || len(sc.Sizes) == 0 {
+		return 0, fmt.Errorf("mapreduce: corrupt staged count at %s.count", base)
+	}
+	for i, want := range sc.Sizes {
+		got, err := fs.Stat(dfs.ShardPath(base, i, len(sc.Sizes)))
+		if err != nil || got != want {
+			return 0, fmt.Errorf("mapreduce: staged count at %s.count does not match the committed shards", base)
+		}
+	}
+	return sc.Records, nil
 }
 
 // ReadOutput reads and concatenates all records from the committed shard set

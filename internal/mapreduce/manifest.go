@@ -1,0 +1,114 @@
+package mapreduce
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/dfs"
+)
+
+// manifest is the per-task checkpoint record the coordinator commits to the
+// DFS after promoting a task's output. A later run with Job.Resume set skips
+// every task whose manifest is present, keyed to the same job fingerprint,
+// and whose promoted outputs still exist — the paper's "re-run only what's
+// missing" recovery (§5.4).
+type manifest struct {
+	// Key fingerprints the job configuration (see resumeKey); a manifest
+	// written by a logically different job is ignored.
+	Key string `json:"key"`
+	// Task is the task ID, e.g. "map-00003".
+	Task string `json:"task"`
+	// Index is the task index within its kind.
+	Index int `json:"index"`
+	// Reduce marks reduce-task manifests.
+	Reduce bool `json:"reduce,omitempty"`
+	// Records is the number of input records the task processed.
+	Records int `json:"records"`
+	// Paths are the promoted (canonical) output paths: final output shards,
+	// shuffle partition files, or the collected-values checkpoint.
+	Paths []string `json:"paths"`
+	// Counters are the winning attempt's counter increments, replayed into
+	// the job counters when the task is skipped on resume.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// manifestDir is the DFS directory manifests live under, inside the job's
+// scratch area.
+func manifestDir(scratch string) string { return scratch + "/_manifest/" }
+
+// manifestPath is one task's manifest location.
+func manifestPath(scratch, taskID string) string {
+	return manifestDir(scratch) + taskID + ".json"
+}
+
+// taskOutputPath is where a CollectOutput job checkpoints a completed map
+// task's emitted values when running with Resume.
+func taskOutputPath(scratch, taskID string) string {
+	return scratch + "/_tasks/" + taskID + ".out"
+}
+
+// shufflePath is the canonical location of map task m's shuffle file for
+// reduce partition r.
+func shufflePath(scratch string, m, r int) string {
+	return fmt.Sprintf("%s/_shuffle/map-%05d.p%05d", scratch, m, r)
+}
+
+// writeManifest commits one task's checkpoint. Best-effort by design: a
+// missing manifest only costs a re-execution on resume, never correctness,
+// so callers ignore the error under fault injection.
+func writeManifest(fs dfs.FS, scratch string, m *manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return fs.WriteFile(manifestPath(scratch, m.Task), data)
+}
+
+// loadManifests reads every manifest under the scratch area that matches the
+// job fingerprint and whose promoted outputs all still exist. Mismatched or
+// stale entries are skipped (and re-executed), not treated as errors.
+func loadManifests(fs dfs.FS, scratch, key string) (map[string]*manifest, error) {
+	paths, err := fs.List(manifestDir(scratch))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*manifest)
+	for _, p := range paths {
+		if !strings.HasSuffix(p, ".json") {
+			continue
+		}
+		data, err := fs.ReadFile(p)
+		if err != nil {
+			continue // racing cleanup; treat as absent
+		}
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.Key != key || m.Task == "" {
+			continue
+		}
+		ok := true
+		for _, op := range m.Paths {
+			if _, err := fs.Stat(op); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out[m.Task] = &m
+	}
+	return out, nil
+}
+
+// resumeKey fingerprints the parts of a job that determine its output
+// layout: a manifest is only trusted when name, input, output, sharding and
+// the caller's own key (e.g. the labeling-function set) all match.
+func (job *Job) resumeKey(numInputShards int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%d|%d|%v|%s",
+		job.Name, job.InputBase, job.OutputBase, numInputShards,
+		job.NumReducers, job.CollectOutput, job.ResumeKey)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,18 +1,28 @@
 // Package mapreduce implements the distributed execution substrate that
 // Snorkel DryBell's labeling-function pipelines run on (paper §5.1, §5.4).
 //
-// It simulates a MapReduce cluster inside one process: input shards are read
-// from the simulated distributed filesystem, map tasks run concurrently on a
-// bounded worker pool (each task standing in for a compute node), outputs are
-// partitioned, shuffled, sorted and reduced, and result shards are committed
-// atomically. The properties DryBell relies on are preserved:
+// The runtime is a coordinator/worker architecture simulating a MapReduce
+// cluster inside one process: a coordinator schedules task attempts through
+// a queue onto a pool of Workers (the in-process pool is the first backend;
+// the Worker interface is the seam for out-of-process executors). Each
+// worker executes one map or reduce task against the simulated distributed
+// filesystem and commits its output under an attempt-scoped scratch path;
+// the coordinator promotes exactly one winning attempt per task to the
+// canonical output via atomic rename. The properties DryBell relies on are
+// preserved and extended:
 //
 //   - per-task Setup/Teardown hooks, used to launch a model server on each
 //     "compute node" (the NLPLabelingFunction template),
 //   - named counters aggregated across tasks,
-//   - deterministic output independent of worker count and scheduling,
-//   - task re-execution after injected worker failures, with no side effects
-//     from failed attempts.
+//   - deterministic output independent of worker count, scheduling, retries
+//     and speculation,
+//   - per-task retry budgets: worker failures re-execute the task, and a
+//     killed attempt never publishes partial output (attempt isolation),
+//   - deadline-based straggler detection with speculative re-execution —
+//     first commit wins,
+//   - stage-level checkpoint/resume: with Job.Resume, completed task
+//     manifests are recorded under the scratch area's _manifest/ directory,
+//     and a re-run skips every task whose committed output survives.
 package mapreduce
 
 import (
@@ -21,8 +31,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dfs"
 	"repro/internal/recordio"
@@ -35,6 +45,10 @@ type Emitter func(key string, value []byte)
 // TaskContext carries per-task state into user functions. One TaskContext
 // corresponds to one task attempt on one simulated compute node.
 type TaskContext struct {
+	// Ctx is the attempt's context: it is canceled when the run is canceled
+	// or when a sibling speculative attempt commits first. Long-running user
+	// code should honor it; the engine itself checks it between records.
+	Ctx context.Context
 	// JobName is the owning job's name.
 	JobName string
 	// TaskID identifies the task within the job, e.g. "map-00002".
@@ -125,14 +139,42 @@ type Job struct {
 	// Result.MapOutputs. Callers that post-process map output before
 	// persisting it (e.g. the labeling-function executor assembling a
 	// columnar vote artifact across jobs) use this to avoid a write-and-
-	// reread round trip through the filesystem.
+	// reread round trip through the filesystem. With Resume, each task's
+	// values are additionally checkpointed to the scratch area so a resumed
+	// run recovers them without re-execution.
 	CollectOutput bool
 	// Parallelism bounds concurrently running tasks; it simulates the number
 	// of compute nodes. Defaults to runtime.GOMAXPROCS(0), the number of
-	// usable CPUs.
+	// usable CPUs. Ignored when Workers is set.
 	Parallelism int
+	// Workers optionally supplies the execution backend: one goroutine is
+	// run per Worker, each executing one task attempt at a time. When nil,
+	// an in-process pool of Parallelism workers is built from the job's
+	// Mapper/Reducer.
+	Workers []Worker
 	// MaxAttempts bounds attempts per task before the job fails. Defaults to 3.
 	MaxAttempts int
+	// StragglerAfter enables deadline-based speculative re-execution: a task
+	// attempt still running after this duration gets one speculative sibling
+	// on a free worker, and the first attempt to commit wins (the loser is
+	// canceled and its attempt-scoped output discarded). Zero disables
+	// speculation.
+	StragglerAfter time.Duration
+	// Resume enables stage-level checkpoint/resume: each completed task's
+	// manifest (output paths + counters) is recorded under the scratch
+	// area's _manifest/ directory, and a re-run of the same job skips every
+	// task whose manifest and committed output are still present,
+	// re-executing only what's missing. Result.SkippedTasks reports how many
+	// tasks were satisfied from checkpoints.
+	Resume bool
+	// ScratchBase overrides the DFS runtime area holding attempt-scoped
+	// output, shuffle files, and manifests. Defaults to OutputBase+".runtime"
+	// (or InputBase+".runtime" for collecting jobs with no output base).
+	ScratchBase string
+	// ResumeKey folds caller identity into the job fingerprint guarding
+	// manifests, so checkpoints written for a logically different job (e.g.
+	// another labeling-function set over the same paths) are never reused.
+	ResumeKey string
 	// FailureHook, if set, is consulted at the start of every task attempt;
 	// returning an error fails that attempt. Used to inject worker crashes.
 	FailureHook func(taskID string, attempt int) error
@@ -145,8 +187,14 @@ type Result struct {
 	// MapTasks and ReduceTasks count scheduled tasks (not attempts).
 	MapTasks    int
 	ReduceTasks int
-	// Attempts counts all task attempts, including failures.
+	// Attempts counts task attempts launched by this run, including failed
+	// and speculative ones. Tasks skipped via Resume launch none.
 	Attempts int
+	// SkippedTasks counts tasks satisfied from a prior run's checkpoints
+	// (always zero without Job.Resume).
+	SkippedTasks int
+	// SpeculativeAttempts counts straggler-triggered speculative launches.
+	SpeculativeAttempts int
 	// OutputShards lists the committed output shard paths in order. Empty
 	// when the job ran with CollectOutput.
 	OutputShards []string
@@ -230,286 +278,181 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 		return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
 	}
 
-	counters := NewCounterSet()
-	res := &Result{MapTasks: len(inputShards)}
-	var attempts int64
-	var attemptsMu sync.Mutex
-	countAttempt := func() {
-		attemptsMu.Lock()
-		attempts++
-		attemptsMu.Unlock()
+	c := &coordinator{
+		job:      &job,
+		scratch:  job.scratchBase(),
+		key:      job.resumeKey(len(inputShards)),
+		counters: NewCounterSet(),
+	}
+	if job.Workers != nil {
+		c.workers = job.Workers
+	} else {
+		c.workers = newLocalPool(&job, job.Parallelism)
+	}
+	if len(c.workers) == 0 {
+		return nil, fmt.Errorf("mapreduce: job %q has an empty worker pool", job.Name)
+	}
+	if job.Resume {
+		// A checkpoint that cannot be listed is the same as no checkpoint.
+		c.manifests, _ = loadManifests(job.FS, c.scratch, c.key)
+	}
+
+	// ---- Build task states ----
+	mapTasks := make([]*taskState, len(inputShards))
+	for i, shard := range inputShards {
+		t := &taskState{
+			spec: TaskSpec{
+				Job:         job.Name,
+				Kind:        MapTask,
+				Index:       i,
+				Inputs:      []string{shard},
+				NumReducers: job.NumReducers,
+				Scratch:     c.scratch,
+				Collect:     job.CollectOutput,
+				Persist:     job.CollectOutput && job.Resume,
+			},
+			cancels: map[int]context.CancelFunc{},
+		}
+		if m, ok := c.manifests[t.spec.TaskID()]; ok {
+			c.adoptManifest(t, m)
+		}
+		mapTasks[i] = t
+	}
+	var reduceTasks []*taskState
+	if job.NumReducers > 0 {
+		reduceTasks = make([]*taskState, job.NumReducers)
+		for r := range reduceTasks {
+			inputs := make([]string, len(inputShards))
+			for m := range inputShards {
+				inputs[m] = shufflePath(c.scratch, m, r)
+			}
+			t := &taskState{
+				spec: TaskSpec{
+					Job:     job.Name,
+					Kind:    ReduceTask,
+					Index:   r,
+					Inputs:  inputs,
+					Scratch: c.scratch,
+				},
+				cancels: map[int]context.CancelFunc{},
+			}
+			if m, ok := c.manifests[t.spec.TaskID()]; ok {
+				c.adoptManifest(t, m)
+			}
+			reduceTasks[r] = t
+		}
 	}
 
 	// ---- Map phase ----
-	mapOut := make([][]kv, len(inputShards)) // per map task, emitted pairs
-	if err := runTasks(ctx, len(inputShards), job.Parallelism, func(i int) error {
-		taskID := fmt.Sprintf("map-%05d", i)
-		var lastErr error
-		for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("mapreduce: task %s: %w", taskID, err)
-			}
-			countAttempt()
-			pairs, err := runMapAttempt(ctx, job, inputShards[i], taskID, attempt, i, counters)
-			if err == nil {
-				mapOut[i] = pairs
-				return nil
-			}
-			lastErr = err
-			// A canceled attempt is not a worker failure; don't retry it.
-			if ctx.Err() != nil {
-				return fmt.Errorf("mapreduce: task %s: %w", taskID, lastErr)
-			}
+	// When every reduce task is already checkpointed the map phase is pure
+	// shuffle production nobody will read; skip it — but only if every map
+	// task is checkpointed too, so a map task whose manifest was lost still
+	// runs and contributes its counters (Result.Counters stays identical to
+	// a clean run's).
+	runMaps := job.NumReducers == 0 || !allResumed(reduceTasks) || !allResumed(mapTasks)
+	if runMaps {
+		promote := c.promoteMapOnly(len(inputShards))
+		if job.NumReducers > 0 {
+			promote = c.promoteShuffle()
 		}
-		return fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, job.MaxAttempts, lastErr)
-	}); err != nil {
-		return nil, err
-	}
-
-	if job.NumReducers == 0 {
-		if job.CollectOutput {
-			res.MapOutputs = make([][][]byte, len(mapOut))
-			for i, pairs := range mapOut {
-				vals := make([][]byte, len(pairs))
-				for k, p := range pairs {
-					vals[k] = p.value
-				}
-				res.MapOutputs[i] = vals
+		if err := c.runPhase(ctx, mapTasks, promote); err != nil {
+			if !job.Resume {
+				c.cleanupFailedRun()
 			}
-			res.Counters = counters.Snapshot()
-			res.Attempts = int(attempts)
-			return res, nil
+			return nil, err
 		}
-		// Map-only: write map outputs shard-for-shard in input order.
-		for i, pairs := range mapOut {
-			var buf bytes.Buffer
-			w := recordio.NewWriter(&buf)
-			for _, p := range pairs {
-				if err := w.Write(p.value); err != nil {
-					return nil, fmt.Errorf("mapreduce: encode output shard %d: %w", i, err)
-				}
-			}
-			if err := w.Flush(); err != nil {
-				return nil, err
-			}
-			if err := commitShard(job.FS, job.OutputBase, i, len(mapOut), buf.Bytes()); err != nil {
-				return nil, err
-			}
-			res.OutputShards = append(res.OutputShards, dfs.ShardPath(job.OutputBase, i, len(mapOut)))
-		}
-		res.Counters = counters.Snapshot()
-		res.Attempts = int(attempts)
-		return res, nil
-	}
-
-	// ---- Shuffle: partition by key hash, then sort deterministically ----
-	parts := make([][]kv, job.NumReducers)
-	for _, pairs := range mapOut {
-		for _, p := range pairs {
-			r := partition(p.key, job.NumReducers)
-			parts[r] = append(parts[r], p)
-		}
-	}
-	for r := range parts {
-		sort.Slice(parts[r], func(a, b int) bool {
-			pa, pb := parts[r][a], parts[r][b]
-			if pa.key != pb.key {
-				return pa.key < pb.key
-			}
-			if pa.mapTask != pb.mapTask {
-				return pa.mapTask < pb.mapTask
-			}
-			return pa.seq < pb.seq
-		})
 	}
 
 	// ---- Reduce phase ----
-	res.ReduceTasks = job.NumReducers
-	reduceOut := make([][][]byte, job.NumReducers)
-	if err := runTasks(ctx, job.NumReducers, job.Parallelism, func(r int) error {
-		taskID := fmt.Sprintf("reduce-%05d", r)
-		var lastErr error
-		for attempt := 1; attempt <= job.MaxAttempts; attempt++ {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("mapreduce: task %s: %w", taskID, err)
+	if job.NumReducers > 0 {
+		if err := c.runPhase(ctx, reduceTasks, c.promoteReduce()); err != nil {
+			if !job.Resume {
+				c.cleanupFailedRun()
 			}
-			countAttempt()
-			out, err := runReduceAttempt(ctx, job, parts[r], taskID, attempt, counters)
-			if err == nil {
-				reduceOut[r] = out
-				return nil
-			}
-			lastErr = err
-			if ctx.Err() != nil {
-				return fmt.Errorf("mapreduce: task %s: %w", taskID, lastErr)
-			}
+			return nil, err
 		}
-		return fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, job.MaxAttempts, lastErr)
-	}); err != nil {
-		return nil, err
 	}
 
-	for r, records := range reduceOut {
-		var buf bytes.Buffer
-		w := recordio.NewWriter(&buf)
-		for _, rec := range records {
-			if err := w.Write(rec); err != nil {
-				return nil, fmt.Errorf("mapreduce: encode output shard %d: %w", r, err)
-			}
-		}
-		if err := w.Flush(); err != nil {
-			return nil, err
-		}
-		if err := commitShard(job.FS, job.OutputBase, r, job.NumReducers, buf.Bytes()); err != nil {
-			return nil, err
-		}
-		res.OutputShards = append(res.OutputShards, dfs.ShardPath(job.OutputBase, r, job.NumReducers))
+	res := &Result{
+		MapTasks:            len(inputShards),
+		ReduceTasks:         job.NumReducers,
+		Attempts:            int(c.attempts.Load()),
+		SkippedTasks:        c.skipped,
+		SpeculativeAttempts: int(c.speculative.Load()),
 	}
-	res.Counters = counters.Snapshot()
-	res.Attempts = int(attempts)
+	if job.NumReducers > 0 {
+		for r := range reduceTasks {
+			res.OutputShards = append(res.OutputShards,
+				dfs.ShardPath(job.OutputBase, r, job.NumReducers))
+		}
+	} else if job.CollectOutput {
+		res.MapOutputs = make([][][]byte, len(mapTasks))
+		for i, t := range mapTasks {
+			if t.resumed != nil {
+				vals, err := readTaskOutput(job.FS, t.resumed.Paths)
+				if err != nil {
+					return nil, fmt.Errorf("mapreduce: job %q: resume task %s: %w", job.Name, t.spec.TaskID(), err)
+				}
+				res.MapOutputs[i] = vals
+				continue
+			}
+			res.MapOutputs[i] = t.result.Values
+		}
+	} else {
+		for i := range mapTasks {
+			res.OutputShards = append(res.OutputShards,
+				dfs.ShardPath(job.OutputBase, i, len(inputShards)))
+		}
+	}
+	res.Counters = c.counters.Snapshot()
+
+	// A fresh job leaves no runtime files behind; a resumable one keeps its
+	// checkpoints (manifests, shuffle, collected task outputs) so the next
+	// run over the same state skips straight to completion.
+	if job.Resume {
+		c.cleanupScratch("_attempts/")
+	} else {
+		c.cleanupScratch("")
+	}
 	return res, nil
 }
 
-// runMapAttempt executes one attempt of one map task. All effects are
-// buffered in the returned slice, so a failed attempt leaves no trace.
-func runMapAttempt(ctx context.Context, job Job, shardPath, taskID string, attempt, mapIdx int, counters *CounterSet) ([]kv, error) {
-	tctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
-	if job.FailureHook != nil {
-		if err := job.FailureHook(taskID, attempt); err != nil {
-			return nil, err
+// scratchBase resolves the job's runtime area.
+func (job *Job) scratchBase() string {
+	if job.ScratchBase != "" {
+		return job.ScratchBase
+	}
+	if job.OutputBase != "" {
+		return job.OutputBase + ".runtime"
+	}
+	return job.InputBase + ".runtime"
+}
+
+// allResumed reports whether every task in the phase was satisfied from a
+// checkpoint.
+func allResumed(tasks []*taskState) bool {
+	for _, t := range tasks {
+		if t.resumed == nil {
+			return false
 		}
 	}
-	data, err := job.FS.ReadFile(shardPath)
+	return len(tasks) > 0
+}
+
+// readTaskOutput reloads a checkpointed CollectOutput task's values.
+func readTaskOutput(fs dfs.FS, paths []string) ([][]byte, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	data, err := fs.ReadFile(paths[0])
 	if err != nil {
 		return nil, err
 	}
-	records, err := recordio.ReadAll(bytes.NewReader(data))
-	if err != nil {
-		return nil, err
-	}
-	if err := job.Mapper.Setup(tctx); err != nil {
-		return nil, fmt.Errorf("setup: %w", err)
-	}
-	var pairs []kv
-	seq := 0
-	emit := func(key string, value []byte) {
-		cp := make([]byte, len(value))
-		copy(cp, value)
-		pairs = append(pairs, kv{key: key, value: cp, mapTask: mapIdx, seq: seq})
-		seq++
-	}
-	var mapErr error
-	if bm, ok := job.Mapper.(BatchMapper); ok {
-		if mapErr = ctx.Err(); mapErr == nil {
-			mapErr = bm.MapBatch(tctx, records, emit)
-		}
-	} else {
-		for _, rec := range records {
-			if mapErr = ctx.Err(); mapErr != nil {
-				break
-			}
-			if mapErr = job.Mapper.Map(tctx, rec, emit); mapErr != nil {
-				break
-			}
-		}
-	}
-	tdErr := job.Mapper.Teardown(tctx)
-	if mapErr != nil {
-		return nil, mapErr
-	}
-	if tdErr != nil {
-		return nil, fmt.Errorf("teardown: %w", tdErr)
-	}
-	return pairs, nil
-}
-
-// runReduceAttempt executes one attempt of one reduce task over its
-// pre-sorted partition.
-func runReduceAttempt(ctx context.Context, job Job, part []kv, taskID string, attempt int, counters *CounterSet) ([][]byte, error) {
-	tctx := &TaskContext{JobName: job.Name, TaskID: taskID, Attempt: attempt, Counters: counters}
-	if job.FailureHook != nil {
-		if err := job.FailureHook(taskID, attempt); err != nil {
-			return nil, err
-		}
-	}
-	var out [][]byte
-	emit := func(_ string, value []byte) {
-		cp := make([]byte, len(value))
-		copy(cp, value)
-		out = append(out, cp)
-	}
-	for i := 0; i < len(part); {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		j := i
-		for j < len(part) && part[j].key == part[i].key {
-			j++
-		}
-		values := make([][]byte, 0, j-i)
-		for k := i; k < j; k++ {
-			values = append(values, part[k].value)
-		}
-		if err := job.Reducer.Reduce(tctx, part[i].key, values, emit); err != nil {
-			return nil, err
-		}
-		i = j
-	}
-	return out, nil
-}
-
-func commitShard(fs dfs.FS, base string, i, n int, data []byte) error {
-	return dfs.PublishShard(fs, base, i, n, data)
+	return recordio.ReadAll(bytes.NewReader(data))
 }
 
 func partition(key string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % uint32(n))
-}
-
-// runTasks executes fn(0..n-1) on at most p goroutines, returning the first
-// error (all workers are drained before returning). Dispatch stops once ctx
-// is done; already-running tasks observe cancellation themselves.
-func runTasks(ctx context.Context, n, p int, fn func(i int) error) error {
-	if p > n {
-		p = n
-	}
-	if p <= 0 {
-		p = 1
-	}
-	tasks := make(chan int)
-	errs := make(chan error, n)
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range tasks {
-				errs <- fn(i)
-			}
-		}()
-	}
-	canceled := false
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case tasks <- i:
-		case <-ctx.Done():
-			canceled = true
-			break dispatch
-		}
-	}
-	close(tasks)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	if canceled {
-		return fmt.Errorf("mapreduce: %w", ctx.Err())
-	}
-	return nil
 }

@@ -276,8 +276,8 @@ func TestFailureInjectionRetriesAndSucceeds(t *testing.T) {
 	if !strings.Contains(joined, "a=2") || !strings.Contains(joined, "b=1") {
 		t.Errorf("output after retries = %v", joined)
 	}
-	// Counter side effects from failed attempts do leak (attempt counters are
-	// cumulative in real MapReduce too), but records must not be duplicated.
+	// Only the winning attempt's counters are merged, and records must not
+	// be duplicated.
 	if len(out) != 2 {
 		t.Errorf("output records = %d, want 2", len(out))
 	}

@@ -1,0 +1,421 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// eachBackend runs a runtime test against both DFS stores, proving the
+// coordinator's manifests and fault behavior have disk/memory parity.
+func eachBackend(t *testing.T, fn func(t *testing.T, fs dfs.FS)) {
+	t.Run("mem", func(t *testing.T) { fn(t, dfs.NewMem()) })
+	t.Run("disk", func(t *testing.T) {
+		d, err := dfs.NewDisk(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn(t, d)
+	})
+}
+
+// faultyWords is the corpus for the fault suite.
+func faultyWords() []string {
+	var words []string
+	for i := 0; i < 120; i++ {
+		words = append(words, fmt.Sprintf("w%d", i%13))
+	}
+	return words
+}
+
+// TestExactlyOnceUnderFaults is the runtime's core guarantee: a reducing
+// job driven through the coordinator/worker pool with injected worker
+// kills, attempt-write faults, commit-rename faults, and shuffle-read
+// faults produces byte-identical output — and identical counters — to a
+// clean run.
+func TestExactlyOnceUnderFaults(t *testing.T) {
+	words := faultyWords()
+
+	clean := dfs.NewMem()
+	stageWords(t, clean, "in/w", words, 6)
+	cleanRes, err := Run(wordCountJob(clean, "in/w", "out/w", 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ReadOutput(clean, "out/w")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eachBackend(t, func(t *testing.T, inner dfs.FS) {
+		fs := dfs.NewFaultFS(inner, 42)
+		stageWords(t, fs, "in/w", words, 6)
+		// Faults aim at the runtime's own files — attempt output, commit
+		// renames, shuffle reads — all of which sit inside the retry loop.
+		// A map attempt commits one write+rename per reduce partition, so
+		// per-op probabilities compound; keep them low enough that the
+		// retry budget wins with overwhelming probability while still
+		// firing dozens of faults per run.
+		fs.FailProbPath(dfs.OpWrite, "_attempts/", 0.08)
+		fs.FailProbPath(dfs.OpRename, "_attempts/", 0.08)
+		fs.FailProbPath(dfs.OpRead, "_shuffle/", 0.08)
+		var mu sync.Mutex
+		killed := map[string]bool{}
+		job := wordCountJob(fs, "in/w", "out/w", 4, 4)
+		job.MaxAttempts = 25
+		job.FailureHook = func(taskID string, attempt int) error {
+			// Kill every task's first attempt: a worker crash at startup.
+			mu.Lock()
+			defer mu.Unlock()
+			if !killed[taskID] {
+				killed[taskID] = true
+				return errors.New("injected worker kill")
+			}
+			return nil
+		}
+		res, err := Run(job)
+		if err != nil {
+			t.Fatalf("job under faults failed: %v (injected %d)", err, fs.Injected())
+		}
+		if fs.Injected() == 0 {
+			t.Fatal("fault injection never fired; test is vacuous")
+		}
+		if res.Attempts <= res.MapTasks+res.ReduceTasks {
+			t.Errorf("attempts = %d with kills on every task; want retries", res.Attempts)
+		}
+		got, err := ReadOutput(fs, "out/w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("output records = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("output[%d] = %q, want %q", i, got[i], want[i])
+			}
+		}
+		// Winner-only counter merging keeps counters deterministic too.
+		if got, want := res.Counters["records-in"], cleanRes.Counters["records-in"]; got != want {
+			t.Errorf("records-in under faults = %d, want %d", got, want)
+		}
+	})
+}
+
+// slowFirstMapper stalls the first attempt of map-00000 until its attempt
+// context is canceled (or a long timeout), simulating a straggling node.
+type slowFirstMapper struct{}
+
+func (slowFirstMapper) Setup(*TaskContext) error    { return nil }
+func (slowFirstMapper) Teardown(*TaskContext) error { return nil }
+func (slowFirstMapper) Map(ctx *TaskContext, rec []byte, emit Emitter) error {
+	if ctx.TaskID == "map-00000" && ctx.Attempt == 1 {
+		select {
+		case <-ctx.Ctx.Done():
+			return ctx.Ctx.Err()
+		case <-time.After(10 * time.Second):
+		}
+	}
+	emit("", bytes.ToUpper(rec))
+	return nil
+}
+
+// TestStragglerSpeculativeExecution: a task stuck past the deadline gets a
+// speculative sibling, the sibling's commit wins, the straggler is canceled,
+// and the output is exactly the clean run's.
+func TestStragglerSpeculativeExecution(t *testing.T) {
+	fs := dfs.NewMem()
+	var recs [][]byte
+	for i := 0; i < 20; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("r%03d", i)))
+	}
+	if err := WriteInput(fs, "in/r", recs, 4); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := Run(Job{
+		Name: "straggle", FS: fs, InputBase: "in/r", OutputBase: "out/r",
+		Mapper:         slowFirstMapper{},
+		Parallelism:    4,
+		StragglerAfter: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("speculation did not rescue the straggler in time")
+	}
+	if res.SpeculativeAttempts == 0 {
+		t.Error("no speculative attempt launched for the straggler")
+	}
+	out, err := ReadOutput(fs, "out/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 20 {
+		t.Fatalf("output records = %d, want 20 (no loss, no duplication)", len(out))
+	}
+	seen := map[string]bool{}
+	for _, rec := range out {
+		if seen[string(rec)] {
+			t.Fatalf("duplicated output record %q", rec)
+		}
+		seen[string(rec)] = true
+	}
+}
+
+// TestResumeSkipsCommittedTasks: a run that dies mid-stage leaves task
+// manifests behind; the resumed run re-executes only the uncommitted tasks
+// (asserted via attempt counters) and completes the identical output.
+func TestResumeSkipsCommittedTasks(t *testing.T) {
+	eachBackend(t, func(t *testing.T, fs dfs.FS) {
+		var recs [][]byte
+		for i := 0; i < 40; i++ {
+			recs = append(recs, []byte(fmt.Sprintf("r%03d", i)))
+		}
+		if err := WriteInput(fs, "in/r", recs, 5); err != nil {
+			t.Fatal(err)
+		}
+		job := Job{
+			Name: "resumable", FS: fs, InputBase: "in/r", OutputBase: "out/r",
+			Mapper: MapFunc(func(_ *TaskContext, rec []byte, emit Emitter) error {
+				emit("", bytes.ToUpper(rec))
+				return nil
+			}),
+			Parallelism: 1, // deterministic schedule: tasks run in order
+			MaxAttempts: 1,
+			Resume:      true,
+		}
+		// The first run crashes hard on map-00002: tasks 0 and 1 committed,
+		// 2 failed, 3 and 4 never ran.
+		crashJob := job
+		crashJob.FailureHook = func(taskID string, _ int) error {
+			if taskID == "map-00002" {
+				return errors.New("node lost")
+			}
+			return nil
+		}
+		if _, err := Run(crashJob); err == nil {
+			t.Fatal("crashing run reported success")
+		}
+
+		res, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SkippedTasks != 2 {
+			t.Errorf("SkippedTasks = %d, want 2 (map-00000, map-00001 checkpointed)", res.SkippedTasks)
+		}
+		if res.Attempts != 3 {
+			t.Errorf("Attempts = %d, want 3 (only the uncommitted tasks re-execute)", res.Attempts)
+		}
+		out, err := ReadOutput(fs, "out/r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 40 {
+			t.Fatalf("output records = %d, want 40", len(out))
+		}
+		// A third run finds everything checkpointed and executes nothing.
+		res, err = Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Attempts != 0 || res.SkippedTasks != 5 {
+			t.Errorf("idempotent re-run: attempts=%d skipped=%d, want 0/5", res.Attempts, res.SkippedTasks)
+		}
+	})
+}
+
+// TestResumeCollectOutput: CollectOutput jobs running with Resume checkpoint
+// each task's values, so a resumed run returns identical MapOutputs without
+// re-executing completed tasks.
+func TestResumeCollectOutput(t *testing.T) {
+	eachBackend(t, func(t *testing.T, fs dfs.FS) {
+		var recs [][]byte
+		for i := 0; i < 24; i++ {
+			recs = append(recs, []byte(fmt.Sprintf("v%02d", i)))
+		}
+		if err := WriteInput(fs, "in/c", recs, 4); err != nil {
+			t.Fatal(err)
+		}
+		job := Job{
+			Name: "collect-resume", FS: fs, InputBase: "in/c",
+			CollectOutput: true, Resume: true,
+			ScratchBase: "work/collect-resume",
+			Parallelism: 1, MaxAttempts: 1,
+			Mapper: MapFunc(func(_ *TaskContext, rec []byte, emit Emitter) error {
+				emit("", bytes.ToUpper(rec))
+				return nil
+			}),
+		}
+		first, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Attempts != 0 || second.SkippedTasks != 4 {
+			t.Errorf("resumed collect run: attempts=%d skipped=%d, want 0/4", second.Attempts, second.SkippedTasks)
+		}
+		if len(second.MapOutputs) != len(first.MapOutputs) {
+			t.Fatalf("MapOutputs shards = %d, want %d", len(second.MapOutputs), len(first.MapOutputs))
+		}
+		for s := range first.MapOutputs {
+			if len(first.MapOutputs[s]) != len(second.MapOutputs[s]) {
+				t.Fatalf("shard %d: %d vs %d values", s, len(first.MapOutputs[s]), len(second.MapOutputs[s]))
+			}
+			for r := range first.MapOutputs[s] {
+				if !bytes.Equal(first.MapOutputs[s][r], second.MapOutputs[s][r]) {
+					t.Fatalf("shard %d value %d: %q vs %q", s, r, first.MapOutputs[s][r], second.MapOutputs[s][r])
+				}
+			}
+		}
+	})
+}
+
+// TestResumeReduceJob: reduce-task manifests resume too, and when every
+// reduce task is checkpointed the map phase is skipped entirely.
+func TestResumeReduceJob(t *testing.T) {
+	eachBackend(t, func(t *testing.T, fs dfs.FS) {
+		stageWords(t, fs, "in/w", faultyWords(), 4)
+		job := wordCountJob(fs, "in/w", "out/w", 3, 2)
+		job.Resume = true
+		first, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReadOutput(fs, "out/w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := Run(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Attempts != 0 {
+			t.Errorf("fully-checkpointed re-run launched %d attempts", second.Attempts)
+		}
+		if second.SkippedTasks != first.MapTasks+first.ReduceTasks {
+			t.Errorf("SkippedTasks = %d, want %d", second.SkippedTasks, first.MapTasks+first.ReduceTasks)
+		}
+		got, err := ReadOutput(fs, "out/w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("output changed across resume: %d vs %d records", len(got), len(want))
+		}
+	})
+}
+
+// TestResumeKeyGuardsManifests: checkpoints written for a logically
+// different job (different ResumeKey, e.g. another labeling-function set)
+// are ignored, not reused.
+func TestResumeKeyGuardsManifests(t *testing.T) {
+	fs := dfs.NewMem()
+	stageWords(t, fs, "in/w", []string{"a", "b", "c", "d"}, 2)
+	job := Job{
+		Name: "keyed", FS: fs, InputBase: "in/w", OutputBase: "out/w",
+		Mapper: MapFunc(func(_ *TaskContext, rec []byte, emit Emitter) error {
+			emit("", rec)
+			return nil
+		}),
+		Resume:    true,
+		ResumeKey: "lfset-v1",
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatal(err)
+	}
+	job.ResumeKey = "lfset-v2"
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SkippedTasks != 0 {
+		t.Errorf("manifests reused across resume keys: skipped %d tasks", res.SkippedTasks)
+	}
+}
+
+// TestFailedRunCommitsNothing: without Resume, a permanently failing job
+// removes whatever individual tasks had promoted — no partial shard set and
+// no runtime litter survives, restoring the old all-or-nothing contract.
+func TestFailedRunCommitsNothing(t *testing.T) {
+	fs := dfs.NewMem()
+	stageWords(t, fs, "in/w", []string{"a", "b", "c", "d", "e", "f"}, 3)
+	job := Job{
+		Name: "doomed", FS: fs, InputBase: "in/w", OutputBase: "out/w",
+		Mapper: MapFunc(func(_ *TaskContext, rec []byte, emit Emitter) error {
+			emit("", rec)
+			return nil
+		}),
+		Parallelism: 1,
+		MaxAttempts: 2,
+		FailureHook: func(taskID string, _ int) error {
+			if taskID == "map-00002" {
+				return errors.New("permanent failure")
+			}
+			return nil
+		},
+	}
+	if _, err := Run(job); err == nil {
+		t.Fatal("doomed job reported success")
+	}
+	paths, err := fs.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if !strings.HasPrefix(p, "in/w") {
+			t.Errorf("failed run left %s behind", p)
+		}
+	}
+}
+
+// countingWorker wraps the in-process backend to prove Job.Workers is a real
+// seam: the coordinator schedules onto whatever backend it is handed.
+type countingWorker struct {
+	inner Worker
+	n     *int64
+	mu    *sync.Mutex
+}
+
+func (w countingWorker) RunTask(ctx context.Context, spec TaskSpec) (*TaskResult, error) {
+	w.mu.Lock()
+	*w.n++
+	w.mu.Unlock()
+	return w.inner.RunTask(ctx, spec)
+}
+
+func TestCustomWorkerBackend(t *testing.T) {
+	fs := dfs.NewMem()
+	stageWords(t, fs, "in/w", []string{"x", "y", "z"}, 3)
+	job := Job{
+		Name: "custom", FS: fs, InputBase: "in/w", OutputBase: "out/w",
+		Mapper: MapFunc(func(_ *TaskContext, rec []byte, emit Emitter) error {
+			emit("", rec)
+			return nil
+		}),
+	}
+	var n int64
+	var mu sync.Mutex
+	for _, inner := range newLocalPool(&job, 2) {
+		job.Workers = append(job.Workers, countingWorker{inner: inner, n: &n, mu: &mu})
+	}
+	res, err := Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(res.Attempts) || n != 3 {
+		t.Errorf("custom backend saw %d attempts, result says %d, want 3", n, res.Attempts)
+	}
+}

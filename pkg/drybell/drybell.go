@@ -44,6 +44,21 @@
 // sampling-free, analytic, and Gibbs trainers. WithStageHook installs an
 // observer that receives one structured StageEvent per completed stage for
 // logging and metrics.
+//
+// Labeling-function execution runs on a coordinator/worker MapReduce
+// runtime with a real failure model. WithRetries sets the per-task retry
+// budget (a failed task attempt — worker crash, filesystem fault, failed
+// commit — re-executes without side effects; attempt isolation guarantees
+// a killed attempt never publishes partial output). WithStragglerAfter
+// enables deadline-based speculative execution: a task running past the
+// deadline gets one speculative sibling and the first commit wins.
+// WithResume turns on checkpoint/resume: the runtime records per-task
+// manifests on the filesystem as tasks complete, and a re-run of a crashed
+// pipeline skips the staged corpus, loads completed vote artifacts, and
+// re-executes only the tasks whose checkpoints are missing — the paper's
+// "re-run only what's missing" recovery (§5.4). Resume requires sharing a
+// durable filesystem (WithFS + NewDiskFS) and the same work directory with
+// the crashed run.
 package drybell
 
 import (
@@ -91,15 +106,18 @@ func New[T any](opts ...Option) (*Pipeline[T], error) {
 		return nil, fmt.Errorf("drybell: unknown trainer %q (registered: %v)", s.trainer, Trainers())
 	}
 	cfg, err := core.Config[T]{
-		FS:          s.fs,
-		WorkDir:     s.workDir,
-		Encode:      codec.Encode,
-		Decode:      codec.Decode,
-		Shards:      s.shards,
-		Parallelism: s.parallelism,
-		Trainer:     core.Trainer(s.trainer),
-		LabelModel:  s.labelModel,
-		DevLabels:   s.devLabels,
+		FS:             s.fs,
+		WorkDir:        s.workDir,
+		Encode:         codec.Encode,
+		Decode:         codec.Decode,
+		Shards:         s.shards,
+		Parallelism:    s.parallelism,
+		MaxAttempts:    s.maxAttempts,
+		StragglerAfter: s.stragglerAfter,
+		Resume:         s.resume,
+		Trainer:        core.Trainer(s.trainer),
+		LabelModel:     s.labelModel,
+		DevLabels:      s.devLabels,
 	}.WithDefaults()
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package drybell
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/labelmodel"
 )
@@ -24,16 +25,19 @@ type Option struct {
 // non-generic options compose with the generic WithCodec in one option list;
 // New re-checks the example type.
 type settings struct {
-	fs          FS
-	workDir     string
-	shards      int
-	parallelism int
-	trainer     string
-	labelModel  labelmodel.Options
-	devLabels   []labelmodel.Label
-	hook        StageHook
-	codec       any
-	err         error
+	fs             FS
+	workDir        string
+	shards         int
+	parallelism    int
+	maxAttempts    int
+	stragglerAfter time.Duration
+	resume         bool
+	trainer        string
+	labelModel     labelmodel.Options
+	devLabels      []labelmodel.Label
+	hook           StageHook
+	codec          any
+	err            error
 }
 
 func (s *settings) fail(err error) {
@@ -102,6 +106,51 @@ func WithParallelism(n int) Option {
 		}
 		s.parallelism = n
 	}}
+}
+
+// WithRetries sets the per-task retry budget for labeling-function
+// execution: after a failed first attempt — worker crash, filesystem
+// fault, failed commit — a MapReduce task (one shard of one vote job) is
+// re-executed up to n more times before the run fails, i.e. n+1 attempts
+// in total. WithRetries(0) disables retries. Each retry re-executes the
+// task from its committed input; attempt isolation guarantees a failed
+// attempt never publishes partial output. Default 2 retries (3 attempts).
+func WithRetries(n int) Option {
+	return Option{f: func(s *settings) {
+		if n < 0 {
+			s.fail(fmt.Errorf("drybell: WithRetries(%d), want >= 0", n))
+			return
+		}
+		s.maxAttempts = n + 1
+	}}
+}
+
+// WithStragglerAfter enables deadline-based speculative execution in the
+// distributed runtime: a task attempt still running after d gets one
+// speculative sibling on a free worker, the first commit wins, and the
+// loser is canceled without side effects. Zero (the default) disables
+// speculation.
+func WithStragglerAfter(d time.Duration) Option {
+	return Option{f: func(s *settings) {
+		if d < 0 {
+			s.fail(fmt.Errorf("drybell: WithStragglerAfter(%v), want >= 0", d))
+			return
+		}
+		s.stragglerAfter = d
+	}}
+}
+
+// WithResume makes Run recover a crashed pipeline from filesystem state
+// instead of restarting from zero. Stage by stage: a corpus already staged
+// under the work directory is trusted as-is (the source is not consumed), a
+// completed vote artifact covering the function set is loaded instead of
+// re-executed, and a partially executed vote job re-runs only the tasks
+// whose checkpoints (manifests under the runtime's _manifest/ area) are
+// missing. Requires a durable FS shared with the crashed run — WithFS and
+// the same WithWorkDir. Checkpoints are keyed to the labeling-function set,
+// so changing the set re-executes everything.
+func WithResume(resume bool) Option {
+	return Option{f: func(s *settings) { s.resume = resume }}
 }
 
 // WithTrainer selects the label-model trainer by registry name: one of the
