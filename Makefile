@@ -14,10 +14,10 @@ BENCHTIME  ?= 1s
 # Each benchmark runs BENCHCOUNT times and the recorder keeps the fastest
 # observation, so a noisy neighbour can't skew the committed trajectory.
 BENCHCOUNT ?= 3
-BENCH_OUT  ?= BENCH_pr4.json
-BENCH_LABEL ?= pr4
+BENCH_OUT  ?= BENCH_pr6.json
+BENCH_LABEL ?= pr6
 
-.PHONY: build test verify bench bench-smoke
+.PHONY: build test verify vet bench bench-smoke
 
 build:
 	go build ./...
@@ -28,7 +28,13 @@ test:
 verify: build
 	test -z "$$(gofmt -l .)"
 	go vet ./...
+	$(MAKE) vet
 	go test ./...
+
+# Repo-specific invariants: the drybellvet analyzer suite (determinism,
+# ctxflow, dfspath, lockcheck, voteenc). Exits non-zero on any finding.
+vet:
+	go run ./tools/drybellvet ./...
 
 bench:
 	go test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) . \

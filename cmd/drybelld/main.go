@@ -268,9 +268,10 @@ func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Ca
 	case <-ctx.Done():
 	}
 	// Graceful drain: stop accepting connections, let in-flight HTTP
-	// requests finish, then drain the batcher.
+	// requests finish, then drain the batcher. The drain deadline must be
+	// independent of the already-canceled serve ctx, hence the fresh root.
 	fmt.Println("signal received; draining...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain) //drybellvet:detached — drain must outlive the canceled serve ctx
 	defer cancel()
 	err = httpSrv.Shutdown(shutdownCtx)
 	s.Close()

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"iter"
 	"math"
+	"path"
 	"runtime"
 	"strings"
 	"time"
@@ -132,15 +133,15 @@ func (c Config[T]) WithDefaults() (Config[T], error) {
 }
 
 // InputBase is the DFS base path of the staged corpus.
-func (c Config[T]) InputBase() string { return c.WorkDir + "/input/examples" }
+func (c Config[T]) InputBase() string { return path.Join(c.WorkDir, "input/examples") }
 
 // LabelsOutputBase is the DFS base path of the persisted probabilistic labels.
-func (c Config[T]) LabelsOutputBase() string { return c.WorkDir + "/output/problabels" }
+func (c Config[T]) LabelsOutputBase() string { return path.Join(c.WorkDir, "output/problabels") }
 
 // VotesPrefix is the DFS prefix of vote state: ExecuteLFs maintains the
 // columnar vote artifact at "<prefix>/votes", and legacy per-function
 // recordio shard sets at "<prefix>/<lf-name>" remain loadable.
-func (c Config[T]) VotesPrefix() string { return c.WorkDir + "/labels" }
+func (c Config[T]) VotesPrefix() string { return path.Join(c.WorkDir, "labels") }
 
 // Result is the output of a pipeline run.
 type Result struct {
@@ -222,7 +223,7 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	// pipeline trusts a corpus an earlier run already committed — stages
 	// exchange data only through the filesystem (§5.4), so its presence is
 	// the checkpoint — and skips the encode/stage pass entirely.
-	t0 := time.Now()
+	t0 := time.Now() //drybellvet:wallclock — stage timing for events/Result.Timings only
 	var n int
 	stageResumed := false
 	if cfg.Resume {
@@ -245,7 +246,7 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	res.Timings.Stage = time.Since(t0)
 
 	// Stage 2: execute the labeling functions on the distributed runtime.
-	t1 := time.Now()
+	t1 := time.Now() //drybellvet:wallclock — stage timing for events/Result.Timings only
 	cfg.knownExamples = n
 	res.Matrix, res.LFReport, err = ExecuteLFs(ctx, cfg, lfs)
 	ev := StageEvent{Stage: StageExecuteLFs, Start: t1, Duration: time.Since(t1), Examples: n, Report: res.LFReport, Err: err}
@@ -260,7 +261,7 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 
 	// Stage 2b: the development-loop analysis over the fresh matrix —
 	// coverage, overlaps, conflicts, and accuracy against any dev labels.
-	ta := time.Now()
+	ta := time.Now() //drybellvet:wallclock — stage timing for events/Result.Timings only
 	res.Analysis, err = lfapi.Analyze(res.Matrix, lfapi.Metas(lfs), cfg.DevLabels)
 	emit(StageEvent{Stage: StageAnalyze, Start: ta, Duration: time.Since(ta), Examples: n, Analysis: res.Analysis, Err: err})
 	if err != nil {
@@ -268,7 +269,7 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	}
 
 	// Stage 3: denoise with the generative model.
-	t2 := time.Now()
+	t2 := time.Now() //drybellvet:wallclock — stage timing for events/Result.Timings only
 	res.Model, res.Posteriors, err = Denoise(ctx, cfg.Trainer, res.Matrix, cfg.LabelModel)
 	emit(StageEvent{Stage: StageDenoise, Start: t2, Duration: time.Since(t2), Examples: len(res.Posteriors), Err: err})
 	if err != nil {
@@ -277,7 +278,7 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	res.Timings.TrainLabelModel = time.Since(t2)
 
 	// Stage 4: persist probabilistic labels for the production ML systems.
-	t3 := time.Now()
+	t3 := time.Now() //drybellvet:wallclock — stage timing for events/Result.Timings only
 	res.LabelsPath = cfg.LabelsOutputBase()
 	err = PersistLabels(ctx, cfg.FS, res.LabelsPath, res.Posteriors, cfg.Shards)
 	emit(StageEvent{Stage: StagePersist, Start: t3, Duration: time.Since(t3), Examples: len(res.Posteriors), LabelsPath: res.LabelsPath, Err: err})

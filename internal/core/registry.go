@@ -55,6 +55,7 @@ func TrainerNames() []Trainer {
 	trainersMu.RLock()
 	defer trainersMu.RUnlock()
 	out := make([]Trainer, 0, len(trainers))
+	//drybellvet:ordered — collection only; sorted immediately below
 	for name := range trainers {
 		out = append(out, name)
 	}

@@ -77,7 +77,7 @@ func validPath(p string) bool {
 // Mem is an in-memory FS.
 type Mem struct {
 	mu    sync.RWMutex
-	files map[string][]byte
+	files map[string][]byte // guarded by mu
 }
 
 // NewMem returns an empty in-memory filesystem.
@@ -143,6 +143,7 @@ func (m *Mem) List(prefix string) ([]string, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	var out []string
+	//drybellvet:ordered — collection only; sorted immediately below
 	for p := range m.files {
 		if strings.HasPrefix(p, prefix) {
 			out = append(out, p)
@@ -175,6 +176,7 @@ func (m *Mem) TotalBytes() int64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	var n int64
+	//drybellvet:ordered — commutative sum, order-insensitive
 	for _, d := range m.files {
 		n += int64(len(d))
 	}

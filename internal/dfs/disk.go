@@ -34,7 +34,7 @@ func (d *Disk) real(path string) (string, error) {
 	if !validPath(path) {
 		return "", ErrBadPath
 	}
-	return filepath.Join(d.root, filepath.FromSlash(path)), nil
+	return filepath.Join(d.root, filepath.FromSlash(path)), nil //drybellvet:ospath — the DFS-key to OS-path boundary
 }
 
 // WriteFile implements FS.
@@ -129,7 +129,7 @@ func (d *Disk) List(prefix string) ([]string, error) {
 		if err != nil {
 			return err
 		}
-		rel = filepath.ToSlash(rel)
+		rel = filepath.ToSlash(rel) //drybellvet:ospath — OS path back to DFS key
 		if strings.Contains(rel, ".tmp.") {
 			return nil // uncommitted write
 		}

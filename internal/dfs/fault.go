@@ -35,12 +35,12 @@ type FaultFS struct {
 	inner FS
 
 	mu       sync.Mutex
-	rng      *rand.Rand
-	probs    []*probRule
-	scripts  []*scriptRule
-	latency  time.Duration
-	injected int64
-	ops      map[Op]int64
+	rng      *rand.Rand    // guarded by mu
+	probs    []*probRule   // guarded by mu
+	scripts  []*scriptRule // guarded by mu
+	latency  time.Duration // guarded by mu
+	injected int64         // guarded by mu
+	ops      map[Op]int64  // guarded by mu
 }
 
 // scriptRule fails the next Times matching operations.

@@ -38,10 +38,12 @@ type Entity struct {
 // after construction; mutation methods are serialized.
 type Graph struct {
 	mu       sync.RWMutex
-	entities map[string]*Entity
+	entities map[string]*Entity // guarded by mu
 	// parents maps a category node to its parent category ("subcategory_of").
+	// guarded by mu
 	parents map[string]string
 	// translations maps keyword -> language -> translated surface form.
+	// guarded by mu
 	translations map[string]map[string]string
 }
 

@@ -98,13 +98,21 @@ func (c *CompactMatrix) Reconstruct() *Matrix {
 const voteBad = 1 << 7
 
 // voteCode maps a vote byte to its two-bit packed code (abstain → 0,
-// positive → 1, negative → 3), with voteBad marking illegal bytes.
+// positive → 1, negative → 3), with voteBad marking illegal bytes. The
+// legal entries are an ordered slice, not a map literal: this table is the
+// encoder's ground truth, and seeding it from a nondeterministically
+// ordered range is exactly the class of bug drybellvet's determinism
+// analyzer exists to stop (harmless here only because the keys are
+// distinct — until someone edits the table).
 var voteCode = func() (t [256]uint64) {
 	for i := range t {
 		t[i] = voteBad
 	}
-	for label, code := range map[Label]uint64{Abstain: 0, Positive: 1, Negative: 3} {
-		t[uint8(label)] = code
+	for _, e := range []struct {
+		label Label
+		code  uint64
+	}{{Abstain, 0}, {Positive, 1}, {Negative, 3}} {
+		t[uint8(e.label)] = e.code //drybellvet:rawvote — seeding the encoder's own table
 	}
 	return
 }()
@@ -256,7 +264,7 @@ func (mx *Matrix) compactChecked() (*CompactMatrix, error) {
 			// Independent shift-or terms, so the packing pipelines instead
 			// of serializing on one accumulator.
 			for j, v := range row {
-				code := voteCode[uint8(v)]
+				code := voteCode[uint8(v)] //drybellvet:rawvote — indexing the encoder's table
 				bad |= code
 				key |= (code & 3) << (2 * uint(j))
 			}
@@ -280,11 +288,8 @@ func (mx *Matrix) compactChecked() (*CompactMatrix, error) {
 		seen := make(map[string]int32, mx.m/4+16)
 		for i := 0; i < mx.m; i++ {
 			row := mx.data[i*mx.n : (i+1)*mx.n]
-			for j, v := range row {
-				if v < Negative || v > Positive {
-					return nil, fmt.Errorf("labelmodel: invalid label %d at row %d column %d", v, i, j)
-				}
-				buf[j] = byte(v)
+			if err := EncodeVotes(buf, row); err != nil {
+				return nil, fmt.Errorf("labelmodel: row %d: %w", i, err)
 			}
 			r, ok := seen[string(buf)]
 			if !ok {

@@ -45,7 +45,9 @@ func (l Label) String() string {
 	case Positive:
 		return "positive"
 	default:
-		return fmt.Sprintf("Label(%d)", int8(l))
+		// %d formats the integer value directly (no Stringer recursion), so
+		// no raw int8(l) cast is needed.
+		return fmt.Sprintf("Label(%d)", l)
 	}
 }
 

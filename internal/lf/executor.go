@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"path"
 	"strings"
 	"time"
 
@@ -179,7 +180,7 @@ func (e *Executor[T]) resumeFromVotes(lfs []lfapi.LF[T]) (*labelmodel.Matrix, *R
 			}
 		}
 	}
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — times the resume load for the report only
 	mx, _, err := ReadVotes(e.FS, base, names)
 	if err != nil || mx.NumExamples() != staged {
 		return nil, nil, false
@@ -216,7 +217,7 @@ func (e *Executor[T]) scratch() string {
 	if e.ScratchBase != "" {
 		return e.ScratchBase
 	}
-	return e.OutputPrefix + "/_runtime"
+	return path.Join(e.OutputPrefix, "_runtime")
 }
 
 // resumeKeyFor fingerprints the executed function set (order matters: it
@@ -231,7 +232,7 @@ func resumeKeyFor(names []string) string {
 // records (vectorized where they support it), and emits one n-byte columnar
 // vote row per record.
 func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — report durations only, never persisted votes
 	report := &Report{PerLF: make([]LFReport, len(lfs))}
 	names := make([]string, len(lfs))
 	passes := make([]int, len(lfs))
@@ -278,6 +279,9 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 	matrix := labelmodel.NewMatrix(total, len(lfs))
 	nsh := len(res.MapOutputs)
 	for s, shard := range res.MapOutputs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("lf: assemble: %w", err)
+		}
 		for r, rec := range shard {
 			if len(rec) != len(lfs) {
 				return nil, nil, fmt.Errorf("lf: vote row has %d bytes for %d functions", len(rec), len(lfs))
@@ -297,16 +301,17 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 	}
 	report.Examples = total
 	dur := time.Since(start)
+	//drybellvet:tightloop — bounded by the function set, in-memory report assembly
 	for j, f := range lfs {
 		meta := f.LFMeta()
 		// The functions share one fused pass; each reports its wall time.
 		report.PerLF[j] = LFReport{
 			Name: meta.Name, Category: meta.Category, Servable: meta.Servable,
 			Duration:             dur,
-			Positives:            res.Counters["votes/"+meta.Name+"/positive"],
-			Negatives:            res.Counters["votes/"+meta.Name+"/negative"],
-			Abstains:             res.Counters["votes/"+meta.Name+"/abstain"],
-			ModelServersLaunched: res.Counters["model-servers-launched/"+meta.Name],
+			Positives:            res.Counters[voteCounterKey(meta.Name, "positive")],
+			Negatives:            res.Counters[voteCounterKey(meta.Name, "negative")],
+			Abstains:             res.Counters[voteCounterKey(meta.Name, "abstain")],
+			ModelServersLaunched: res.Counters[serverCounterKey(meta.Name)],
 			CorpusPasses:         passes[j],
 		}
 	}
@@ -319,7 +324,7 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 
 // executePerLF is the one-job-per-function mode (Executor.PerLFJobs).
 func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — report durations only, never persisted votes
 	report := &Report{PerLF: make([]LFReport, len(lfs))}
 	var matrix *labelmodel.Matrix
 	names := make([]string, len(lfs))
@@ -331,7 +336,7 @@ func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		}
 		meta := f.LFMeta()
 		names[j] = meta.Name
-		jobStart := time.Now()
+		jobStart := time.Now() //drybellvet:wallclock — per-job duration for the report
 
 		// Two-pass functions (AggregateFunc) fit their corpus-level
 		// statistics from the staged input before the vote job launches.
@@ -358,7 +363,7 @@ func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 			MaxAttempts:    e.MaxAttempts,
 			StragglerAfter: e.StragglerAfter,
 			Resume:         e.Resume,
-			ScratchBase:    e.scratch() + "/" + meta.Name,
+			ScratchBase:    path.Join(e.scratch(), meta.Name),
 			ResumeKey:      resumeKeyFor(names[j : j+1]),
 			FailureHook:    e.FailureHook,
 		})
@@ -416,9 +421,9 @@ func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		report.PerLF[j] = LFReport{
 			Name: meta.Name, Category: meta.Category, Servable: meta.Servable,
 			Duration:             time.Since(jobStart),
-			Positives:            res.Counters["votes/"+meta.Name+"/positive"],
-			Negatives:            res.Counters["votes/"+meta.Name+"/negative"],
-			Abstains:             res.Counters["votes/"+meta.Name+"/abstain"],
+			Positives:            res.Counters[voteCounterKey(meta.Name, "positive")],
+			Negatives:            res.Counters[voteCounterKey(meta.Name, "negative")],
+			Abstains:             res.Counters[voteCounterKey(meta.Name, "abstain")],
 			ModelServersLaunched: res.Counters["model-servers-launched"],
 			CorpusPasses:         passes,
 		}
@@ -545,7 +550,7 @@ func mergeVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string) (
 }
 
 // votesBase is the DFS base of the columnar vote artifact.
-func (e *Executor[T]) votesBase() string { return e.OutputPrefix + "/votes" }
+func (e *Executor[T]) votesBase() string { return path.Join(e.OutputPrefix, "votes") }
 
 // mapperFor adapts one labeling function to the MapReduce engine, choosing
 // the batch-capable adapter when the function vectorizes and batching is
@@ -621,7 +626,11 @@ func (m *lfTask[T]) Map(tctx *mapreduce.TaskContext, rec []byte, emit mapreduce.
 		return fmt.Errorf("lf %s: invalid vote %d", name, v)
 	}
 	countVote(tctx, name, v)
-	emit("", encodeVote(v))
+	b, err := encodeVote(v)
+	if err != nil {
+		return fmt.Errorf("lf %s: %w", name, err)
+	}
+	emit("", b)
 	return nil
 }
 
@@ -683,7 +692,7 @@ func (m *fusedTask[T]) Setup(tctx *mapreduce.TaskContext) error {
 			}
 		}
 		if owner, ok := inst.(interface{ OwnsModelServer() bool }); ok && owner.OwnsModelServer() {
-			tctx.Counters.Inc("model-servers-launched/"+f.LFMeta().Name, 1)
+			tctx.Counters.Inc(serverCounterKey(f.LFMeta().Name), 1)
 		}
 		st.instances[j] = inst
 		st.started = j + 1
@@ -703,6 +712,9 @@ func (m *fusedTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, e
 	ctx := attemptCtx(tctx, m.ctx)
 	xs := make([]T, len(records))
 	for i, rec := range records {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		x, err := m.decode(rec)
 		if err != nil {
 			return fmt.Errorf("lf-votes: %w", err)
@@ -725,7 +737,11 @@ func (m *fusedTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, e
 		}
 		var pos, neg, abs int64
 		for i, v := range votes {
-			rows[i*n+j] = byte(v)
+			b, err := labelmodel.VoteByte(v)
+			if err != nil {
+				return fmt.Errorf("lf %s: %w", meta.Name, err)
+			}
+			rows[i*n+j] = b
 			switch v {
 			case labelmodel.Positive:
 				pos++
@@ -736,10 +752,11 @@ func (m *fusedTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, e
 			}
 		}
 		// One counter flush per function per task, not one per vote.
-		tctx.Counters.Inc("votes/"+meta.Name+"/positive", pos)
-		tctx.Counters.Inc("votes/"+meta.Name+"/negative", neg)
-		tctx.Counters.Inc("votes/"+meta.Name+"/abstain", abs)
+		tctx.Counters.Inc(voteCounterKey(meta.Name, "positive"), pos)
+		tctx.Counters.Inc(voteCounterKey(meta.Name, "negative"), neg)
+		tctx.Counters.Inc(voteCounterKey(meta.Name, "abstain"), abs)
 	}
+	//drybellvet:tightloop — in-memory emit of rows already computed above
 	for i := range records {
 		emit("", rows[i*n:(i+1)*n])
 	}
@@ -793,21 +810,29 @@ type lfBatchTask[T any] struct {
 // MapBatch implements mapreduce.BatchMapper.
 func (m *lfBatchTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte, emit mapreduce.Emitter) error {
 	name := m.f.LFMeta().Name
+	ctx := attemptCtx(tctx, m.ctx)
 	xs := make([]T, len(records))
 	for i, rec := range records {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		x, err := m.decode(rec)
 		if err != nil {
 			return fmt.Errorf("lf %s: %w", name, err)
 		}
 		xs[i] = x
 	}
-	votes, err := lfapi.VoteAll(attemptCtx(tctx, m.ctx), m.instance(tctx), xs)
+	votes, err := lfapi.VoteAll(ctx, m.instance(tctx), xs)
 	if err != nil {
 		return err
 	}
 	for _, v := range votes {
 		countVote(tctx, name, v)
-		emit("", encodeVote(v))
+		b, err := encodeVote(v)
+		if err != nil {
+			return fmt.Errorf("lf %s: %w", name, err)
+		}
+		emit("", b)
 	}
 	return nil
 }
@@ -856,7 +881,7 @@ func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
 	}
 	var matrix *labelmodel.Matrix
 	for j, name := range names {
-		votes, err := e.loadVotes(name, e.OutputPrefix+"/"+name)
+		votes, err := e.loadVotes(name, path.Join(e.OutputPrefix, name))
 		if err != nil {
 			return nil, err
 		}
@@ -896,7 +921,7 @@ func (e *Executor[T]) loadMixed(names []string, have map[string]bool) (*labelmod
 			k++
 			continue
 		}
-		votes, err := e.loadVotes(name, e.OutputPrefix+"/"+name)
+		votes, err := e.loadVotes(name, path.Join(e.OutputPrefix, name))
 		if err != nil {
 			return nil, err
 		}
@@ -993,10 +1018,30 @@ func (e *Executor[T]) loadVotes(name, base string) ([]labelmodel.Label, error) {
 }
 
 func countVote(ctx *mapreduce.TaskContext, name string, v labelmodel.Label) {
-	ctx.Counters.Inc("votes/"+name+"/"+v.String(), 1)
+	ctx.Counters.Inc(voteCounterKey(name, v.String()), 1)
 }
 
-func encodeVote(v labelmodel.Label) []byte { return []byte{byte(int8(v))} }
+// Counter names use "/"-separated segments by convention but are names in a
+// flat registry, not DFS keys, so they are deliberately built by plain
+// concatenation (path.Join would eat empty segments).
+func voteCounterKey(name, kind string) string {
+	return "votes/" + name + "/" + kind //drybellvet:notapath — counter name, not a DFS key
+}
+
+func serverCounterKey(name string) string {
+	return "model-servers-launched/" + name //drybellvet:notapath — counter name, not a DFS key
+}
+
+// encodeVote is the one-byte record encoding of a vote, routed through the
+// checked encoder so a corrupt Label can never be persisted as a
+// legal-looking byte.
+func encodeVote(v labelmodel.Label) ([]byte, error) {
+	b, err := labelmodel.VoteByte(v)
+	if err != nil {
+		return nil, err
+	}
+	return []byte{b}, nil
+}
 
 // decodeVote parses one stored vote byte, rejecting anything outside the
 // three legal values and naming the labeling function in every error —

@@ -365,7 +365,11 @@ func TestLegacyRunnerConversion(t *testing.T) {
 
 func TestVoteEncodingRoundTrip(t *testing.T) {
 	for _, v := range []labelmodel.Label{labelmodel.Negative, labelmodel.Abstain, labelmodel.Positive} {
-		got, err := decodeVote("x", encodeVote(v))
+		enc, err := encodeVote(v)
+		if err != nil {
+			t.Fatalf("encodeVote(%v): %v", v, err)
+		}
+		got, err := decodeVote("x", enc)
 		if err != nil || got != v {
 			t.Errorf("round trip %v: %v, %v", v, got, err)
 		}

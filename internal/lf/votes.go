@@ -19,7 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"math/rand"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/dfs"
@@ -70,7 +70,7 @@ func WriteVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string, s
 	if shards <= 0 {
 		return fmt.Errorf("lf: WriteVotes with %d shards", shards)
 	}
-	gen := rand.Uint64()
+	gen := voteGeneration(mx, names, shards)
 	bufp := voteBufPool.Get().(*[]byte)
 	defer voteBufPool.Put(bufp)
 	for s := 0; s < shards; s++ {
@@ -89,9 +89,11 @@ func WriteVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string, s
 		payload := buf[voteShardHeaderSize:]
 		for k := 0; k < rows; k++ {
 			row := mx.Row(s + k*shards)
-			dst := payload[k*n : (k+1)*n]
-			for j, v := range row {
-				dst[j] = byte(v)
+			// The checked encoder validates while it packs, so an
+			// out-of-range vote fails the write instead of surfacing as a
+			// reader error on some later run.
+			if err := labelmodel.EncodeVotes(payload[k*n:(k+1)*n], row); err != nil {
+				return fmt.Errorf("lf: write votes shard %d row %d: %w", s, k, err)
 			}
 		}
 		binary.LittleEndian.PutUint32(buf[12:16], crc32.ChecksumIEEE(payload))
@@ -118,6 +120,31 @@ func WriteVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string, s
 		}
 	}
 	return nil
+}
+
+// voteGeneration derives the artifact's write generation from its content:
+// shape, column names, and an FNV-1a digest of every vote. A generation
+// used to be drawn from the global math/rand, which made every run's
+// artifact differ in 8 header bytes per shard and broke the byte-identical
+// re-run guarantee the fault suite enforces everywhere else. Hashing the
+// content keeps the property the generation exists for — interleaved
+// concurrent writers of different matrices still stamp different
+// generations, so a torn artifact is detected at read time — while
+// identical content now produces identical bytes (two writers racing the
+// same matrix produce interchangeable shards, so mixing them is harmless).
+func voteGeneration(mx *labelmodel.Matrix, names []string, shards int) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(shards))
+	h.Write(b[:])
+	for _, name := range names {
+		binary.LittleEndian.PutUint64(b[:], uint64(len(name)))
+		h.Write(b[:])
+		h.Write([]byte(name))
+	}
+	binary.LittleEndian.PutUint64(b[:], mx.Fingerprint())
+	h.Write(b[:])
+	return h.Sum64()
 }
 
 // HasVotes reports whether a columnar vote artifact exists at base.

@@ -199,7 +199,11 @@ func TestLoadMatrixLegacyLayout(t *testing.T) {
 	writeLegacy := func(name string, votes []labelmodel.Label) {
 		recs := make([][]byte, len(votes))
 		for i, v := range votes {
-			recs[i] = encodeVote(v)
+			rec, err := encodeVote(v)
+			if err != nil {
+				t.Fatalf("encodeVote(%v): %v", v, err)
+			}
+			recs[i] = rec
 		}
 		if err := mapreduce.WriteInput(fs, "labels/"+name, recs, 2); err != nil {
 			t.Fatal(err)
@@ -307,7 +311,11 @@ func TestLoadMatrixMixedLayout(t *testing.T) {
 	legacy := []labelmodel.Label{labelmodel.Negative, labelmodel.Positive, labelmodel.Abstain, labelmodel.Positive, labelmodel.Negative}
 	recs := make([][]byte, len(legacy))
 	for i, v := range legacy {
-		recs[i] = encodeVote(v)
+		rec, err := encodeVote(v)
+		if err != nil {
+			t.Fatalf("encodeVote(%v): %v", v, err)
+		}
+		recs[i] = rec
 	}
 	if err := mapreduce.WriteInput(fs, "labels/old_lf", recs, 2); err != nil {
 		t.Fatal(err)
@@ -474,22 +482,30 @@ func TestWriteVotesShardCountChange(t *testing.T) {
 	}
 }
 
-// TestReadVotesDetectsTornGenerations: shards from two different write
-// generations (interleaved concurrent writers) must be rejected, not mixed.
+// TestReadVotesDetectsTornGenerations: shards from two writes of different
+// content (interleaved concurrent writers) must be rejected, not mixed. The
+// generation is derived from the written content, so the tear is simulated
+// with two genuinely different matrices — identical re-writes are
+// indistinguishable by design (see TestWriteVotesDeterministic).
 func TestReadVotesDetectsTornGenerations(t *testing.T) {
 	fs := dfs.NewMem()
 	mx := randomVotes(t, 24, 2, 13)
 	if err := WriteVotes(fs, "labels/votes", mx, []string{"a", "b"}, 4); err != nil {
 		t.Fatal(err)
 	}
-	// Steal one shard from this write, then write again (new generation)
-	// and splice the stale shard back in — simulating a torn set.
+	// Steal one shard from this write, then write different votes (a new
+	// content generation) and splice the stale shard back in — simulating
+	// a torn set.
 	shard := dfs.ShardPath("labels/votes", 1, 4)
 	old, err := fs.ReadFile(shard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := WriteVotes(fs, "labels/votes", mx, []string{"a", "b"}, 4); err != nil {
+	mx2 := randomVotes(t, 24, 2, 14)
+	if mx2.Fingerprint() == mx.Fingerprint() {
+		t.Fatal("test matrices must differ")
+	}
+	if err := WriteVotes(fs, "labels/votes", mx2, []string{"a", "b"}, 4); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.WriteFile(shard, old); err != nil {
@@ -498,5 +514,42 @@ func TestReadVotesDetectsTornGenerations(t *testing.T) {
 	if _, _, err := ReadVotes(fs, "labels/votes", nil); err == nil ||
 		!strings.Contains(err.Error(), "generation") {
 		t.Fatalf("torn generations error = %v", err)
+	}
+}
+
+// TestWriteVotesDeterministic: re-running a pipeline over the same corpus
+// must re-create the vote artifact byte for byte — the write generation is
+// a content fingerprint, not a random number, so identical inputs produce
+// identical shard files run over run.
+func TestWriteVotesDeterministic(t *testing.T) {
+	mx := randomVotes(t, 37, 3, 7)
+	names := []string{"a", "b", "c"}
+	write := func() map[string][]byte {
+		fs := dfs.NewMem()
+		if err := WriteVotes(fs, "labels/votes", mx, names, 4); err != nil {
+			t.Fatal(err)
+		}
+		paths, err := fs.List("labels/votes")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string][]byte, len(paths))
+		for _, p := range paths {
+			b, err := fs.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[p] = b
+		}
+		return out
+	}
+	first, second := write(), write()
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("shard sets differ in size: %d vs %d", len(first), len(second))
+	}
+	for p, b := range first {
+		if !bytes.Equal(b, second[p]) {
+			t.Errorf("shard %s differs between identical writes", p)
+		}
 	}
 }

@@ -18,8 +18,8 @@ import (
 type Cache[K comparable, V any] struct {
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recently used
-	items map[K]*list.Element
+	ll    *list.List          // guarded by mu; front = most recently used
+	items map[K]*list.Element // guarded by mu
 
 	hits, misses atomic.Int64
 }

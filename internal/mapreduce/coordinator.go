@@ -16,15 +16,15 @@ type taskState struct {
 	spec TaskSpec // attempt 0 template; each launch stamps its own Attempt
 
 	mu         sync.Mutex
-	launched   int // attempts launched, including speculative
-	failures   int // failed attempts, charged against the retry budget
-	done       bool
-	result     *TaskResult // winning attempt
-	canonical  []string    // promoted output paths of the winner
-	cancels    map[int]context.CancelFunc
-	speculated bool
-	timer      *time.Timer
-	resumed    *manifest // non-nil when satisfied from a prior run's checkpoint
+	launched   int                        // guarded by mu; attempts launched, including speculative
+	failures   int                        // guarded by mu; failed attempts, charged against the retry budget
+	done       bool                       // guarded by mu
+	result     *TaskResult                // guarded by mu; winning attempt
+	canonical  []string                   // guarded by mu; promoted output paths of the winner
+	cancels    map[int]context.CancelFunc // guarded by mu
+	speculated bool                       // guarded by mu
+	timer      *time.Timer                // guarded by mu
+	resumed    *manifest                  // guarded by mu; non-nil when satisfied from a prior run's checkpoint
 }
 
 // promoteFn moves a winning attempt's committed output to its canonical
@@ -50,10 +50,11 @@ type coordinator struct {
 	manifests map[string]*manifest
 
 	promotedMu sync.Mutex
-	promoted   []string // canonical paths promoted this run, for failure cleanup
+	promoted   []string // guarded by promotedMu; canonical paths promoted this run, for failure cleanup
 }
 
 func (c *coordinator) mergeCounters(m map[string]int64) {
+	//drybellvet:ordered — commutative counter merge, order-insensitive
 	for k, v := range m {
 		c.counters.Inc(k, v)
 	}
@@ -83,7 +84,7 @@ func (c *coordinator) recordPromoted(paths []string) {
 func (c *coordinator) runPhase(ctx context.Context, tasks []*taskState, promote promoteFn) error {
 	live := 0
 	for _, t := range tasks {
-		if t.resumed == nil {
+		if t.resumed == nil { //drybellvet:locked — set only during single-threaded construction, before workers exist
 			live++
 		}
 	}
@@ -119,7 +120,7 @@ func (c *coordinator) runPhase(ctx context.Context, tasks []*taskState, promote 
 		}
 	}
 	for _, t := range tasks {
-		if t.resumed == nil {
+		if t.resumed == nil { //drybellvet:locked — set only during single-threaded construction, before workers exist
 			queue <- t
 		}
 	}
@@ -145,6 +146,7 @@ func (c *coordinator) runPhase(ctx context.Context, tasks []*taskState, promote 
 	}
 	cancel()
 	wg.Wait()
+	//drybellvet:tightloop — post-join timer teardown, bounded by the task count
 	for _, t := range tasks {
 		t.mu.Lock()
 		if t.timer != nil {
@@ -258,6 +260,7 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 	if t.timer != nil {
 		t.timer.Stop()
 	}
+	//drybellvet:ordered //drybellvet:tightloop — independent cancels; order and timing irrelevant
 	for _, cfn := range t.cancels {
 		cfn() // kill the straggler sibling, if any
 	}
@@ -296,9 +299,11 @@ func (c *coordinator) speculate(t *taskState, enqueue func(*taskState)) {
 
 // adoptManifest marks a task as satisfied by a prior run's checkpoint,
 // replaying its counters.
+// It runs during single-threaded task construction, before any worker
+// goroutine exists, so the task lock is not needed yet.
 func (c *coordinator) adoptManifest(t *taskState, m *manifest) {
-	t.resumed = m
-	t.canonical = m.Paths
+	t.resumed = m         //drybellvet:locked — single-threaded construction, before workers exist
+	t.canonical = m.Paths //drybellvet:locked — single-threaded construction, before workers exist
 	c.skipped++
 	c.mergeCounters(m.Counters)
 }
@@ -307,12 +312,12 @@ func (c *coordinator) adoptManifest(t *taskState, m *manifest) {
 // "" everything goes (fresh jobs leave no trace); with "_attempts/" only the
 // attempt leftovers go and checkpoints survive for the next resume.
 func (c *coordinator) cleanupScratch(prefix string) {
-	paths, err := c.job.FS.List(c.scratch + "/" + prefix)
+	paths, err := c.job.FS.List(c.scratch + "/" + prefix) //drybellvet:notapath — List prefix; "" and trailing "/" are significant
 	if err != nil {
 		return
 	}
 	for _, p := range paths {
-		if strings.HasPrefix(p, c.scratch+"/") {
+		if strings.HasPrefix(p, c.scratch+"/") { //drybellvet:notapath — prefix guard, not a key
 			_ = c.job.FS.Remove(p)
 		}
 	}

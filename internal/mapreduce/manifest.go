@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"path"
 	"strings"
 
 	"repro/internal/dfs"
@@ -36,7 +37,7 @@ type manifest struct {
 
 // manifestDir is the DFS directory manifests live under, inside the job's
 // scratch area.
-func manifestDir(scratch string) string { return scratch + "/_manifest/" }
+func manifestDir(scratch string) string { return scratch + "/_manifest/" } //drybellvet:notapath — List-prefix form; the trailing slash is significant
 
 // manifestPath is one task's manifest location.
 func manifestPath(scratch, taskID string) string {
@@ -46,7 +47,7 @@ func manifestPath(scratch, taskID string) string {
 // taskOutputPath is where a CollectOutput job checkpoints a completed map
 // task's emitted values when running with Resume.
 func taskOutputPath(scratch, taskID string) string {
-	return scratch + "/_tasks/" + taskID + ".out"
+	return path.Join(scratch, "_tasks", taskID+".out")
 }
 
 // shufflePath is the canonical location of map task m's shuffle file for

@@ -206,7 +206,7 @@ type Result struct {
 // CounterSet is a concurrency-safe set of named int64 counters.
 type CounterSet struct {
 	mu sync.Mutex
-	m  map[string]int64
+	m  map[string]int64 // guarded by mu
 }
 
 // NewCounterSet returns an empty counter set.
@@ -231,6 +231,7 @@ func (c *CounterSet) Snapshot() map[string]int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make(map[string]int64, len(c.m))
+	//drybellvet:ordered — map-to-map copy, order-insensitive
 	for k, v := range c.m {
 		out[k] = v
 	}
@@ -299,6 +300,7 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 
 	// ---- Build task states ----
 	mapTasks := make([]*taskState, len(inputShards))
+	//drybellvet:tightloop — in-memory task-spec construction, bounded by shard count
 	for i, shard := range inputShards {
 		t := &taskState{
 			spec: TaskSpec{
@@ -321,6 +323,7 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	var reduceTasks []*taskState
 	if job.NumReducers > 0 {
 		reduceTasks = make([]*taskState, job.NumReducers)
+		//drybellvet:tightloop — in-memory task-spec construction, bounded by reducer count
 		for r := range reduceTasks {
 			inputs := make([]string, len(inputShards))
 			for m := range inputShards {
@@ -381,6 +384,7 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 		SpeculativeAttempts: int(c.speculative.Load()),
 	}
 	if job.NumReducers > 0 {
+		//drybellvet:tightloop — shard-name formatting, bounded by reducer count
 		for r := range reduceTasks {
 			res.OutputShards = append(res.OutputShards,
 				dfs.ShardPath(job.OutputBase, r, job.NumReducers))
@@ -388,17 +392,23 @@ func RunContext(ctx context.Context, job Job) (*Result, error) {
 	} else if job.CollectOutput {
 		res.MapOutputs = make([][][]byte, len(mapTasks))
 		for i, t := range mapTasks {
-			if t.resumed != nil {
-				vals, err := readTaskOutput(job.FS, t.resumed.Paths)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("mapreduce: job %q: %w", job.Name, err)
+			}
+			// All phases have joined: no worker goroutine is left to race
+			// these reads.
+			if t.resumed != nil { //drybellvet:locked — post-join read; workers have exited
+				vals, err := readTaskOutput(job.FS, t.resumed.Paths) //drybellvet:locked — post-join read; workers have exited
 				if err != nil {
 					return nil, fmt.Errorf("mapreduce: job %q: resume task %s: %w", job.Name, t.spec.TaskID(), err)
 				}
 				res.MapOutputs[i] = vals
 				continue
 			}
-			res.MapOutputs[i] = t.result.Values
+			res.MapOutputs[i] = t.result.Values //drybellvet:locked — post-join read; workers have exited
 		}
 	} else {
+		//drybellvet:tightloop — shard-name formatting, bounded by shard count
 		for i := range mapTasks {
 			res.OutputShards = append(res.OutputShards,
 				dfs.ShardPath(job.OutputBase, i, len(inputShards)))
@@ -432,7 +442,7 @@ func (job *Job) scratchBase() string {
 // checkpoint.
 func allResumed(tasks []*taskState) bool {
 	for _, t := range tasks {
-		if t.resumed == nil {
+		if t.resumed == nil { //drybellvet:locked — called before workers launch or after they join
 			return false
 		}
 	}

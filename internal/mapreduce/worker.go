@@ -154,6 +154,7 @@ func (w *localWorker) RunTask(ctx context.Context, spec TaskSpec) (res *TaskResu
 		// A failed attempt must leave nothing behind: whatever it already
 		// committed to its attempt-scoped area is removed best-effort (the
 		// paths are attempt-scoped, so even a leak is never consumed).
+		//drybellvet:tightloop — cleanup must finish even under cancellation
 		for _, p := range res.Paths {
 			_ = w.fs.Remove(p)
 		}

@@ -48,8 +48,8 @@ type NER struct {
 	MissRate float64
 
 	mu      sync.Mutex
-	rng     *rand.Rand
-	bigrams map[string]EntityType
+	rng     *rand.Rand            // guarded by mu
+	bigrams map[string]EntityType // write-once in NewNER, immutable after; lock-free reads are safe
 }
 
 // NewNER builds the recognizer over the package gazetteers.

@@ -42,7 +42,7 @@ type Server struct {
 	CallLatency time.Duration
 
 	mu       sync.Mutex
-	launched bool
+	launched bool // guarded by mu
 	calls    atomic.Int64
 }
 

@@ -55,6 +55,7 @@ var servableSignals = map[string]bool{
 // sorted.
 func ServableSignals() []string {
 	out := make([]string, 0, len(servableSignals))
+	//drybellvet:ordered — collection only; sorted immediately below
 	for s := range servableSignals {
 		out = append(out, s)
 	}
@@ -196,8 +197,8 @@ type Catalog interface {
 // Registry is the in-memory Catalog. Safe for concurrent use.
 type Registry struct {
 	mu       sync.Mutex
-	versions map[string][]*Artifact // per name, ascending version
-	live     map[string]int         // live version per name
+	versions map[string][]*Artifact // guarded by mu; per name, ascending version
+	live     map[string]int         // guarded by mu; live version per name
 }
 
 var _ Catalog = (*Registry)(nil)
@@ -271,6 +272,7 @@ func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.versions))
+	//drybellvet:ordered — collection only; sorted immediately below
 	for n := range r.versions {
 		out = append(out, n)
 	}
@@ -292,7 +294,7 @@ func ValidateLatency(a *Artifact, probes []*features.SparseVector, budget time.D
 	}
 	worst := time.Duration(0)
 	for _, p := range probes {
-		start := time.Now()
+		start := time.Now() //drybellvet:wallclock — the latency-gate measurement itself
 		srv.Score(p)
 		if d := time.Since(start); d > worst {
 			worst = d

@@ -3,6 +3,7 @@ package serving
 import (
 	"encoding/json"
 	"fmt"
+	"path"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,7 +48,7 @@ func OpenFSRegistry(fs dfs.FS, prefix string) (*FSRegistry, error) {
 }
 
 func (r *FSRegistry) modelDir(name string) string {
-	return r.prefix + "/models/" + name
+	return path.Join(r.prefix, "models", name)
 }
 
 func (r *FSRegistry) versionPath(name string, version int) string {
@@ -55,7 +56,7 @@ func (r *FSRegistry) versionPath(name string, version int) string {
 }
 
 func (r *FSRegistry) livePath(name string) string {
-	return r.modelDir(name) + "/live"
+	return path.Join(r.modelDir(name), "live")
 }
 
 // Stage implements Catalog.
@@ -147,7 +148,7 @@ func (r *FSRegistry) artifact(name string, version int) (*Artifact, error) {
 
 // versions lists staged version numbers, ascending.
 func (r *FSRegistry) versions(name string) []int {
-	paths, err := r.fs.List(r.modelDir(name) + "/v")
+	paths, err := r.fs.List(r.modelDir(name) + "/v") //drybellvet:notapath — List prefix ending mid-filename ("…/v"), not a key
 	if err != nil {
 		return nil
 	}
@@ -172,7 +173,7 @@ func (r *FSRegistry) Versions(name string) []int { return r.versions(name) }
 
 // Names implements Catalog.
 func (r *FSRegistry) Names() []string {
-	prefix := r.prefix + "/models/"
+	prefix := r.prefix + "/models/" //drybellvet:notapath — List prefix; the trailing slash is significant
 	paths, err := r.fs.List(prefix)
 	if err != nil {
 		return nil

@@ -64,6 +64,7 @@ package drybell
 import (
 	"context"
 	"fmt"
+	"path"
 	"time"
 
 	"repro/internal/core"
@@ -142,13 +143,13 @@ func (p *Pipeline[T]) LabelsPath() string { return p.cfg.LabelsOutputBase() }
 // VotesBase returns the DFS base path of the columnar vote artifact
 // ExecuteLFs maintains: every executed function's votes in one sharded,
 // byte-per-vote matrix, with a ".meta" sidecar naming the columns.
-func (p *Pipeline[T]) VotesBase() string { return p.cfg.VotesPrefix() + "/votes" }
+func (p *Pipeline[T]) VotesBase() string { return path.Join(p.cfg.VotesPrefix(), "votes") }
 
 // VotesPath returns the legacy per-function vote base path
 // ("<prefix>/<name>"). Current pipelines persist all votes in the single
 // columnar artifact at VotesBase; this path only locates shard sets written
 // by older runs, which LoadMatrix still reads.
-func (p *Pipeline[T]) VotesPath(name string) string { return p.cfg.VotesPrefix() + "/" + name }
+func (p *Pipeline[T]) VotesPath(name string) string { return path.Join(p.cfg.VotesPrefix(), name) }
 
 // Run executes all four stages: stage the source, execute the labeling
 // functions (analyzing the resulting matrix for the development loop),
@@ -165,7 +166,7 @@ func (p *Pipeline[T]) Run(ctx context.Context, src Source[T], lfs []LF[T]) (*Res
 // as the pipeline's sharded input (stage 1). The corpus never needs to fit
 // in one slice. It returns the number of examples staged.
 func (p *Pipeline[T]) Stage(ctx context.Context, src Source[T]) (int, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	n, err := core.StageExamples(ctx, p.cfg, src)
 	p.emit(StageEvent{Stage: StageStage, Start: start, Duration: time.Since(start), Examples: n, Err: err})
 	return n, err
@@ -176,7 +177,7 @@ func (p *Pipeline[T]) Stage(ctx context.Context, src Source[T]) (int, error) {
 // in the pipeline's record format — e.g. a validated JSONL dump — to avoid
 // a decode/re-encode round-trip per record.
 func (p *Pipeline[T]) StageRecords(ctx context.Context, records Source[[]byte]) (int, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	n, err := core.StageRecords(ctx, p.cfg, records)
 	p.emit(StageEvent{Stage: StageStage, Start: start, Duration: time.Since(start), Examples: n, Err: err})
 	return n, err
@@ -187,7 +188,7 @@ func (p *Pipeline[T]) StageRecords(ctx context.Context, records Source[[]byte]) 
 // runner j's votes in input order. The corpus may have been staged by an
 // earlier run or another process sharing the filesystem.
 func (p *Pipeline[T]) ExecuteLFs(ctx context.Context, lfs []LF[T]) (*Matrix, *Report, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	matrix, report, err := core.ExecuteLFs(ctx, p.cfg, lfs)
 	ev := StageEvent{Stage: StageExecuteLFs, Start: start, Duration: time.Since(start), Report: report, Err: err}
 	if matrix != nil {
@@ -203,7 +204,7 @@ func (p *Pipeline[T]) ExecuteLFs(ctx context.Context, lfs []LF[T]) (*Matrix, *Re
 // executed functions' metadata in matrix column order (lf.Metas of the set
 // passed to ExecuteLFs). The report is also emitted as a StageAnalyze event.
 func (p *Pipeline[T]) Analyze(matrix *Matrix, metas []Meta) (*Analysis, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	analysis, err := lf.Analyze(matrix, metas, p.cfg.DevLabels)
 	ev := StageEvent{Stage: StageAnalyze, Start: start, Duration: time.Since(start), Analysis: analysis, Err: err}
 	if matrix != nil {
@@ -227,7 +228,7 @@ func (p *Pipeline[T]) LoadMatrix(names []string) (*Matrix, error) {
 // (stage 3), returning the model and the probabilistic training labels
 // P(Y_i=1|Λ_i) aligned with the staged input.
 func (p *Pipeline[T]) Denoise(ctx context.Context, matrix *Matrix) (*Model, []float64, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	model, posteriors, err := core.Denoise(ctx, p.cfg.Trainer, matrix, p.cfg.LabelModel)
 	ev := StageEvent{Stage: StageDenoise, Start: start, Duration: time.Since(start), Examples: len(posteriors), Err: err}
 	p.emit(ev)
@@ -237,7 +238,7 @@ func (p *Pipeline[T]) Denoise(ctx context.Context, matrix *Matrix) (*Model, []fl
 // Persist writes the probabilistic labels back to the filesystem (stage 4)
 // and returns the DFS base path they were written under.
 func (p *Pipeline[T]) Persist(ctx context.Context, labels []float64) (string, error) {
-	start := time.Now()
+	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	path := p.cfg.LabelsOutputBase()
 	err := core.PersistLabels(ctx, p.cfg.FS, path, labels, p.cfg.Shards)
 	p.emit(StageEvent{Stage: StagePersist, Start: start, Duration: time.Since(start), Examples: len(labels), LabelsPath: path, Err: err})

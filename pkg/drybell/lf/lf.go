@@ -301,6 +301,7 @@ func ServableIndices[T any](lfs []LF[T]) []int {
 // sortedCategories returns census keys in stable order, for reports.
 func sortedCategories(census map[Category]int) []Category {
 	out := make([]Category, 0, len(census))
+	//drybellvet:ordered — collection only; sorted immediately below
 	for c := range census {
 		out = append(out, c)
 	}

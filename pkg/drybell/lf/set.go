@@ -115,6 +115,7 @@ func RegisteredSets() []string {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	out := make([]string, 0, len(registry))
+	//drybellvet:ordered — collection only; sorted immediately below
 	for name := range registry {
 		out = append(out, name)
 	}

@@ -82,9 +82,9 @@ type NLPFunc[T any] struct {
 	GetValue func(T, *nlp.Result) Label
 
 	mu       sync.Mutex
-	ann      nlp.Annotator
-	owned    *nlp.Server // server this instance launched (stopped in Teardown)
-	injected bool
+	ann      nlp.Annotator // guarded by mu
+	owned    *nlp.Server   // guarded by mu; server this instance launched (stopped in Teardown)
+	injected bool          // guarded by mu
 }
 
 // LFMeta implements LF.
@@ -181,8 +181,8 @@ func (f *NLPFunc[T]) ForNode() LF[T] {
 	defer f.mu.Unlock()
 	clone := &NLPFunc[T]{Meta: f.Meta, NewServer: f.NewServer, GetText: f.GetText, GetValue: f.GetValue}
 	if f.injected {
-		clone.ann = f.ann
-		clone.injected = true
+		clone.ann = f.ann     //drybellvet:locked — freshly constructed clone, not yet shared
+		clone.injected = true //drybellvet:locked — freshly constructed clone, not yet shared
 	}
 	return clone
 }
@@ -446,7 +446,7 @@ type AggregateFunc[T any] struct {
 	VoteWith func(x T, v float64, s Summary) Label
 
 	mu      sync.RWMutex
-	summary *Summary
+	summary *Summary // guarded by mu
 }
 
 // LFMeta implements LF.

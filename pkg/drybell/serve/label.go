@@ -84,7 +84,7 @@ func (l *labeler[T]) labelBatch(ctx context.Context, xs []T) ([]LabelResult, err
 func (l *labeler[T]) result(votes []labelmodel.Label) LabelResult {
 	records := make([]VoteRecord, len(votes))
 	for j, v := range votes {
-		records[j] = VoteRecord{LF: l.metas[j].Name, Category: string(l.metas[j].Category), Vote: int(v)}
+		records[j] = VoteRecord{LF: l.metas[j].Name, Category: string(l.metas[j].Category), Vote: int(v)} //drybellvet:rawvote — JSON response field, never a persisted vote byte
 	}
 	out := LabelResult{Votes: records}
 	if l.model != nil {

@@ -16,9 +16,9 @@ const latencyWindow = 2048
 // ring is a fixed-size ring buffer of durations. Safe for concurrent use.
 type ring struct {
 	mu  sync.Mutex
-	buf []time.Duration
-	n   int // total observations, saturating at len(buf)
-	idx int
+	buf []time.Duration // guarded by mu
+	n   int             // guarded by mu; total observations, saturating at len(buf)
+	idx int             // guarded by mu
 }
 
 func newRing(size int) *ring {

@@ -1,0 +1,67 @@
+// Command drybellvet is the repository's invariant checker: a multichecker
+// of five repo-specific analyzers that promote the correctness rules the
+// distributed runtime and artifact encoders rely on — deterministic output,
+// context cancellation flow, forward-slash DFS keys, mutex discipline, and
+// checked vote encoding — from review lore into a compile-time gate.
+//
+// Usage:
+//
+//	go run ./tools/drybellvet [-checks name,name] [package patterns]
+//
+// With no patterns it checks ./... . Exit status 1 means findings. CI runs
+// it repo-wide (the drybellvet job) and `make vet` is the local entry
+// point; `make verify` includes it.
+//
+// # Analyzers
+//
+//   - determinism: pipeline output must be byte-identical run over run.
+//     Flags range-over-map (iteration order is randomized), time.Now, and
+//     the process-seeded math/rand globals in deterministic packages.
+//     Explicitly seeded generators (rand.New(rand.NewSource(k))) are fine.
+//   - ctxflow: cancellation must reach every long-running loop. Flags
+//     context.Background()/TODO() inside functions that already receive a
+//     ctx (detaching from the caller's cancellation), and loops that call
+//     out without consulting ctx (no ctx.Err() poll and no ctx-accepting
+//     call in the body).
+//   - dfspath: DFS keys are forward-slash strings on every platform. Flags
+//     path/filepath calls and `+ "/" +` concatenation on DFS key strings;
+//     keys are built with path.Join. The OS boundary lives in
+//     internal/dfs/disk.go and is annotated.
+//   - lockcheck: fields annotated `// guarded by <mu>` (doc or line
+//     comment) must only be accessed with that mutex held. Tracks
+//     Lock/Unlock/RLock/RUnlock flow including defer, branch merges, and
+//     goroutine bodies (which start with nothing held). Writes under only
+//     an RLock are a distinct diagnostic. Methods with a "Locked" name
+//     suffix run with the caller's lock and are exempt.
+//   - voteenc: persisted vote bytes go through the checked encoder. Flags
+//     raw integer conversions of labelmodel.Label (byte(v), int8(v), ...)
+//     that bypass labelmodel.VoteByte's range check.
+//
+// # Suppression markers
+//
+// Every finding either gets fixed or carries a marker with a justification
+// after it. A marker suppresses its own line and the next line, so it can
+// sit on its own line above multi-line statements:
+//
+//	//drybellvet:ordered    — map range is order-insensitive (commutative
+//	                          fold, or collected then sorted)
+//	//drybellvet:wallclock  — time.Now/rand for observability or jitter,
+//	                          never artifact bytes
+//	//drybellvet:detached   — context.Background on purpose (e.g. shutdown
+//	                          drain must outlive the canceled serve ctx)
+//	//drybellvet:tightloop  — loop is short/cleanup and must run to
+//	                          completion even under cancellation
+//	//drybellvet:ospath     — the deliberate DFS-key ↔ OS-path boundary
+//	//drybellvet:notapath   — slash-joined string is a counter name or
+//	                          List prefix, not a DFS key
+//	//drybellvet:locked     — access is structurally safe without the lock
+//	                          (single-threaded construction, post-join
+//	                          read, freshly built unshared value)
+//	//drybellvet:rawvote    — integer conversion of a Label that is not a
+//	                          persisted vote byte (hash input, JSON field)
+//
+// The analyzers live under passes/, each with an analysistest-style golden
+// suite in testdata/src/. The stdlib-only analysis framework (the subset
+// of golang.org/x/tools/go/analysis this repo needs, typed via the go
+// tool's export data) is in the analysis package.
+package main

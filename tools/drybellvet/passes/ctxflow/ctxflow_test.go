@@ -1,0 +1,13 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"repro/tools/drybellvet/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	defer func(s []string) { LoopScope = s }(LoopScope)
+	LoopScope = nil // the fixture package is outside the repo's scope list
+	analysistest.Run(t, "testdata", Analyzer, "ctxflowtest")
+}

@@ -1,0 +1,59 @@
+// Package ctxflowtest is the ctxflow analyzer's golden fixture covering the
+// Background/TODO rule and the per-record loop polling rule.
+package ctxflowtest
+
+import "context"
+
+func work() {}
+
+func workCtx(ctx context.Context) { _ = ctx }
+
+// Detach: a ctx-receiving function may not silently re-root its context.
+func Detach(ctx context.Context) {
+	_ = context.Background() // want `context.Background\(\) inside a function that already receives a context`
+	_ = context.TODO()       // want `context.TODO\(\) inside a function that already receives a context`
+	//drybellvet:detached — must outlive the request by design
+	_ = context.Background()
+	_ = ctx
+}
+
+// Root has no ctx parameter, so minting a root context is its job.
+func Root() context.Context {
+	return context.Background()
+}
+
+// Loops covers the per-record loop rule: an outermost loop that calls
+// functions must observe cancellation one way or another.
+func Loops(ctx context.Context, recs []int, strs []string) error {
+	for range recs { // want `per-record loop never polls ctx.Err\(\)`
+		work()
+	}
+	for range recs { // polling ctx.Err makes the loop cancelable
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	for range recs { // passing ctx to a callee is enough
+		workCtx(ctx)
+	}
+	total := 0
+	for _, s := range strs { // builtin-only loops cannot block: not charged
+		total += len(s)
+	}
+	for _, r := range recs { // call-free loops are not charged
+		total += r
+	}
+	//drybellvet:tightloop — bounded in-memory formatting loop
+	for range recs {
+		work()
+	}
+	return nil
+}
+
+// NoCtx receives no context, so its loops have nothing to poll.
+func NoCtx(recs []int) {
+	for range recs {
+		work()
+	}
+}

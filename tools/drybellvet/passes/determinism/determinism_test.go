@@ -1,0 +1,13 @@
+package determinism
+
+import (
+	"testing"
+
+	"repro/tools/drybellvet/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	defer func(s []string) { Scope = s }(Scope)
+	Scope = nil // the fixture package is outside the repo's scope list
+	analysistest.Run(t, "testdata", Analyzer, "determ")
+}

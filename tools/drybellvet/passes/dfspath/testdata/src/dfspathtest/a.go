@@ -1,0 +1,21 @@
+// Package dfspathtest is the dfspath analyzer's golden fixture: DFS keys
+// must come from path.Join, never filepath or slash concatenation.
+package dfspathtest
+
+import (
+	"path"
+	"path/filepath"
+)
+
+func Keys(base, name string) []string {
+	a := filepath.Join(base, name) // want `filepath.Join uses the host separator`
+	b := filepath.FromSlash(name)  // want `filepath.FromSlash uses the host separator`
+	c := filepath.ToSlash(name)    // want `filepath.ToSlash uses the host separator`
+	d := base + "/" + name         // want `DFS key built by string concatenation with "/"`
+	e := "/" + name                // want `DFS key built by string concatenation with "/"`
+	f := path.Join(base, name)     // the sanctioned key builder
+	g := base + name               // no slash literal involved: fine
+	h := filepath.Join(base, name) //drybellvet:ospath — the local-disk backend's key-to-OS-path boundary
+	i := base + "/" + name         //drybellvet:notapath — counter name, not a DFS key
+	return []string{a, b, c, d, e, f, g, h, i}
+}

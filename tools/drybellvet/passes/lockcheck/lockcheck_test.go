@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"repro/tools/drybellvet/analysis/analysistest"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "locktest")
+}

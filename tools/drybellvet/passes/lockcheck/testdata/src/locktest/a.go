@@ -1,0 +1,110 @@
+// Package locktest is the lockcheck analyzer's golden fixture: fields
+// annotated '// guarded by <mu>' must only be touched with that mutex held.
+package locktest
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type broken struct {
+	// guarded by missing
+	n int // want `field is guarded by "missing", but the struct has no such field`
+}
+
+// Good holds the lock across the access; the deferred unlock keeps it held
+// to function exit.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) Bad() int {
+	return c.n // want `read of c.n without holding c.mu`
+}
+
+func (c *counter) BadWrite() {
+	c.n = 1 // want `write of c.n without holding c.mu`
+}
+
+// InlineUnlock: the mutex stops being held at the inline Unlock.
+func (c *counter) InlineUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++ // want `write of c.n without holding c.mu`
+}
+
+// addLocked runs with the caller's lock held; the "Locked" suffix opts out.
+func (c *counter) addLocked() {
+	c.n++
+}
+
+// Annotated accesses are structurally safe and say why.
+func (c *counter) Annotated() int {
+	return c.n //drybellvet:locked — single-threaded construction in this fixture
+}
+
+// Spawn: a goroutine body starts with nothing held, even when the spawner
+// holds the lock.
+func (c *counter) Spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `write of c.n without holding c.mu`
+	}()
+	c.n++
+}
+
+// Branchy: a mutex held on only one branch is not held after the merge.
+func (c *counter) Branchy(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `write of c.n without holding c.mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// EarlyReturn: an unlocking branch that returns does not strip the lock
+// from the fallthrough path.
+func (c *counter) EarlyReturn(b bool) int {
+	c.mu.Lock()
+	if b {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+type gauge struct {
+	rw sync.RWMutex
+	v  int // guarded by rw
+}
+
+// Read is fine under the shared lock.
+func (g *gauge) Read() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return g.v
+}
+
+// WriteUnderRLock: writes need the exclusive lock.
+func (g *gauge) WriteUnderRLock() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.v = 1 // want `write to g.v holds only g.rw.RLock; writes need the exclusive lock`
+}
+
+// WriteUnderLock is fine.
+func (g *gauge) WriteUnderLock() {
+	g.rw.Lock()
+	defer g.rw.Unlock()
+	g.v = 2
+}

@@ -1,0 +1,18 @@
+// Package labelmodel is the voteenc fixture's stand-in for the real
+// repro/internal/labelmodel: a Label vote type plus the checked encoder,
+// whose own internals carry the //drybellvet:rawvote allowlist marker.
+package labelmodel
+
+import "fmt"
+
+// Label is one labeling-function vote.
+type Label int8
+
+// VoteByte is the checked encoder: the only sanctioned Label-to-byte
+// conversion.
+func VoteByte(v Label) (byte, error) {
+	if v < -1 || v > 1 {
+		return 0, fmt.Errorf("invalid vote %d", v)
+	}
+	return byte(v), nil //drybellvet:rawvote — the checked encoder's own cast
+}

@@ -1,0 +1,23 @@
+// Package voteenctest is the voteenc analyzer's golden fixture: every raw
+// integer conversion of a labelmodel.Label is flagged unless it goes
+// through the checked encoder or carries the rawvote allowlist marker.
+package voteenctest
+
+import "labelmodel"
+
+func Encode(v labelmodel.Label) ([]byte, error) {
+	bad := byte(v)  // want `raw byte\(label\) cast bypasses the checked vote encoder`
+	bad2 := int8(v) // want `raw int8\(label\) cast bypasses the checked vote encoder`
+	bad3 := int(v)  // want `raw int\(label\) cast bypasses the checked vote encoder`
+	good, err := labelmodel.VoteByte(v)
+	if err != nil {
+		return nil, err
+	}
+	digest := uint64(v)          //drybellvet:rawvote — hash input, never persisted as a vote
+	other := labelmodel.Label(2) // conversions *to* Label are not encoding
+	wider := float64(v)          // non-integer targets cannot be vote bytes
+	_ = other
+	_ = wider
+	_ = digest
+	return []byte{bad, byte(bad2), byte(bad3), good}, nil
+}

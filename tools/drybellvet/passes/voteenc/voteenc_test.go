@@ -1,0 +1,13 @@
+package voteenc
+
+import (
+	"testing"
+
+	"repro/tools/drybellvet/analysis/analysistest"
+)
+
+func TestVoteEnc(t *testing.T) {
+	// The fixture labelmodel package is analyzed too: its annotated encoder
+	// internals must stay clean.
+	analysistest.Run(t, "testdata", Analyzer, "labelmodel", "voteenctest")
+}
