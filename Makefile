@@ -14,10 +14,13 @@ BENCHTIME  ?= 1s
 # Each benchmark runs BENCHCOUNT times and the recorder keeps the fastest
 # observation, so a noisy neighbour can't skew the committed trajectory.
 BENCHCOUNT ?= 3
-BENCH_OUT  ?= BENCH_pr6.json
-BENCH_LABEL ?= pr6
+BENCH_OUT  ?= BENCH_pr7.json
+BENCH_LABEL ?= pr7
+# obs-smoke writes the smoke run's Chrome trace here; CI's nightly bench job
+# uploads it next to the benchmark numbers.
+TRACE_OUT  ?= /tmp/drybell-obs-trace.json
 
-.PHONY: build test verify vet bench bench-smoke
+.PHONY: build test verify vet bench bench-smoke obs-smoke
 
 build:
 	go build ./...
@@ -44,3 +47,11 @@ bench:
 # hot paths cannot silently rot between perf investigations.
 bench-smoke:
 	$(MAKE) bench BENCHTIME=1x BENCH_OUT=/tmp/drybell-bench-smoke.json BENCH_LABEL=smoke
+
+# End-to-end observability smoke: run a small pipeline with tracing on, then
+# validate the exported Chrome trace (parses, spans nest, timestamps sane).
+# CI runs this so the trace exporter cannot silently produce timelines
+# Perfetto refuses to load.
+obs-smoke:
+	go run ./cmd/drybell -task topic -docs 1500 -steps 100 -trace $(TRACE_OUT)
+	go run ./tools/tracecheck $(TRACE_OUT)

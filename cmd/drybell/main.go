@@ -8,6 +8,7 @@
 //	drybell -task topic -docs 30000
 //	drybell -task product -docs 30000 -trainer gibbs
 //	drybell -task events -docs 12000
+//	drybell -task topic -docs 5000 -trace trace.json   # Perfetto-loadable timeline
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 			"label model trainer: "+strings.Join(drybell.Trainers(), ", "))
 		seed  = flag.Int64("seed", 1, "random seed")
 		steps = flag.Int("steps", 800, "label model gradient steps")
+		trace = flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file (load in Perfetto)")
 	)
 	flag.Parse()
 
@@ -51,14 +53,24 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var observer *drybell.Observer
+	if *trace != "" {
+		observer = drybell.NewObserver()
+	}
+
 	var err error
 	switch *task {
 	case "topic", "product":
-		err = runContent(ctx, *task, *docs, *trainer, *seed, *steps)
+		err = runContent(ctx, *task, *docs, *trainer, *seed, *steps, observer)
 	case "events":
-		err = runEvents(ctx, *docs, *trainer, *seed, *steps)
+		err = runEvents(ctx, *docs, *trainer, *seed, *steps, observer)
 	default:
 		err = fmt.Errorf("unknown task %q", *task)
+	}
+	if err == nil && observer != nil {
+		if err = writeTrace(*trace, observer); err == nil {
+			fmt.Printf("\ntrace written to %s (load in https://ui.perfetto.dev)\n", *trace)
+		}
 	}
 	if err != nil {
 		code := 1
@@ -70,8 +82,8 @@ func main() {
 	}
 }
 
-func contentPipeline(trainer string, seed int64, steps int) (*drybell.Pipeline[*corpus.Document], error) {
-	return drybell.New[*corpus.Document](
+func contentPipeline(trainer string, seed int64, steps int, observer *drybell.Observer) (*drybell.Pipeline[*corpus.Document], error) {
+	opts := []drybell.Option{
 		drybell.WithCodec(
 			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
 			corpus.UnmarshalDocument,
@@ -80,10 +92,27 @@ func contentPipeline(trainer string, seed int64, steps int) (*drybell.Pipeline[*
 		drybell.WithLabelModel(drybell.LabelModelOptions{
 			Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2,
 		}),
-	)
+	}
+	if observer != nil {
+		opts = append(opts, drybell.WithObserver(observer))
+	}
+	return drybell.New[*corpus.Document](opts...)
 }
 
-func runContent(ctx context.Context, task string, n int, trainer string, seed int64, steps int) error {
+// writeTrace dumps the observer's recorded spans as Chrome trace-event JSON.
+func writeTrace(path string, o *drybell.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := drybell.WriteTrace(f, o); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func runContent(ctx context.Context, task string, n int, trainer string, seed int64, steps int, observer *drybell.Observer) error {
 	var docs []*corpus.Document
 	var runners []apps.DocLF
 	var bigrams bool
@@ -110,7 +139,7 @@ func runContent(ctx context.Context, task string, n int, trainer string, seed in
 	fmt.Printf("task=%s corpus=%d (train %d / dev %d / test %d), %d labeling functions\n",
 		task, len(docs), len(train), len(dev), len(test), len(runners))
 
-	p, err := contentPipeline(trainer, seed, steps)
+	p, err := contentPipeline(trainer, seed, steps, observer)
 	if err != nil {
 		return err
 	}
@@ -135,7 +164,7 @@ func runContent(ctx context.Context, task string, n int, trainer string, seed in
 	return nil
 }
 
-func runEvents(ctx context.Context, n int, trainer string, seed int64, steps int) error {
+func runEvents(ctx context.Context, n int, trainer string, seed int64, steps int, observer *drybell.Observer) error {
 	events, err := corpus.GenerateEvents(corpus.DefaultEventsSpec(n, seed))
 	if err != nil {
 		return err
@@ -143,7 +172,7 @@ func runEvents(ctx context.Context, n int, trainer string, seed int64, steps int
 	runners := apps.EventLFs(apps.NumEventLFs, seed)
 	fmt.Printf("task=events stream=%d, %d labeling functions over non-servable features\n",
 		len(events), len(runners))
-	p, err := drybell.New[*corpus.Event](
+	opts := []drybell.Option{
 		drybell.WithCodec(
 			func(e *corpus.Event) ([]byte, error) { return e.Marshal() },
 			corpus.UnmarshalEvent,
@@ -152,7 +181,11 @@ func runEvents(ctx context.Context, n int, trainer string, seed int64, steps int
 		drybell.WithLabelModel(drybell.LabelModelOptions{
 			Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2,
 		}),
-	)
+	}
+	if observer != nil {
+		opts = append(opts, drybell.WithObserver(observer))
+	}
+	p, err := drybell.New[*corpus.Event](opts...)
 	if err != nil {
 		return err
 	}
@@ -183,6 +216,8 @@ func printRun(res *drybell.Result) {
 	fmt.Printf("\npipeline: stage=%v execute=%v labelmodel=%v persist=%v\n",
 		res.Timings.Stage.Round(1e6), res.Timings.Execute.Round(1e6),
 		res.Timings.TrainLabelModel.Round(1e6), res.Timings.Persist.Round(1e6))
+	fmt.Printf("execution: %d task attempts (%d speculative), %d tasks resumed\n",
+		res.LFReport.TaskAttempts, res.LFReport.SpeculativeAttempts, res.LFReport.TasksResumed)
 	fmt.Printf("labels written to %s\n\n", res.LabelsPath)
 
 	fmt.Printf("%-34s %9s %9s %9s %9s\n", "labeling function", "pos", "neg", "abstain", "acc(est)")

@@ -15,6 +15,16 @@
 //	drybelld -root /tmp/drybell-serve -mode train -seed 2   # stage a new version and exit
 //	curl -s localhost:8080/v1/predict -d @doc.json
 //	curl -s -X POST localhost:8080/v1/promote -d '{"version":2}'
+//	curl -s localhost:8080/metrics                    # Prometheus exposition
+//	go tool pprof localhost:8080/debug/pprof/profile  # CPU profile
+//
+// The daemon always exposes its metrics registry — request counters and
+// latency histograms shared with the /v1/metrics JSON snapshot, plus
+// pipeline and filesystem metrics from bootstrap training — in Prometheus
+// text format at /metrics, and the standard net/http/pprof profiling
+// endpoints under /debug/pprof/. With -trace, spans are recorded (every
+// request in serve mode, the whole pipeline in train mode) and written as a
+// Perfetto-loadable Chrome trace on exit.
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +65,7 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 		retries   = flag.Int("retries", 2, "per-task retries (after the first attempt) for the training pipeline's MapReduce jobs")
 		resume    = flag.Bool("resume", false, "resume a crashed training run from DFS checkpoints instead of restarting (needs -root)")
+		tracePath = flag.String("trace", "", "record spans and write a Chrome trace-event timeline to this file on exit (load in Perfetto)")
 	)
 	flag.Parse()
 	if *model == "" {
@@ -64,7 +76,7 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addr, *root, *task, *model, *mode, *docs, *seed, *steps,
-		*batch, *batchWait, *workers, *cacheSize, *drain, *retries, *resume); err != nil {
+		*batch, *batchWait, *workers, *cacheSize, *drain, *retries, *resume, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(1)
 	}
@@ -72,11 +84,25 @@ func main() {
 
 func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 	batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration,
-	retries int, resume bool) error {
+	retries int, resume bool, tracePath string) error {
 	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, and
 	// the serving loop drains before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// One observer backs everything the process does: pipeline and DFS
+	// metrics during training, request metrics while serving, and — when
+	// -trace is set — the span timeline written on exit.
+	observer := drybell.NewObserver()
+	if tracePath != "" {
+		defer func() {
+			if err := writeTraceFile(tracePath, observer); err != nil {
+				fmt.Fprintf(os.Stderr, "drybelld: writing trace: %v\n", err)
+				return
+			}
+			fmt.Printf("trace written to %s (load in https://ui.perfetto.dev)\n", tracePath)
+		}()
+	}
 
 	var fsys drybell.FS
 	if root == "" {
@@ -98,7 +124,7 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 
 	switch mode {
 	case "train":
-		version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, retries, resume, false)
+		version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, false)
 		if err != nil {
 			return err
 		}
@@ -108,16 +134,30 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 	case "serve":
 		if _, err := reg.Live(model); err != nil {
 			fmt.Printf("registry has no live %s; bootstrapping from %d synthetic documents...\n", model, docs)
-			version, err := train(ctx, fsys, reg, task, model, runners, bigrams, docs, seed, steps, retries, resume, true)
+			version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, true)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("bootstrapped and promoted %s v%d\n", model, version)
 		}
-		return serveHTTP(ctx, addr, fsys, reg, model, runners, batch, batchWait, workers, cacheSize, drain)
+		return serveHTTP(ctx, addr, fsys, reg, observer, model, runners, batch, batchWait, workers, cacheSize, drain, tracePath != "")
 	default:
 		return fmt.Errorf("unknown mode %q (serve or train)", mode)
 	}
+}
+
+// writeTraceFile dumps the observer's recorded spans as Chrome trace-event
+// JSON.
+func writeTraceFile(path string, o *drybell.Observer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := drybell.WriteTrace(f, o); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // taskRunners builds the task's labeling functions. Knowledge-graph LRU
@@ -148,7 +188,7 @@ func labelModelPath(model string) string { return "serving/labelmodel/" + model 
 // picks up from the checkpoints the distributed runtime left on the DFS:
 // the staged corpus is trusted, completed vote state is loaded, and only
 // unfinished tasks re-execute.
-func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, model string,
+func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *drybell.Observer, task, model string,
 	runners []apps.DocLF, bigrams bool, n int, seed int64, steps, retries int, resume, promote bool) (int, error) {
 	var all []*corpus.Document
 	var err error
@@ -178,6 +218,7 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, mode
 		drybell.WithRetries(retries),
 		drybell.WithResume(resume),
 		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2}),
+		drybell.WithObserver(observer),
 	)
 	if err != nil {
 		return 0, err
@@ -185,6 +226,10 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, mode
 	res, err := p.Run(ctx, drybell.SliceSource(trainDocs), runners)
 	if err != nil {
 		return 0, err
+	}
+	if rep := res.LFReport; rep != nil {
+		fmt.Printf("execution: %d task attempts (%d speculative), %d tasks resumed\n",
+			rep.TaskAttempts, rep.SpeculativeAttempts, rep.TasksResumed)
 	}
 	clf, err := drybell.TrainContentClassifier(trainDocs, res.Posteriors, dev, drybell.ContentTrainConfig{
 		FeatureDim: 1 << 16, Bigrams: bigrams, Iterations: 10 * len(trainDocs), Seed: seed + 3,
@@ -223,8 +268,8 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, task, mode
 	return staged.Version, nil
 }
 
-func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Catalog, model string,
-	runners []apps.DocLF, batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration) error {
+func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Catalog, observer *drybell.Observer, model string,
+	runners []apps.DocLF, batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration, traceRequests bool) error {
 	var lm *labelmodel.Model
 	if data, err := fsys.ReadFile(labelModelPath(model)); err == nil {
 		if lm, err = labelmodel.DecodeModel(data); err != nil {
@@ -246,6 +291,7 @@ func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Ca
 		Featurize:  serve.DocumentFeaturizer,
 		LFs:        runners,
 		LabelModel: lm,
+		Metrics:    observer.Metrics,
 		MaxBatch:   batch,
 		BatchWait:  batchWait,
 		Workers:    workers,
@@ -255,10 +301,29 @@ func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Ca
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	// The API handler mounts at the root; the operational endpoints —
+	// Prometheus exposition over the shared registry, the standard pprof
+	// profile handlers — sit beside it on the same listener.
+	api := http.Handler(s.Handler())
+	if traceRequests {
+		next := api
+		api = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			next.ServeHTTP(w, r.WithContext(observer.Context(r.Context())))
+		})
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("GET /metrics", observer.Metrics.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+
+	httpSrv := &http.Server{Addr: addr, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("serving %s v%d on %s (predict, label, metrics, promote under /v1)\n",
+	fmt.Printf("serving %s v%d on %s (predict, label, metrics, promote under /v1; Prometheus at /metrics, profiles at /debug/pprof/)\n",
 		model, s.Version(), addr)
 
 	select {

@@ -15,6 +15,7 @@
 //
 //	lfrun -root /tmp/dfs -task topic -lf ner_no_person -input docs.jsonl
 //	lfrun -root /tmp/dfs -task topic -list
+//	lfrun -root /tmp/dfs -task topic -lf ner_no_person -trace trace.json
 //
 // Tasks are discovered through the SDK's labeling-function registry
 // (pkg/drybell/lf), where each application registers its named Set.
@@ -45,6 +46,7 @@ func main() {
 		shards = flag.Int("shards", 8, "input shards when staging")
 		par    = flag.Int("parallelism", 0, "simulated cluster width (0 = one node per CPU)")
 		list   = flag.Bool("list", false, "list the task's labeling functions and exit")
+		trace  = flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file (load in Perfetto)")
 	)
 	flag.Parse()
 
@@ -54,7 +56,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if err := run(ctx, *root, *task, *name, *input, *shards, *par, *list); err != nil {
+	if err := run(ctx, *root, *task, *name, *input, *shards, *par, *list, *trace); err != nil {
 		code := 1
 		if errors.Is(err, context.Canceled) {
 			code = 130 // conventional interrupted-by-signal exit
@@ -64,7 +66,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, root, task, name, input string, shards, par int, list bool) error {
+func run(ctx context.Context, root, task, name, input string, shards, par int, list bool, trace string) error {
 	// The task sets register themselves in the SDK's LF registry; from
 	// here on the tool only discovers by name, never by constructor.
 	if err := apps.RegisterSets(1); err != nil {
@@ -104,6 +106,11 @@ func run(ctx context.Context, root, task, name, input string, shards, par int, l
 	if par > 0 {
 		opts = append(opts, drybell.WithParallelism(par))
 	}
+	var observer *drybell.Observer
+	if trace != "" {
+		observer = drybell.NewObserver()
+		opts = append(opts, drybell.WithObserver(observer))
+	}
 	p, err := drybell.New[*corpus.Document](opts...)
 	if err != nil {
 		return err
@@ -130,6 +137,22 @@ func run(ctx context.Context, root, task, name, input string, shards, par int, l
 	rep := report.PerLF[0]
 	fmt.Printf("%s: %d examples in %v (pos %d / neg %d / abstain %d)\n",
 		rep.Name, report.Examples, rep.Duration.Round(1e6), rep.Positives, rep.Negatives, rep.Abstains)
+	fmt.Printf("execution: %d task attempts (%d speculative), %d tasks resumed\n",
+		report.TaskAttempts, report.SpeculativeAttempts, report.TasksResumed)
+	if observer != nil {
+		f, err := os.Create(trace)
+		if err != nil {
+			return err
+		}
+		if err := drybell.WriteTrace(f, observer); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (load in https://ui.perfetto.dev)\n", trace)
+	}
 	// Votes from every invocation accumulate as columns of one columnar
 	// artifact; print its shards so the operator can see the shared state.
 	paths, err := drybell.ListShards(fsys, p.VotesBase())

@@ -37,6 +37,7 @@ import (
 	"repro/internal/labelmodel"
 	"repro/internal/lf"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	"repro/internal/recordio"
 	lfapi "repro/pkg/drybell/lf"
 )
@@ -92,6 +93,13 @@ type Config[T any] struct {
 	// re-executed, and a partially executed vote job re-runs only the tasks
 	// without committed checkpoints (see mapreduce.Job.Resume).
 	Resume bool
+	// Obs, when non-nil, makes the run observable: spans are recorded into
+	// Obs.Trace (one per stage, LF job, and task attempt) and stage/runtime
+	// metrics into Obs.Metrics. After a traced RunObserved, the span timeline
+	// is exported to the DFS as "<WorkDir>/_obs/trace.json" in Chrome
+	// trace-event format (loadable in Perfetto). Nil means observability off;
+	// the pipeline pays nothing.
+	Obs *obs.Observer
 
 	// knownExamples carries the staged record count from the staging stage
 	// to the execute stage inside one RunObserved call, so the resume fast
@@ -130,6 +138,44 @@ func (c Config[T]) WithDefaults() (Config[T], error) {
 		c.Trainer = TrainerSamplingFree
 	}
 	return c, nil
+}
+
+// ObsContext returns ctx carrying the config's tracer (if any), so spans
+// recorded by stages called individually land in Config.Obs. RunObserved
+// applies it automatically; callers composing stages by hand should too.
+func (c Config[T]) ObsContext(ctx context.Context) context.Context {
+	return c.Obs.Context(ctx)
+}
+
+// TracePath is the DFS path of the exported span timeline.
+func (c Config[T]) TracePath() string { return path.Join(c.WorkDir, "_obs", "trace.json") }
+
+// exportTrace writes the run's span timeline to the DFS as a Chrome
+// trace-event artifact. Best effort: a run whose telemetry cannot be
+// persisted is still a successful run.
+func (c Config[T]) exportTrace() {
+	if c.Obs == nil || c.Obs.Trace == nil {
+		return
+	}
+	data, err := c.Obs.Trace.ChromeTrace()
+	if err != nil {
+		return
+	}
+	_ = c.FS.WriteFile(c.TracePath(), data)
+}
+
+// recordStageMetrics feeds one stage event into the run's metrics registry.
+func (c Config[T]) recordStageMetrics(ev StageEvent) {
+	if c.Obs == nil || c.Obs.Metrics == nil {
+		return
+	}
+	reg := c.Obs.Metrics
+	stage := obs.Label{Key: "stage", Value: string(ev.Stage)}
+	reg.Histogram("pipeline_stage_seconds", "Pipeline stage wall time in seconds.",
+		obs.DefLatencyBuckets, stage).ObserveDuration(ev.Duration)
+	if ev.Err != nil {
+		reg.Counter("pipeline_stage_errors_total", "Pipeline stages that failed.", stage).Inc()
+	}
 }
 
 // InputBase is the DFS base path of the staged corpus.
@@ -206,6 +252,19 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	if err != nil {
 		return nil, err
 	}
+	ctx = cfg.ObsContext(ctx)
+	ctx, span := obs.StartSpan(ctx, "pipeline.run", obs.String("workdir", cfg.WorkDir))
+	res, err := runPipeline(ctx, cfg, src, lfs, hook)
+	span.EndErr(err)
+	cfg.exportTrace()
+	return res, err
+}
+
+// runPipeline is RunObserved's body, separated so the root span brackets
+// exactly one execution and the trace artifact exports after it closes.
+// cfg arrives defaulted.
+func runPipeline[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], lfs []lfapi.LF[T], hook StageHook) (*Result, error) {
+	var err error
 	// Validate the function set before staging a single record: duplicate
 	// names would silently overwrite each other's vote shards on the DFS,
 	// and a doomed run should not commit a corpus first.
@@ -213,6 +272,7 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 		return nil, fmt.Errorf("drybell: %w", err)
 	}
 	emit := func(ev StageEvent) {
+		cfg.recordStageMetrics(ev)
 		if hook != nil {
 			hook(ev)
 		}
@@ -262,7 +322,9 @@ func RunObserved[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, err
 	// Stage 2b: the development-loop analysis over the fresh matrix —
 	// coverage, overlaps, conflicts, and accuracy against any dev labels.
 	ta := time.Now() //drybellvet:wallclock — stage timing for events/Result.Timings only
+	_, aspan := obs.StartSpan(ctx, "stage.analyze")
 	res.Analysis, err = lfapi.Analyze(res.Matrix, lfapi.Metas(lfs), cfg.DevLabels)
+	aspan.EndErr(err)
 	emit(StageEvent{Stage: StageAnalyze, Start: ta, Duration: time.Since(ta), Examples: n, Analysis: res.Analysis, Err: err})
 	if err != nil {
 		return nil, fmt.Errorf("drybell: analyze labeling functions: %w", err)
@@ -335,6 +397,14 @@ func StageRecords[T any](ctx context.Context, cfg Config[T], src iter.Seq2[[]byt
 	if src == nil {
 		return 0, fmt.Errorf("drybell: nil record source")
 	}
+	_, span := obs.StartSpan(ctx, "stage.input")
+	n, err := stageRecords(ctx, cfg, src)
+	span.SetAttr(obs.Int("examples", n))
+	span.EndErr(err)
+	return n, err
+}
+
+func stageRecords[T any](ctx context.Context, cfg Config[T], src iter.Seq2[[]byte, error]) (int, error) {
 	w, err := mapreduce.NewInputWriter(cfg.FS, cfg.InputBase(), cfg.Shards)
 	if err != nil {
 		return 0, err
@@ -370,7 +440,23 @@ func ExecuteLFs[T any](ctx context.Context, cfg Config[T], lfs []lfapi.LF[T]) (*
 	if err != nil {
 		return nil, nil, err
 	}
-	return cfg.executor().ExecuteContext(ctx, lfs)
+	mx, report, err := cfg.executor().ExecuteContext(cfg.ObsContext(ctx), lfs)
+	// Attempt-outcome counters flow into the shared registry here so both
+	// the composed pipeline and a standalone ExecuteLFs report through the
+	// same pipe as the serving tier.
+	if report != nil && cfg.Obs != nil && cfg.Obs.Metrics != nil {
+		reg := cfg.Obs.Metrics
+		reg.Counter("pipeline_task_attempts_total",
+			"MapReduce task attempts launched by labeling-function execution, including retries and speculative attempts.").
+			Add(int64(report.TaskAttempts))
+		reg.Counter("pipeline_speculative_attempts_total",
+			"Straggler-triggered speculative task attempts.").
+			Add(int64(report.SpeculativeAttempts))
+		reg.Counter("pipeline_tasks_resumed_total",
+			"Tasks satisfied from a prior run's checkpoints instead of re-executing.").
+			Add(int64(report.TasksResumed))
+	}
+	return mx, report, err
 }
 
 // LoadMatrix reassembles the label matrix from vote state a previous
@@ -407,17 +493,25 @@ func Denoise(ctx context.Context, trainer Trainer, matrix *labelmodel.Matrix, op
 	if trainer == "" {
 		trainer = TrainerSamplingFree
 	}
+	_, span := obs.StartSpan(ctx, "stage.denoise", obs.String("trainer", string(trainer)))
 	fn, ok := LookupTrainer(trainer)
 	if !ok {
-		return nil, nil, fmt.Errorf("drybell: unknown trainer %q (registered: %s)", trainer, trainerList())
+		err := fmt.Errorf("drybell: unknown trainer %q (registered: %s)", trainer, trainerList())
+		span.EndErr(err)
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, nil, fmt.Errorf("drybell: train label model: %w", err)
+		err = fmt.Errorf("drybell: train label model: %w", err)
+		span.EndErr(err)
+		return nil, nil, err
 	}
 	lm, err := fn(matrix, opts)
 	if err != nil {
-		return nil, nil, fmt.Errorf("drybell: train label model: %w", err)
+		err = fmt.Errorf("drybell: train label model: %w", err)
+		span.EndErr(err)
+		return nil, nil, err
 	}
+	span.End()
 	return lm, lm.Posteriors(matrix), nil
 }
 
@@ -433,12 +527,18 @@ func trainerList() string {
 // PersistLabels writes the probabilistic labels back to the filesystem
 // (stage 4) as the hand-off to the production training systems.
 func PersistLabels(ctx context.Context, fs dfs.FS, base string, labels []float64, shards int) error {
+	_, span := obs.StartSpan(ctx, "stage.persist", obs.Int("labels", len(labels)))
 	if err := ctx.Err(); err != nil {
-		return fmt.Errorf("drybell: persist labels: %w", err)
+		err = fmt.Errorf("drybell: persist labels: %w", err)
+		span.EndErr(err)
+		return err
 	}
 	if err := WriteLabels(fs, base, labels, shards); err != nil {
-		return fmt.Errorf("drybell: persist labels: %w", err)
+		err = fmt.Errorf("drybell: persist labels: %w", err)
+		span.EndErr(err)
+		return err
 	}
+	span.End()
 	return nil
 }
 

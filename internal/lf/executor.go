@@ -11,6 +11,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/labelmodel"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 	lfapi "repro/pkg/drybell/lf"
 )
 
@@ -134,6 +135,25 @@ func (e *Executor[T]) ExecuteContext(ctx context.Context, lfs []lfapi.LF[T]) (*l
 	if err := lfapi.ValidateNames(lfs); err != nil {
 		return nil, nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "lf.execute",
+		obs.Int("functions", len(lfs)),
+		obs.Bool("fused", !e.PerLFJobs))
+	mx, report, err := e.execute(ctx, lfs)
+	if report != nil {
+		span.SetAttr(
+			obs.Int("task_attempts", report.TaskAttempts),
+			obs.Int("speculative_attempts", report.SpeculativeAttempts),
+			obs.Int("tasks_resumed", report.TasksResumed),
+			obs.Bool("resumed_from_votes", report.ResumedFromVotes),
+		)
+	}
+	span.EndErr(err)
+	return mx, report, err
+}
+
+// execute dispatches a validated function set to the resume fast path or one
+// of the two execution modes.
+func (e *Executor[T]) execute(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
 	if e.Resume {
 		if mx, report, ok := e.resumeFromVotes(lfs); ok {
 			return mx, report, nil
@@ -242,7 +262,10 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		// Two-pass functions (AggregateFunc) fit their corpus-level
 		// statistics from the staged input before the vote job launches.
 		if fitter, ok := f.(lfapi.CorpusFitter[T]); ok && !fitter.Fitted() {
-			if err := fitter.FitCorpus(ctx, e.corpus()); err != nil {
+			_, fitSpan := obs.StartSpan(ctx, "lf.fit "+names[j])
+			err := fitter.FitCorpus(ctx, e.corpus())
+			fitSpan.EndErr(err)
+			if err != nil {
 				return nil, nil, fmt.Errorf("lf: fit %s: %w", names[j], err)
 			}
 			passes[j] = 2
@@ -342,7 +365,10 @@ func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		// statistics from the staged input before the vote job launches.
 		passes := 1
 		if fitter, ok := f.(lfapi.CorpusFitter[T]); ok && !fitter.Fitted() {
-			if err := fitter.FitCorpus(ctx, e.corpus()); err != nil {
+			_, fitSpan := obs.StartSpan(ctx, "lf.fit "+meta.Name)
+			err := fitter.FitCorpus(ctx, e.corpus())
+			fitSpan.EndErr(err)
+			if err != nil {
 				return nil, nil, fmt.Errorf("lf: fit %s: %w", meta.Name, err)
 			}
 			passes = 2

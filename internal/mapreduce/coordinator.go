@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/obs"
 )
 
 // taskState is the coordinator's bookkeeping for one task across attempts.
@@ -23,8 +24,12 @@ type taskState struct {
 	canonical  []string                   // guarded by mu; promoted output paths of the winner
 	cancels    map[int]context.CancelFunc // guarded by mu
 	speculated bool                       // guarded by mu
-	timer      *time.Timer                // guarded by mu
-	resumed    *manifest                  // guarded by mu; non-nil when satisfied from a prior run's checkpoint
+	// pendingSpec marks the next launch as the speculative sibling so its
+	// attempt span carries the speculative attribute. Set by speculate,
+	// consumed by the launch it triggered.
+	pendingSpec bool        // guarded by mu
+	timer       *time.Timer // guarded by mu
+	resumed     *manifest   // guarded by mu; non-nil when satisfied from a prior run's checkpoint
 }
 
 // promoteFn moves a winning attempt's committed output to its canonical
@@ -175,6 +180,8 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 	t.launched++
 	spec := t.spec
 	spec.Attempt = t.launched
+	speculative := t.pendingSpec
+	t.pendingSpec = false
 	actx, acancel := context.WithCancel(phaseCtx)
 	t.cancels[spec.Attempt] = acancel
 	if c.job.StragglerAfter > 0 && t.timer == nil {
@@ -188,6 +195,13 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 	t.mu.Unlock()
 
 	c.attempts.Add(1)
+	// The span is a child of the job span phaseCtx carries; concurrent
+	// attempts of one task become sibling spans distinguished by attempt
+	// number and outcome.
+	_, span := obs.StartSpan(phaseCtx, fmt.Sprintf("%s#%d", spec.TaskID(), spec.Attempt),
+		obs.String("task", spec.TaskID()),
+		obs.Int("attempt", spec.Attempt),
+		obs.Bool("speculative", speculative))
 	res, err := w.RunTask(actx, spec)
 	acancel()
 	if err == nil && res == nil {
@@ -203,6 +217,8 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 		// A sibling already won. This attempt's output is unreferenced and
 		// its counters are discarded, so speculation never double-counts.
 		c.discard(res)
+		span.SetAttr(obs.String("outcome", "lost"))
+		span.End()
 		return
 	}
 	if err != nil {
@@ -213,8 +229,12 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 		if phaseCtx.Err() != nil {
 			// Phase shutdown (cancellation or another task's permanent
 			// failure) — not this task's fault; don't charge the budget.
+			span.SetAttr(obs.String("outcome", "canceled"))
+			span.EndErr(err)
 			return
 		}
+		span.SetAttr(obs.String("outcome", "failed"))
+		span.EndErr(err)
 		t.failures++
 		if t.failures >= c.job.MaxAttempts {
 			if len(t.cancels) > 0 {
@@ -239,8 +259,12 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 		// deterministic, so a later attempt re-promotes the same bytes.
 		c.discard(res)
 		if phaseCtx.Err() != nil {
+			span.SetAttr(obs.String("outcome", "canceled"))
+			span.EndErr(perr)
 			return
 		}
+		span.SetAttr(obs.String("outcome", "commit-failed"))
+		span.EndErr(perr)
 		t.failures++
 		if t.failures >= c.job.MaxAttempts {
 			if len(t.cancels) > 0 {
@@ -253,6 +277,8 @@ func (c *coordinator) runAttempt(phaseCtx context.Context, w Worker, t *taskStat
 		enqueue(t)
 		return
 	}
+	span.SetAttr(obs.String("outcome", "won"))
+	span.End()
 	t.done = true
 	t.result = res
 	t.canonical = canonical
@@ -292,6 +318,7 @@ func (c *coordinator) speculate(t *taskState, enqueue func(*taskState)) {
 		return
 	}
 	t.speculated = true
+	t.pendingSpec = true
 	t.mu.Unlock()
 	c.speculative.Add(1)
 	enqueue(t)

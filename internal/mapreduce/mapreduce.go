@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/dfs"
+	"repro/internal/obs"
 	"repro/internal/recordio"
 )
 
@@ -254,7 +255,27 @@ func Run(job Job) (*Result, error) {
 // RunContext executes the job under a context. Cancellation is honored
 // between tasks and between records within a task; a canceled run returns an
 // error satisfying errors.Is(err, ctx.Err()) and commits no further output.
+//
+// When ctx carries an obs.Tracer, the job records a span tree: one span per
+// job, one child span per task attempt (retries and speculative siblings are
+// sibling spans carrying win/lose outcome attributes).
 func RunContext(ctx context.Context, job Job) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "mapreduce:"+job.Name)
+	res, err := runJob(ctx, job)
+	if res != nil {
+		span.SetAttr(
+			obs.Int("attempts", res.Attempts),
+			obs.Int("speculative", res.SpeculativeAttempts),
+			obs.Int("skipped_tasks", res.SkippedTasks),
+		)
+	}
+	span.EndErr(err)
+	return res, err
+}
+
+// runJob is RunContext's body, separated so the job span brackets exactly
+// one execution.
+func runJob(ctx context.Context, job Job) (*Result, error) {
 	if job.Mapper == nil {
 		return nil, fmt.Errorf("mapreduce: job %q has no mapper", job.Name)
 	}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// dfsOpBuckets are the DFS operation latency bounds in seconds. DFS ops are
+// mostly in-memory or local-disk, so the range starts finer than request
+// latency buckets.
+var dfsOpBuckets = []float64{
+	0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5,
+}
+
+// InstrumentFS wraps inner so every operation feeds per-op count, error,
+// latency, and byte metrics into reg:
+//
+//	dfs_ops_total{op}         counter
+//	dfs_op_errors_total{op}   counter
+//	dfs_op_seconds{op}        histogram
+//	dfs_read_bytes_total      counter
+//	dfs_written_bytes_total   counter
+//
+// A nil registry returns inner unchanged.
+func InstrumentFS(inner dfs.FS, reg *Registry) dfs.FS {
+	if reg == nil {
+		return inner
+	}
+	f := &instrumentedFS{inner: inner, ops: make(map[string]opMetrics, 6)}
+	for _, op := range []string{"write", "read", "rename", "remove", "list", "stat"} {
+		f.ops[op] = opMetrics{
+			calls: reg.Counter("dfs_ops_total", "DFS operations started.", Label{"op", op}),
+			errs:  reg.Counter("dfs_op_errors_total", "DFS operations that returned an error.", Label{"op", op}),
+			secs:  reg.Histogram("dfs_op_seconds", "DFS operation latency in seconds.", dfsOpBuckets, Label{"op", op}),
+		}
+	}
+	f.readBytes = reg.Counter("dfs_read_bytes_total", "Bytes read from the DFS.")
+	f.writtenBytes = reg.Counter("dfs_written_bytes_total", "Bytes written to the DFS.")
+	return f
+}
+
+type opMetrics struct {
+	calls *Counter
+	errs  *Counter
+	secs  *Histogram
+}
+
+type instrumentedFS struct {
+	inner        dfs.FS
+	ops          map[string]opMetrics
+	readBytes    *Counter
+	writtenBytes *Counter
+}
+
+func (f *instrumentedFS) observe(op string, start time.Time, err error) {
+	m := f.ops[op]
+	m.calls.Inc()
+	m.secs.ObserveDuration(time.Since(start))
+	if err != nil {
+		m.errs.Inc()
+	}
+}
+
+// WriteFile implements dfs.FS.
+func (f *instrumentedFS) WriteFile(path string, data []byte) error {
+	start := time.Now()
+	err := f.inner.WriteFile(path, data)
+	f.observe("write", start, err)
+	if err == nil {
+		f.writtenBytes.Add(int64(len(data)))
+	}
+	return err
+}
+
+// ReadFile implements dfs.FS.
+func (f *instrumentedFS) ReadFile(path string) ([]byte, error) {
+	start := time.Now()
+	data, err := f.inner.ReadFile(path)
+	f.observe("read", start, err)
+	if err == nil {
+		f.readBytes.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+// Rename implements dfs.FS.
+func (f *instrumentedFS) Rename(oldPath, newPath string) error {
+	start := time.Now()
+	err := f.inner.Rename(oldPath, newPath)
+	f.observe("rename", start, err)
+	return err
+}
+
+// Remove implements dfs.FS.
+func (f *instrumentedFS) Remove(path string) error {
+	start := time.Now()
+	err := f.inner.Remove(path)
+	f.observe("remove", start, err)
+	return err
+}
+
+// List implements dfs.FS.
+func (f *instrumentedFS) List(prefix string) ([]string, error) {
+	start := time.Now()
+	names, err := f.inner.List(prefix)
+	f.observe("list", start, err)
+	return names, err
+}
+
+// Stat implements dfs.FS.
+func (f *instrumentedFS) Stat(path string) (int64, error) {
+	start := time.Now()
+	size, err := f.inner.Stat(path)
+	f.observe("stat", start, err)
+	return size, err
+}

@@ -1,0 +1,337 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name/value pair identifying a metric series within
+// its family, e.g. {Key: "path", Value: "predict"}.
+type Label struct {
+	Key, Value string
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// construct with NewRegistry. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metricKind discriminates the three family types.
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric family holding all its labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64 // histogram upper bounds; nil for other kinds
+
+	mu     sync.Mutex
+	series map[string]any // guarded by mu; label signature -> *Counter|*Gauge|*Histogram
+}
+
+// family returns the named family, creating it on first use. Re-registering
+// a name with a different kind (or different histogram buckets) is a
+// programming error and panics: two call sites disagreeing about a metric's
+// shape would silently corrupt the exposition otherwise.
+func (r *Registry) family(name, help string, kind metricKind, buckets []float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets,
+			series: make(map[string]any)}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if kind == histogramKind && !sameBuckets(f.buckets, buckets) {
+		panic(fmt.Sprintf("obs: histogram %s registered with two different bucket sets", name))
+	}
+	return f
+}
+
+// get returns the series for the label set, creating it with mk on first use.
+func (f *family) get(labels []Label, mk func() any) any {
+	sig := signature(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[sig]; ok {
+		return m
+	}
+	m := mk()
+	f.series[sig] = m
+	return m
+}
+
+// Counter returns the counter series for name and labels, registering both
+// on first use. Counters only go up.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, counterKind, nil)
+	return f.get(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge series for name and labels, registering both on
+// first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, gaugeKind, nil)
+	return f.get(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram series for name and labels, registering
+// both on first use. buckets are the inclusive upper bounds, strictly
+// ascending; an implicit +Inf overflow bucket is always appended. Every
+// series of one family must use the same buckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %s needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets must ascend strictly", name))
+		}
+	}
+	f := r.family(name, help, histogramKind, buckets)
+	return f.get(labels, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; updates are a single atomic add.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta. Counters are monotonic; callers must not pass negatives.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float metric that can go up and down, stored as atomic bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (CAS loop; callers are expected to be
+// low-frequency).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: observations land in the first
+// bucket whose upper bound is >= the value (Prometheus "le" semantics), with
+// an implicit +Inf overflow bucket. Updates are atomic adds plus one CAS for
+// the running sum — no locks on the observation path.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; the last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the last
+// entry is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank — the standard
+// histogram_quantile estimate. Returns 0 with no observations; values in
+// the overflow bucket clamp to the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts := h.BucketCounts()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum >= rank {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - prev) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefLatencyBuckets are the default latency histogram bounds, in seconds:
+// 0.5ms to 10s, roughly log-spaced.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// signature renders labels in canonical (key-sorted, escaped) exposition
+// form, e.g. `op="write",path="a"`. It doubles as the series identity.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	canon := make([]Label, len(labels))
+	copy(canon, labels)
+	sort.Slice(canon, func(a, b int) bool { return canon[a].Key < canon[b].Key })
+	var b strings.Builder
+	for i, l := range canon {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func sameBuckets(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == ':',
+			r >= 'a' && r <= 'z',
+			r >= 'A' && r <= 'Z',
+			i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_',
+			r >= 'a' && r <= 'z',
+			r >= 'A' && r <= 'Z',
+			i > 0 && r >= '0' && r <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}

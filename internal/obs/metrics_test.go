@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the full text exposition: HELP/TYPE
+// ordering, family sorting, label-value and help escaping, and cumulative
+// histogram buckets. Observation values are chosen exactly representable in
+// binary so the formatted sums are stable.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta_total", "Last family alphabetically.").Add(7)
+	r.Counter("alpha_requests_total", `A "quoted" help with \slash`+"\nand newline.",
+		Label{"path", "predict"}).Add(3)
+	r.Counter("alpha_requests_total", `A "quoted" help with \slash`+"\nand newline.",
+		Label{"path", `we"ird\va` + "l\nue"}).Inc()
+	r.Gauge("mid_gauge", "A gauge.").Set(2.5)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.5) // le is inclusive: lands in the 0.5 bucket
+	h.Observe(4)   // overflow bucket
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP alpha_requests_total A "quoted" help with \\slash\nand newline.
+# TYPE alpha_requests_total counter
+alpha_requests_total{path="predict"} 3
+alpha_requests_total{path="we\"ird\\va` + `l\nue"} 1
+# HELP lat_seconds Latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.5"} 2
+lat_seconds_bucket{le="1"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 4.75
+lat_seconds_count 3
+# HELP mid_gauge A gauge.
+# TYPE mid_gauge gauge
+mid_gauge 2.5
+# HELP zeta_total Last family alphabetically.
+# TYPE zeta_total counter
+zeta_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestGetOrCreateReturnsSameSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", Label{"a", "1"}, Label{"b", "2"})
+	// Label order must not matter: series identity is the sorted signature.
+	b := r.Counter("x_total", "h", Label{"b", "2"}, Label{"a", "1"})
+	if a != b {
+		t.Fatal("same labels in different order produced distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("got %d, want 1", b.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("dual_total", "h")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{1, 2, 4})
+	// 10 observations uniform in (0,1]: p50 interpolates inside [0,1].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 1 {
+		t.Errorf("p50 = %v, want within (0,1]", q)
+	}
+	h.Observe(100) // overflow clamps to the largest finite bound
+	if q := h.Quantile(1); q != 4 {
+		t.Errorf("p100 with overflow = %v, want 4", q)
+	}
+	empty := r.Histogram("empty_seconds", "h", []float64{1})
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Errorf("quantile of empty histogram = %v, want 0", q)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2)
+	g.Add(-0.5)
+	if v := g.Value(); v != 3 {
+		t.Fatalf("got %v, want 3", v)
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "with-dash", "sp ace"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error(`label key "le" did not panic`)
+			}
+		}()
+		r.Counter("ok_total", "h", Label{"le", "x"})
+	}()
+}

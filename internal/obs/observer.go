@@ -1,0 +1,26 @@
+package obs
+
+import "context"
+
+// Observer bundles the two observability surfaces a pipeline run can carry:
+// a metrics registry and a tracer. Either field may be nil; everything
+// downstream treats a nil field as "off".
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewObserver returns an observer with a fresh registry and tracer.
+func NewObserver() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Context returns ctx carrying the observer's tracer so StartSpan calls
+// under it record spans. Nil-safe: a nil observer or nil tracer returns ctx
+// unchanged.
+func (o *Observer) Context(ctx context.Context) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return WithTracer(ctx, o.Trace)
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, each
+// preceded by its # HELP and # TYPE lines, series sorted by label
+// signature. Histograms expose cumulative _bucket{le=...} series plus _sum
+// and _count, matching what promtool and scrapers expect.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	series := make([]any, len(sigs))
+	for i, sig := range sigs {
+		series[i] = f.series[sig]
+	}
+	f.mu.Unlock()
+
+	if len(series) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		f.name, escapeHelp(f.help), f.name, f.kind); err != nil {
+		return err
+	}
+	for i, m := range series {
+		sig := sigs[i]
+		switch v := m.(type) {
+		case *Counter:
+			if err := writeSample(w, f.name, sig, "", formatInt(v.Value())); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeSample(w, f.name, sig, "", formatFloat(v.Value())); err != nil {
+				return err
+			}
+		case *Histogram:
+			counts := v.BucketCounts()
+			var cum int64
+			for bi, bound := range v.Bounds() {
+				cum += counts[bi]
+				le := `le="` + formatFloat(bound) + `"`
+				if err := writeSample(w, f.name+"_bucket", joinSig(sig, le), "", formatInt(cum)); err != nil {
+					return err
+				}
+			}
+			cum += counts[len(counts)-1]
+			if err := writeSample(w, f.name+"_bucket", joinSig(sig, `le="+Inf"`), "", formatInt(cum)); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_sum", sig, "", formatFloat(v.Sum())); err != nil {
+				return err
+			}
+			if err := writeSample(w, f.name+"_count", sig, "", formatInt(v.Count())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, name, sig, _ string, value string) error {
+	var err error
+	if sig == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, sig, value)
+	}
+	return err
+}
+
+func joinSig(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the exposition format: backslash and
+// newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value per the exposition format:
+// backslash, double quote, and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

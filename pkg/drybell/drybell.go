@@ -45,6 +45,18 @@
 // observer that receives one structured StageEvent per completed stage for
 // logging and metrics.
 //
+// For deeper observability, WithObserver attaches a shared metrics registry
+// and span tracer (see NewObserver): every stage records latency and error
+// metrics, the MapReduce runtime counts task attempts and speculative
+// siblings, the filesystem wrapper counts per-operation calls, errors, and
+// bytes, and a full span tree — pipeline, stages, jobs, individual task
+// attempts — is recorded and exported after Run as a Perfetto-loadable
+// Chrome trace at "<workdir>/_obs/trace.json". WriteMetrics renders the
+// registry in Prometheus text format; WriteTrace renders the span tree for
+// ad-hoc runs (the lfrun and drybell CLIs expose this as -trace). The same
+// Observer can back a serve.Server so offline and online metrics share one
+// registry.
+//
 // Labeling-function execution runs on a coordinator/worker MapReduce
 // runtime with a real failure model. WithRetries sets the per-task retry
 // budget (a failed task attempt — worker crash, filesystem fault, failed
@@ -68,6 +80,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/pkg/drybell/lf"
 )
 
@@ -119,9 +132,15 @@ func New[T any](opts ...Option) (*Pipeline[T], error) {
 		Trainer:        core.Trainer(s.trainer),
 		LabelModel:     s.labelModel,
 		DevLabels:      s.devLabels,
+		Obs:            s.observer,
 	}.WithDefaults()
 	if err != nil {
 		return nil, err
+	}
+	if s.observer != nil && s.observer.Metrics != nil {
+		// Route every DFS operation — reads, writes, renames — through the
+		// per-op counters and latency histograms of the shared registry.
+		cfg.FS = obs.InstrumentFS(cfg.FS, s.observer.Metrics)
 	}
 	return &Pipeline[T]{cfg: cfg, hook: s.hook}, nil
 }
@@ -167,7 +186,7 @@ func (p *Pipeline[T]) Run(ctx context.Context, src Source[T], lfs []LF[T]) (*Res
 // in one slice. It returns the number of examples staged.
 func (p *Pipeline[T]) Stage(ctx context.Context, src Source[T]) (int, error) {
 	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
-	n, err := core.StageExamples(ctx, p.cfg, src)
+	n, err := core.StageExamples(p.cfg.ObsContext(ctx), p.cfg, src)
 	p.emit(StageEvent{Stage: StageStage, Start: start, Duration: time.Since(start), Examples: n, Err: err})
 	return n, err
 }
@@ -178,7 +197,7 @@ func (p *Pipeline[T]) Stage(ctx context.Context, src Source[T]) (int, error) {
 // a decode/re-encode round-trip per record.
 func (p *Pipeline[T]) StageRecords(ctx context.Context, records Source[[]byte]) (int, error) {
 	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
-	n, err := core.StageRecords(ctx, p.cfg, records)
+	n, err := core.StageRecords(p.cfg.ObsContext(ctx), p.cfg, records)
 	p.emit(StageEvent{Stage: StageStage, Start: start, Duration: time.Since(start), Examples: n, Err: err})
 	return n, err
 }
@@ -229,7 +248,7 @@ func (p *Pipeline[T]) LoadMatrix(names []string) (*Matrix, error) {
 // P(Y_i=1|Λ_i) aligned with the staged input.
 func (p *Pipeline[T]) Denoise(ctx context.Context, matrix *Matrix) (*Model, []float64, error) {
 	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
-	model, posteriors, err := core.Denoise(ctx, p.cfg.Trainer, matrix, p.cfg.LabelModel)
+	model, posteriors, err := core.Denoise(p.cfg.ObsContext(ctx), p.cfg.Trainer, matrix, p.cfg.LabelModel)
 	ev := StageEvent{Stage: StageDenoise, Start: start, Duration: time.Since(start), Examples: len(posteriors), Err: err}
 	p.emit(ev)
 	return model, posteriors, err
@@ -240,7 +259,7 @@ func (p *Pipeline[T]) Denoise(ctx context.Context, matrix *Matrix) (*Model, []fl
 func (p *Pipeline[T]) Persist(ctx context.Context, labels []float64) (string, error) {
 	start := time.Now() //drybellvet:wallclock — stage timing for the emitted event only
 	path := p.cfg.LabelsOutputBase()
-	err := core.PersistLabels(ctx, p.cfg.FS, path, labels, p.cfg.Shards)
+	err := core.PersistLabels(p.cfg.ObsContext(ctx), p.cfg.FS, path, labels, p.cfg.Shards)
 	p.emit(StageEvent{Stage: StagePersist, Start: start, Duration: time.Since(start), Examples: len(labels), LabelsPath: path, Err: err})
 	if err != nil {
 		return "", err

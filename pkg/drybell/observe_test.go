@@ -1,0 +1,162 @@
+package drybell_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path"
+	"strings"
+	"testing"
+
+	"repro/internal/dfs"
+	"repro/pkg/drybell"
+)
+
+// traceEvent mirrors the Chrome trace-event fields the assertions need.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	Args  map[string]any `json:"args"`
+}
+
+// TestRunExportsTraceArtifact is the observability acceptance test: a full
+// pipeline run with an observer attached — under injected faults forcing a
+// retry — writes a valid Chrome trace-event timeline to
+// "<workdir>/_obs/trace.json" on the DFS, with the pipeline, every stage,
+// every MapReduce job, and every task attempt (the killed one included) as
+// properly nested spans.
+func TestRunExportsTraceArtifact(t *testing.T) {
+	fault := dfs.NewFaultFS(dfs.NewMem(), 11)
+	// Exactly one input-shard read fails inside a map task: one task attempt
+	// dies and its retry must appear in the trace alongside the failure.
+	fault.FailNext(dfs.OpRead, "input/examples-00000", 1)
+
+	o := drybell.NewObserver()
+	p := newPipeline(t, drybell.WithFS(fault), drybell.WithObserver(o))
+	if _, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(120)), testRunners()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fault.Injected() != 1 {
+		t.Fatalf("injected faults = %d, want 1", fault.Injected())
+	}
+
+	raw, err := p.FS().ReadFile(path.Join(p.WorkDir(), "_obs", "trace.json"))
+	if err != nil {
+		t.Fatalf("trace artifact missing: %v", err)
+	}
+	var trace struct {
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		TraceEvents     []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", trace.DisplayTimeUnit)
+	}
+
+	// Index the complete ("X") events by span ID for nesting checks.
+	spans := map[float64]traceEvent{}
+	byName := map[string][]traceEvent{}
+	var failedAttempts int
+	for _, ev := range trace.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		if ev.TS < 0 || ev.Dur < 1 {
+			t.Errorf("span %q has ts=%d dur=%d; want ts >= 0, dur >= 1", ev.Name, ev.TS, ev.Dur)
+		}
+		spans[ev.Args["span_id"].(float64)] = ev
+		byName[ev.Name] = append(byName[ev.Name], ev)
+		if ev.Args["error"] != nil && ev.Args["outcome"] == "failed" {
+			failedAttempts++
+		}
+	}
+
+	for _, want := range []string{"pipeline.run", "stage.input", "lf.execute", "stage.analyze", "stage.denoise", "stage.persist"} {
+		if len(byName[want]) != 1 {
+			t.Errorf("trace has %d %q spans, want 1", len(byName[want]), want)
+		}
+	}
+	var jobs, attempts int
+	for name, evs := range byName {
+		switch {
+		case strings.HasPrefix(name, "mapreduce:"):
+			jobs += len(evs)
+		case strings.Contains(name, "#"):
+			attempts += len(evs)
+		}
+	}
+	if jobs == 0 {
+		t.Error("no MapReduce job spans in trace")
+	}
+	if attempts <= jobs {
+		t.Errorf("%d attempt spans for %d jobs; every task attempt should be a span", attempts, jobs)
+	}
+	if failedAttempts != 1 {
+		t.Errorf("%d attempt spans carry error status, want 1 (the killed attempt)", failedAttempts)
+	}
+
+	// Every span's parent exists and contains it in time; roots hang off
+	// pipeline.run alone.
+	root := byName["pipeline.run"][0]
+	for _, ev := range spans {
+		parent := ev.Args["parent_id"].(float64)
+		if parent == 0 {
+			if ev.Name != "pipeline.run" {
+				t.Errorf("span %q is an orphan root", ev.Name)
+			}
+			continue
+		}
+		p, ok := spans[parent]
+		if !ok {
+			t.Errorf("span %q references unknown parent %v", ev.Name, parent)
+			continue
+		}
+		if ev.TS < p.TS || ev.TS > p.TS+p.Dur {
+			t.Errorf("span %q (ts=%d) starts outside parent %q [%d,%d]", ev.Name, ev.TS, p.Name, p.TS, p.TS+p.Dur)
+		}
+	}
+	if root.Args["workdir"] != p.WorkDir() {
+		t.Errorf("pipeline.run workdir = %v, want %q", root.Args["workdir"], p.WorkDir())
+	}
+
+	// The shared registry saw every layer: stage timings, runtime attempt
+	// counters, and per-op DFS metrics from the instrumented filesystem.
+	var buf bytes.Buffer
+	if err := drybell.WriteMetrics(&buf, o); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	exposition := buf.String()
+	for _, want := range []string{
+		"pipeline_stage_seconds",
+		"pipeline_task_attempts_total",
+		"dfs_ops_total",
+		"dfs_op_seconds",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("Prometheus exposition missing %s", want)
+		}
+	}
+}
+
+// TestWriteTraceWithoutRun: WriteTrace on a fresh or absent observer is a
+// well-formed no-op — the CLI -trace path must not fail on an empty tracer.
+func TestWriteTraceWithoutRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := drybell.WriteTrace(&buf, drybell.NewObserver()); err != nil {
+		t.Fatal(err)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if err := drybell.WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := drybell.WriteMetrics(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+}

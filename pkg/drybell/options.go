@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/labelmodel"
+	"repro/internal/obs"
 )
 
 // Codec converts examples to and from the byte records stored on the
@@ -36,6 +37,7 @@ type settings struct {
 	labelModel     labelmodel.Options
 	devLabels      []labelmodel.Label
 	hook           StageHook
+	observer       *obs.Observer
 	codec          any
 	err            error
 }

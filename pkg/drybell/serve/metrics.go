@@ -3,115 +3,77 @@ package serve
 import (
 	"context"
 	"errors"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// latencyWindow keeps the most recent request latencies in a fixed ring so
-// quantiles reflect current behavior, not the daemon's whole lifetime.
-const latencyWindow = 2048
+// batchSizeBounds are the micro-batch size histogram bucket bounds; a batch
+// of n records lands in the first bucket whose bound is ≥ n. batchLabels
+// names each bucket (including the implicit overflow bucket) for the
+// /v1/metrics JSON payload, so the shape scrapers see predates the shared
+// registry.
+var (
+	batchSizeBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+	batchLabels     = []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+)
 
-// ring is a fixed-size ring buffer of durations. Safe for concurrent use.
-type ring struct {
-	mu  sync.Mutex
-	buf []time.Duration // guarded by mu
-	n   int             // guarded by mu; total observations, saturating at len(buf)
-	idx int             // guarded by mu
-}
-
-func newRing(size int) *ring {
-	return &ring{buf: make([]time.Duration, size)}
-}
-
-func (r *ring) add(d time.Duration) {
-	r.mu.Lock()
-	r.buf[r.idx] = d
-	r.idx = (r.idx + 1) % len(r.buf)
-	if r.n < len(r.buf) {
-		r.n++
-	}
-	r.mu.Unlock()
-}
-
-// quantiles returns the requested quantiles (each in [0,1]) over the window,
-// or zeros when nothing has been observed.
-func (r *ring) quantiles(qs ...float64) []time.Duration {
-	r.mu.Lock()
-	sorted := make([]time.Duration, r.n)
-	copy(sorted, r.buf[:r.n])
-	r.mu.Unlock()
-	out := make([]time.Duration, len(qs))
-	if len(sorted) == 0 {
-		return out
-	}
-	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
-	for i, q := range qs {
-		k := int(q * float64(len(sorted)-1))
-		out[i] = sorted[k]
-	}
-	return out
-}
-
-// pathStats tracks one request path (/v1/predict or /v1/label).
+// pathStats tracks one request path (/v1/predict or /v1/label) on the shared
+// metrics registry.
 type pathStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
-	canceled atomic.Int64
-	latency  *ring
+	requests *obs.Counter
+	errors   *obs.Counter
+	canceled *obs.Counter
+	latency  *obs.Histogram
 }
 
-func newPathStats() *pathStats { return &pathStats{latency: newRing(latencyWindow)} }
+func newPathStats(reg *obs.Registry, path string) *pathStats {
+	l := obs.Label{Key: "path", Value: path}
+	return &pathStats{
+		requests: reg.Counter("serve_requests_total", "Requests received, by path.", l),
+		errors:   reg.Counter("serve_errors_total", "Requests that failed, by path.", l),
+		canceled: reg.Counter("serve_canceled_total", "Requests whose client abandoned the wait, by path.", l),
+		latency: reg.Histogram("serve_latency_seconds",
+			"Successful request latency in seconds, by path.", obs.DefLatencyBuckets, l),
+	}
+}
 
 func (p *pathStats) observe(d time.Duration, err error) {
-	p.requests.Add(1)
+	p.requests.Inc()
 	switch {
 	case err == nil:
-		p.latency.add(d)
+		p.latency.ObserveDuration(d)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client abandoned the wait; that is not a serving failure.
-		p.canceled.Add(1)
+		p.canceled.Inc()
 	default:
-		p.errors.Add(1)
+		p.errors.Inc()
 	}
 }
 
-// batchBuckets are the micro-batch size histogram boundaries: a batch of n
-// records lands in the first bucket whose bound is ≥ n.
-var batchBuckets = []struct {
-	bound int
-	label string
-}{
-	{1, "1"}, {2, "2"}, {4, "3-4"}, {8, "5-8"}, {16, "9-16"},
-	{32, "17-32"}, {64, "33-64"}, {1 << 30, "65+"},
-}
-
-// metrics is the server's observability state.
+// metrics is the server's observability state, built on the shared registry
+// so the same series back both the /v1/metrics JSON snapshot and the
+// Prometheus exposition.
 type metrics struct {
-	start   time.Time
-	predict *pathStats
-	label   *pathStats
-
-	batches   atomic.Int64 // batches dispatched
-	batched   atomic.Int64 // records scored through batches
-	histogram [8]atomic.Int64
+	start      time.Time
+	predict    *pathStats
+	label      *pathStats
+	batchSizes *obs.Histogram
+	version    *obs.Gauge
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), predict: newPathStats(), label: newPathStats()}
-}
-
-func (m *metrics) observeBatch(n int) {
-	m.batches.Add(1)
-	m.batched.Add(int64(n))
-	for i, b := range batchBuckets {
-		if n <= b.bound {
-			m.histogram[i].Add(1)
-			return
-		}
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		start:   time.Now(),
+		predict: newPathStats(reg, "predict"),
+		label:   newPathStats(reg, "label"),
+		batchSizes: reg.Histogram("serve_batch_size",
+			"Records per dispatched micro-batch.", batchSizeBounds),
+		version: reg.Gauge("serve_model_version", "Model version currently answering requests."),
 	}
 }
+
+func (m *metrics) observeBatch(n int) { m.batchSizes.Observe(float64(n)) }
 
 // PathSnapshot reports one request path's counters and latency quantiles.
 // Canceled counts requests whose client abandoned the wait — kept apart
@@ -125,13 +87,12 @@ type PathSnapshot struct {
 }
 
 func (p *pathStats) snapshot() PathSnapshot {
-	qs := p.latency.quantiles(0.50, 0.99)
 	return PathSnapshot{
-		Requests: p.requests.Load(),
-		Errors:   p.errors.Load(),
-		Canceled: p.canceled.Load(),
-		P50Ms:    float64(qs[0]) / float64(time.Millisecond),
-		P99Ms:    float64(qs[1]) / float64(time.Millisecond),
+		Requests: p.requests.Value(),
+		Errors:   p.errors.Value(),
+		Canceled: p.canceled.Value(),
+		P50Ms:    p.latency.Quantile(0.50) * 1000,
+		P99Ms:    p.latency.Quantile(0.99) * 1000,
 	}
 }
 
@@ -169,13 +130,16 @@ type Snapshot struct {
 }
 
 func (m *metrics) batchSnapshot() BatchSnapshot {
-	s := BatchSnapshot{Dispatched: m.batches.Load(), Records: m.batched.Load()}
+	s := BatchSnapshot{
+		Dispatched: m.batchSizes.Count(),
+		Records:    int64(m.batchSizes.Sum()),
+	}
 	if s.Dispatched > 0 {
 		s.MeanSize = float64(s.Records) / float64(s.Dispatched)
 	}
-	for i, b := range batchBuckets {
-		if c := m.histogram[i].Load(); c > 0 {
-			s.Histogram = append(s.Histogram, BatchBucket{Size: b.label, Count: c})
+	for i, c := range m.batchSizes.BucketCounts() {
+		if c > 0 {
+			s.Histogram = append(s.Histogram, BatchBucket{Size: batchLabels[i], Count: c})
 		}
 	}
 	return s

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsJSONFieldNames pins the /v1/metrics JSON shape. The snapshot
+// moved onto the shared obs registry; existing scrapers must not notice, so
+// any rename or removal of a field here is a breaking change this test
+// catches.
+func TestMetricsJSONFieldNames(t *testing.T) {
+	snap := Snapshot{
+		Model:         "m",
+		Version:       3,
+		Swaps:         1,
+		UptimeSeconds: 2.5,
+		Predict:       PathSnapshot{Requests: 10, Errors: 1, Canceled: 1, P50Ms: 1, P99Ms: 2},
+		Label:         PathSnapshot{Requests: 5, Errors: 1, Canceled: 1, P50Ms: 1, P99Ms: 2},
+		Batches: BatchSnapshot{
+			Dispatched: 4, Records: 9, MeanSize: 2.25,
+			Histogram: []BatchBucket{{Size: "1", Count: 1}, {Size: "3-4", Count: 3}},
+		},
+		NLPCache: &CacheSnapshot{Hits: 7, Misses: 3, HitRate: 0.7},
+	}
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := []string{"batches", "label", "model", "nlp_cache", "predict", "swaps", "uptime_seconds", "version"}
+	if got := sortedKeys(m); !reflect.DeepEqual(got, wantTop) {
+		t.Errorf("top-level fields = %v, want %v", got, wantTop)
+	}
+	wantPath := []string{"canceled", "errors", "p50_ms", "p99_ms", "requests"}
+	for _, path := range []string{"predict", "label"} {
+		if got := sortedKeys(m[path].(map[string]any)); !reflect.DeepEqual(got, wantPath) {
+			t.Errorf("%s fields = %v, want %v", path, got, wantPath)
+		}
+	}
+	batches := m["batches"].(map[string]any)
+	wantBatch := []string{"dispatched", "histogram", "mean_size", "records"}
+	if got := sortedKeys(batches); !reflect.DeepEqual(got, wantBatch) {
+		t.Errorf("batches fields = %v, want %v", got, wantBatch)
+	}
+	bucket := batches["histogram"].([]any)[0].(map[string]any)
+	if got := sortedKeys(bucket); !reflect.DeepEqual(got, []string{"count", "size"}) {
+		t.Errorf("batch bucket fields = %v, want [count size]", got)
+	}
+	cache := m["nlp_cache"].(map[string]any)
+	if got := sortedKeys(cache); !reflect.DeepEqual(got, []string{"hit_rate", "hits", "misses"}) {
+		t.Errorf("nlp_cache fields = %v, want [hit_rate hits misses]", got)
+	}
+}
+
+// TestMetricsCanceledOmittedWhenZero pins the omitempty behavior scrapers
+// may depend on: a zero canceled count leaves the field out entirely.
+func TestMetricsCanceledOmittedWhenZero(t *testing.T) {
+	raw, err := json.Marshal(PathSnapshot{Requests: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["canceled"]; ok {
+		t.Error("canceled should be omitted when zero")
+	}
+}
+
+func TestPathStatsObserveSemantics(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := newPathStats(reg, "predict")
+	p.observe(10*time.Millisecond, nil)
+	p.observe(time.Millisecond, errors.New("boom"))
+	p.observe(time.Millisecond, context.Canceled)
+	p.observe(time.Millisecond, context.DeadlineExceeded)
+
+	snap := p.snapshot()
+	if snap.Requests != 4 {
+		t.Errorf("requests = %d, want 4", snap.Requests)
+	}
+	if snap.Errors != 1 {
+		t.Errorf("errors = %d, want 1", snap.Errors)
+	}
+	if snap.Canceled != 2 {
+		t.Errorf("canceled = %d, want 2", snap.Canceled)
+	}
+	// Latency is recorded only for successes.
+	if n := p.latency.Count(); n != 1 {
+		t.Errorf("latency observations = %d, want 1", n)
+	}
+	if snap.P50Ms <= 0 {
+		t.Errorf("p50_ms = %v, want > 0", snap.P50Ms)
+	}
+}
+
+func TestBatchSnapshotBuckets(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newMetrics(reg)
+	for _, n := range []int{1, 2, 3, 4, 8, 70} {
+		m.observeBatch(n)
+	}
+	snap := m.batchSnapshot()
+	if snap.Dispatched != 6 || snap.Records != 88 {
+		t.Fatalf("dispatched=%d records=%d, want 6/88", snap.Dispatched, snap.Records)
+	}
+	got := map[string]int64{}
+	for _, b := range snap.Histogram {
+		got[b.Size] = b.Count
+	}
+	want := map[string]int64{"1": 1, "2": 1, "3-4": 2, "5-8": 1, "65+": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("histogram = %v, want %v", got, want)
+	}
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	//drybellvet:ordered — collection only; sorted immediately below
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/labelmodel"
 	"repro/internal/nlp"
+	"repro/internal/obs"
 	"repro/internal/serving"
 	"repro/pkg/drybell/lf"
 )
@@ -75,6 +76,13 @@ type Config[T any] struct {
 	// the set's first NLP function launches its model server. It is wrapped
 	// in an LRU cache and injected into every NLP function either way.
 	Annotator nlp.Annotator
+
+	// Metrics is the registry receiving the server's series (request
+	// counters, latency histograms, batch sizes, model version). Passing the
+	// process-wide registry makes them scrapeable alongside everything else
+	// (cmd/drybelld serves it at /metrics); nil gets a private registry, and
+	// the JSON snapshot at /v1/metrics works either way.
+	Metrics *obs.Registry
 
 	// MaxBatch and BatchWait bound a micro-batch: score when MaxBatch
 	// records are waiting, or BatchWait after the first, whichever is
@@ -151,7 +159,12 @@ func New[T any](cfg Config[T]) (*Server[T], error) {
 		return nil, err
 	}
 
-	s := &Server[T]{cfg: cfg, handle: handle, metrics: newMetrics()}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server[T]{cfg: cfg, handle: handle, metrics: newMetrics(reg)}
+	s.metrics.version.Set(float64(handle.Version()))
 	if len(cfg.LFs) > 0 {
 		s.labeler, err = newLabeler(cfg.LFs, cfg.LabelModel, cfg.Annotator, cfg.CacheSize)
 		if err != nil {
@@ -182,9 +195,11 @@ func buildServer[T any](featurize Featurizer[T], a *serving.Artifact) (*serving.
 // with whatever batch it lands in. It blocks until the batch is scored or
 // ctx is done.
 func (s *Server[T]) Predict(ctx context.Context, rec T) (PredictResult, error) {
+	ctx, span := obs.StartSpan(ctx, "serve.predict")
 	start := time.Now()
 	res, err := s.batcher.submit(ctx, rec)
 	s.metrics.predict.observe(time.Since(start), err)
+	span.EndErr(err)
 	return res, err
 }
 
@@ -259,9 +274,11 @@ func (s *Server[T]) Label(ctx context.Context, rec T) (LabelResult, error) {
 	if err := ctx.Err(); err != nil {
 		return LabelResult{}, err
 	}
+	ctx, span := obs.StartSpan(ctx, "serve.label")
 	start := time.Now()
 	res, err := s.labeler.label(ctx, rec)
 	s.metrics.label.observe(time.Since(start), err)
+	span.EndErr(err)
 	return res, err
 }
 
@@ -279,8 +296,10 @@ func (s *Server[T]) LabelBatch(ctx context.Context, recs []T) ([]LabelResult, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.StartSpan(ctx, "serve.label-batch", obs.Int("records", len(recs)))
 	start := time.Now()
 	res, err := s.labeler.labelBatch(ctx, recs)
+	span.EndErr(err)
 	if err != nil {
 		// One failed request, not len(recs) of them — the batch fails as
 		// a unit, so the error path is observed exactly once.
@@ -340,6 +359,7 @@ func (s *Server[T]) Reload() error {
 		return err
 	}
 	s.handle.Swap(srv)
+	s.metrics.version.Set(float64(live.Version))
 	return nil
 }
 

@@ -1,0 +1,118 @@
+// Command tracecheck validates a Chrome trace-event JSON file as produced
+// by the observability layer (-trace flags, the "_obs/trace.json" pipeline
+// artifact): the file must parse, every complete event needs sane
+// timestamps, and every span must start within its parent. CI's obs-smoke
+// target runs it over a real pipeline trace, so a regression in the
+// exporter fails the build rather than silently producing timelines
+// Perfetto cannot load.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//
+// Exits non-zero on the first malformed file; on success prints one line
+// with the span count and maximum nesting depth.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur"`
+	Args  map[string]any `json:"args"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var trace struct {
+		DisplayTimeUnit string  `json:"displayTimeUnit"`
+		TraceEvents     []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		return fmt.Errorf("not valid trace-event JSON: %w", err)
+	}
+	if trace.TraceEvents == nil {
+		return fmt.Errorf("no traceEvents array")
+	}
+
+	type span struct {
+		name     string
+		ts, end  int64
+		parentID float64
+	}
+	spans := map[float64]span{}
+	for _, ev := range trace.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			continue
+		case "X":
+		default:
+			return fmt.Errorf("event %q has unsupported phase %q", ev.Name, ev.Phase)
+		}
+		if ev.TS < 0 || ev.Dur < 1 {
+			return fmt.Errorf("span %q has ts=%d dur=%d; want ts >= 0 and dur >= 1", ev.Name, ev.TS, ev.Dur)
+		}
+		id, ok := ev.Args["span_id"].(float64)
+		if !ok {
+			return fmt.Errorf("span %q lacks a numeric span_id arg", ev.Name)
+		}
+		if _, dup := spans[id]; dup {
+			return fmt.Errorf("span id %v appears twice", id)
+		}
+		parent, ok := ev.Args["parent_id"].(float64)
+		if !ok {
+			return fmt.Errorf("span %q lacks a numeric parent_id arg", ev.Name)
+		}
+		spans[id] = span{name: ev.Name, ts: ev.TS, end: ev.TS + ev.Dur, parentID: parent}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace has no spans")
+	}
+
+	// Every non-root span must reference a recorded parent and start inside
+	// it; walking to the root also bounds the nesting depth and rejects
+	// parent cycles.
+	maxDepth := 0
+	for id, s := range spans {
+		depth := 1
+		for cur := s; cur.parentID != 0; depth++ {
+			p, ok := spans[cur.parentID]
+			if !ok {
+				return fmt.Errorf("span %q references unknown parent %v", cur.name, cur.parentID)
+			}
+			if cur.ts < p.ts || cur.ts > p.end {
+				return fmt.Errorf("span %q (ts=%d) starts outside parent %q [%d,%d]",
+					cur.name, cur.ts, p.name, p.ts, p.end)
+			}
+			if depth > len(spans) {
+				return fmt.Errorf("parent cycle through span id %v", id)
+			}
+			cur = p
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	fmt.Printf("trace OK: %d spans, max depth %d\n", len(spans), maxDepth)
+	return nil
+}
