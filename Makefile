@@ -14,13 +14,13 @@ BENCHTIME  ?= 1s
 # Each benchmark runs BENCHCOUNT times and the recorder keeps the fastest
 # observation, so a noisy neighbour can't skew the committed trajectory.
 BENCHCOUNT ?= 3
-BENCH_OUT  ?= BENCH_pr7.json
-BENCH_LABEL ?= pr7
+BENCH_OUT  ?= BENCH_pr8.json
+BENCH_LABEL ?= pr8
 # obs-smoke writes the smoke run's Chrome trace here; CI's nightly bench job
 # uploads it next to the benchmark numbers.
 TRACE_OUT  ?= /tmp/drybell-obs-trace.json
 
-.PHONY: build test verify vet bench bench-smoke obs-smoke
+.PHONY: build test verify vet bench bench-smoke obs-smoke remote-smoke
 
 build:
 	go build ./...
@@ -55,3 +55,11 @@ bench-smoke:
 obs-smoke:
 	go run ./cmd/drybell -task topic -docs 1500 -steps 100 -trace $(TRACE_OUT)
 	go run ./tools/tracecheck $(TRACE_OUT)
+
+# Multi-process end-to-end smoke of the remote execution backend: one
+# coordinator process plus two worker processes over real sockets must
+# produce vote and label artifacts byte-identical to an in-process run,
+# and the workers must drain cleanly on SIGTERM. CI runs this so the
+# lease protocol cannot rot behind the in-process test doubles.
+remote-smoke:
+	./scripts/remote_smoke.sh

@@ -7,7 +7,9 @@ package repro
 
 import (
 	"context"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/labelmodel"
 	"repro/internal/lf"
+	"repro/internal/mapreduce/remote"
 	"repro/internal/model"
 	"repro/internal/serving"
 	"repro/pkg/drybell"
@@ -492,6 +495,70 @@ func BenchmarkExecuteLFs(b *testing.B) {
 			b.ReportMetric(float64(len(docs))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 		})
 	}
+}
+
+// BenchmarkExecuteLFsRemote prices the multi-node transport: the same
+// fused vote job as BenchmarkExecuteLFs/Batch, but routed to two worker
+// loops over loopback HTTP — every input shard and committed vote crossing
+// the DFS gateway, every attempt under a heartbeat-renewed lease. The gap
+// to the in-process number is the protocol overhead a real deployment pays
+// for shared-nothing workers.
+func BenchmarkExecuteLFsRemote(b *testing.B) {
+	docs := benchDocs(b, 2000)
+	recs, err := corpus.MarshalDocuments(docs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs := dfs.NewMem()
+	if err := lf.Stage[*corpus.Document](fs, "in/docs", recs, 8); err != nil {
+		b.Fatal(err)
+	}
+	runners := apps.TopicLFs(nil, 0, 21)
+	jobs := remote.NewRegistry()
+	if err := lf.RegisterVoteJobs(jobs, runners, corpus.UnmarshalDocument, false); err != nil {
+		b.Fatal(err)
+	}
+	pool, err := remote.NewPool(remote.PoolOptions{FS: fs, Slots: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := httptest.NewServer(pool.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := remote.RunWorker(ctx, remote.WorkerOptions{
+				Coordinator: srv.URL,
+				Name:        benchName("bench-worker", i),
+				Jobs:        jobs,
+			}); err != nil {
+				b.Error(err)
+			}
+		}(i)
+	}
+	b.Cleanup(func() {
+		cancel()
+		wg.Wait()
+		pool.Close()
+		srv.Close()
+	})
+	if err := pool.AwaitWorkers(ctx, 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &lf.Executor[*corpus.Document]{
+			FS: fs, InputBase: "in/docs", OutputPrefix: "labels",
+			Decode:  corpus.UnmarshalDocument,
+			Workers: pool.Workers(),
+		}
+		if _, _, err := e.Execute(runners); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(docs))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 }
 
 // BenchmarkOnlineLabel compares the online labeler's per-record path

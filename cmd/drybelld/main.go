@@ -18,6 +18,19 @@
 //	curl -s localhost:8080/metrics                    # Prometheus exposition
 //	go tool pprof localhost:8080/debug/pprof/profile  # CPU profile
 //
+// Training can run multi-node: a train-mode coordinator started with
+// -min-workers serves its task leases and DFS gateway on -addr and waits
+// for that many worker processes before running the pipeline, and each
+// worker process joins it with -mode worker -coordinator:
+//
+//	drybelld -mode train -min-workers 2 -addr :9090   # coordinator
+//	drybelld -mode worker -coordinator http://host:9090   # each worker node
+//
+// Workers must be started with the same -task/-seed/-cache as the
+// coordinator — the labeling functions live worker-side and only their
+// names travel. On SIGTERM a worker drains gracefully: it finishes the
+// task it holds, deregisters, and exits 0.
+//
 // The daemon always exposes its metrics registry — request counters and
 // latency histograms shared with the /v1/metrics JSON snapshot, plus
 // pipeline and filesystem metrics from bootstrap training — in Prometheus
@@ -54,7 +67,9 @@ func main() {
 		root      = flag.String("root", "", "disk-backed DFS root; empty serves from memory (state dies with the process)")
 		task      = flag.String("task", "topic", "case study: topic or product")
 		model     = flag.String("model", "", "model line to serve (default <task>-classifier)")
-		mode      = flag.String("mode", "serve", "serve: run the daemon; train: stage a new version and exit")
+		mode      = flag.String("mode", "serve", "serve: run the daemon; train: stage a new version and exit; worker: execute tasks for a train-mode coordinator")
+		coord     = flag.String("coordinator", "", "worker mode: base URL of the coordinator (e.g. http://host:9090)")
+		minWork   = flag.Int("min-workers", 0, "train mode: serve a remote-worker coordinator on -addr and wait for this many workers before training (0 trains in-process)")
 		docs      = flag.Int("docs", 4000, "bootstrap corpus size")
 		seed      = flag.Int64("seed", 1, "random seed for bootstrap training")
 		steps     = flag.Int("steps", 300, "label model gradient steps during bootstrap")
@@ -71,24 +86,63 @@ func main() {
 	if *model == "" {
 		*model = *task + "-classifier"
 	}
-	if *resume && *root == "" {
-		fmt.Fprintln(os.Stderr, "drybelld: -resume needs a durable -root; a fresh in-memory filesystem has no state to resume from")
+	if err := validateFlags(*mode, *coord, *root, *resume, *minWork); err != nil {
+		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(2)
 	}
-	if err := run(*addr, *root, *task, *model, *mode, *docs, *seed, *steps,
-		*batch, *batchWait, *workers, *cacheSize, *drain, *retries, *resume, *tracePath); err != nil {
+	if err := run(*addr, *root, *task, *model, *mode, *coord, *docs, *seed, *steps,
+		*batch, *batchWait, *workers, *minWork, *cacheSize, *drain, *retries, *resume, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, root, task, model, mode string, docs int, seed int64, steps,
-	batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration,
+// validateFlags rejects bad flag combinations before any state — files,
+// listeners, registries — is touched, so a misconfigured node fails fast
+// with a usage error (exit 2) instead of dying mid-pipeline.
+func validateFlags(mode, coordinator, root string, resume bool, minWorkers int) error {
+	if minWorkers < 0 {
+		return fmt.Errorf("-min-workers %d: want >= 0", minWorkers)
+	}
+	switch mode {
+	case "worker":
+		if coordinator == "" {
+			return errors.New("-mode worker needs -coordinator <url>: a worker is nothing without its coordinator")
+		}
+		if resume {
+			return errors.New("-resume is a coordinator-side flag: workers hold no checkpoints, the coordinator's runtime decides what re-executes")
+		}
+		if minWorkers != 0 {
+			return errors.New("-min-workers is a coordinator-side flag; a worker node waits for no one")
+		}
+	default:
+		if coordinator != "" {
+			return fmt.Errorf("-coordinator only applies to -mode worker (mode is %q)", mode)
+		}
+		if minWorkers > 0 && mode != "train" {
+			return fmt.Errorf("-min-workers only applies to -mode train (mode is %q)", mode)
+		}
+		if resume && root == "" {
+			return errors.New("-resume needs a durable -root; a fresh in-memory filesystem has no state to resume from")
+		}
+	}
+	return nil
+}
+
+func run(addr, root, task, model, mode, coordinator string, docs int, seed int64, steps,
+	batch int, batchWait time.Duration, workers, minWorkers, cacheSize int, drain time.Duration,
 	retries int, resume bool, tracePath string) error {
-	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, and
-	// the serving loop drains before exiting.
+	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, the
+	// serving loop drains before exiting, and a worker finishes its leased
+	// task and deregisters.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Worker mode never touches local state: its filesystem is the
+	// coordinator's DFS gateway, its work arrives as task leases.
+	if mode == "worker" {
+		return runWorkerNode(ctx, coordinator, task, cacheSize, seed)
+	}
 
 	// One observer backs everything the process does: pipeline and DFS
 	// metrics during training, request metrics while serving, and — when
@@ -124,7 +178,12 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 
 	switch mode {
 	case "train":
-		version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, false)
+		pool, stopPool, err := startCoordinator(ctx, addr, fsys, observer, minWorkers)
+		if err != nil {
+			return err
+		}
+		defer stopPool()
+		version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, false, pool)
 		if err != nil {
 			return err
 		}
@@ -134,7 +193,7 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 	case "serve":
 		if _, err := reg.Live(model); err != nil {
 			fmt.Printf("registry has no live %s; bootstrapping from %d synthetic documents...\n", model, docs)
-			version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, true)
+			version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, true, nil)
 			if err != nil {
 				return err
 			}
@@ -142,8 +201,68 @@ func run(addr, root, task, model, mode string, docs int, seed int64, steps,
 		}
 		return serveHTTP(ctx, addr, fsys, reg, observer, model, runners, batch, batchWait, workers, cacheSize, drain, tracePath != "")
 	default:
-		return fmt.Errorf("unknown mode %q (serve or train)", mode)
+		return fmt.Errorf("unknown mode %q (serve, train, or worker)", mode)
 	}
+}
+
+// runWorkerNode is -mode worker: register the task's labeling functions in
+// a job-code registry, join the coordinator, and execute leased tasks until
+// SIGTERM — then finish the task in hand, deregister, and exit 0.
+func runWorkerNode(ctx context.Context, coordinator, task string, cacheSize int, seed int64) error {
+	runners, _, err := taskRunners(task, cacheSize, seed)
+	if err != nil {
+		return err
+	}
+	jobs := drybell.NewRemoteRegistry()
+	if err := drybell.RegisterRemoteLFs(jobs, runners, corpus.UnmarshalDocument); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-worker-%d", task, os.Getpid())
+	fmt.Printf("worker %s joining coordinator %s (%d labeling functions)\n", name, coordinator, len(runners))
+	if err := drybell.RunRemoteWorker(ctx, drybell.RemoteWorkerOptions{
+		Coordinator: coordinator,
+		Name:        name,
+		Jobs:        jobs,
+	}); err != nil {
+		return err
+	}
+	fmt.Println("drained; bye")
+	return nil
+}
+
+// startCoordinator, when minWorkers > 0, serves a remote-worker pool on
+// addr and blocks until that many workers register; training then routes
+// every labeling-function task to them. With minWorkers == 0 it is a no-op
+// and training stays in-process.
+func startCoordinator(ctx context.Context, addr string, fsys drybell.FS, observer *drybell.Observer, minWorkers int) (*drybell.RemotePool, func(), error) {
+	if minWorkers == 0 {
+		return nil, func() {}, nil
+	}
+	pool, err := drybell.NewRemotePool(drybell.RemotePoolOptions{FS: fsys, Observer: observer})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Addr: addr, Handler: pool.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("coordinator on %s; waiting for %d workers...\n", addr, minWorkers)
+	stopAll := func() {
+		pool.Close()
+		srv.Close()
+	}
+	if err := pool.AwaitWorkers(ctx, minWorkers); err != nil {
+		stopAll()
+		// A listener that never came up (port in use) is the root cause;
+		// prefer its error over the wait's.
+		select {
+		case serveErr := <-errc:
+			return nil, nil, serveErr
+		default:
+			return nil, nil, err
+		}
+	}
+	fmt.Printf("%d workers registered; training\n", pool.NumWorkers())
+	return pool, stopAll, nil
 }
 
 // writeTraceFile dumps the observer's recorded spans as Chrome trace-event
@@ -189,7 +308,8 @@ func labelModelPath(model string) string { return "serving/labelmodel/" + model 
 // the staged corpus is trusted, completed vote state is loaded, and only
 // unfinished tasks re-execute.
 func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *drybell.Observer, task, model string,
-	runners []apps.DocLF, bigrams bool, n int, seed int64, steps, retries int, resume, promote bool) (int, error) {
+	runners []apps.DocLF, bigrams bool, n int, seed int64, steps, retries int, resume, promote bool,
+	pool *drybell.RemotePool) (int, error) {
 	var all []*corpus.Document
 	var err error
 	switch task {
@@ -208,18 +328,22 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *
 	trainDocs := corpus.Select(all, split.Train)
 	dev := corpus.Select(all, split.Dev)
 
-	p, err := drybell.New[*corpus.Document](
+	opts := []drybell.Option{
 		drybell.WithCodec(
 			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
 			corpus.UnmarshalDocument,
 		),
 		drybell.WithFS(fsys),
-		drybell.WithWorkDir("bootstrap/"+model),
+		drybell.WithWorkDir("bootstrap/" + model),
 		drybell.WithRetries(retries),
 		drybell.WithResume(resume),
 		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2}),
 		drybell.WithObserver(observer),
-	)
+	}
+	if pool != nil {
+		opts = append(opts, drybell.WithRemoteWorkers(pool))
+	}
+	p, err := drybell.New[*corpus.Document](opts...)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the fail-fast surface: every node-role flag
+// mismatch is a usage error before any state is touched, and every
+// legitimate single-node or multi-node invocation passes.
+func TestValidateFlags(t *testing.T) {
+	tests := []struct {
+		name        string
+		mode        string
+		coordinator string
+		root        string
+		resume      bool
+		minWorkers  int
+		wantErr     string // substring; empty means valid
+	}{
+		{name: "serve defaults", mode: "serve"},
+		{name: "train defaults", mode: "train"},
+		{name: "train coordinator", mode: "train", minWorkers: 2},
+		{name: "worker", mode: "worker", coordinator: "http://host:9090"},
+		{name: "resume with root", mode: "train", root: "/tmp/x", resume: true},
+
+		{name: "worker without coordinator", mode: "worker", wantErr: "-coordinator"},
+		{name: "worker with resume", mode: "worker", coordinator: "http://host:9090", resume: true, wantErr: "-resume"},
+		{name: "worker with min-workers", mode: "worker", coordinator: "http://host:9090", minWorkers: 2, wantErr: "-min-workers"},
+		{name: "serve with coordinator", mode: "serve", coordinator: "http://host:9090", wantErr: "-coordinator"},
+		{name: "train with coordinator", mode: "train", coordinator: "http://host:9090", wantErr: "-coordinator"},
+		{name: "serve with min-workers", mode: "serve", minWorkers: 2, wantErr: "-min-workers"},
+		{name: "negative min-workers", mode: "train", minWorkers: -1, wantErr: "-min-workers"},
+		{name: "resume without root", mode: "train", resume: true, wantErr: "-resume"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := validateFlags(tt.mode, tt.coordinator, tt.root, tt.resume, tt.minWorkers)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags: unexpected error %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags: want error mentioning %q, got nil", tt.wantErr)
+			}
+			if !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("validateFlags: error %q does not mention %q", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -19,4 +19,13 @@
 // artifacts, and re-executing only tasks without committed checkpoints.
 // WithStragglerAfter enables deadline-based speculation. See the
 // "Distributed execution" section of README.md.
+//
+// The same runtime scales past one process: internal/mapreduce/remote
+// (surfaced as drybell.RemotePool, WithRemoteWorkers, and
+// drybell.RunRemoteWorker) runs labeling-function tasks on separate worker
+// processes over HTTP — per-task leases renewed by heartbeats, lease
+// expiry folding worker death and network partitions into the ordinary
+// retry path, and a DFS gateway so workers hold no state. `drybelld -mode
+// worker` is the stock worker binary. See the "Multi-node execution"
+// section of README.md.
 package repro

@@ -93,6 +93,13 @@ type Config[T any] struct {
 	// re-executed, and a partially executed vote job re-runs only the tasks
 	// without committed checkpoints (see mapreduce.Job.Resume).
 	Resume bool
+	// Workers supplies an execution backend for labeling-function jobs in
+	// place of the default in-process pool — typically a remote pool's slot
+	// proxies (internal/mapreduce/remote), which dispatch every task to
+	// registered worker processes over HTTP. The remote workers must carry
+	// this pipeline's function set in their job-code registries (see
+	// lf.RegisterVoteJobs). Nil keeps execution in-process.
+	Workers []mapreduce.Worker
 	// Obs, when non-nil, makes the run observable: spans are recorded into
 	// Obs.Trace (one per stage, LF job, and task attempt) and stage/runtime
 	// metrics into Obs.Metrics. After a traced RunObserved, the span timeline
@@ -482,6 +489,7 @@ func (c Config[T]) executor() *lf.Executor[T] {
 		StragglerAfter: c.StragglerAfter,
 		Resume:         c.Resume,
 		KnownExamples:  c.knownExamples,
+		Workers:        c.Workers,
 	}
 }
 

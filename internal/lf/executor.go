@@ -64,6 +64,13 @@ type Executor[T any] struct {
 	KnownExamples int
 	// FailureHook is forwarded to every job, for failure-injection tests.
 	FailureHook func(taskID string, attempt int) error
+	// Workers supplies an execution backend for every vote job — e.g. a
+	// remote pool's slot proxies (internal/mapreduce/remote) — in place of
+	// the default in-process pool. Jobs then also carry a code key naming
+	// their worker-side implementation (see RegisterVoteJobs), which is how
+	// an out-of-process worker knows which functions to run. Nil keeps
+	// execution in-process.
+	Workers []mapreduce.Worker
 	// NoBatch forces record-at-a-time evaluation even for functions that
 	// implement BatchVoter — the scalar baseline for benchmarks and debug.
 	NoBatch bool
@@ -279,6 +286,8 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		Mapper:         &fusedTask[T]{ctx: ctx, lfs: lfs, decode: e.Decode, noBatch: e.NoBatch},
 		CollectOutput:  true,
 		Parallelism:    e.Parallelism,
+		Workers:        e.Workers,
+		Code:           FusedVoteCode(names),
 		MaxAttempts:    e.MaxAttempts,
 		StragglerAfter: e.StragglerAfter,
 		Resume:         e.Resume,
@@ -386,6 +395,8 @@ func (e *Executor[T]) executePerLF(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 			Mapper:         e.mapperFor(ctx, f),
 			CollectOutput:  true,
 			Parallelism:    e.Parallelism,
+			Workers:        e.Workers,
+			Code:           PerLFVoteCode(meta.Name),
 			MaxAttempts:    e.MaxAttempts,
 			StragglerAfter: e.StragglerAfter,
 			Resume:         e.Resume,
@@ -582,8 +593,14 @@ func (e *Executor[T]) votesBase() string { return path.Join(e.OutputPrefix, "vot
 // the batch-capable adapter when the function vectorizes and batching is
 // not disabled.
 func (e *Executor[T]) mapperFor(ctx context.Context, f lfapi.LF[T]) mapreduce.Mapper {
-	task := lfTask[T]{ctx: ctx, f: f, decode: e.Decode}
-	if !e.NoBatch {
+	return voteMapper(ctx, f, e.Decode, e.NoBatch)
+}
+
+// voteMapper is mapperFor detached from the Executor, so worker-side job
+// code (RegisterVoteJobs) builds the identical adapter.
+func voteMapper[T any](ctx context.Context, f lfapi.LF[T], decode func([]byte) (T, error), noBatch bool) mapreduce.Mapper {
+	task := lfTask[T]{ctx: ctx, f: f, decode: decode}
+	if !noBatch {
 		if _, ok := f.(lfapi.BatchVoter[T]); ok {
 			return &lfBatchTask[T]{task}
 		}
@@ -966,36 +983,7 @@ func (e *Executor[T]) loadMixed(names []string, have map[string]bool) (*labelmod
 // of two-pass functions. Iteration order is per-shard, not the original
 // staging order, which aggregation cannot observe.
 func (e *Executor[T]) corpus() iter.Seq2[T, error] {
-	return func(yield func(T, error) bool) {
-		var zero T
-		shards, err := dfs.ListShards(e.FS, e.InputBase)
-		if err != nil {
-			yield(zero, err)
-			return
-		}
-		for _, shard := range shards {
-			data, err := e.FS.ReadFile(shard)
-			if err != nil {
-				yield(zero, err)
-				return
-			}
-			recs, err := readAllRecords(data)
-			if err != nil {
-				yield(zero, fmt.Errorf("shard %s: %w", shard, err))
-				return
-			}
-			for _, rec := range recs {
-				x, err := e.Decode(rec)
-				if err != nil {
-					yield(zero, err)
-					return
-				}
-				if !yield(x, nil) {
-					return
-				}
-			}
-		}
-	}
+	return corpusSeq(e.FS, e.InputBase, e.Decode)
 }
 
 // loadVotes reads a function's sharded output back into input-record order.

@@ -1,0 +1,131 @@
+package lf
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"strings"
+
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mapreduce/remote"
+	lfapi "repro/pkg/drybell/lf"
+)
+
+// This file is the labeling-function side of the remote-worker deployment
+// contract. The coordinator stamps a code key into every vote job
+// (Job.Code); a worker process registers the matching implementations via
+// RegisterVoteJobs and resolves the key at lease time. The key embeds the
+// ordered function-set names, so a worker built from a different set — or
+// the same set in a different order, which would scramble the columnar row
+// layout — fails loudly with a deployment-skew error instead of silently
+// producing misaligned votes.
+
+// FusedVoteCode is the job-code key for the fused vote job over the named
+// function set (order-sensitive: it fixes the vote row layout).
+func FusedVoteCode(names []string) string {
+	return "lf-votes:" + strings.Join(names, "\x1f")
+}
+
+// PerLFVoteCode is the job-code key for one function's standalone vote job
+// (Executor.PerLFJobs mode).
+func PerLFVoteCode(name string) string {
+	return "lf-vote:" + name
+}
+
+// RegisterVoteJobs registers every vote job a coordinator can dispatch for
+// this labeling-function set: the fused all-functions job plus one per-LF
+// job, under the same code keys the Executor stamps. lfs must be the same
+// functions in the same order as the coordinator's set — the fused key
+// enforces this by construction. decode and noBatch must likewise match
+// the coordinator's Executor configuration.
+//
+// Functions needing a corpus-level fit pass (lfapi.CorpusFitter) fit
+// lazily inside Build, streaming the staged corpus through the worker's
+// filesystem — over the coordinator's DFS gateway in a real deployment —
+// so a remote worker reproduces the two-pass shape of §5.1 without any
+// coordinator-side state shipping.
+func RegisterVoteJobs[T any](reg *remote.Registry, lfs []lfapi.LF[T], decode func([]byte) (T, error), noBatch bool) error {
+	names := make([]string, len(lfs))
+	for j, f := range lfs {
+		names[j] = f.LFMeta().Name
+	}
+	fused := remote.JobCode{
+		Build: func(ctx context.Context, fs dfs.FS, inputBase string) (mapreduce.Mapper, mapreduce.Reducer, error) {
+			if err := fitAll(ctx, lfs, fs, inputBase, decode); err != nil {
+				return nil, nil, err
+			}
+			return &fusedTask[T]{ctx: ctx, lfs: lfs, decode: decode, noBatch: noBatch}, nil, nil
+		},
+	}
+	if err := reg.Register(FusedVoteCode(names), fused); err != nil {
+		return err
+	}
+	for _, f := range lfs {
+		f := f
+		meta := f.LFMeta()
+		code := remote.JobCode{
+			Build: func(ctx context.Context, fs dfs.FS, inputBase string) (mapreduce.Mapper, mapreduce.Reducer, error) {
+				if err := fitAll(ctx, []lfapi.LF[T]{f}, fs, inputBase, decode); err != nil {
+					return nil, nil, err
+				}
+				return voteMapper(ctx, f, decode, noBatch), nil, nil
+			},
+		}
+		if err := reg.Register(PerLFVoteCode(meta.Name), code); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fitAll runs the corpus-fit pass for every unfitted CorpusFitter in lfs
+// against the staged corpus at inputBase.
+func fitAll[T any](ctx context.Context, lfs []lfapi.LF[T], fs dfs.FS, inputBase string, decode func([]byte) (T, error)) error {
+	for _, f := range lfs {
+		fitter, ok := f.(lfapi.CorpusFitter[T])
+		if !ok || fitter.Fitted() {
+			continue
+		}
+		if err := fitter.FitCorpus(ctx, corpusSeq(fs, inputBase, decode)); err != nil {
+			return fmt.Errorf("lf: fit %s on worker: %w", f.LFMeta().Name, err)
+		}
+	}
+	return nil
+}
+
+// corpusSeq streams the decoded staged corpus at inputBase, shard by
+// shard, in record order. Shared by the coordinator's Executor.corpus and
+// worker-side fit passes.
+func corpusSeq[T any](fs dfs.FS, inputBase string, decode func([]byte) (T, error)) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		var zero T
+		shards, err := dfs.ListShards(fs, inputBase)
+		if err != nil {
+			yield(zero, err)
+			return
+		}
+		for _, shard := range shards {
+			data, err := fs.ReadFile(shard)
+			if err != nil {
+				yield(zero, err)
+				return
+			}
+			recs, err := readAllRecords(data)
+			if err != nil {
+				yield(zero, fmt.Errorf("shard %s: %w", shard, err))
+				return
+			}
+			for _, rec := range recs {
+				x, err := decode(rec)
+				if err != nil {
+					yield(zero, err)
+					return
+				}
+				if !yield(x, nil) {
+					return
+				}
+			}
+		}
+	}
+}

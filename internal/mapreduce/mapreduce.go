@@ -179,6 +179,12 @@ type Job struct {
 	// FailureHook, if set, is consulted at the start of every task attempt;
 	// returning an error fails that attempt. Used to inject worker crashes.
 	FailureHook func(taskID string, attempt int) error
+	// Code names the worker-side implementation of the job's user functions
+	// for out-of-process backends: it is stamped into every TaskSpec, and a
+	// remote worker resolves it in its job-code registry
+	// (internal/mapreduce/remote) to the Mapper/Reducer the task runs. The
+	// in-process pool carries its functions directly and ignores it.
+	Code string
 }
 
 // Result reports a completed job.
@@ -329,6 +335,8 @@ func runJob(ctx context.Context, job Job) (*Result, error) {
 				Kind:        MapTask,
 				Index:       i,
 				Inputs:      []string{shard},
+				InputBase:   job.InputBase,
+				Code:        job.Code,
 				NumReducers: job.NumReducers,
 				Scratch:     c.scratch,
 				Collect:     job.CollectOutput,
@@ -352,11 +360,13 @@ func runJob(ctx context.Context, job Job) (*Result, error) {
 			}
 			t := &taskState{
 				spec: TaskSpec{
-					Job:     job.Name,
-					Kind:    ReduceTask,
-					Index:   r,
-					Inputs:  inputs,
-					Scratch: c.scratch,
+					Job:       job.Name,
+					Kind:      ReduceTask,
+					Index:     r,
+					Inputs:    inputs,
+					InputBase: job.InputBase,
+					Code:      job.Code,
+					Scratch:   c.scratch,
 				},
 				cancels: map[int]context.CancelFunc{},
 			}

@@ -47,6 +47,14 @@ type TaskSpec struct {
 	// task, or the shuffle partition files (in map-task order) for a reduce
 	// task.
 	Inputs []string
+	// InputBase is the job's sharded input base path. Remote workers use it
+	// to build job code that needs a whole-corpus view (e.g. a labeling
+	// function's corpus-fit pass) before executing any task.
+	InputBase string
+	// Code names the worker-side implementation of the job's user functions
+	// (see Job.Code). The in-process backend carries its functions directly
+	// and ignores it; a remote worker resolves it in its job-code registry.
+	Code string
 	// NumReducers, for map tasks of reducing jobs, is the partition count
 	// the task's emissions are split into. Zero means map-only.
 	NumReducers int
@@ -131,19 +139,31 @@ func newLocalPool(job *Job, n int) []Worker {
 }
 
 // RunTask implements Worker.
-func (w *localWorker) RunTask(ctx context.Context, spec TaskSpec) (res *TaskResult, err error) {
+func (w *localWorker) RunTask(ctx context.Context, spec TaskSpec) (*TaskResult, error) {
+	if w.failureHook != nil {
+		if err := w.failureHook(spec.TaskID(), spec.Attempt); err != nil {
+			return &TaskResult{TaskID: spec.TaskID(), Attempt: spec.Attempt, Counters: map[string]int64{}}, err
+		}
+	}
+	return ExecuteTask(ctx, w.fs, spec, w.jobName, w.mapper, w.reducer)
+}
+
+// ExecuteTask runs one task attempt against fs with the given user
+// functions and commits the attempt-scoped output the spec asks for. It is
+// the data-plane half of a Worker, shared by the in-process pool and
+// out-of-process backends (internal/mapreduce/remote): a remote worker
+// resolves spec.Code to its Mapper/Reducer and calls ExecuteTask against
+// its coordinator's filesystem gateway. A failed attempt removes whatever
+// it already committed, so it never leaves partial output behind.
+func ExecuteTask(ctx context.Context, fs dfs.FS, spec TaskSpec, jobName string, mapper Mapper, reducer Reducer) (res *TaskResult, err error) {
+	w := &taskExec{fs: fs, jobName: jobName, mapper: mapper, reducer: reducer}
 	counters := NewCounterSet()
 	tctx := &TaskContext{
 		Ctx:      ctx,
-		JobName:  w.jobName,
+		JobName:  jobName,
 		TaskID:   spec.TaskID(),
 		Attempt:  spec.Attempt,
 		Counters: counters,
-	}
-	if w.failureHook != nil {
-		if err := w.failureHook(tctx.TaskID, spec.Attempt); err != nil {
-			return &TaskResult{TaskID: tctx.TaskID, Attempt: spec.Attempt, Counters: counters.Snapshot()}, err
-		}
 	}
 	if spec.Kind == ReduceTask {
 		res, err = w.runReduce(ctx, tctx, spec)
@@ -164,10 +184,19 @@ func (w *localWorker) RunTask(ctx context.Context, spec TaskSpec) (res *TaskResu
 	return res, err
 }
 
+// taskExec is ExecuteTask's receiver: the filesystem and user functions one
+// attempt executes against.
+type taskExec struct {
+	fs      dfs.FS
+	jobName string
+	mapper  Mapper
+	reducer Reducer
+}
+
 // runMap executes one map task attempt: read the input shard, run the
 // mapper, and commit the emissions — partitioned for reducing jobs, in input
 // order otherwise — under the attempt-scoped scratch area.
-func (w *localWorker) runMap(ctx context.Context, tctx *TaskContext, spec TaskSpec) (*TaskResult, error) {
+func (w *taskExec) runMap(ctx context.Context, tctx *TaskContext, spec TaskSpec) (*TaskResult, error) {
 	res := &TaskResult{TaskID: tctx.TaskID, Attempt: spec.Attempt}
 	defer func() { res.Counters = tctx.Counters.Snapshot() }()
 	if len(spec.Inputs) != 1 {
@@ -242,7 +271,7 @@ func (w *localWorker) runMap(ctx context.Context, tctx *TaskContext, spec TaskSp
 // commitPartitions splits a map attempt's emissions by key hash and commits
 // one shuffle file per reduce partition (empty partitions included, so the
 // reduce side needs no existence probing).
-func (w *localWorker) commitPartitions(res *TaskResult, spec TaskSpec, pairs []kv) error {
+func (w *taskExec) commitPartitions(res *TaskResult, spec TaskSpec, pairs []kv) error {
 	parts := make([][]kv, spec.NumReducers)
 	for _, p := range pairs {
 		r := partition(p.key, spec.NumReducers)
@@ -272,7 +301,7 @@ func (w *localWorker) commitPartitions(res *TaskResult, spec TaskSpec, pairs []k
 // file for this partition, restore the deterministic (key, map task,
 // emission) order, fold each key group through the reducer, and commit one
 // attempt-scoped output shard.
-func (w *localWorker) runReduce(ctx context.Context, tctx *TaskContext, spec TaskSpec) (*TaskResult, error) {
+func (w *taskExec) runReduce(ctx context.Context, tctx *TaskContext, spec TaskSpec) (*TaskResult, error) {
 	res := &TaskResult{TaskID: tctx.TaskID, Attempt: spec.Attempt}
 	defer func() { res.Counters = tctx.Counters.Snapshot() }()
 	var part []kv

@@ -133,6 +133,7 @@ func New[T any](opts ...Option) (*Pipeline[T], error) {
 		LabelModel:     s.labelModel,
 		DevLabels:      s.devLabels,
 		Obs:            s.observer,
+		Workers:        s.workers,
 	}.WithDefaults()
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/labelmodel"
+	"repro/internal/mapreduce"
 	"repro/internal/obs"
 )
 
@@ -38,6 +39,7 @@ type settings struct {
 	devLabels      []labelmodel.Label
 	hook           StageHook
 	observer       *obs.Observer
+	workers        []mapreduce.Worker
 	codec          any
 	err            error
 }
