@@ -20,7 +20,7 @@ BENCH_LABEL ?= pr8
 # uploads it next to the benchmark numbers.
 TRACE_OUT  ?= /tmp/drybell-obs-trace.json
 
-.PHONY: build test verify vet bench bench-smoke obs-smoke remote-smoke
+.PHONY: build test verify vet bench bench-smoke obs-smoke remote-smoke chaos-smoke
 
 build:
 	go build ./...
@@ -63,3 +63,12 @@ obs-smoke:
 # lease protocol cannot rot behind the in-process test doubles.
 remote-smoke:
 	./scripts/remote_smoke.sh
+
+# Overload-and-faults smoke: a real serve process driven past saturation by
+# the open-loop generator through a fault-injecting transport. Fails unless
+# the server sheds (it truly saturated), every admitted request answers,
+# SIGTERM drains cleanly, and remote training under the same faults stays
+# byte-identical. CI runs this so the admission/degradation machinery cannot
+# rot behind the in-process tests.
+chaos-smoke:
+	./scripts/chaos_smoke.sh

@@ -63,21 +63,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		root      = flag.String("root", "", "disk-backed DFS root; empty serves from memory (state dies with the process)")
-		task      = flag.String("task", "topic", "case study: topic or product")
-		model     = flag.String("model", "", "model line to serve (default <task>-classifier)")
-		mode      = flag.String("mode", "serve", "serve: run the daemon; train: stage a new version and exit; worker: execute tasks for a train-mode coordinator")
-		coord     = flag.String("coordinator", "", "worker mode: base URL of the coordinator (e.g. http://host:9090)")
-		minWork   = flag.Int("min-workers", 0, "train mode: serve a remote-worker coordinator on -addr and wait for this many workers before training (0 trains in-process)")
-		docs      = flag.Int("docs", 4000, "bootstrap corpus size")
-		seed      = flag.Int64("seed", 1, "random seed for bootstrap training")
-		steps     = flag.Int("steps", 300, "label model gradient steps during bootstrap")
-		batch     = flag.Int("batch", 32, "max records per scoring micro-batch")
-		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max wait to fill a micro-batch")
-		workers   = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
-		cacheSize = flag.Int("cache", 1024, "LRU capacity for online NLP/kgraph calls")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+		addr         = flag.String("addr", ":8080", "HTTP listen address")
+		root         = flag.String("root", "", "disk-backed DFS root; empty serves from memory (state dies with the process)")
+		task         = flag.String("task", "topic", "case study: topic or product")
+		model        = flag.String("model", "", "model line to serve (default <task>-classifier)")
+		mode         = flag.String("mode", "serve", "serve: run the daemon; train: stage a new version and exit; worker: execute tasks for a train-mode coordinator")
+		coord        = flag.String("coordinator", "", "worker mode: base URL of the coordinator (e.g. http://host:9090)")
+		minWork      = flag.Int("min-workers", 0, "train mode: serve a remote-worker coordinator on -addr and wait for this many workers before training (0 trains in-process)")
+		docs         = flag.Int("docs", 4000, "bootstrap corpus size")
+		seed         = flag.Int64("seed", 1, "random seed for bootstrap training")
+		steps        = flag.Int("steps", 300, "label model gradient steps during bootstrap")
+		batch        = flag.Int("batch", 32, "max records per scoring micro-batch")
+		batchWait    = flag.Duration("batch-wait", 2*time.Millisecond, "max wait to fill a micro-batch")
+		workers      = flag.Int("workers", 0, "scoring worker pool size (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 1024, "LRU capacity for online NLP/kgraph calls")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second,
+			"graceful-drain bound on SIGTERM: in-flight HTTP requests (serve) or the leased task (worker) are abandoned after this long; 0 waits without bound")
+		latencyBudget = flag.Duration("latency-budget", 100*time.Millisecond,
+			"admission latency budget for /v1/predict: sustained queue waits above this shed new arrivals with 429 + Retry-After (negative disables admission control)")
+		maxQueue  = flag.Int("max-queue", 0, "bound on predict requests queued or scoring at once (0 = 8x -batch)")
+		deadline  = flag.Duration("deadline", 0, "server-imposed per-request deadline when the client sends no X-Request-Deadline header (0 = none)")
 		retries   = flag.Int("retries", 2, "per-task retries (after the first attempt) for the training pipeline's MapReduce jobs")
 		resume    = flag.Bool("resume", false, "resume a crashed training run from DFS checkpoints instead of restarting (needs -root)")
 		tracePath = flag.String("trace", "", "record spans and write a Chrome trace-event timeline to this file on exit (load in Perfetto)")
@@ -91,7 +96,8 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*addr, *root, *task, *model, *mode, *coord, *docs, *seed, *steps,
-		*batch, *batchWait, *workers, *minWork, *cacheSize, *drain, *retries, *resume, *tracePath); err != nil {
+		*batch, *batchWait, *workers, *minWork, *cacheSize, *drainTimeout,
+		*latencyBudget, *maxQueue, *deadline, *retries, *resume, *tracePath); err != nil {
 		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(1)
 	}
@@ -130,7 +136,8 @@ func validateFlags(mode, coordinator, root string, resume bool, minWorkers int) 
 }
 
 func run(addr, root, task, model, mode, coordinator string, docs int, seed int64, steps,
-	batch int, batchWait time.Duration, workers, minWorkers, cacheSize int, drain time.Duration,
+	batch int, batchWait time.Duration, workers, minWorkers, cacheSize int, drainTimeout time.Duration,
+	latencyBudget time.Duration, maxQueue int, deadline time.Duration,
 	retries int, resume bool, tracePath string) error {
 	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, the
 	// serving loop drains before exiting, and a worker finishes its leased
@@ -141,7 +148,7 @@ func run(addr, root, task, model, mode, coordinator string, docs int, seed int64
 	// Worker mode never touches local state: its filesystem is the
 	// coordinator's DFS gateway, its work arrives as task leases.
 	if mode == "worker" {
-		return runWorkerNode(ctx, coordinator, task, cacheSize, seed)
+		return runWorkerNode(ctx, coordinator, task, cacheSize, seed, drainTimeout)
 	}
 
 	// One observer backs everything the process does: pipeline and DFS
@@ -199,7 +206,8 @@ func run(addr, root, task, model, mode, coordinator string, docs int, seed int64
 			}
 			fmt.Printf("bootstrapped and promoted %s v%d\n", model, version)
 		}
-		return serveHTTP(ctx, addr, fsys, reg, observer, model, runners, batch, batchWait, workers, cacheSize, drain, tracePath != "")
+		return serveHTTP(ctx, addr, fsys, reg, observer, model, runners, batch, batchWait, workers, cacheSize,
+			drainTimeout, latencyBudget, maxQueue, deadline, tracePath != "")
 	default:
 		return fmt.Errorf("unknown mode %q (serve, train, or worker)", mode)
 	}
@@ -208,7 +216,7 @@ func run(addr, root, task, model, mode, coordinator string, docs int, seed int64
 // runWorkerNode is -mode worker: register the task's labeling functions in
 // a job-code registry, join the coordinator, and execute leased tasks until
 // SIGTERM — then finish the task in hand, deregister, and exit 0.
-func runWorkerNode(ctx context.Context, coordinator, task string, cacheSize int, seed int64) error {
+func runWorkerNode(ctx context.Context, coordinator, task string, cacheSize int, seed int64, drainTimeout time.Duration) error {
 	runners, _, err := taskRunners(task, cacheSize, seed)
 	if err != nil {
 		return err
@@ -220,9 +228,10 @@ func runWorkerNode(ctx context.Context, coordinator, task string, cacheSize int,
 	name := fmt.Sprintf("%s-worker-%d", task, os.Getpid())
 	fmt.Printf("worker %s joining coordinator %s (%d labeling functions)\n", name, coordinator, len(runners))
 	if err := drybell.RunRemoteWorker(ctx, drybell.RemoteWorkerOptions{
-		Coordinator: coordinator,
-		Name:        name,
-		Jobs:        jobs,
+		Coordinator:  coordinator,
+		Name:         name,
+		Jobs:         jobs,
+		DrainTimeout: drainTimeout,
 	}); err != nil {
 		return err
 	}
@@ -393,7 +402,8 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *
 }
 
 func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Catalog, observer *drybell.Observer, model string,
-	runners []apps.DocLF, batch int, batchWait time.Duration, workers, cacheSize int, drain time.Duration, traceRequests bool) error {
+	runners []apps.DocLF, batch int, batchWait time.Duration, workers, cacheSize int,
+	drainTimeout, latencyBudget time.Duration, maxQueue int, deadline time.Duration, traceRequests bool) error {
 	var lm *labelmodel.Model
 	if data, err := fsys.ReadFile(labelModelPath(model)); err == nil {
 		if lm, err = labelmodel.DecodeModel(data); err != nil {
@@ -409,17 +419,20 @@ func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Ca
 	}
 
 	s, err := serve.New(serve.Config[*corpus.Document]{
-		Registry:   reg,
-		Model:      model,
-		Decode:     corpus.UnmarshalDocument,
-		Featurize:  serve.DocumentFeaturizer,
-		LFs:        runners,
-		LabelModel: lm,
-		Metrics:    observer.Metrics,
-		MaxBatch:   batch,
-		BatchWait:  batchWait,
-		Workers:    workers,
-		CacheSize:  cacheSize,
+		Registry:        reg,
+		Model:           model,
+		Decode:          corpus.UnmarshalDocument,
+		Featurize:       serve.DocumentFeaturizer,
+		LFs:             runners,
+		LabelModel:      lm,
+		Metrics:         observer.Metrics,
+		MaxBatch:        batch,
+		BatchWait:       batchWait,
+		Workers:         workers,
+		CacheSize:       cacheSize,
+		LatencyBudget:   latencyBudget,
+		MaxQueue:        maxQueue,
+		DefaultDeadline: deadline,
 	})
 	if err != nil {
 		return err
@@ -460,7 +473,7 @@ func serveHTTP(ctx context.Context, addr string, fsys drybell.FS, reg serving.Ca
 	// requests finish, then drain the batcher. The drain deadline must be
 	// independent of the already-canceled serve ctx, hence the fresh root.
 	fmt.Println("signal received; draining...")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain) //drybellvet:detached — drain must outlive the canceled serve ctx
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout) //drybellvet:detached — drain must outlive the canceled serve ctx
 	defer cancel()
 	err = httpSrv.Shutdown(shutdownCtx)
 	s.Close()

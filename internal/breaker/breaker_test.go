@@ -1,0 +1,174 @@
+package breaker
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced clock for deterministic cooldown expiry.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock, *[]State) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []State
+	b := New(threshold, cooldown,
+		WithClock(clk.now),
+		WithOnChange(func(s State) { transitions = append(transitions, s) }))
+	return b, clk, &transitions
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _, transitions := newTestBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() || b.State() != Closed {
+			t.Fatalf("failure %d: breaker should still be closed", i+1)
+		}
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after %d failures = %v, want Open", 3, b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	if len(*transitions) != 1 || (*transitions)[0] != Open {
+		t.Fatalf("transitions = %v, want [Open]", *transitions)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _, _ := newTestBreaker(3, time.Second)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatal("interleaved success should reset the consecutive-failure count")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("three consecutive failures after reset should trip")
+	}
+}
+
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b, clk, _ := newTestBreaker(1, time.Second)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: first Allow should pass as the probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want HalfOpen", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller got through while the probe was in flight")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("probe success should close the breaker")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clk, transitions := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe should be allowed after cooldown")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want Open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker allowed a call before a fresh cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("fresh cooldown elapsed: probe should be allowed again")
+	}
+	want := []State{Open, HalfOpen, Open, HalfOpen}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", *transitions, want)
+		}
+	}
+}
+
+func TestBreakerStragglerFailureWhileOpen(t *testing.T) {
+	b, clk, _ := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(500 * time.Millisecond)
+	// A slow in-flight call from before the trip reports failure; it must
+	// not extend the cooldown.
+	b.Failure()
+	clk.advance(500 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("straggler failure extended the cooldown")
+	}
+}
+
+func TestBreakerConcurrentProbeExclusive(t *testing.T) {
+	b, clk, _ := newTestBreaker(1, time.Second)
+	b.Failure()
+	clk.advance(time.Second)
+	var allowed int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.Allow() {
+				mu.Lock()
+				allowed++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if allowed != 1 {
+		t.Fatalf("half-open let %d callers through, want exactly 1 probe", allowed)
+	}
+}
+
+func TestBreakerDefaultsClamped(t *testing.T) {
+	b := New(0, 0)
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("threshold should clamp to 1")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} { //drybellvet:ordered — assertion map, order immaterial
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

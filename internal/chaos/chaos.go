@@ -1,0 +1,98 @@
+// Package chaos injects deterministic network faults for resilience tests.
+// It complements dfs.FaultFS — which misbehaves at the filesystem seam —
+// with a http.RoundTripper that misbehaves at the wire seam: requests are
+// dropped (a transport error, as if the connection reset) or delayed (a
+// slow network) according to a seeded schedule, so a "chaotic" run is
+// exactly reproducible.
+//
+// Faults are injected *before* the request is sent. A dropped request never
+// reaches the server, so injecting on non-idempotent operations is safe:
+// the operation simply did not happen, which is indistinguishable from a
+// connect failure and exactly what retry policies must tolerate.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Transport is a fault-injecting http.RoundTripper. The zero value is not
+// usable; build with NewTransport. Safe for concurrent use.
+type Transport struct {
+	// DropRate is the probability ([0,1]) a request fails with a transport
+	// error instead of being sent.
+	DropRate float64
+	// DelayRate is the probability ([0,1]) a request is held for Delay
+	// before being sent — a slow network rather than a dead one.
+	DelayRate float64
+	Delay     time.Duration
+	// Match, when non-nil, limits faults to matching requests; everything
+	// else passes through untouched.
+	Match func(*http.Request) bool
+
+	// Dropped and Delayed count injected faults, for asserting the chaos
+	// actually happened.
+	Dropped atomic.Int64
+	Delayed atomic.Int64
+
+	base http.RoundTripper
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+// NewTransport wraps base (nil: http.DefaultTransport) with a fault
+// schedule drawn from seed. Equal seeds misbehave identically.
+func NewTransport(seed int64, base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		base: base,
+		rng:  rand.New(rand.NewSource(seed)), // explicitly seeded: fault schedule, not data-plane
+	}
+}
+
+// ErrInjected matches (errors.Is) every fault this package injects, so a
+// harness can tell scheduled chaos from a real failure even through
+// url.Error wrapping.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// errDropped marks an injected transport failure.
+type errDropped struct{ url string }
+
+func (e *errDropped) Error() string {
+	return fmt.Sprintf("chaos: injected transport fault for %s", e.url)
+}
+
+func (e *errDropped) Is(target error) bool { return target == ErrInjected }
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Match != nil && !t.Match(req) {
+		return t.base.RoundTrip(req)
+	}
+	t.mu.Lock()
+	drop := t.DropRate > 0 && t.rng.Float64() < t.DropRate
+	delay := !drop && t.DelayRate > 0 && t.rng.Float64() < t.DelayRate
+	t.mu.Unlock()
+	if drop {
+		t.Dropped.Add(1)
+		return nil, &errDropped{url: req.URL.String()}
+	}
+	if delay {
+		t.Delayed.Add(1)
+		timer := time.NewTimer(t.Delay)
+		defer timer.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	}
+	return t.base.RoundTrip(req)
+}

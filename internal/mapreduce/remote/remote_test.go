@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // --- fixtures ---
@@ -446,9 +447,11 @@ func newLeaseHarness(t *testing.T) *leaseHarness {
 		FS: dfs.NewMem(), Slots: 1,
 		LeaseTTL: time.Second,
 		// The sweeper must not race the fake clock; edge cases drive
-		// expiry through takeLease, which checks deadlines on its own.
+		// expiry through takeLease, which checks deadlines on its own —
+		// or call pool.sweep() by hand when the race itself is the test.
 		SweepEvery:   time.Hour,
 		MaxLeaseWait: 50 * time.Millisecond,
+		Metrics:      obs.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)

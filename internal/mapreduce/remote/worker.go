@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 // WorkerHooks are fault-injection seams for the remote fault suite. They
@@ -39,7 +41,9 @@ type WorkerOptions struct {
 	// "http://127.0.0.1:9090". Required.
 	Coordinator string
 	// Name is an advisory label for diagnostics; identity is the WorkerID
-	// the coordinator mints at registration.
+	// the coordinator mints at registration. It also seeds the worker's
+	// retry jitter, so a fleet of named workers restarting together
+	// decorrelates instead of stampeding.
 	Name string
 	// Jobs resolves TaskSpec.Code keys to this worker's job
 	// implementations. Required.
@@ -52,6 +56,33 @@ type WorkerOptions struct {
 	// HeartbeatEvery is the lease renewal interval. Defaults to a third of
 	// the TTL the coordinator grants, and is clamped below TTL.
 	HeartbeatEvery time.Duration
+	// Retry is the shared backoff-with-jitter schedule for every retrying
+	// coordinator interaction: registration, lease polls after transport
+	// errors, completion reports, and the DFS gateway client's idempotent
+	// operations. Zero fields inherit DefaultPolicy.
+	Retry Policy
+	// DrainTimeout bounds the graceful drain: once ctx is canceled, a task
+	// still executing after this long is abandoned (its lease expires and
+	// the coordinator re-runs it elsewhere) so SIGTERM cannot hang forever
+	// on a stuck task. 0 means drain without bound.
+	DrainTimeout time.Duration
+	// HedgeReads, when > 0, hedges slow DFS gateway reads: a read still
+	// unanswered after this long gets a racing duplicate, first answer
+	// wins. Reads are idempotent, so hedging trades a little duplicate
+	// load for tail latency.
+	HedgeReads time.Duration
+	// BreakerThreshold is how many consecutive transport failures open the
+	// coordinator-client circuit breaker (heartbeat failures included —
+	// they are the earliest partition signal). While open, the lease loop
+	// waits out the cooldown instead of hammering a dead coordinator.
+	// Defaults to 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before probing.
+	// Defaults to 2s.
+	BreakerCooldown time.Duration
+	// Metrics, when non-nil, records the client's resilience decisions
+	// (retries, hedges, hedge wins, breaker state) as registry series.
+	Metrics *obs.Registry
 	// Hooks inject faults for tests.
 	Hooks WorkerHooks
 }
@@ -73,6 +104,13 @@ type workerClient struct {
 	hc    *http.Client
 	id    string
 	built map[string]builtCode // code key → cached build; single-goroutine
+
+	// seeds decorrelates the jitter streams of this worker's retry loops.
+	seeds *retrySeeds
+	// br is the coordinator-client circuit breaker: every control-plane
+	// call feeds it (transport error = failure, any HTTP answer =
+	// success), and the register/lease loops consult it before dialing.
+	br *breaker.Breaker
 }
 
 // RunWorker registers with the coordinator and serves tasks until ctx
@@ -99,23 +137,53 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 	if opts.PollWait <= 0 {
 		opts.PollWait = 2 * time.Second
 	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 2 * time.Second
+	}
 	hc := opts.Client
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	seeds := newRetrySeeds(SeedString(opts.Coordinator + "/" + opts.Name))
+	var brOpts []breaker.Option
+	if opts.Metrics != nil {
+		state := opts.Metrics.Gauge("drybell_remote_client_breaker_state",
+			"Coordinator-client breaker position (0 closed, 1 open, 2 half-open).")
+		brOpts = append(brOpts, breaker.WithOnChange(func(s breaker.State) { state.Set(float64(s)) }))
+	}
 	w := &workerClient{
-		opts:  opts,
-		fs:    NewFSClient(opts.Coordinator, hc),
+		opts: opts,
+		fs: NewFSClientOpts(opts.Coordinator, hc, FSClientOptions{
+			Retry:      opts.Retry,
+			HedgeAfter: opts.HedgeReads,
+			Seed:       seeds.next(),
+			Metrics:    opts.Metrics,
+		}),
 		hc:    hc,
 		built: make(map[string]builtCode),
+		seeds: seeds,
+		br:    breaker.New(opts.BreakerThreshold, opts.BreakerCooldown, brOpts...),
 	}
 	if err := w.register(ctx); err != nil {
 		return err
 	}
+	// One backoff walks the whole lease loop: transport errors and
+	// breaker-open waits stretch it, any successful round resets it.
+	bo := opts.Retry.Start(seeds.next())
 	for {
 		if ctx.Err() != nil {
 			w.deregister()
 			return nil
+		}
+		if !w.br.Allow() {
+			// Breaker open: the coordinator is unreachable by every
+			// signal we have (heartbeats included). Wait out the backoff
+			// instead of stacking doomed long-polls.
+			bo.Sleep(ctx)
+			continue
 		}
 		spec, leaseID, ttl, status, err := w.lease(ctx)
 		switch {
@@ -123,10 +191,10 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 			w.deregister()
 			return nil
 		case err != nil:
-			// Coordinator unreachable; back off briefly and retry. A
+			// Coordinator unreachable; back off with jitter and retry. A
 			// long outage just means this worker contributes nothing
 			// until the coordinator returns.
-			w.pause(ctx, 100*time.Millisecond)
+			bo.Sleep(ctx)
 			continue
 		case status == http.StatusGone:
 			// Stale identity (coordinator restarted, or we were
@@ -139,11 +207,13 @@ func RunWorker(ctx context.Context, opts WorkerOptions) error {
 			// Pool closed: the coordinator is done with remote work.
 			return nil
 		case status == http.StatusNoContent:
+			bo.Reset()
 			continue // empty poll; the server already waited
 		case status != http.StatusOK:
-			w.pause(ctx, 100*time.Millisecond)
+			bo.Sleep(ctx)
 			continue
 		}
+		bo.Reset()
 		if err := w.serve(ctx, spec, leaseID, ttl); err != nil {
 			if err == errKilled {
 				return nil // simulated death: no drain, no deregister
@@ -161,9 +231,29 @@ func (w *workerClient) serve(ctx context.Context, spec mapreduce.TaskSpec, lease
 
 	// The task must survive a drain signal: canceling ctx stops the
 	// leasing loop, not work already leased. Losing the lease (410 on
-	// heartbeat) is what aborts execution.
+	// heartbeat) or blowing the drain budget is what aborts execution.
 	taskCtx, abandon := context.WithCancel(context.WithoutCancel(ctx)) //drybellvet:detached — drain finishes the leased task; only lease loss aborts it
 	defer abandon()
+
+	// Bound the drain: a task still executing DrainTimeout after the drain
+	// signal is abandoned — its lease expires and the coordinator re-runs
+	// it elsewhere — so a stuck task cannot hold SIGTERM hostage.
+	if w.opts.DrainTimeout > 0 {
+		go func() {
+			select {
+			case <-taskCtx.Done():
+				return
+			case <-ctx.Done():
+			}
+			t := time.NewTimer(w.opts.DrainTimeout)
+			defer t.Stop()
+			select {
+			case <-taskCtx.Done():
+			case <-t.C:
+				abandon()
+			}
+		}()
+	}
 
 	hbEvery := w.opts.HeartbeatEvery
 	if hbEvery <= 0 {
@@ -238,23 +328,29 @@ func (w *workerClient) execute(ctx context.Context, spec mapreduce.TaskSpec) (*m
 	return mapreduce.ExecuteTask(ctx, w.fs, spec, spec.Job, code.mapper, code.reducer)
 }
 
-// register obtains a fresh worker identity, retrying while the coordinator
-// is unreachable (it may still be binding its listener).
+// register obtains a fresh worker identity, retrying on the shared backoff
+// schedule while the coordinator is unreachable (it may still be binding
+// its listener, or be mid-restart). Jittered backoff here is what keeps a
+// coordinator restart from triggering a synchronized reconnect stampede
+// across the fleet.
 func (w *workerClient) register(ctx context.Context) error {
+	bo := w.opts.Retry.Start(w.seeds.next())
 	for {
-		var resp registerResponse
-		status, err := w.post("/register", registerRequest{Name: w.opts.Name}, &resp)
-		if err == nil && status == http.StatusOK && resp.WorkerID != "" {
-			w.id = resp.WorkerID
-			return nil
-		}
-		if err == nil && status == http.StatusServiceUnavailable {
-			return fmt.Errorf("remote: coordinator pool closed")
+		if w.br.Allow() {
+			var resp registerResponse
+			status, err := w.post("/register", registerRequest{Name: w.opts.Name}, &resp)
+			if err == nil && status == http.StatusOK && resp.WorkerID != "" {
+				w.id = resp.WorkerID
+				return nil
+			}
+			if err == nil && status == http.StatusServiceUnavailable {
+				return fmt.Errorf("remote: coordinator pool closed")
+			}
 		}
 		if ctx.Err() != nil {
 			return fmt.Errorf("remote: registering with %s: %w", w.opts.Coordinator, ctx.Err())
 		}
-		w.pause(ctx, 100*time.Millisecond)
+		bo.Sleep(ctx)
 	}
 }
 
@@ -277,8 +373,10 @@ func (w *workerClient) lease(ctx context.Context) (spec mapreduce.TaskSpec, leas
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.hc.Do(req)
 	if err != nil {
+		w.br.Failure()
 		return spec, "", 0, 0, err
 	}
+	w.br.Success()
 	defer drain(resp)
 	if resp.StatusCode != http.StatusOK {
 		return spec, "", 0, resp.StatusCode, nil
@@ -293,20 +391,30 @@ func (w *workerClient) lease(ctx context.Context) (spec mapreduce.TaskSpec, leas
 // complete reports the attempt's outcome. A 410 means the lease expired
 // first and the result is discarded — the attempt was already charged as
 // failed and possibly re-run; this worker's output stays attempt-scoped
-// and unpromoted. Transport errors are also absorbed: an unreportable
-// completion and a death look identical to the coordinator, and the lease
-// sweeper turns both into a retried attempt.
+// and unpromoted. Transport errors retry on the shared backoff (reporting
+// is idempotent: a duplicate of a landed completion bounces off 410)
+// because an unreported completion wastes a whole executed attempt; if no
+// retry lands, the lease sweeper turns the silence into a retried attempt,
+// same as a death.
 func (w *workerClient) complete(leaseID string, result *mapreduce.TaskResult, taskErr error) {
 	req := completeRequest{WorkerID: w.id, LeaseID: leaseID, Result: result}
 	if taskErr != nil {
 		req.Result = nil
 		req.Error = taskErr.Error()
 	}
-	_, _ = w.post("/complete", req, nil)
+	bo := w.opts.Retry.Start(w.seeds.next())
+	for attempt := 0; attempt < 4; attempt++ {
+		if _, err := w.post("/complete", req, nil); err == nil {
+			return
+		}
+		bo.Sleep(context.Background()) //drybellvet:detached — the report must outlive a drain signal; the attempt budget bounds the loop
+	}
 }
 
 // post sends one JSON request to a control endpoint and decodes the
-// response into out when it is non-nil and the status is 200.
+// response into out when it is non-nil and the status is 200. Every call
+// feeds the coordinator-client breaker: a transport error is a failure,
+// any HTTP answer — whatever its status — proves the coordinator is alive.
 func (w *workerClient) post(endpoint string, body, out any) (int, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
@@ -319,8 +427,10 @@ func (w *workerClient) post(endpoint string, body, out any) (int, error) {
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.hc.Do(req)
 	if err != nil {
+		w.br.Failure()
 		return 0, err
 	}
+	w.br.Success()
 	defer drain(resp)
 	if out != nil && resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -328,14 +438,4 @@ func (w *workerClient) post(endpoint string, body, out any) (int, error) {
 		}
 	}
 	return resp.StatusCode, nil
-}
-
-// pause sleeps briefly between retries, waking early on cancellation.
-func (w *workerClient) pause(ctx context.Context, d time.Duration) {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-	case <-t.C:
-	}
 }

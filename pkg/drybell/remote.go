@@ -116,6 +116,17 @@ type RemoteWorkerOptions struct {
 	Jobs *RemoteRegistry
 	// Client overrides the HTTP client for coordinator traffic.
 	Client *http.Client
+	// DrainTimeout bounds the graceful drain: a task still executing this
+	// long after cancellation is abandoned (its lease expires and the
+	// coordinator re-runs it elsewhere), so SIGTERM cannot hang on a stuck
+	// task. 0 drains without bound.
+	DrainTimeout time.Duration
+	// HedgeReads, when > 0, races a duplicate DFS gateway read when the
+	// first is still unanswered after this long; first answer wins.
+	HedgeReads time.Duration
+	// Observer, when non-nil, records the worker's resilience decisions
+	// (retries, hedges, breaker state) into its metrics registry.
+	Observer *Observer
 }
 
 // RunRemoteWorker registers with the coordinator and executes leased tasks
@@ -123,10 +134,16 @@ type RemoteWorkerOptions struct {
 // holds, deregisters, and returns nil. This is the loop behind
 // `drybelld -mode worker`.
 func RunRemoteWorker(ctx context.Context, opts RemoteWorkerOptions) error {
-	return remote.RunWorker(ctx, remote.WorkerOptions{
-		Coordinator: opts.Coordinator,
-		Name:        opts.Name,
-		Jobs:        opts.Jobs,
-		Client:      opts.Client,
-	})
+	wo := remote.WorkerOptions{
+		Coordinator:  opts.Coordinator,
+		Name:         opts.Name,
+		Jobs:         opts.Jobs,
+		Client:       opts.Client,
+		DrainTimeout: opts.DrainTimeout,
+		HedgeReads:   opts.HedgeReads,
+	}
+	if opts.Observer != nil {
+		wo.Metrics = opts.Observer.Metrics
+	}
+	return remote.RunWorker(ctx, wo)
 }

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOverloaded matches any AdmissionError with errors.Is — the umbrella
+// sentinel for "the server shed this request at the door".
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// AdmissionError is a request shed before it consumed any scoring capacity.
+// The HTTP layer renders it as 429 with a Retry-After header; the shed
+// happens at submit time, before the request is queued, so rejecting is
+// cheap exactly when the server can least afford extra work.
+type AdmissionError struct {
+	// Reason is "latency budget exceeded" (sustained queue delay above the
+	// budget) or "queue full" (the bounded queue has no token left).
+	Reason string
+	// RetryAfter is the hint sent to the client; one shed interval is long
+	// enough for the queue to drain at current capacity.
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+func (e *AdmissionError) Is(target error) bool { return target == ErrOverloaded }
+
+// admission is a CoDel-style admission controller in front of the predict
+// queue. Two mechanisms compose:
+//
+//   - A token semaphore bounds how many requests may be queued-or-scoring at
+//     once; with no token free the request is shed immediately ("queue
+//     full") instead of waiting on an unbounded channel.
+//   - Queue delay is observed at dequeue. Following CoDel, the controller
+//     tracks the *minimum* delay seen over a sliding interval: a standing
+//     queue — every request waiting longer than the latency budget for a
+//     whole interval — flips the controller into shedding, and new arrivals
+//     get 429 until the backlog drains. The minimum (not mean or max) is
+//     what distinguishes a harmless burst, which always contains some
+//     low-delay request, from true overload, where even the luckiest
+//     request waits too long.
+//
+// Shedding is self-limiting: while it is on, no new work is admitted, so
+// the semaphore drains; when the last outstanding request releases its
+// token the controller clears the shed state and the window, and admission
+// resumes fresh.
+type admission struct {
+	budget   time.Duration
+	interval time.Duration
+	sem      chan struct{} // tokens: requests queued or scoring
+	now      func() time.Time
+
+	mu          sync.Mutex
+	windowMin   time.Duration
+	haveMin     bool
+	windowStart time.Time
+	shedding    bool
+
+	m *metrics // nil in low-level tests
+}
+
+// newAdmission builds a controller with the given latency budget and queue
+// bound. The observation interval is the budget itself — the smallest
+// window over which "the queue never got healthy" is meaningful.
+func newAdmission(budget time.Duration, maxQueue int, m *metrics) *admission {
+	return &admission{
+		budget:   budget,
+		interval: budget,
+		sem:      make(chan struct{}, maxQueue),
+		now:      time.Now, //drybellvet:wallclock — queue-delay measurement, not data-plane ordering
+		m:        m,
+	}
+}
+
+// admit claims a queue token or sheds the request. Called at submit, before
+// the request touches the queue.
+func (a *admission) admit() error {
+	a.mu.Lock()
+	shedding := a.shedding
+	a.mu.Unlock()
+	if shedding {
+		return a.shed("latency budget exceeded")
+	}
+	select {
+	case a.sem <- struct{}{}:
+		if a.m != nil {
+			a.m.admitted.Inc()
+		}
+		return nil
+	default:
+		return a.shed("queue full")
+	}
+}
+
+func (a *admission) shed(reason string) error {
+	if a.m != nil {
+		a.m.shedFor(reason).Inc()
+	}
+	return &AdmissionError{Reason: reason, RetryAfter: a.interval}
+}
+
+// observe records one request's queue delay at dequeue and advances the
+// CoDel window.
+func (a *admission) observe(wait time.Duration) {
+	if a.m != nil {
+		a.m.queueWait.ObserveDuration(wait)
+	}
+	now := a.now()
+	a.mu.Lock()
+	if !a.haveMin || wait < a.windowMin {
+		a.windowMin, a.haveMin = wait, true
+	}
+	if a.windowStart.IsZero() {
+		a.windowStart = now
+		a.mu.Unlock()
+		return
+	}
+	if now.Sub(a.windowStart) < a.interval {
+		a.mu.Unlock()
+		return
+	}
+	shed := a.windowMin > a.budget
+	changed := shed != a.shedding
+	a.shedding = shed
+	a.windowStart = now
+	a.haveMin = false
+	a.mu.Unlock()
+	if changed {
+		a.setShedGauge(shed)
+	}
+}
+
+// release returns a request's token once it has been answered. When the
+// last token comes back the backlog is gone — clear the shed state and the
+// stale window instead of letting an old verdict shed fresh traffic.
+func (a *admission) release() {
+	<-a.sem
+	if len(a.sem) != 0 {
+		return
+	}
+	a.mu.Lock()
+	changed := a.shedding
+	a.shedding = false
+	a.haveMin = false
+	a.windowStart = time.Time{}
+	a.mu.Unlock()
+	if changed {
+		a.setShedGauge(false)
+	}
+}
+
+func (a *admission) setShedGauge(on bool) {
+	if a.m == nil {
+		return
+	}
+	if on {
+		a.m.shedding.Set(1)
+	} else {
+		a.m.shedding.Set(0)
+	}
+}
+
+// isShedding reports the controller's current verdict (metrics/tests).
+func (a *admission) isShedding() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shedding
+}

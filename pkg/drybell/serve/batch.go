@@ -28,7 +28,11 @@ type predictReply struct {
 }
 
 type scoreRequest[T any] struct {
+	// ctx is the caller's context: its deadline propagates into the batch,
+	// so a request that expires while queued is skipped, not scored.
+	ctx  context.Context
 	rec  T
+	enq  time.Time
 	done chan predictReply
 }
 
@@ -38,27 +42,43 @@ type scoreRequest[T any] struct {
 // it as one matrix op. Under load, batches fill instantly and throughput
 // scales with the pool; at low traffic, a lone request pays at most `wait`
 // of extra latency.
+//
+// With an admission controller attached, every request claims a queue token
+// before it enters the channel (overload sheds at the door with an
+// AdmissionError instead of queuing without bound) and reports its queue
+// delay at dequeue, which is the signal the controller's CoDel window runs
+// on. Tokens are released only when the request is answered, so the bound
+// covers queued and in-flight work alike.
 type batcher[T any] struct {
 	in       chan scoreRequest[T]
 	work     chan []scoreRequest[T]
 	maxBatch int
 	wait     time.Duration
+	adm      *admission // nil: admission control disabled
 	// score fills out (len(recs) entries of the worker's reusable buffer)
 	// and returns it; results are copied into each caller's reply before
-	// the worker reuses the buffer for its next batch.
-	score func(recs []T, out []PredictResult) ([]PredictResult, error)
+	// the worker reuses the buffer for its next batch. ctxs[i] is recs[i]'s
+	// request context — score may skip records whose context has ended.
+	score func(ctxs []context.Context, recs []T, out []PredictResult) ([]PredictResult, error)
 
 	mu     sync.RWMutex // guards closed vs. in-flight submits
 	closed bool
 	wg     sync.WaitGroup
 }
 
-func newBatcher[T any](maxBatch int, wait time.Duration, workers int, score func(recs []T, out []PredictResult) ([]PredictResult, error)) *batcher[T] {
+func newBatcher[T any](maxBatch int, wait time.Duration, workers int, adm *admission, score func(ctxs []context.Context, recs []T, out []PredictResult) ([]PredictResult, error)) *batcher[T] {
+	depth := 4 * maxBatch
+	if adm != nil && cap(adm.sem) > depth {
+		// The semaphore must never out-admit the channel, or an admitted
+		// request could block on the enqueue it was promised.
+		depth = cap(adm.sem)
+	}
 	b := &batcher[T]{
-		in:       make(chan scoreRequest[T], 4*maxBatch),
+		in:       make(chan scoreRequest[T], depth),
 		work:     make(chan []scoreRequest[T], workers),
 		maxBatch: maxBatch,
 		wait:     wait,
+		adm:      adm,
 		score:    score,
 	}
 	b.wg.Add(1 + workers)
@@ -70,9 +90,10 @@ func newBatcher[T any](maxBatch int, wait time.Duration, workers int, score func
 }
 
 // submit enqueues one record and blocks until its batch is scored or ctx is
-// done. A context cancellation abandons only this caller's wait (including a
-// wait for queue space under overload) — an already-enqueued record is still
-// scored with the rest of its batch.
+// done. Under overload the admission controller sheds here, before the
+// record touches the queue. A context cancellation abandons only this
+// caller's wait — an already-enqueued record still travels with its batch,
+// though the worker will skip scoring it once it sees the dead context.
 func (b *batcher[T]) submit(ctx context.Context, rec T) (PredictResult, error) {
 	done := make(chan predictReply, 1)
 	b.mu.RLock()
@@ -80,10 +101,19 @@ func (b *batcher[T]) submit(ctx context.Context, rec T) (PredictResult, error) {
 		b.mu.RUnlock()
 		return PredictResult{}, ErrDraining
 	}
+	if b.adm != nil {
+		if err := b.adm.admit(); err != nil {
+			b.mu.RUnlock()
+			return PredictResult{}, err
+		}
+	}
 	select {
-	case b.in <- scoreRequest[T]{rec: rec, done: done}:
+	case b.in <- scoreRequest[T]{ctx: ctx, rec: rec, enq: time.Now(), done: done}: //drybellvet:wallclock — queue-delay measurement, not data-plane ordering
 		b.mu.RUnlock()
 	case <-ctx.Done():
+		if b.adm != nil {
+			b.adm.release()
+		}
 		b.mu.RUnlock()
 		return PredictResult{}, ctx.Err()
 	}
@@ -127,22 +157,48 @@ func (b *batcher[T]) worker() {
 	// Worker-owned buffers, reused across batches: replies copy result
 	// values out before the next batch overwrites them, so steady-state
 	// scoring allocates nothing per batch in this layer.
+	live := make([]scoreRequest[T], 0, b.maxBatch)
+	ctxs := make([]context.Context, 0, b.maxBatch)
 	recs := make([]T, 0, b.maxBatch)
 	out := make([]PredictResult, 0, b.maxBatch)
 	for batch := range b.work {
-		recs = recs[:0]
+		live, ctxs, recs = live[:0], ctxs[:0], recs[:0]
 		for _, r := range batch {
-			recs = append(recs, r.rec)
-		}
-		results, err := b.score(recs, out[:len(batch)])
-		for i, r := range batch {
-			if err != nil {
-				r.done <- predictReply{err: err}
+			if b.adm != nil {
+				b.adm.observe(time.Since(r.enq))
+			}
+			if r.ctx != nil && r.ctx.Err() != nil {
+				// Expired while queued: answer the (gone) caller and skip
+				// the featurize+score work entirely.
+				r.done <- predictReply{err: r.ctx.Err()}
+				if b.adm != nil {
+					b.adm.release()
+				}
 				continue
 			}
-			res := results[i]
-			res.BatchSize = len(batch)
-			r.done <- predictReply{res: res}
+			live = append(live, r)
+			ctxs = append(ctxs, r.ctx)
+			recs = append(recs, r.rec)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		results, err := b.score(ctxs, recs, out[:len(live)])
+		for i, r := range live {
+			switch {
+			case err != nil:
+				r.done <- predictReply{err: err}
+			case r.ctx != nil && r.ctx.Err() != nil:
+				// Died mid-batch; the score slot holds no real answer.
+				r.done <- predictReply{err: r.ctx.Err()}
+			default:
+				res := results[i]
+				res.BatchSize = len(live)
+				r.done <- predictReply{res: res}
+			}
+			if b.adm != nil {
+				b.adm.release()
+			}
 		}
 	}
 }

@@ -7,11 +7,19 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // maxBodyBytes bounds request bodies; records larger than this are not
 // documents, they are abuse.
 const maxBodyBytes = 1 << 20
+
+// DeadlineHeader carries a client's per-request deadline as a Go duration
+// ("250ms", "1s"). The server honors the tighter of this and
+// Config.DefaultDeadline; a request that exhausts its deadline while queued
+// is skipped rather than scored for nobody.
+const DeadlineHeader = "X-Request-Deadline"
 
 // Handler returns the HTTP/JSON API:
 //
@@ -61,14 +69,57 @@ func (s *Server[T]) decodeRecord(w http.ResponseWriter, r *http.Request) (T, boo
 	return rec, true
 }
 
+// requestContext derives a handler's context: the client's DeadlineHeader
+// and the server's DefaultDeadline each cap it, tightest wins. Reports
+// false (with a 400 already written) on an unparseable header.
+func (s *Server[T]) requestContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	d := s.cfg.DefaultDeadline
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		cd, err := time.ParseDuration(h)
+		if err != nil || cd <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: invalid %s %q (want a positive Go duration)", DeadlineHeader, h))
+			return nil, nil, false
+		}
+		if d <= 0 || cd < d {
+			d = cd
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, true
+}
+
+// writeRequestError renders a request-path failure, translating an
+// admission shed into 429 with a Retry-After hint.
+func writeRequestError(w http.ResponseWriter, err error) {
+	var ae *AdmissionError
+	if errors.As(err, &ae) {
+		secs := int(ae.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, statusFor(err), err)
+}
+
 func (s *Server[T]) handlePredict(w http.ResponseWriter, r *http.Request) {
 	rec, ok := s.decodeRecord(w, r)
 	if !ok {
 		return
 	}
-	res, err := s.Predict(r.Context(), rec)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, err := s.Predict(ctx, rec)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeRequestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -79,9 +130,14 @@ func (s *Server[T]) handleLabel(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := s.Label(r.Context(), rec)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, err := s.Label(ctx, rec)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeRequestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -118,9 +174,14 @@ func (s *Server[T]) handleLabelBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		recs[i] = rec
 	}
-	res, err := s.LabelBatch(r.Context(), recs)
+	ctx, cancel, ok := s.requestContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, err := s.LabelBatch(ctx, recs)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeRequestError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

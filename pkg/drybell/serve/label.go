@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/breaker"
 	"repro/internal/labelmodel"
 	"repro/internal/nlp"
 	"repro/pkg/drybell/lf"
@@ -22,6 +23,10 @@ type VoteRecord struct {
 type LabelResult struct {
 	Posterior *float64     `json:"posterior,omitempty"`
 	Votes     []VoteRecord `json:"votes"`
+	// Degraded marks an answer produced while the NLP annotator dependency
+	// was unhealthy: NLP-dependent functions abstained and the posterior is
+	// a raw majority vote over the heuristics that could still run.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // labeler evaluates the registered labeling functions against records,
@@ -30,10 +35,23 @@ type LabelResult struct {
 // batch executor runs as jobs answer here per request, with every NLP
 // function in the set consulting one node-local model server behind an LRU
 // cache keyed on the annotated text.
+//
+// When the set has NLP functions, a health breaker (br) guards the
+// annotator dependency: consecutive NLP failures open it, and while it is
+// open the labeler answers in degraded mode — NLP-dependent functions
+// abstain, the posterior falls back to a majority vote over the surviving
+// heuristics, and the result is marked Degraded — instead of failing the
+// request on a dependency the caller cannot do anything about.
 type labeler[T any] struct {
-	eval  *lf.Evaluator[T]
-	metas []lf.Meta
-	model *labelmodel.Model
+	eval   *lf.Evaluator[T]
+	lfs    []lf.LF[T]
+	metas  []lf.Meta
+	model  *labelmodel.Model
+	nlpDep []bool // which columns consult the shared annotator
+	hasNLP bool
+
+	br        *breaker.Breaker // nil: no NLP dependency, no degraded mode
+	onDegrade func()           // metrics hook, counted once per degraded request
 }
 
 func newLabeler[T any](lfs []lf.LF[T], model *labelmodel.Model, ann nlp.Annotator, cacheSize int) (*labeler[T], error) {
@@ -51,24 +69,107 @@ func newLabeler[T any](lfs []lf.LF[T], model *labelmodel.Model, ann nlp.Annotato
 	if err := eval.Setup(context.Background()); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	return &labeler[T]{eval: eval, metas: eval.Metas(), model: model}, nil
+	l := &labeler[T]{eval: eval, lfs: eval.LFs(), metas: eval.Metas(), model: model}
+	l.nlpDep = make([]bool, len(l.lfs))
+	for j, f := range l.lfs {
+		if _, ok := f.(lf.Annotatable); ok {
+			l.nlpDep[j] = true
+			l.hasNLP = true
+		}
+	}
+	return l, nil
 }
 
 // label evaluates one record — one label-matrix row plus its posterior.
+//
+// Without a breaker this is the Evaluator's plain VoteRow. With one, the
+// row is walked function by function: an NLP-dependent function that fails
+// (for any reason other than the caller's own context ending) feeds the
+// breaker and degrades the rest of this request, and when the breaker is
+// already open NLP functions abstain without being called at all. The
+// breaker's half-open probe is a live request — the first /v1/label after
+// the cooldown tries the annotator for real and closes the breaker on
+// success.
 func (l *labeler[T]) label(ctx context.Context, x T) (LabelResult, error) {
-	votes, err := l.eval.VoteRow(ctx, x)
-	if err != nil {
-		return LabelResult{}, fmt.Errorf("serve: %w", err)
+	if l.br == nil {
+		votes, err := l.eval.VoteRow(ctx, x)
+		if err != nil {
+			return LabelResult{}, fmt.Errorf("serve: %w", err)
+		}
+		return l.result(votes, false), nil
 	}
-	return l.result(votes), nil
+	degraded := !l.br.Allow()
+	votes := make([]labelmodel.Label, len(l.lfs))
+	for j, f := range l.lfs {
+		if err := ctx.Err(); err != nil {
+			return LabelResult{}, fmt.Errorf("serve: lf %s: %w", l.metas[j].Name, err)
+		}
+		if l.nlpDep[j] && degraded {
+			continue // annotator unhealthy: abstain instead of erroring
+		}
+		v, err := f.Vote(ctx, x)
+		if err != nil {
+			if l.nlpDep[j] && ctx.Err() == nil {
+				// A dependency failure, not caller cancellation: record it
+				// and finish the request degraded.
+				l.br.Failure()
+				degraded = true
+				continue
+			}
+			return LabelResult{}, fmt.Errorf("serve: %w", err)
+		}
+		if !v.Valid() {
+			return LabelResult{}, fmt.Errorf("serve: lf %s: invalid vote %d", l.metas[j].Name, int8(v))
+		}
+		if l.nlpDep[j] {
+			l.br.Success()
+		}
+		votes[j] = v
+	}
+	if degraded && l.onDegrade != nil {
+		l.onDegrade()
+	}
+	return l.result(votes, degraded), nil
 }
 
 // labelBatch evaluates many records through the vectorized VoteBatch path,
-// one column (labeling function) at a time.
+// one column (labeling function) at a time, with the same per-column
+// breaker discipline as label: an unhealthy annotator turns NLP columns
+// into abstain columns rather than failing the whole batch.
 func (l *labeler[T]) labelBatch(ctx context.Context, xs []T) ([]LabelResult, error) {
-	mx, err := l.eval.VoteMatrix(ctx, xs)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	var mx *labelmodel.Matrix
+	var degraded bool
+	if l.br == nil {
+		var err error
+		if mx, err = l.eval.VoteMatrix(ctx, xs); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	} else {
+		degraded = !l.br.Allow()
+		mx = labelmodel.NewMatrix(len(xs), len(l.lfs))
+		for j, f := range l.lfs {
+			if l.nlpDep[j] && degraded {
+				continue // column abstains; matrix rows default to 0
+			}
+			votes, err := lf.VoteAll(ctx, f, xs)
+			if err != nil {
+				if l.nlpDep[j] && ctx.Err() == nil {
+					l.br.Failure()
+					degraded = true
+					continue
+				}
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			if l.nlpDep[j] {
+				l.br.Success()
+			}
+			for i, v := range votes {
+				mx.Set(i, j, v)
+			}
+		}
+		if degraded && l.onDegrade != nil {
+			l.onDegrade()
+		}
 	}
 	out := make([]LabelResult, len(xs))
 	row := make([]labelmodel.Label, len(l.metas))
@@ -76,22 +177,48 @@ func (l *labeler[T]) labelBatch(ctx context.Context, xs []T) ([]LabelResult, err
 		for j := range l.metas {
 			row[j] = mx.At(i, j)
 		}
-		out[i] = l.result(row)
+		out[i] = l.result(row, degraded)
 	}
 	return out, nil
 }
 
-func (l *labeler[T]) result(votes []labelmodel.Label) LabelResult {
+func (l *labeler[T]) result(votes []labelmodel.Label, degraded bool) LabelResult {
 	records := make([]VoteRecord, len(votes))
 	for j, v := range votes {
 		records[j] = VoteRecord{LF: l.metas[j].Name, Category: string(l.metas[j].Category), Vote: int(v)} //drybellvet:rawvote — JSON response field, never a persisted vote byte
 	}
-	out := LabelResult{Votes: records}
-	if l.model != nil {
+	out := LabelResult{Votes: records, Degraded: degraded}
+	switch {
+	case degraded:
+		// The label model was trained on the full function set; feeding it
+		// rows where whole columns are force-abstained would read the gaps
+		// as genuine abstains and skew the posterior. A transparent
+		// majority vote over what actually ran is the honest fallback.
+		p := majorityPosterior(votes)
+		out.Posterior = &p
+	case l.model != nil:
 		p := l.model.PosteriorRow(votes)
 		out.Posterior = &p
 	}
 	return out
+}
+
+// majorityPosterior is the degraded-mode fallback: the fraction of
+// non-abstaining votes that are positive, 0.5 when everything abstained.
+func majorityPosterior(votes []labelmodel.Label) float64 {
+	var pos, neg int
+	for _, v := range votes {
+		switch {
+		case v > 0:
+			pos++
+		case v < 0:
+			neg++
+		}
+	}
+	if pos+neg == 0 {
+		return 0.5
+	}
+	return float64(pos) / float64(pos+neg)
 }
 
 func (l *labeler[T]) cacheSnapshot() *CacheSnapshot {

@@ -60,6 +60,15 @@ type metrics struct {
 	label      *pathStats
 	batchSizes *obs.Histogram
 	version    *obs.Gauge
+
+	// Overload-resilience series: admission decisions, queue delay, the
+	// shed state, degraded-mode labelings, and the annotator breaker.
+	reg          *obs.Registry
+	admitted     *obs.Counter
+	queueWait    *obs.Histogram
+	shedding     *obs.Gauge
+	degraded     *obs.Counter
+	breakerState *obs.Gauge
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -70,7 +79,26 @@ func newMetrics(reg *obs.Registry) *metrics {
 		batchSizes: reg.Histogram("serve_batch_size",
 			"Records per dispatched micro-batch.", batchSizeBounds),
 		version: reg.Gauge("serve_model_version", "Model version currently answering requests."),
+		reg:     reg,
+		admitted: reg.Counter("serve_admitted_total",
+			"Predict requests admitted past the overload controller."),
+		queueWait: reg.Histogram("serve_queue_wait_seconds",
+			"Delay between a predict request's admission and its dequeue for scoring.",
+			obs.DefLatencyBuckets),
+		shedding: reg.Gauge("serve_shedding",
+			"1 while the admission controller is shedding new arrivals, else 0."),
+		degraded: reg.Counter("serve_degraded_total",
+			"Label requests answered in degraded (majority-vote-only) mode."),
+		breakerState: reg.Gauge("serve_annotator_breaker_state",
+			"Annotator breaker position (0 closed, 1 open, 2 half-open)."),
 	}
+}
+
+// shedFor returns the shed counter for one rejection reason.
+func (m *metrics) shedFor(reason string) *obs.Counter {
+	return m.reg.Counter("serve_shed_total",
+		"Predict requests shed by the admission controller, by reason.",
+		obs.Label{Key: "reason", Value: reason})
 }
 
 func (m *metrics) observeBatch(n int) { m.batchSizes.Observe(float64(n)) }
@@ -117,6 +145,18 @@ type CacheSnapshot struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// AdmissionSnapshot reports the overload controller: how much traffic was
+// admitted vs shed, the queue-delay quantiles CoDel decides on, and whether
+// the controller is currently shedding.
+type AdmissionSnapshot struct {
+	Admitted       int64   `json:"admitted"`
+	ShedBudget     int64   `json:"shed_budget"`
+	ShedQueueFull  int64   `json:"shed_queue_full"`
+	QueueWaitP50Ms float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms float64 `json:"queue_wait_p99_ms"`
+	Shedding       bool    `json:"shedding"`
+}
+
 // Snapshot is the /v1/metrics payload.
 type Snapshot struct {
 	Model         string         `json:"model"`
@@ -127,6 +167,12 @@ type Snapshot struct {
 	Label         PathSnapshot   `json:"label"`
 	Batches       BatchSnapshot  `json:"batches"`
 	NLPCache      *CacheSnapshot `json:"nlp_cache,omitempty"`
+	// Admission is present when the overload controller is enabled.
+	Admission *AdmissionSnapshot `json:"admission,omitempty"`
+	// Degraded counts label requests answered in majority-vote-only mode;
+	// AnnotatorBreaker is the health breaker's position when one exists.
+	Degraded         int64  `json:"degraded,omitempty"`
+	AnnotatorBreaker string `json:"annotator_breaker,omitempty"`
 }
 
 func (m *metrics) batchSnapshot() BatchSnapshot {

@@ -1,0 +1,391 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/features"
+	"repro/internal/serving"
+	"repro/pkg/drybell/serve"
+)
+
+// slowVecServer is newVecServer with a featurizer that burns perRecord of
+// wall time per record, so tests can push the predict path past saturation
+// without huge request counts.
+func slowVecServer(t *testing.T, cfg serve.Config[vec], perRecord time.Duration) *serve.Server[vec] {
+	t.Helper()
+	reg, err := serving.OpenFSRegistry(dfs.NewMem(), "serving")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageVersions(t, reg, "4", "-4")
+	if err := reg.Promote("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	cfg.Model = "m"
+	cfg.Decode = decodeVec
+	cfg.Featurize = func(a *serving.Artifact) (func(vec) *features.SparseVector, error) {
+		return func(x vec) *features.SparseVector {
+			time.Sleep(perRecord)
+			return x
+		}, nil
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestAdmissionShedsAtFullQueue: with the bounded queue saturated, excess
+// arrivals are rejected at the door with ErrOverloaded instead of piling
+// onto the channel, and everything that was admitted is answered.
+func TestAdmissionShedsAtFullQueue(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 1, BatchWait: time.Millisecond, Workers: 1,
+		LatencyBudget: time.Second, // generous: only the queue bound sheds here
+		MaxQueue:      2,
+	}, 5*time.Millisecond)
+
+	const n = 32
+	var served, shed, failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Predict(context.Background(), posX)
+			switch {
+			case err == nil:
+				served.Add(1)
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d admitted requests failed", failed.Load())
+	}
+	if served.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("served = %d, shed = %d; a 16x-overcommitted queue of 2 must do both", served.Load(), shed.Load())
+	}
+	snap := s.Metrics()
+	if snap.Admission == nil {
+		t.Fatal("no admission snapshot despite an armed controller")
+	}
+	if snap.Admission.Admitted != served.Load() {
+		t.Errorf("admitted counter = %d, served = %d", snap.Admission.Admitted, served.Load())
+	}
+	if snap.Admission.ShedQueueFull == 0 {
+		t.Error("queue-full shed counter never moved")
+	}
+}
+
+// TestAdmissionBudgetShedAndRecovery: a standing queue — sustained arrivals
+// past capacity with a roomy queue bound — must flip the CoDel controller
+// into latency-budget shedding, and draining the backlog must clear it.
+func TestAdmissionBudgetShedAndRecovery(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 4, BatchWait: time.Millisecond, Workers: 1,
+		LatencyBudget: 5 * time.Millisecond,
+		MaxQueue:      1024, // too big to fill: only the budget can shed
+	}, 2*time.Millisecond)
+
+	stop := make(chan struct{})
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.Predict(context.Background(), posX); err != nil {
+					if !errors.Is(err, serve.ErrOverloaded) {
+						failed.Add(1)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Metrics().Admission.ShedBudget == 0 {
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatal("no latency-budget shed despite sustained overload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d admitted requests failed under overload", failed.Load())
+	}
+
+	// Load gone, backlog drained: the controller must clear its verdict and
+	// admit fresh traffic rather than shedding on a stale window.
+	recovered := false
+	for i := 0; i < 200; i++ {
+		if _, err := s.Predict(context.Background(), posX); err == nil {
+			recovered = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("admission never recovered after load stopped")
+	}
+	if s.Metrics().Admission.Shedding {
+		t.Error("controller still reports shedding after the backlog drained")
+	}
+}
+
+// TestPromotionUnderOverloadAdmittedNeverFail is the tentpole guarantee:
+// hot-swapping the model under 2x-overload traffic may shed requests at
+// the door, but every request that was admitted is answered, correctly,
+// by exactly one model version.
+func TestPromotionUnderOverloadAdmittedNeverFail(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 4, BatchWait: time.Millisecond, Workers: 2,
+		LatencyBudget: 5 * time.Millisecond,
+		MaxQueue:      8, // half the client count: overload guaranteed
+	}, time.Millisecond)
+
+	stop := make(chan struct{})
+	var served, shed, failed, badMix atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Predict(context.Background(), posX)
+				switch {
+				case err == nil:
+					served.Add(1)
+					// v1 (weight +4) scores posX positive, v2 (weight -4)
+					// negative; any other combination means a torn batch.
+					if (res.Version == 1) != res.Positive {
+						badMix.Add(1)
+					}
+				case errors.Is(err, serve.ErrOverloaded):
+					shed.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+
+	for v := 0; v < 50; v++ {
+		if err := s.Promote(2 - v%2); err != nil {
+			t.Errorf("promote #%d: %v", v, err)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Errorf("%d admitted requests failed across promotions under overload", failed.Load())
+	}
+	if badMix.Load() != 0 {
+		t.Errorf("%d responses mixed versions/scores", badMix.Load())
+	}
+	if served.Load() == 0 {
+		t.Error("no request was served at all")
+	}
+	if shed.Load() == 0 {
+		t.Error("no request was shed; the test never actually overloaded the server")
+	}
+}
+
+// TestAdmissionDisabled: a negative latency budget turns the controller
+// off entirely — no snapshot, no sheds, plain unbounded queueing.
+func TestAdmissionDisabled(t *testing.T) {
+	s, _ := newVecServer(t, serve.Config[vec]{LatencyBudget: -1, BatchWait: time.Millisecond})
+	if _, err := s.Predict(context.Background(), posX); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics().Admission != nil {
+		t.Error("admission snapshot present despite a disabled controller")
+	}
+}
+
+// TestHTTPOverloadReturns429: a shed surfaces on the wire as 429 with a
+// usable Retry-After hint, not as a 5xx.
+func TestHTTPOverloadReturns429(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 1, BatchWait: time.Millisecond, Workers: 1,
+		LatencyBudget: time.Second, MaxQueue: 1,
+	}, 10*time.Millisecond)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	const body = `{"indices":[1],"values":[1]}`
+	const n = 16
+	var oks, sheds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				oks.Add(1)
+			case http.StatusTooManyRequests:
+				sheds.Add(1)
+				ra := resp.Header.Get("Retry-After")
+				if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+					t.Errorf("429 Retry-After = %q, want an integer >= 1", ra)
+				}
+			default:
+				t.Errorf("status = %d, want 200 or 429", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	if oks.Load() == 0 || sheds.Load() == 0 {
+		t.Fatalf("oks = %d, sheds = %d; want both under 16 clients on a queue of 1", oks.Load(), sheds.Load())
+	}
+}
+
+// TestHTTPDeadlineHeader: the client's X-Request-Deadline caps the request
+// end to end — a deadline shorter than the scoring time yields 504, a
+// malformed one 400 before any work, a roomy one 200.
+func TestHTTPDeadlineHeader(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 1, BatchWait: time.Millisecond, Workers: 1,
+		LatencyBudget: -1,
+	}, 30*time.Millisecond)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	post := func(deadline string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict",
+			strings.NewReader(`{"indices":[1],"values":[1]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if deadline != "" {
+			req.Header.Set(serve.DeadlineHeader, deadline)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := post("1ms"); resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("1ms deadline against 30ms scoring: status = %d, want 504", resp.StatusCode)
+	}
+	if resp := post("soon"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed deadline: status = %d, want 400", resp.StatusCode)
+	}
+	if resp := post("-5s"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative deadline: status = %d, want 400", resp.StatusCode)
+	}
+	if resp := post("10s"); resp.StatusCode != http.StatusOK {
+		t.Errorf("roomy deadline: status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPDefaultDeadline: requests without their own deadline inherit the
+// server's, and the tighter of the two wins when both are present.
+func TestHTTPDefaultDeadline(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 1, BatchWait: time.Millisecond, Workers: 1,
+		LatencyBudget:   -1,
+		DefaultDeadline: time.Millisecond,
+	}, 30*time.Millisecond)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"indices":[1],"values":[1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("server default deadline: status = %d, want 504", resp.StatusCode)
+	}
+
+	// A client header cannot loosen the server's cap: 10s vs 1ms is still 1ms.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict",
+		strings.NewReader(`{"indices":[1],"values":[1]}`))
+	req.Header.Set(serve.DeadlineHeader, "10s")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("header looser than server cap: status = %d, want 504", resp2.StatusCode)
+	}
+}
+
+// TestPredictDeadlinePropagatesToQueue: a programmatic Predict whose
+// context dies while the request is queued is answered with the context
+// error instead of being scored for nobody.
+func TestPredictDeadlinePropagatesToQueue(t *testing.T) {
+	s := slowVecServer(t, serve.Config[vec]{
+		MaxBatch: 1, BatchWait: time.Millisecond, Workers: 1,
+		LatencyBudget: -1,
+	}, 20*time.Millisecond)
+
+	// Saturate the single worker so follow-up requests sit in the queue.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = s.Predict(context.Background(), posX)
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := s.Predict(ctx, posX)
+	wg.Wait()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued request past its deadline: err = %v, want DeadlineExceeded", err)
+	}
+}

@@ -19,6 +19,21 @@
 // The registry is any serving.Catalog; with an FS-backed registry the
 // daemon's state survives restarts — a new Server recovers the promoted
 // version from filesystem state alone.
+//
+// Past saturation the contract is shed or answer, never error. Admission
+// control watches the queue delay CoDel-style: when the minimum delay over
+// the last Config.LatencyBudget window exceeds the budget — or the bounded
+// scoring queue (Config.MaxQueue) is full — new arrivals are rejected with
+// ErrOverloaded (HTTP 429 plus Retry-After), while every request already
+// admitted completes. Callers propagate deadlines with the
+// X-Request-Deadline header (see DeadlineHeader); the deadline covers
+// queueing and scoring, so a doomed request answers 504 early instead of
+// occupying a batch slot. /v1/label degrades instead of failing when its
+// NLP annotator is unhealthy: a circuit breaker (Config.BreakerThreshold,
+// Config.BreakerCooldown) force-abstains the NLP-backed labeling functions
+// and the response falls back to a majority-vote posterior, marked
+// Degraded. Shed counts by reason, degraded answers, and breaker state are
+// all visible in Metrics.
 package serve
 
 import (
@@ -30,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/corpus"
 	"repro/internal/features"
 	"repro/internal/labelmodel"
@@ -93,6 +109,28 @@ type Config[T any] struct {
 	Workers int
 	// CacheSize bounds the NLP annotation LRU. Default 1024.
 	CacheSize int
+
+	// LatencyBudget arms the CoDel-style admission controller on the
+	// predict path: when every request in a whole observation window waits
+	// longer than this in the queue, new arrivals are shed with 429 +
+	// Retry-After until the backlog drains. Default 100ms; negative
+	// disables admission control entirely.
+	LatencyBudget time.Duration
+	// MaxQueue bounds predict requests queued-or-scoring at once; arrivals
+	// beyond it are shed immediately. Default 8×MaxBatch. Ignored when
+	// admission control is disabled.
+	MaxQueue int
+	// DefaultDeadline caps every HTTP request that arrives without its own
+	// X-Request-Deadline header. 0 imposes no server-side deadline.
+	DefaultDeadline time.Duration
+	// BreakerThreshold consecutive NLP annotator failures trip the
+	// labeler's health breaker; while it is open /v1/label answers in
+	// degraded mode (NLP-dependent functions abstain, majority-vote
+	// posterior, Degraded: true) instead of erroring. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the annotator breaker stays open before
+	// probing with one live request. Default 5s.
+	BreakerCooldown time.Duration
 }
 
 // Server is the online serving engine. Construct with New; the zero value
@@ -103,6 +141,7 @@ type Server[T any] struct {
 	batcher *batcher[T]
 	labeler *labeler[T]
 	metrics *metrics
+	adm     *admission // nil when admission control is disabled
 
 	// feat caches the built featurizer for the live artifact version, so
 	// the hot path pays Config.Featurize only once per promotion, not once
@@ -145,6 +184,18 @@ func New[T any](cfg Config[T]) (*Server[T], error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 1024
 	}
+	if cfg.LatencyBudget == 0 {
+		cfg.LatencyBudget = 100 * time.Millisecond
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 8 * cfg.MaxBatch
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
 
 	live, err := cfg.Registry.Live(cfg.Model)
 	if err != nil {
@@ -170,8 +221,20 @@ func New[T any](cfg Config[T]) (*Server[T], error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.labeler.hasNLP {
+			// The labeler depends on an external annotator; give it a
+			// health breaker so an unhealthy dependency degrades /v1/label
+			// instead of failing it.
+			gauge := s.metrics.breakerState
+			s.labeler.br = breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown,
+				breaker.WithOnChange(func(st breaker.State) { gauge.Set(float64(st)) }))
+			s.labeler.onDegrade = s.metrics.degraded.Inc
+		}
 	}
-	s.batcher = newBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.Workers, s.scoreBatch)
+	if cfg.LatencyBudget > 0 {
+		s.adm = newAdmission(cfg.LatencyBudget, cfg.MaxQueue, s.metrics)
+	}
+	s.batcher = newBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.Workers, s.adm, s.scoreBatch)
 	return s, nil
 }
 
@@ -198,6 +261,14 @@ func (s *Server[T]) Predict(ctx context.Context, rec T) (PredictResult, error) {
 	ctx, span := obs.StartSpan(ctx, "serve.predict")
 	start := time.Now()
 	res, err := s.batcher.submit(ctx, rec)
+	var ae *AdmissionError
+	if errors.As(err, &ae) {
+		// Shed at the door: the request never reached the queue, so keep it
+		// out of the latency/error series — the shed counter already has it.
+		span.SetAttr(obs.String("shed", ae.Reason))
+		span.EndErr(err)
+		return res, err
+	}
 	s.metrics.predict.observe(time.Since(start), err)
 	span.EndErr(err)
 	return res, err
@@ -225,13 +296,16 @@ func (s *Server[T]) featurizerFor(art *serving.Artifact) (func(T) *features.Spar
 type scoreScratch struct {
 	xs     []*features.SparseVector
 	scores []float64
+	// empty stands in for records skipped because their context died; its
+	// score is never reported.
+	empty *features.SparseVector
 }
 
 // scoreBatch is the worker-pool entry: snapshot the live model once, then
 // featurize and score the whole batch against that snapshot, so every
 // request in a batch is answered by a single consistent model version.
 // Results are written into the worker's reusable out buffer.
-func (s *Server[T]) scoreBatch(recs []T, out []PredictResult) ([]PredictResult, error) {
+func (s *Server[T]) scoreBatch(ctxs []context.Context, recs []T, out []PredictResult) ([]PredictResult, error) {
 	srv := s.handle.Current()
 	art := srv.Artifact()
 	feat, err := s.featurizerFor(art)
@@ -240,7 +314,7 @@ func (s *Server[T]) scoreBatch(recs []T, out []PredictResult) ([]PredictResult, 
 	}
 	sc, _ := s.scratch.Get().(*scoreScratch)
 	if sc == nil {
-		sc = &scoreScratch{}
+		sc = &scoreScratch{empty: &features.SparseVector{}}
 	}
 	if cap(sc.xs) < len(recs) {
 		sc.xs = make([]*features.SparseVector, len(recs))
@@ -248,6 +322,12 @@ func (s *Server[T]) scoreBatch(recs []T, out []PredictResult) ([]PredictResult, 
 	}
 	xs, scores := sc.xs[:len(recs)], sc.scores[:len(recs)]
 	for i, r := range recs {
+		if ctxs[i] != nil && ctxs[i].Err() != nil {
+			// Deadline hit mid-batch: skip this record's feature work; the
+			// batcher answers it with its context error, not this score.
+			xs[i] = sc.empty
+			continue
+		}
 		xs[i] = feat(r)
 	}
 	srv.ScoreBatchInto(xs, scores)
@@ -277,6 +357,9 @@ func (s *Server[T]) Label(ctx context.Context, rec T) (LabelResult, error) {
 	ctx, span := obs.StartSpan(ctx, "serve.label")
 	start := time.Now()
 	res, err := s.labeler.label(ctx, rec)
+	if res.Degraded {
+		span.SetAttr(obs.Bool("degraded", true))
+	}
 	s.metrics.label.observe(time.Since(start), err)
 	span.EndErr(err)
 	return res, err
@@ -369,7 +452,7 @@ func (s *Server[T]) Version() int { return s.handle.Version() }
 // Metrics returns a point-in-time snapshot of the server's counters.
 func (s *Server[T]) Metrics() Snapshot {
 	art := s.handle.Current().Artifact()
-	return Snapshot{
+	snap := Snapshot{
 		Model:         art.Name,
 		Version:       art.Version,
 		Swaps:         s.handle.Swaps(),
@@ -378,7 +461,22 @@ func (s *Server[T]) Metrics() Snapshot {
 		Label:         s.metrics.label.snapshot(),
 		Batches:       s.metrics.batchSnapshot(),
 		NLPCache:      s.labeler.cacheSnapshot(),
+		Degraded:      s.metrics.degraded.Value(),
 	}
+	if s.adm != nil {
+		snap.Admission = &AdmissionSnapshot{
+			Admitted:       s.metrics.admitted.Value(),
+			ShedBudget:     s.metrics.shedFor("latency budget exceeded").Value(),
+			ShedQueueFull:  s.metrics.shedFor("queue full").Value(),
+			QueueWaitP50Ms: s.metrics.queueWait.Quantile(0.50) * 1000,
+			QueueWaitP99Ms: s.metrics.queueWait.Quantile(0.99) * 1000,
+			Shedding:       s.adm.isShedding(),
+		}
+	}
+	if s.labeler != nil && s.labeler.br != nil {
+		snap.AnnotatorBreaker = s.labeler.br.State().String()
+	}
+	return snap
 }
 
 // Close drains the request path: new Predicts fail with ErrDraining, and

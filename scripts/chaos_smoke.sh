@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Overload-and-faults end-to-end smoke: start a real drybelld serve process
+# with a deliberately tight admission budget, drive it past saturation with
+# the open-loop load generator while a seeded fault schedule drops requests
+# on the wire, and require the overload contract to hold: every admitted
+# request answers (zero non-shed failures), at least one request is shed
+# (the server really was saturated), and a SIGTERM afterwards drains to a
+# clean exit. The remote-tier half of the story — training output
+# byte-identical under the same injected faults — runs as a focused go test
+# because it needs the in-process reference run to diff against.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TASK=${TASK:-topic}
+DOCS=${DOCS:-600}
+STEPS=${STEPS:-50}
+SEED=${SEED:-5}
+PORT=${PORT:-$((20000 + $$ % 20000))}
+OUT=${OUT:-/tmp/drybell-chaos-smoke.json}
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building drybelld + drybell-loadgen"
+go build -o "$work/drybelld" ./cmd/drybelld
+go build -o "$work/drybell-loadgen" ./cmd/drybell-loadgen
+
+echo "== serve daemon (:$PORT) with a tight admission budget"
+# Small queue + short latency budget so a 2x-capacity open-loop point is
+# guaranteed to shed; one scoring worker keeps calibrated capacity low
+# enough that the generator can comfortably over-drive it.
+"$work/drybelld" -mode serve -root "$work/root" -addr "127.0.0.1:$PORT" \
+    -task "$TASK" -docs "$DOCS" -steps "$STEPS" -seed "$SEED" \
+    -workers 1 -batch 4 -latency-budget 25ms -max-queue 16 \
+    -drain-timeout 10s &
+server=$!
+pids+=("$server")
+
+# The daemon bootstraps (trains + promotes) before listening; give it time.
+for i in $(seq 1 120); do
+    if curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$server" 2>/dev/null; then
+        echo "serve daemon died during bootstrap" >&2
+        exit 1
+    fi
+    sleep 1
+done
+curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null
+
+echo "== open-loop overload drive with injected wire faults"
+# -require-sheds: fail unless saturation was actually reached.
+# Any non-shed request failure makes the generator exit non-zero — that is
+# the "admitted requests never fail" half of the contract.
+"$work/drybell-loadgen" -url "http://127.0.0.1:$PORT" \
+    -conc 16 -calibrate 1s -duration 2s -multipliers 0.5,1,2 \
+    -chaos-drop 0.05 -chaos-delay-rate 0.10 -chaos-delay 2ms \
+    -require-sheds -out "$OUT"
+
+echo "== SIGTERM drain"
+kill -TERM "$server"
+if ! wait "$server"; then
+    echo "serve daemon did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+pids=()
+
+echo "== byte-identical training under injected network faults"
+go test -count=1 -run 'TestRemoteByteIdenticalUnderNetworkFaults' ./internal/mapreduce/remote/
+
+echo "OK: overload shed cleanly, admitted requests never failed, faulted training byte-identical ($OUT)"
