@@ -9,18 +9,18 @@ SHELL := /bin/bash -o pipefail
 # pipeline throughput (P2), online serving, and LF execution. `make bench`
 # runs them and merges the numbers into $(BENCH_OUT) under $(BENCH_LABEL),
 # building the repository's performance trajectory release over release.
-BENCH      ?= BenchmarkP1_SamplingFreeVsGibbs|BenchmarkP2_PipelineThroughput|BenchmarkServePredict$$|BenchmarkExecuteLFs
+BENCH      ?= BenchmarkP1_SamplingFreeVsGibbs|BenchmarkP2_PipelineThroughput|BenchmarkServePredict$$|BenchmarkExecuteLFs|BenchmarkIncremental
 BENCHTIME  ?= 1s
 # Each benchmark runs BENCHCOUNT times and the recorder keeps the fastest
 # observation, so a noisy neighbour can't skew the committed trajectory.
 BENCHCOUNT ?= 3
-BENCH_OUT  ?= BENCH_pr8.json
-BENCH_LABEL ?= pr8
+BENCH_OUT  ?= BENCH_pr10.json
+BENCH_LABEL ?= pr10
 # obs-smoke writes the smoke run's Chrome trace here; CI's nightly bench job
 # uploads it next to the benchmark numbers.
 TRACE_OUT  ?= /tmp/drybell-obs-trace.json
 
-.PHONY: build test verify vet bench bench-smoke obs-smoke remote-smoke chaos-smoke
+.PHONY: build test verify vet bench bench-smoke bench-gate obs-smoke remote-smoke chaos-smoke incremental-smoke
 
 build:
 	go build ./...
@@ -63,6 +63,27 @@ obs-smoke:
 # lease protocol cannot rot behind the in-process test doubles.
 remote-smoke:
 	./scripts/remote_smoke.sh
+
+# End-to-end smoke of the incremental path on a real on-disk root: base run
+# + 10% append + IncrementalRun + Compact must leave input, vote, and label
+# artifacts byte-identical to a cold full rerun while executing only the
+# delta's documents. CI runs this so the versioned vote store and warm-start
+# training cannot drift from "pure latency optimization" semantics.
+incremental-smoke:
+	./scripts/incremental_smoke.sh
+
+# Bench-regression gate: re-run the perf-critical benchmarks (fastest of
+# $(BENCHCOUNT) observations) and fail if any regresses more than 25%
+# against the committed BENCH_pr*.json trajectory. CI runs this on every
+# PR; tools/benchdiff is the checker. The benchtime is time-based, not
+# -benchtime=1x: a single iteration of a fast serving benchmark is
+# dominated by one-time warmup (cache fill, the first micro-batch window)
+# and reads as a >10x fake regression against the steady-state baseline.
+# 0.3s gives fast benchmarks thousands of iterations while the slow
+# pipeline benchmarks still run just once.
+bench-gate:
+	$(MAKE) bench BENCHTIME=0.3s BENCH_OUT=/tmp/drybell-bench-gate.json BENCH_LABEL=gate
+	go run ./tools/benchdiff -current /tmp/drybell-bench-gate.json BENCH_pr*.json
 
 # Overload-and-faults smoke: a real serve process driven past saturation by
 # the open-loop generator through a fault-injecting transport. Fails unless

@@ -1,0 +1,201 @@
+// Command drybell-inc is the incremental-equivalence smoke driver
+// (scripts/incremental_smoke.sh): small single-purpose modes that let a shell
+// script prove, on a real on-disk root, that the incremental path is a pure
+// latency optimization — a base run plus a staged delta plus IncrementalRun
+// plus Compact leaves artifacts byte-identical to a cold full rerun, while
+// executing only the delta's documents.
+//
+// Unlike drybelld, every mode trains over the entire generated corpus with no
+// train/dev/test split: corpus.MakeSplit is corpus-size-dependent, so a split
+// world can never make an N-doc-plus-delta run and an (N+K)-doc cold run
+// stage the same documents. The generators are prefix-stable, which is all
+// the delta mode needs.
+//
+// Modes:
+//
+//	drybell-inc -mode base -root DIR -docs N          # stage + full base run
+//	drybell-inc -mode delta -root DIR -docs N -delta K # stage K more, IncrementalRun, Compact
+//	drybell-inc -mode full -root DIR -docs M          # cold full run (the reference)
+//	drybell-inc -mode compare -root DIR -cold DIR2    # labels: exact equality
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/apps"
+	"repro/internal/corpus"
+	"repro/pkg/drybell"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "", "base, delta, full, or compare")
+		root   = flag.String("root", "", "pipeline root directory")
+		cold   = flag.String("cold", "", "cold-rerun root directory (compare mode)")
+		docs   = flag.Int("docs", 900, "base corpus size (full mode: total corpus size)")
+		delta  = flag.Int("delta", 0, "documents to append in delta mode")
+		seed   = flag.Int64("seed", 7, "corpus seed (must match across modes)")
+		steps  = flag.Int("steps", 200, "label model gradient steps")
+		shards = flag.Int("shards", 4, "DFS shards (must match across modes)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "drybell-inc: -root is required")
+		os.Exit(2)
+	}
+	var err error
+	switch *mode {
+	case "base":
+		err = runFull(ctx, *root, *docs, *seed, *steps, *shards, "base")
+	case "full":
+		err = runFull(ctx, *root, *docs, *seed, *steps, *shards, "full")
+	case "delta":
+		err = runDelta(ctx, *root, *docs, *delta, *seed, *steps, *shards)
+	case "compare":
+		if *cold == "" {
+			fmt.Fprintln(os.Stderr, "drybell-inc: -mode compare needs -cold")
+			os.Exit(2)
+		}
+		err = runCompare(*root, *cold, *seed, *steps, *shards)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want base, delta, full, or compare)", *mode)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drybell-inc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// newPipeline opens the smoke pipeline at an on-disk root. Training is
+// pinned to the sampling-free fast trainer — the one IncrementalRun always
+// uses — so cold reference runs go through the identical training path.
+func newPipeline(root string, seed int64, steps, shards int) (*drybell.Pipeline[*corpus.Document], error) {
+	fsys, err := drybell.NewDiskFS(root)
+	if err != nil {
+		return nil, err
+	}
+	return drybell.New[*corpus.Document](
+		drybell.WithFS(fsys),
+		drybell.WithWorkDir("inc"),
+		drybell.WithShards(shards),
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithTrainer(drybell.TrainerSamplingFreeFast),
+		drybell.WithLabelModel(drybell.LabelModelOptions{
+			Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2,
+		}),
+	)
+}
+
+func generate(n int, seed int64) ([]*corpus.Document, error) {
+	return corpus.GenerateTopic(corpus.TopicSpec{NumDocs: n, PositiveRate: 0.05, Seed: seed})
+}
+
+func runners() []apps.DocLF { return apps.TopicLFs(nil, 0.02, 1) }
+
+// runFull stages n documents and runs the whole pipeline — the base for a
+// later delta ("base") or the cold reference over the final corpus ("full").
+func runFull(ctx context.Context, root string, n int, seed int64, steps, shards int, what string) error {
+	p, err := newPipeline(root, seed, steps, shards)
+	if err != nil {
+		return err
+	}
+	all, err := generate(n, seed)
+	if err != nil {
+		return err
+	}
+	res, err := p.Run(ctx, drybell.SliceSource(all), runners())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: docs=%d task_attempts=%d labels=%s\n", what, n, res.LFReport.TaskAttempts, res.LabelsPath)
+	return nil
+}
+
+// runDelta appends the next k prefix-stable documents as a corpus delta,
+// advances the pipeline with one warm IncrementalRun, and compacts — leaving
+// flat artifacts for the byte-comparison against the cold root. The printed
+// delta_docs count is the witness that only the delta was executed.
+func runDelta(ctx context.Context, root string, n, k int, seed int64, steps, shards int) error {
+	if k <= 0 {
+		return fmt.Errorf("-mode delta needs -delta > 0")
+	}
+	p, err := newPipeline(root, seed, steps, shards)
+	if err != nil {
+		return err
+	}
+	total, err := p.CorpusRows()
+	if err != nil {
+		return fmt.Errorf("delta needs a completed base run under -root: %w", err)
+	}
+	if total != n {
+		return fmt.Errorf("root has %d staged rows, -docs says %d; the corpora would diverge", total, n)
+	}
+	all, err := generate(n+k, seed)
+	if err != nil {
+		return err
+	}
+	// Warm-start state lives in the Pipeline, not on disk, and the base run
+	// happened in another process. A caught-up IncrementalRun (no pending
+	// deltas: no LF execution, just training over the base view) establishes
+	// it, so the delta round below exercises the real warm-start path.
+	if _, err := p.IncrementalRun(ctx, runners()); err != nil {
+		return fmt.Errorf("warm-up run: %w", err)
+	}
+	res, err := p.IncrementalRun(ctx, runners(), drybell.WithCorpusDelta(drybell.SliceSource(all[n:])))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("delta: generations=%v delta_docs=%d delta_tasks=%d warm_started=%v warm_iterations=%d\n",
+		res.Generations, res.DeltaExamples, res.DeltaTaskAttempts, res.WarmStarted, res.WarmIterations)
+	if err := p.Compact(); err != nil {
+		return fmt.Errorf("compact: %w", err)
+	}
+	fmt.Println("compacted: ledgers folded into flat artifacts")
+	return nil
+}
+
+// runCompare loads the persisted labels from the incremental root and the
+// cold root and requires them to be identical: warm and cold training are
+// the same pure function of the vote matrix, so every persisted posterior
+// must match exactly. (The vote artifacts themselves are byte-compared by
+// the smoke script, not here.)
+func runCompare(root, cold string, seed int64, steps, shards int) error {
+	pa, err := newPipeline(root, seed, steps, shards)
+	if err != nil {
+		return err
+	}
+	pb, err := newPipeline(cold, seed, steps, shards)
+	if err != nil {
+		return err
+	}
+	a, err := pa.Labels()
+	if err != nil {
+		return fmt.Errorf("incremental labels: %w", err)
+	}
+	b, err := pb.Labels()
+	if err != nil {
+		return fmt.Errorf("cold labels: %w", err)
+	}
+	if len(a) != len(b) {
+		return fmt.Errorf("incremental run persisted %d labels, cold rerun %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("label %d diverged: incremental %g, cold %g", i, a[i], b[i])
+		}
+	}
+	fmt.Printf("compare: labels=%d identical\n", len(a))
+	return nil
+}

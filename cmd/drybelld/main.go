@@ -31,6 +31,20 @@
 // names travel. On SIGTERM a worker drains gracefully: it finishes the
 // task it holds, deregisters, and exits 0.
 //
+// Training can also run continuously: -mode train -continuous keeps the
+// trainer alive after the base run, polling the corpus manifest every
+// -watch for staged deltas. Each batch of deltas triggers delta-only LF
+// execution (one vote generation per delta), a warm-start label-model
+// retrain, a classifier retrain validated against the dev split
+// (-min-dev-accuracy vetoes bad candidates), and a promotion — directly in
+// the shared registry, or via POST /v1/promote on a running serve daemon
+// when -promote-url is set. -mode append stages the next batch of synthetic
+// documents as a corpus delta for the trainer to pick up; both sides only
+// share the filesystem and the -task/-docs/-seed flags:
+//
+//	drybelld -root /tmp/d -mode train -continuous -rounds 10   # trainer
+//	drybelld -root /tmp/d -mode append -append 400             # corpus grows
+//
 // The daemon always exposes its metrics registry — request counters and
 // latency histograms shared with the /v1/metrics JSON snapshot, plus
 // pipeline and filesystem metrics from bootstrap training — in Prometheus
@@ -86,29 +100,75 @@ func main() {
 		retries   = flag.Int("retries", 2, "per-task retries (after the first attempt) for the training pipeline's MapReduce jobs")
 		resume    = flag.Bool("resume", false, "resume a crashed training run from DFS checkpoints instead of restarting (needs -root)")
 		tracePath = flag.String("trace", "", "record spans and write a Chrome trace-event timeline to this file on exit (load in Perfetto)")
+
+		continuous = flag.Bool("continuous", false,
+			"train mode: keep running after the base train, watching the corpus manifest for staged deltas (see -mode append); each batch of deltas triggers delta LF execution, a warm-start retrain, dev validation, and a promotion")
+		watch      = flag.Duration("watch", 2*time.Second, "continuous mode: corpus-manifest poll interval")
+		rounds     = flag.Int("rounds", 0, "continuous mode: exit after this many incremental rounds (0 = run until SIGTERM)")
+		promoteURL = flag.String("promote-url", "",
+			"continuous mode: base URL of a running serve daemon to POST /v1/promote to; empty promotes directly in the shared registry (the daemon's next /v1/reload or restart picks it up)")
+		minDevAcc = flag.Float64("min-dev-accuracy", 0,
+			"continuous mode: candidate models below this dev-set accuracy are not promoted (0 disables the gate)")
+		appendDocs = flag.Int("append", 0, "append mode: synthetic documents to stage as the next corpus delta (0 = 10%% of -docs)")
 	)
 	flag.Parse()
 	if *model == "" {
 		*model = *task + "-classifier"
 	}
-	if err := validateFlags(*mode, *coord, *root, *resume, *minWork); err != nil {
+	inc := incrementalFlags{
+		continuous: *continuous,
+		watch:      *watch,
+		rounds:     *rounds,
+		promoteURL: *promoteURL,
+		minDevAcc:  *minDevAcc,
+		appendDocs: *appendDocs,
+	}
+	if err := validateFlags(*mode, *coord, *root, *resume, *minWork, inc); err != nil {
 		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(2)
 	}
 	if err := run(*addr, *root, *task, *model, *mode, *coord, *docs, *seed, *steps,
 		*batch, *batchWait, *workers, *minWork, *cacheSize, *drainTimeout,
-		*latencyBudget, *maxQueue, *deadline, *retries, *resume, *tracePath); err != nil {
+		*latencyBudget, *maxQueue, *deadline, *retries, *resume, *tracePath, inc); err != nil {
 		fmt.Fprintf(os.Stderr, "drybelld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
+// incrementalFlags bundles the continuous-training and append-mode flags.
+type incrementalFlags struct {
+	continuous bool
+	watch      time.Duration
+	rounds     int
+	promoteURL string
+	minDevAcc  float64
+	appendDocs int
+}
+
 // validateFlags rejects bad flag combinations before any state — files,
 // listeners, registries — is touched, so a misconfigured node fails fast
 // with a usage error (exit 2) instead of dying mid-pipeline.
-func validateFlags(mode, coordinator, root string, resume bool, minWorkers int) error {
+func validateFlags(mode, coordinator, root string, resume bool, minWorkers int, inc incrementalFlags) error {
 	if minWorkers < 0 {
 		return fmt.Errorf("-min-workers %d: want >= 0", minWorkers)
+	}
+	if inc.continuous && mode != "train" {
+		return fmt.Errorf("-continuous only applies to -mode train (mode is %q)", mode)
+	}
+	if inc.continuous && inc.watch <= 0 {
+		return fmt.Errorf("-watch %v: the continuous loop needs a positive poll interval", inc.watch)
+	}
+	if inc.rounds < 0 {
+		return fmt.Errorf("-rounds %d: want >= 0", inc.rounds)
+	}
+	if inc.minDevAcc < 0 || inc.minDevAcc >= 1 {
+		return fmt.Errorf("-min-dev-accuracy %v: want in [0, 1)", inc.minDevAcc)
+	}
+	if inc.promoteURL != "" && !inc.continuous {
+		return errors.New("-promote-url only applies to -continuous training; one-shot train mode prints the curl instead")
+	}
+	if inc.appendDocs != 0 && mode != "append" {
+		return fmt.Errorf("-append only applies to -mode append (mode is %q)", mode)
 	}
 	switch mode {
 	case "worker":
@@ -120,6 +180,16 @@ func validateFlags(mode, coordinator, root string, resume bool, minWorkers int) 
 		}
 		if minWorkers != 0 {
 			return errors.New("-min-workers is a coordinator-side flag; a worker node waits for no one")
+		}
+	case "append":
+		if root == "" {
+			return errors.New("-mode append needs a durable -root: the staged delta must land on the filesystem the trainer watches")
+		}
+		if coordinator != "" || minWorkers > 0 || resume {
+			return errors.New("-mode append only stages a corpus delta; -coordinator, -min-workers, and -resume do not apply")
+		}
+		if inc.appendDocs < 0 {
+			return fmt.Errorf("-append %d: want >= 0", inc.appendDocs)
 		}
 	default:
 		if coordinator != "" {
@@ -138,7 +208,7 @@ func validateFlags(mode, coordinator, root string, resume bool, minWorkers int) 
 func run(addr, root, task, model, mode, coordinator string, docs int, seed int64, steps,
 	batch int, batchWait time.Duration, workers, minWorkers, cacheSize int, drainTimeout time.Duration,
 	latencyBudget time.Duration, maxQueue int, deadline time.Duration,
-	retries int, resume bool, tracePath string) error {
+	retries int, resume bool, tracePath string, inc incrementalFlags) error {
 	// SIGINT/SIGTERM cancel the context: bootstrap runs abort cleanly, the
 	// serving loop drains before exiting, and a worker finishes its leased
 	// task and deregisters.
@@ -184,12 +254,22 @@ func run(addr, root, task, model, mode, coordinator string, docs int, seed int64
 	}
 
 	switch mode {
+	case "append":
+		k := inc.appendDocs
+		if k <= 0 {
+			k = docs / 10
+		}
+		return runAppend(ctx, fsys, observer, task, model, docs, seed, steps, retries, k)
 	case "train":
 		pool, stopPool, err := startCoordinator(ctx, addr, fsys, observer, minWorkers)
 		if err != nil {
 			return err
 		}
 		defer stopPool()
+		if inc.continuous {
+			return runContinuous(ctx, fsys, reg, observer, task, model, runners, bigrams,
+				docs, seed, steps, retries, resume, pool, inc)
+		}
 		version, err := train(ctx, fsys, reg, observer, task, model, runners, bigrams, docs, seed, steps, retries, resume, false, pool)
 		if err != nil {
 			return err
@@ -209,7 +289,7 @@ func run(addr, root, task, model, mode, coordinator string, docs int, seed int64
 		return serveHTTP(ctx, addr, fsys, reg, observer, model, runners, batch, batchWait, workers, cacheSize,
 			drainTimeout, latencyBudget, maxQueue, deadline, tracePath != "")
 	default:
-		return fmt.Errorf("unknown mode %q (serve, train, or worker)", mode)
+		return fmt.Errorf("unknown mode %q (serve, train, append, or worker)", mode)
 	}
 }
 
@@ -319,40 +399,11 @@ func labelModelPath(model string) string { return "serving/labelmodel/" + model 
 func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *drybell.Observer, task, model string,
 	runners []apps.DocLF, bigrams bool, n int, seed int64, steps, retries int, resume, promote bool,
 	pool *drybell.RemotePool) (int, error) {
-	var all []*corpus.Document
-	var err error
-	switch task {
-	case "topic":
-		all, err = corpus.GenerateTopic(corpus.TopicSpec{NumDocs: n, PositiveRate: 0.05, Seed: seed})
-	case "product":
-		all, err = corpus.GenerateProduct(corpus.DefaultProductSpec(n, seed))
-	}
+	trainDocs, dev, _, err := syntheticCorpus(task, n, seed, 0)
 	if err != nil {
 		return 0, err
 	}
-	split, err := corpus.MakeSplit(len(all), n/12, n/5, seed+1)
-	if err != nil {
-		return 0, err
-	}
-	trainDocs := corpus.Select(all, split.Train)
-	dev := corpus.Select(all, split.Dev)
-
-	opts := []drybell.Option{
-		drybell.WithCodec(
-			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
-			corpus.UnmarshalDocument,
-		),
-		drybell.WithFS(fsys),
-		drybell.WithWorkDir("bootstrap/" + model),
-		drybell.WithRetries(retries),
-		drybell.WithResume(resume),
-		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2}),
-		drybell.WithObserver(observer),
-	}
-	if pool != nil {
-		opts = append(opts, drybell.WithRemoteWorkers(pool))
-	}
-	p, err := drybell.New[*corpus.Document](opts...)
+	p, err := trainPipeline(fsys, observer, model, seed, steps, retries, resume, pool)
 	if err != nil {
 		return 0, err
 	}
@@ -370,7 +421,74 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *
 	if err != nil {
 		return 0, err
 	}
+	version, err := stageVersion(fsys, reg, model, clf, res.Model, dev)
+	if err != nil {
+		return 0, err
+	}
+	if promote {
+		if err := reg.Promote(model, version); err != nil {
+			return 0, err
+		}
+	}
+	return version, nil
+}
 
+// syntheticCorpus reconstructs the daemon's synthetic world from (task, n,
+// seed): the base train/dev split over the first n documents, plus `extra`
+// appended documents beyond them. The generators are prefix-stable —
+// generating n+extra documents with the same seed yields the n base
+// documents unchanged — which is what lets an append-mode process and a
+// continuous trainer agree on the corpus without exchanging anything but
+// the filesystem.
+func syntheticCorpus(task string, n int, seed int64, extra int) (trainDocs, dev, appended []*corpus.Document, err error) {
+	var all []*corpus.Document
+	switch task {
+	case "topic":
+		all, err = corpus.GenerateTopic(corpus.TopicSpec{NumDocs: n + extra, PositiveRate: 0.05, Seed: seed})
+	case "product":
+		all, err = corpus.GenerateProduct(corpus.DefaultProductSpec(n+extra, seed))
+	default:
+		err = fmt.Errorf("unknown task %q", task)
+	}
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	split, err := corpus.MakeSplit(n, n/12, n/5, seed+1)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	base := all[:n]
+	return corpus.Select(base, split.Train), corpus.Select(base, split.Dev), all[n:], nil
+}
+
+// trainPipeline builds the daemon's training pipeline over its filesystem —
+// one construction shared by one-shot train, append, and continuous modes so
+// they all agree on the work directory and codec.
+func trainPipeline(fsys drybell.FS, observer *drybell.Observer, model string, seed int64, steps, retries int,
+	resume bool, pool *drybell.RemotePool) (*drybell.Pipeline[*corpus.Document], error) {
+	opts := []drybell.Option{
+		drybell.WithCodec(
+			func(d *corpus.Document) ([]byte, error) { return d.Marshal() },
+			corpus.UnmarshalDocument,
+		),
+		drybell.WithFS(fsys),
+		drybell.WithWorkDir("bootstrap/" + model),
+		drybell.WithRetries(retries),
+		drybell.WithResume(resume),
+		drybell.WithLabelModel(drybell.LabelModelOptions{Steps: steps, BatchSize: 64, LR: 0.05, Seed: seed + 2}),
+		drybell.WithObserver(observer),
+	}
+	if pool != nil {
+		opts = append(opts, drybell.WithRemoteWorkers(pool))
+	}
+	return drybell.New[*corpus.Document](opts...)
+}
+
+// stageVersion exports the classifier, validates servability and latency on
+// dev probes, stages it into the registry, and persists the label model the
+// online /v1/label path denoises with. It does not promote.
+func stageVersion(fsys drybell.FS, reg serving.Catalog, model string,
+	clf *drybell.ContentClassifier, lm *labelmodel.Model, dev []*corpus.Document) (int, error) {
 	art, err := clf.Export(model)
 	if err != nil {
 		return 0, err
@@ -386,12 +504,7 @@ func train(ctx context.Context, fsys drybell.FS, reg serving.Catalog, observer *
 	if err != nil {
 		return 0, err
 	}
-	if promote {
-		if err := reg.Promote(model, staged.Version); err != nil {
-			return 0, err
-		}
-	}
-	encoded, err := labelmodel.EncodeModel(res.Model)
+	encoded, err := labelmodel.EncodeModel(lm)
 	if err != nil {
 		return 0, err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestValidateFlags pins the fail-fast surface: every node-role flag
@@ -16,6 +17,7 @@ func TestValidateFlags(t *testing.T) {
 		root        string
 		resume      bool
 		minWorkers  int
+		inc         incrementalFlags
 		wantErr     string // substring; empty means valid
 	}{
 		{name: "serve defaults", mode: "serve"},
@@ -23,6 +25,10 @@ func TestValidateFlags(t *testing.T) {
 		{name: "train coordinator", mode: "train", minWorkers: 2},
 		{name: "worker", mode: "worker", coordinator: "http://host:9090"},
 		{name: "resume with root", mode: "train", root: "/tmp/x", resume: true},
+		{name: "continuous train", mode: "train", inc: incrementalFlags{continuous: true, watch: time.Second}},
+		{name: "continuous with promote-url", mode: "train",
+			inc: incrementalFlags{continuous: true, watch: time.Second, promoteURL: "http://host:8080", rounds: 3, minDevAcc: 0.9}},
+		{name: "append with root", mode: "append", root: "/tmp/x", inc: incrementalFlags{appendDocs: 100}},
 
 		{name: "worker without coordinator", mode: "worker", wantErr: "-coordinator"},
 		{name: "worker with resume", mode: "worker", coordinator: "http://host:9090", resume: true, wantErr: "-resume"},
@@ -32,10 +38,20 @@ func TestValidateFlags(t *testing.T) {
 		{name: "serve with min-workers", mode: "serve", minWorkers: 2, wantErr: "-min-workers"},
 		{name: "negative min-workers", mode: "train", minWorkers: -1, wantErr: "-min-workers"},
 		{name: "resume without root", mode: "train", resume: true, wantErr: "-resume"},
+
+		{name: "continuous serve", mode: "serve", inc: incrementalFlags{continuous: true, watch: time.Second}, wantErr: "-continuous"},
+		{name: "continuous without watch", mode: "train", inc: incrementalFlags{continuous: true}, wantErr: "-watch"},
+		{name: "negative rounds", mode: "train", inc: incrementalFlags{continuous: true, watch: time.Second, rounds: -1}, wantErr: "-rounds"},
+		{name: "bad dev accuracy", mode: "train", inc: incrementalFlags{continuous: true, watch: time.Second, minDevAcc: 1.5}, wantErr: "-min-dev-accuracy"},
+		{name: "promote-url without continuous", mode: "train", inc: incrementalFlags{promoteURL: "http://host:8080"}, wantErr: "-promote-url"},
+		{name: "append without root", mode: "append", wantErr: "-root"},
+		{name: "append with resume", mode: "append", root: "/tmp/x", resume: true, wantErr: "-mode append"},
+		{name: "append count on train", mode: "train", inc: incrementalFlags{appendDocs: 10}, wantErr: "-append"},
+		{name: "negative append", mode: "append", root: "/tmp/x", inc: incrementalFlags{appendDocs: -1}, wantErr: "-append"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			err := validateFlags(tt.mode, tt.coordinator, tt.root, tt.resume, tt.minWorkers)
+			err := validateFlags(tt.mode, tt.coordinator, tt.root, tt.resume, tt.minWorkers, tt.inc)
 			if tt.wantErr == "" {
 				if err != nil {
 					t.Fatalf("validateFlags: unexpected error %v", err)

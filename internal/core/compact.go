@@ -1,0 +1,163 @@
+// Compaction: fold the generation chain back into flat artifacts.
+//
+// Incremental runs leave two parallel ledgers behind — corpus deltas under
+// the input area and vote generations over the columnar artifact. Compact
+// folds both in one step, which is the only safe unit: folding votes alone
+// resets the vote store's generation counter while the corpus manifest still
+// lists deltas, and the next run would re-execute (or mis-number) them.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"path"
+
+	"repro/internal/dfs"
+	"repro/internal/lf"
+	"repro/internal/mapreduce"
+	"repro/internal/recordio"
+)
+
+// Compact folds the corpus delta ledger and the vote generation chain into
+// flat base artifacts. Afterwards the filesystem is indistinguishable from a
+// fresh base run staged over the compacted corpus — restaged input shards and
+// the folded vote artifact are byte-identical to that run's, both ledgers are
+// empty, and the next StageDelta starts a new chain at generation 1.
+//
+// Compact requires the vote store to be caught up with the corpus ledger
+// (every staged delta executed, e.g. by IncrementalRun); otherwise the
+// pending deltas' votes would be lost. It replays the deltas over the staged
+// records with the vote layer's exact semantics: later generations supersede
+// row ranges, tombstones drop rows unless a later generation rewrites them.
+//
+// A crash mid-compaction leaves at worst a folded corpus ledger with the vote
+// chain still standing, which loads correctly and is repaired by running
+// Compact again.
+func Compact[T any](cfg Config[T]) error {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return err
+	}
+	votesBase := path.Join(cfg.VotesPrefix(), "votes")
+	gens, err := readCorpusManifest(cfg)
+	if err != nil {
+		return err
+	}
+	if len(gens) == 0 {
+		// Nothing in the corpus ledger; fold any leftover vote chain (the
+		// crash-repair path) and be done.
+		return lf.CompactGenerations(cfg.FS, votesBase, cfg.Shards)
+	}
+	executed, err := lf.LatestGeneration(cfg.FS, votesBase)
+	if err != nil {
+		return err
+	}
+	if executed < len(gens) {
+		return fmt.Errorf("drybell: compact: corpus ledger has %d generations but only %d executed; run IncrementalRun first", len(gens), executed)
+	}
+
+	records, err := readStagedRecords(cfg.FS, cfg.InputBase())
+	if err != nil {
+		return fmt.Errorf("drybell: compact: read base corpus: %w", err)
+	}
+	live := make([]bool, len(records))
+	for i := range live {
+		live[i] = true
+	}
+	for _, g := range gens {
+		if g.Records > 0 {
+			drecs, err := readStagedRecords(cfg.FS, cfg.deltaInputBase(g.Gen))
+			if err != nil {
+				return fmt.Errorf("drybell: compact: read delta generation %d: %w", g.Gen, err)
+			}
+			if len(drecs) != g.Records {
+				return fmt.Errorf("drybell: compact: delta generation %d staged %d records, manifest says %d", g.Gen, len(drecs), g.Records)
+			}
+			if end := g.StartRow + len(drecs); end > len(records) {
+				records = append(records, make([][]byte, end-len(records))...)
+				live = append(live, make([]bool, end-len(live))...)
+			}
+			for i, rec := range drecs {
+				records[g.StartRow+i] = rec
+				live[g.StartRow+i] = true
+			}
+		}
+		for _, row := range g.Deleted {
+			if row >= 0 && row < len(live) {
+				live[row] = false
+			}
+		}
+	}
+	w, err := mapreduce.NewInputWriter(cfg.FS, cfg.InputBase(), cfg.Shards)
+	if err != nil {
+		return err
+	}
+	for i, rec := range records {
+		if !live[i] {
+			continue
+		}
+		if err := w.Append(rec); err != nil {
+			return fmt.Errorf("drybell: compact: restage corpus: %w", err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		return fmt.Errorf("drybell: compact: restage corpus: %w", err)
+	}
+
+	// Corpus ledger first, votes second: if we crash in between, the vote
+	// chain still stands over an empty ledger — reads stay correct and a
+	// Compact retry folds it — whereas folding votes first would reset the
+	// generation counter under a manifest that still lists deltas.
+	if err := cfg.FS.Remove(cfg.CorpusManifestPath()); err != nil {
+		return fmt.Errorf("drybell: compact: remove corpus manifest: %w", err)
+	}
+	for _, g := range gens {
+		if g.Records == 0 {
+			continue
+		}
+		shards, err := dfs.ListShards(cfg.FS, cfg.deltaInputBase(g.Gen))
+		if err != nil {
+			continue // already gone; orphaned inputs are never re-read
+		}
+		for _, s := range shards {
+			_ = cfg.FS.Remove(s)
+		}
+		_ = cfg.FS.Remove(cfg.deltaInputBase(g.Gen) + ".count")
+	}
+	return lf.CompactGenerations(cfg.FS, votesBase, cfg.Shards)
+}
+
+// readStagedRecords reads a staged shard set back in staging order: record k
+// is the k/n-th record of shard k%n (the InputWriter round-robin layout).
+func readStagedRecords(fs dfs.FS, base string) ([][]byte, error) {
+	shards, err := dfs.ListShards(fs, base)
+	if err != nil {
+		return nil, err
+	}
+	n := len(shards)
+	perShard := make([][][]byte, n)
+	total := 0
+	for s, shard := range shards {
+		data, err := fs.ReadFile(shard)
+		if err != nil {
+			return nil, err
+		}
+		recs, err := recordio.ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("shard %s: %w", shard, err)
+		}
+		perShard[s] = recs
+		total += len(recs)
+	}
+	out := make([][]byte, total)
+	for s, recs := range perShard {
+		for r, rec := range recs {
+			idx := s + r*n
+			if idx >= total {
+				return nil, fmt.Errorf("staged shards at %s are inconsistent (index %d of %d)", base, idx, total)
+			}
+			out[idx] = rec
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"path"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/corpus"
+	"repro/internal/dfs"
+	"repro/internal/lf"
+)
+
+// TestCompactRestoresFlatState is the compaction contract: after appends,
+// deletions, and Compact, the filesystem must be byte-identical to a fresh
+// base run staged over the compacted corpus — input shards and vote artifact
+// alike — with both ledgers empty and a new chain startable at generation 1.
+func TestCompactRestoresFlatState(t *testing.T) {
+	ctx := context.Background()
+	full, err := corpus.GenerateTopic(corpus.TopicSpec{NumDocs: 680, PositiveRate: 0.05, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, delta, next := full[:600], full[600:660], full[660:]
+
+	fs := dfs.NewMem()
+	cfg := topicConfig(fs)
+	cfg.WorkDir = "drybell" // pin the default so path helpers below resolve
+	cfg.Trainer = TrainerSamplingFreeFast
+	lfs := apps.TopicLFs(nil, 0.02, 1)
+	if _, err := Run(cfg, base, lfs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact refuses while a staged delta is pending: its votes would be lost.
+	deleted := []int{5, 610}
+	if _, err := StageDelta(ctx, cfg, Examples(delta), deleted); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compact(cfg); err == nil {
+		t.Fatal("Compact folded a pending, unexecuted delta")
+	}
+	if _, err := IncrementalRun(ctx, cfg, lfs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compact(cfg); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+
+	gens, err := CorpusGenerations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 0 {
+		t.Fatalf("corpus ledger still lists %d generations after Compact", len(gens))
+	}
+	votesBase := path.Join(cfg.VotesPrefix(), "votes")
+	if g, err := lf.LatestGeneration(fs, votesBase); err != nil || g != 0 {
+		t.Fatalf("vote store at generation %d (err %v) after Compact, want 0", g, err)
+	}
+
+	// Cold reference: a fresh base run over the compacted corpus (the 660
+	// staged docs minus the two tombstoned rows).
+	compacted := make([]*corpus.Document, 0, 658)
+	for i, d := range full[:660] {
+		if i != 5 && i != 610 {
+			compacted = append(compacted, d)
+		}
+	}
+	coldFS := dfs.NewMem()
+	coldCfg := topicConfig(coldFS)
+	coldCfg.WorkDir = "drybell"
+	coldCfg.Trainer = TrainerSamplingFreeFast
+	if _, err := Run(coldCfg, compacted, apps.TopicLFs(nil, 0.02, 1)); err != nil {
+		t.Fatal(err)
+	}
+	compareShards(t, fs, coldFS, cfg.InputBase(), "input")
+	compareShards(t, fs, coldFS, votesBase, "votes")
+	a, errA := fs.ReadFile(votesBase + ".meta")
+	b, errB := coldFS.ReadFile(votesBase + ".meta")
+	if errA != nil || errB != nil || !bytes.Equal(a, b) {
+		t.Errorf("votes meta differs from the cold run's (%v, %v)", errA, errB)
+	}
+
+	// The next delta starts a fresh chain at generation 1 on both ledgers.
+	g, err := StageDelta(ctx, cfg, Examples(next), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Gen != 1 || g.StartRow != 658 {
+		t.Fatalf("post-compaction delta = %+v, want gen 1 at row 658", g)
+	}
+	inc, err := IncrementalRun(ctx, cfg, lfs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Generations) != 1 || inc.Generations[0] != 1 {
+		t.Fatalf("post-compaction run published %v, want [1]", inc.Generations)
+	}
+	if inc.Matrix.NumExamples() != 678 {
+		t.Fatalf("post-compaction view has %d rows, want 678", inc.Matrix.NumExamples())
+	}
+
+	// Compact again with an executed chain: idempotent housekeeping.
+	if err := Compact(cfg); err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	if total, err := CorpusTotalRows(cfg); err != nil || total != 678 {
+		t.Fatalf("compacted corpus has %d rows (err %v), want 678", total, err)
+	}
+}
+
+// compareShards requires the committed shard sets at the same base on two
+// filesystems to be byte-identical, shard by shard.
+func compareShards(t *testing.T, a, b dfs.FS, base, what string) {
+	t.Helper()
+	as, err := dfs.ListShards(a, base)
+	if err != nil {
+		t.Fatalf("%s: list shards: %v", what, err)
+	}
+	bs, err := dfs.ListShards(b, base)
+	if err != nil {
+		t.Fatalf("%s: list cold shards: %v", what, err)
+	}
+	if len(as) != len(bs) {
+		t.Fatalf("%s: %d shards vs %d cold shards", what, len(as), len(bs))
+	}
+	for i := range as {
+		ad, err := a.ReadFile(as[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := b.ReadFile(bs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ad, bd) {
+			t.Errorf("%s shard %s is not byte-identical to the cold run's", what, as[i])
+		}
+	}
+}

@@ -1,0 +1,422 @@
+// Incremental pipeline: corpus deltas, delta execution, warm-start training.
+//
+// A batch run stages the whole corpus and re-derives everything. The
+// incremental path instead stages each corpus change as a delta generation
+// (StageDelta), records it in a corpus manifest next to the staged input,
+// and IncrementalRun advances the pipeline by exactly the pending deltas:
+// labeling functions execute only over delta shards (lf.ExecuteDelta,
+// publishing vote generations), the label model warm-starts from the
+// previous run's state (labelmodel.TrainSamplingFreeFastWarm), and the
+// refreshed probabilistic labels are persisted in full. Corpus delta n
+// produces vote generation n; the base corpus and the flat vote artifact
+// are both "generation 0", so the two ledgers advance in lockstep and the
+// vote store itself records how far execution has progressed.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"iter"
+	"path"
+	"time"
+
+	"repro/internal/labelmodel"
+	"repro/internal/lf"
+	"repro/internal/mapreduce"
+	"repro/internal/obs"
+	lfapi "repro/pkg/drybell/lf"
+)
+
+// CorpusGeneration is one staged corpus delta, recorded in the corpus
+// manifest. The base corpus (StageExamples) is implicitly generation 0.
+type CorpusGeneration struct {
+	// Gen is the delta's 1-based generation number; the vote generation its
+	// execution publishes carries the same number.
+	Gen int `json:"gen"`
+	// Records is the number of documents staged in this delta (zero for a
+	// deletions-only delta).
+	Records int `json:"records"`
+	// StartRow is the absolute row index (staging order) where this delta's
+	// rows begin. Appends use the total row count at staging time; rewrites
+	// of existing documents point inside the covered range.
+	StartRow int `json:"start_row"`
+	// Deleted lists absolute row indices this delta tombstones.
+	Deleted []int `json:"deleted,omitempty"`
+	// StagedAtUnix is when the delta was staged, for staleness accounting.
+	StagedAtUnix int64 `json:"staged_at_unix"`
+}
+
+// corpusManifest is the JSON document at CorpusManifestPath.
+type corpusManifest struct {
+	Generations []CorpusGeneration `json:"generations"`
+}
+
+// CorpusManifestPath is the DFS path of the corpus delta manifest.
+func (c Config[T]) CorpusManifestPath() string {
+	return path.Join(c.WorkDir, "input", "_corpus.json")
+}
+
+// deltaInputBase is the staged input base of corpus delta gen.
+func (c Config[T]) deltaInputBase(gen int) string {
+	return path.Join(c.WorkDir, "input", "_delta", fmt.Sprintf("%05d", gen), "examples")
+}
+
+// CorpusGenerations reads the staged corpus deltas in generation order. A
+// corpus staged before any delta (no manifest) has none.
+func CorpusGenerations[T any](cfg Config[T]) ([]CorpusGeneration, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return readCorpusManifest(cfg)
+}
+
+func readCorpusManifest[T any](cfg Config[T]) ([]CorpusGeneration, error) {
+	raw, err := cfg.FS.ReadFile(cfg.CorpusManifestPath())
+	if err != nil {
+		// No manifest: no deltas have been staged yet.
+		return nil, nil
+	}
+	var m corpusManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("drybell: corpus manifest %s is corrupt: %w", cfg.CorpusManifestPath(), err)
+	}
+	for i, g := range m.Generations {
+		if g.Gen != i+1 {
+			return nil, fmt.Errorf("drybell: corpus manifest %s entry %d claims generation %d", cfg.CorpusManifestPath(), i, g.Gen)
+		}
+	}
+	return m.Generations, nil
+}
+
+func writeCorpusManifest[T any](cfg Config[T], gens []CorpusGeneration) error {
+	raw, err := json.Marshal(corpusManifest{Generations: gens})
+	if err != nil {
+		return fmt.Errorf("drybell: encode corpus manifest: %w", err)
+	}
+	dst := cfg.CorpusManifestPath()
+	tmp := dst + ".tmp"
+	if err := cfg.FS.WriteFile(tmp, raw); err != nil {
+		return fmt.Errorf("drybell: write corpus manifest: %w", err)
+	}
+	if err := cfg.FS.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("drybell: promote corpus manifest: %w", err)
+	}
+	return nil
+}
+
+// CorpusTotalRows is the corpus's absolute row count in staging order: the
+// base corpus plus every appended delta, before tombstone compaction. This
+// is where the next append's StartRow goes.
+func CorpusTotalRows[T any](cfg Config[T]) (int, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return 0, err
+	}
+	return corpusTotalRows(cfg)
+}
+
+func corpusTotalRows[T any](cfg Config[T]) (int, error) {
+	base, err := mapreduce.ReadStagedCount(cfg.FS, cfg.InputBase())
+	if err != nil {
+		if base, err = mapreduce.CountRecords(cfg.FS, cfg.InputBase()); err != nil {
+			return 0, fmt.Errorf("drybell: no staged base corpus at %s: %w", cfg.InputBase(), err)
+		}
+	}
+	gens, err := readCorpusManifest(cfg)
+	if err != nil {
+		return 0, err
+	}
+	total := base
+	for _, g := range gens {
+		if end := g.StartRow + g.Records; end > total {
+			total = end
+		}
+	}
+	return total, nil
+}
+
+// StageDelta stages a corpus delta — new documents appended after the rows
+// staged so far, plus any tombstoned rows — as the next corpus generation,
+// and records it in the corpus manifest. A nil source with non-empty deleted
+// stages a deletions-only delta. Returns the recorded generation.
+//
+// Rewrites of existing documents are staged by StageDeltaAt with an explicit
+// start row inside the covered range.
+func StageDelta[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], deleted []int) (CorpusGeneration, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return CorpusGeneration{}, err
+	}
+	total, err := corpusTotalRows(cfg)
+	if err != nil {
+		return CorpusGeneration{}, err
+	}
+	return stageDeltaAt(ctx, cfg, src, total, deleted)
+}
+
+// StageDeltaAt is StageDelta with an explicit start row: the delta's
+// documents supersede rows [startRow, startRow+n) of the staging order —
+// how changed documents re-enter the pipeline.
+func StageDeltaAt[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], startRow int, deleted []int) (CorpusGeneration, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return CorpusGeneration{}, err
+	}
+	total, err := corpusTotalRows(cfg)
+	if err != nil {
+		return CorpusGeneration{}, err
+	}
+	if startRow < 0 || startRow > total {
+		return CorpusGeneration{}, fmt.Errorf("drybell: delta start row %d outside the %d staged rows", startRow, total)
+	}
+	return stageDeltaAt(ctx, cfg, src, startRow, deleted)
+}
+
+func stageDeltaAt[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], startRow int, deleted []int) (CorpusGeneration, error) {
+	_, span := obs.StartSpan(ctx, "stage.delta", obs.Int("start_row", startRow), obs.Int("deleted", len(deleted)))
+	gen, err := stageDelta(ctx, cfg, src, startRow, deleted)
+	span.SetAttr(obs.Int("generation", gen.Gen), obs.Int("records", gen.Records))
+	span.EndErr(err)
+	return gen, err
+}
+
+func stageDelta[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], startRow int, deleted []int) (CorpusGeneration, error) {
+	if src == nil && len(deleted) == 0 {
+		return CorpusGeneration{}, fmt.Errorf("drybell: delta with no documents and no deletions")
+	}
+	gens, err := readCorpusManifest(cfg)
+	if err != nil {
+		return CorpusGeneration{}, err
+	}
+	g := CorpusGeneration{
+		Gen:          len(gens) + 1,
+		StartRow:     startRow,
+		Deleted:      append([]int(nil), deleted...),
+		StagedAtUnix: time.Now().Unix(), //drybellvet:wallclock — staleness bookkeeping, never in artifacts
+	}
+	if src != nil {
+		// Stage the delta's shards exactly like a base corpus, under the
+		// delta's own input base, so the execution layer consumes them
+		// through the unchanged staging contract.
+		n, err := stageAt(ctx, cfg, src, cfg.deltaInputBase(g.Gen))
+		if err != nil {
+			return CorpusGeneration{}, err
+		}
+		g.Records = n
+	}
+	if err := writeCorpusManifest(cfg, append(gens, g)); err != nil {
+		return CorpusGeneration{}, err
+	}
+	return g, nil
+}
+
+// stageAt stages an example source at an explicit input base (stageRecords
+// always writes to cfg.InputBase()).
+func stageAt[T any](ctx context.Context, cfg Config[T], src iter.Seq2[T, error], base string) (int, error) {
+	w, err := mapreduce.NewInputWriter(cfg.FS, base, cfg.Shards)
+	if err != nil {
+		return 0, err
+	}
+	i := 0
+	for x, err := range src {
+		if err != nil {
+			return 0, fmt.Errorf("drybell: delta source: %w", err)
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("drybell: stage delta: %w", err)
+		}
+		rec, err := cfg.Encode(x)
+		if err != nil {
+			return 0, fmt.Errorf("drybell: encode delta example %d: %w", i, err)
+		}
+		if err := w.Append(rec); err != nil {
+			return 0, fmt.Errorf("drybell: stage delta: %w", err)
+		}
+		i++
+	}
+	if w.Count() == 0 {
+		return 0, fmt.Errorf("drybell: delta staged no examples")
+	}
+	if err := w.Commit(); err != nil {
+		return 0, fmt.Errorf("drybell: stage delta: %w", err)
+	}
+	return w.Count(), nil
+}
+
+// IncrementalResult is the output of one IncrementalRun.
+type IncrementalResult struct {
+	// Matrix is the compacted full view after applying the pending deltas.
+	Matrix *labelmodel.Matrix
+	// Model is the warm-start-trained generative model.
+	Model *labelmodel.Model
+	// Posteriors are the refreshed probabilistic labels over the full view.
+	Posteriors []float64
+	// State feeds the next IncrementalRun's warm start.
+	State *labelmodel.TrainState
+	// Generations lists the vote generations published by this run, in
+	// order. Empty means the vote store was already caught up (the run
+	// retrained only if Retrained is set).
+	Generations []int
+	// DeltaExamples counts documents executed by this run's delta jobs.
+	DeltaExamples int
+	// DeltaTaskAttempts counts task attempts across this run's delta jobs —
+	// the "only delta tasks ran" witness.
+	DeltaTaskAttempts int
+	// WarmIterations is the Newton iteration count of the warm-start
+	// training run.
+	WarmIterations int
+	// WarmStarted reports whether training resumed from a previous state
+	// (false on the α-less first run).
+	WarmStarted bool
+	// StalenessSeconds is the age of the oldest pending delta at run start —
+	// how far behind the corpus the labels were before this run.
+	StalenessSeconds float64
+	// LabelsPath is the DFS base of the persisted labels.
+	LabelsPath string
+}
+
+// IncrementalRun advances the pipeline by the staged-but-unexecuted corpus
+// deltas: each pending delta runs through lf.ExecuteDelta (labeling
+// functions over delta shards only, one vote generation per delta), the
+// label model warm-starts from prev, and the refreshed labels are persisted
+// over the full corpus. It requires a completed base run (Run/RunContext
+// with the same FS and WorkDir) to have published the flat vote artifact.
+//
+// Training always uses the sampling-free fast trainer — warm starting is
+// its capability — regardless of Config.Trainer; warm and cold runs produce
+// the identical model (the optimizer is a pure function of the vote matrix;
+// see labelmodel's equivalence tests). prev may be nil (first incremental
+// run, or after a process restart without persisted state): training still
+// covers the full view, only the warm start's compaction reuse is lost.
+func IncrementalRun[T any](ctx context.Context, cfg Config[T], lfs []lfapi.LF[T], prev *labelmodel.TrainState) (*IncrementalResult, error) {
+	cfg, err := cfg.WithDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := lfapi.ValidateNames(lfs); err != nil {
+		return nil, fmt.Errorf("drybell: %w", err)
+	}
+	ctx = cfg.ObsContext(ctx)
+	ctx, span := obs.StartSpan(ctx, "pipeline.incremental",
+		obs.String("workdir", cfg.WorkDir), obs.Int("functions", len(lfs)))
+	res, err := incrementalRun(ctx, cfg, lfs, prev)
+	if res != nil {
+		span.SetAttr(
+			obs.Int("delta_examples", res.DeltaExamples),
+			obs.Int("delta_task_attempts", res.DeltaTaskAttempts),
+			obs.Int("generations", len(res.Generations)),
+			obs.Int("warm_iterations", res.WarmIterations),
+			obs.Bool("warm_started", res.WarmStarted))
+	}
+	span.EndErr(err)
+	return res, err
+}
+
+func incrementalRun[T any](ctx context.Context, cfg Config[T], lfs []lfapi.LF[T], prev *labelmodel.TrainState) (*IncrementalResult, error) {
+	exec := cfg.executor()
+	votesBase := path.Join(cfg.VotesPrefix(), "votes")
+	if !lf.HasVotes(cfg.FS, votesBase) && !lf.HasGenerations(cfg.FS, votesBase) {
+		return nil, fmt.Errorf("drybell: incremental run needs a completed base run (no vote artifact at %s)", votesBase)
+	}
+	gens, err := readCorpusManifest(cfg)
+	if err != nil {
+		return nil, err
+	}
+	executed, err := lf.LatestGeneration(cfg.FS, votesBase)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &IncrementalResult{}
+	// appendOnly tracks whether every pending delta purely appends rows: only
+	// then does the previous compaction's prefix survive verbatim, making the
+	// O(delta) ExtendCompact path safe. Rewrites (StartRow inside the rows
+	// staged before the delta) and deletions reshape already-compacted rows,
+	// so they drop training to the α-only warm start.
+	appendOnly := true
+	baseRows, err := mapreduce.ReadStagedCount(cfg.FS, cfg.InputBase())
+	if err != nil {
+		if baseRows, err = mapreduce.CountRecords(cfg.FS, cfg.InputBase()); err != nil {
+			return nil, fmt.Errorf("drybell: no staged base corpus at %s: %w", cfg.InputBase(), err)
+		}
+	}
+	totalSoFar := baseRows
+	now := time.Now() //drybellvet:wallclock — staleness metric only, never in artifacts
+	for _, g := range gens {
+		pending := g.Gen > executed
+		if pending && (len(g.Deleted) > 0 || g.StartRow < totalSoFar) {
+			appendOnly = false
+		}
+		if end := g.StartRow + g.Records; end > totalSoFar {
+			totalSoFar = end
+		}
+		if !pending {
+			continue
+		}
+		if age := now.Unix() - g.StagedAtUnix; float64(age) > res.StalenessSeconds {
+			res.StalenessSeconds = float64(age)
+		}
+		d := lf.Delta{StartRow: g.StartRow, Deleted: g.Deleted}
+		if g.Records > 0 {
+			d.InputBase = cfg.deltaInputBase(g.Gen)
+		}
+		_, report, gen, err := exec.ExecuteDelta(ctx, lfs, d)
+		if err != nil {
+			return nil, fmt.Errorf("drybell: execute delta generation %d: %w", g.Gen, err)
+		}
+		if gen != g.Gen {
+			return nil, fmt.Errorf("drybell: corpus delta %d published vote generation %d — ledgers out of step", g.Gen, gen)
+		}
+		res.Generations = append(res.Generations, gen)
+		res.DeltaExamples += report.Examples
+		res.DeltaTaskAttempts += report.TaskAttempts
+	}
+
+	names := make([]string, len(lfs))
+	//drybellvet:tightloop — bounded by the function set, in-memory name collection
+	for j, f := range lfs {
+		names[j] = f.LFMeta().Name
+	}
+	mx, err := exec.LoadMatrix(names)
+	if err != nil {
+		return nil, err
+	}
+	res.Matrix = mx
+
+	if prev != nil && prev.Compact != nil && !appendOnly {
+		// Keep the α warm start but drop the compaction: the view's rows
+		// shifted or changed under it.
+		prev = &labelmodel.TrainState{Alpha: prev.Alpha, Iterations: prev.Iterations}
+	}
+	model, state, err := labelmodel.TrainSamplingFreeFastWarm(mx, cfg.LabelModel, prev)
+	if err != nil {
+		return nil, fmt.Errorf("drybell: warm-start train: %w", err)
+	}
+	res.Model = model
+	res.State = state
+	res.WarmIterations = state.Iterations
+	res.WarmStarted = prev != nil && len(prev.Alpha) > 0
+	res.Posteriors = model.Posteriors(mx)
+
+	res.LabelsPath = cfg.LabelsOutputBase()
+	if err := PersistLabels(ctx, cfg.FS, res.LabelsPath, res.Posteriors, cfg.Shards); err != nil {
+		return nil, err
+	}
+
+	if cfg.Obs != nil && cfg.Obs.Metrics != nil {
+		reg := cfg.Obs.Metrics
+		reg.Counter("pipeline_incremental_runs_total",
+			"Completed incremental pipeline runs.").Inc()
+		reg.Counter("pipeline_incremental_delta_examples_total",
+			"Documents executed by incremental delta jobs.").Add(int64(res.DeltaExamples))
+		reg.Counter("pipeline_incremental_task_attempts_total",
+			"Task attempts launched by incremental delta jobs.").Add(int64(res.DeltaTaskAttempts))
+		reg.Gauge("pipeline_incremental_staleness_seconds",
+			"Age of the oldest pending corpus delta when the last incremental run started.").Set(res.StalenessSeconds)
+		reg.Gauge("pipeline_incremental_warm_iterations",
+			"Newton iterations spent by the last warm-start training run.").Set(float64(res.WarmIterations))
+	}
+	return res, nil
+}

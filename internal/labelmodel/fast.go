@@ -83,6 +83,10 @@ type fastTrainer struct {
 
 	workers int
 
+	// iters counts the Newton iterations run actually spent, for warm-start
+	// "iterations saved" accounting.
+	iters int
+
 	// Per-LF state at the current α (recomputed by lfTerms).
 	beta []float64 // profiled β*(α)
 	a2   []float64 // 2·α, the per-vote log-odds contribution
@@ -164,6 +168,13 @@ func newFastTrainer(cm *CompactMatrix, opts Options) *fastTrainer {
 func (ft *fastTrainer) run() ([]float64, []float64, error) {
 	n := ft.cm.NumFuncs()
 	m := float64(ft.cm.NumExamples())
+	// Always seed from the method-of-moments estimate — a pure function of
+	// the compacted matrix. The profiled likelihood is non-convex, and a
+	// history-dependent seed (say, a previous corpus's optimum) can descend
+	// into a different KKT basin than this seed would, making the trained
+	// model depend on how the corpus grew rather than on what it contains.
+	// Determinism here is what lets a warm incremental run reproduce a cold
+	// retrain exactly.
 	alpha := ft.momentInit()
 
 	const (
@@ -231,6 +242,7 @@ func (ft *fastTrainer) run() ([]float64, []float64, error) {
 					f = ftrial
 					improved = true
 					hessValid = false
+					ft.iters++ // accepted Newton steps, for warm-start accounting
 					break
 				}
 				step /= 2

@@ -1,0 +1,256 @@
+package labelmodel
+
+import (
+	"testing"
+)
+
+// synthGrown draws one synthetic matrix of m+k examples and returns it with
+// its m-row prefix: the base corpus and the same corpus after an append-only
+// delta, as the incremental pipeline sees them.
+func synthGrown(t *testing.T, m, k int, seed int64) (base, full *Matrix) {
+	t.Helper()
+	spec := SynthSpec{
+		NumExamples:   m + k,
+		PriorPositive: 0.4,
+		Accuracies:    []float64{0.9, 0.8, 0.7, 0.85, 0.75, 0.65},
+		Propensities:  []float64{0.5, 0.4, 0.3, 0.25, 0.35, 0.2},
+		Seed:          seed,
+	}
+	full, _, err := Synthesize(spec)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	base = NewMatrix(m, full.NumFuncs())
+	for i := 0; i < m; i++ {
+		base.SetRow(i, full.Row(i))
+	}
+	return base, full
+}
+
+// TestExtendCompactMatchesCold pins the structural contract: extending a
+// compaction over appended rows yields exactly the sufficient statistics a
+// cold Compact of the full matrix computes — same multiplicand totals,
+// Voted, MajorityAgree, and a RowOf that reconstructs the same matrix.
+func TestExtendCompactMatchesCold(t *testing.T) {
+	base, full := synthGrown(t, 900, 90, 7)
+	prev := base.Compact()
+	ext, err := ExtendCompact(prev, full)
+	if err != nil {
+		t.Fatalf("ExtendCompact: %v", err)
+	}
+	cold := full.Compact()
+
+	if ext.NumExamples() != cold.NumExamples() || ext.NumFuncs() != cold.NumFuncs() {
+		t.Fatalf("shape: ext %dx%d, cold %dx%d",
+			ext.NumExamples(), ext.NumFuncs(), cold.NumExamples(), cold.NumFuncs())
+	}
+	if ext.NumUnique() != cold.NumUnique() {
+		t.Errorf("distinct rows: ext %d, cold %d", ext.NumUnique(), cold.NumUnique())
+	}
+	var extMult, coldMult int64
+	for _, m := range ext.Mult {
+		extMult += int64(m)
+	}
+	for _, m := range cold.Mult {
+		coldMult += int64(m)
+	}
+	if extMult != coldMult || extMult != int64(full.NumExamples()) {
+		t.Errorf("multiplicities: ext %d, cold %d, want %d", extMult, coldMult, full.NumExamples())
+	}
+	for j := range ext.Voted {
+		if ext.Voted[j] != cold.Voted[j] {
+			t.Errorf("Voted[%d]: ext %d, cold %d", j, ext.Voted[j], cold.Voted[j])
+		}
+		if ext.MajorityAgree[j] != cold.MajorityAgree[j] {
+			t.Errorf("MajorityAgree[%d]: ext %d, cold %d", j, ext.MajorityAgree[j], cold.MajorityAgree[j])
+		}
+	}
+	// Round-trip: the extended compaction must reconstruct the full matrix.
+	rec := ext.Reconstruct()
+	for i := 0; i < full.NumExamples(); i++ {
+		for j := 0; j < full.NumFuncs(); j++ {
+			if rec.At(i, j) != full.At(i, j) {
+				t.Fatalf("reconstruct mismatch at (%d,%d): got %d want %d", i, j, rec.At(i, j), full.At(i, j))
+			}
+		}
+	}
+}
+
+// TestExtendCompactDoesNotMutatePrev guards the aliasing contract: the
+// previous compaction must stay valid for its own holder after an extension
+// appended rows and bumped statistics.
+func TestExtendCompactDoesNotMutatePrev(t *testing.T) {
+	base, full := synthGrown(t, 400, 60, 13)
+	prev := base.Compact()
+	wantMult := append([]int32(nil), prev.Mult...)
+	wantVoted := append([]int64(nil), prev.Voted...)
+	wantStart := append([]int32(nil), prev.Start...)
+	if _, err := ExtendCompact(prev, full); err != nil {
+		t.Fatalf("ExtendCompact: %v", err)
+	}
+	for r := range wantMult {
+		if prev.Mult[r] != wantMult[r] {
+			t.Fatalf("prev.Mult[%d] mutated: %d -> %d", r, wantMult[r], prev.Mult[r])
+		}
+	}
+	for j := range wantVoted {
+		if prev.Voted[j] != wantVoted[j] {
+			t.Fatalf("prev.Voted[%d] mutated: %d -> %d", j, wantVoted[j], prev.Voted[j])
+		}
+	}
+	for i := range wantStart {
+		if prev.Start[i] != wantStart[i] {
+			t.Fatalf("prev.Start[%d] mutated: %d -> %d", i, wantStart[i], prev.Start[i])
+		}
+	}
+	if prev.NumExamples() != 400 {
+		t.Fatalf("prev.NumExamples mutated: %d", prev.NumExamples())
+	}
+}
+
+func TestExtendCompactRejectsShrunkOrMismatched(t *testing.T) {
+	base, full := synthGrown(t, 300, 30, 5)
+	prev := full.Compact()
+	if _, err := ExtendCompact(prev, base); err == nil {
+		t.Fatal("ExtendCompact accepted a matrix with fewer rows than already compacted")
+	}
+	narrow := NewMatrix(400, 3)
+	if _, err := ExtendCompact(base.Compact(), narrow); err == nil {
+		t.Fatal("ExtendCompact accepted a matrix with a different function count")
+	}
+}
+
+// TestWarmStartEquivalence is the tentpole's equivalence contract: after a
+// 10% append, a warm start from the base run's state must reproduce a cold
+// full retrain exactly — identical α, β, and posteriors — so incremental
+// training is a pure optimization, never a quality trade. Exactness holds
+// because an append-only ExtendCompact builds the same compaction (distinct
+// rows in first-occurrence order) a cold Compact of the full matrix builds,
+// and the optimizer's trajectory is a pure function of that compaction.
+func TestWarmStartEquivalence(t *testing.T) {
+	base, full := synthGrown(t, 2000, 200, 21)
+	opts := Options{Steps: 200}
+
+	_, state, err := TrainSamplingFreeFastWarm(base, opts, nil)
+	if err != nil {
+		t.Fatalf("cold base train: %v", err)
+	}
+	warmModel, warmState, err := TrainSamplingFreeFastWarm(full, opts, state)
+	if err != nil {
+		t.Fatalf("warm train: %v", err)
+	}
+	coldModel, err := TrainSamplingFreeFast(full, opts)
+	if err != nil {
+		t.Fatalf("cold full train: %v", err)
+	}
+
+	if d := maxAbsDiff(warmModel.Alpha, coldModel.Alpha); d != 0 {
+		t.Errorf("alpha diverged: max |warm-cold| = %g, want exact\nwarm: %v\ncold: %v",
+			d, warmModel.Alpha, coldModel.Alpha)
+	}
+	if d := maxAbsDiff(warmModel.Beta, coldModel.Beta); d != 0 {
+		t.Errorf("beta diverged: max |warm-cold| = %g, want exact", d)
+	}
+	warmP := warmModel.Posteriors(full)
+	coldP := coldModel.Posteriors(full)
+	for i := range warmP {
+		if warmP[i] != coldP[i] {
+			t.Fatalf("posterior %d diverged: warm %g, cold %g", i, warmP[i], coldP[i])
+		}
+	}
+	if warmState.Compact.NumExamples() != full.NumExamples() {
+		t.Errorf("warm state compaction covers %d examples, want %d",
+			warmState.Compact.NumExamples(), full.NumExamples())
+	}
+}
+
+// TestWarmStartIgnoresCarriedAlpha pins the determinism rationale: the
+// previous state's α must not influence the trained model. The profiled
+// likelihood is non-convex, so an optimizer seeded from a carried α can
+// descend into a different KKT basin than the moment seed — the smoke-test
+// failure that motivated this contract showed posteriors shifting by ~0.4
+// over byte-identical votes. A state carrying an adversarial α (every
+// coordinate slammed against a projection bound) must train to exactly the
+// cold model.
+func TestWarmStartIgnoresCarriedAlpha(t *testing.T) {
+	base, full := synthGrown(t, 1200, 120, 17)
+	opts := Options{Steps: 200}
+
+	_, state, err := TrainSamplingFreeFastWarm(base, opts, nil)
+	if err != nil {
+		t.Fatalf("base train: %v", err)
+	}
+	for j := range state.Alpha {
+		if j%2 == 0 {
+			state.Alpha[j] = 0
+		} else {
+			state.Alpha[j] = maxAlpha
+		}
+	}
+	warmModel, _, err := TrainSamplingFreeFastWarm(full, opts, state)
+	if err != nil {
+		t.Fatalf("warm train: %v", err)
+	}
+	coldModel, err := TrainSamplingFreeFast(full, opts)
+	if err != nil {
+		t.Fatalf("cold train: %v", err)
+	}
+	if d := maxAbsDiff(warmModel.Alpha, coldModel.Alpha); d != 0 {
+		t.Errorf("carried α influenced training: max |warm-cold| = %g, want exact", d)
+	}
+}
+
+// TestWarmStartSavesIterations pins what warm starting does and does not
+// buy: the saving is the compaction (ExtendCompact touches only appended
+// rows), while the Newton loop — deterministically seeded from the moment
+// estimate either way — spends exactly the iterations a cold retrain
+// spends. Identical iteration counts are the cheap witness that warm and
+// cold runs walk the same trajectory.
+func TestWarmStartSavesIterations(t *testing.T) {
+	base, full := synthGrown(t, 4000, 400, 33)
+	opts := Options{Steps: 200}
+
+	_, state, err := TrainSamplingFreeFastWarm(base, opts, nil)
+	if err != nil {
+		t.Fatalf("cold base train: %v", err)
+	}
+	_, warmState, err := TrainSamplingFreeFastWarm(full, opts, state)
+	if err != nil {
+		t.Fatalf("warm train: %v", err)
+	}
+	_, coldState, err := TrainSamplingFreeFastWarm(full, opts, nil)
+	if err != nil {
+		t.Fatalf("cold full train: %v", err)
+	}
+	if warmState.Iterations != coldState.Iterations {
+		t.Errorf("warm start spent %d iterations, cold retrain %d — the trajectories must be identical",
+			warmState.Iterations, coldState.Iterations)
+	}
+	t.Logf("iterations: warm %d, cold %d", warmState.Iterations, coldState.Iterations)
+}
+
+// TestWarmStartWithoutCompactFallsBack covers the deletions path: a state
+// carrying only α (Compact == nil, as after tombstoned rows invalidate the
+// append-only prefix) still trains correctly via a full compaction.
+func TestWarmStartWithoutCompactFallsBack(t *testing.T) {
+	base, full := synthGrown(t, 1000, 100, 9)
+	_, state, err := TrainSamplingFreeFastWarm(base, Options{Steps: 200}, nil)
+	if err != nil {
+		t.Fatalf("base train: %v", err)
+	}
+	state.Compact = nil
+	warmModel, warmState, err := TrainSamplingFreeFastWarm(full, Options{Steps: 200}, state)
+	if err != nil {
+		t.Fatalf("alpha-only warm train: %v", err)
+	}
+	coldModel, err := TrainSamplingFreeFast(full, Options{Steps: 200})
+	if err != nil {
+		t.Fatalf("cold train: %v", err)
+	}
+	if d := maxAbsDiff(warmModel.Alpha, coldModel.Alpha); d != 0 {
+		t.Errorf("alpha-only warm start diverged: max diff %g, want exact", d)
+	}
+	if warmState.Compact == nil {
+		t.Error("alpha-only warm start should produce a fresh compaction for the next round")
+	}
+}

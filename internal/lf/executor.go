@@ -172,6 +172,107 @@ func (e *Executor[T]) execute(ctx context.Context, lfs []lfapi.LF[T]) (*labelmod
 	return e.executeFused(ctx, lfs)
 }
 
+// Delta describes one staged corpus delta for incremental execution: the
+// new or changed documents, where their rows land in the full corpus's
+// staging order, and which existing rows they tombstone.
+type Delta struct {
+	// InputBase is the staged delta corpus (see Stage) — only the new and
+	// changed documents, not the whole corpus. Empty means a deletions-only
+	// delta: no job runs and the published generation carries only
+	// tombstones.
+	InputBase string
+	// StartRow is the absolute row index (full-corpus staging order, before
+	// any tombstone compaction) where the delta's rows begin. Appends use
+	// the current total row count; rewrites of existing documents use a
+	// StartRow inside the covered range, superseding those rows.
+	StartRow int
+	// Deleted lists absolute row indices this delta tombstones. Tombstoned
+	// rows disappear from the compacted view (LoadMatrix) until a later
+	// generation rewrites them.
+	Deleted []int
+}
+
+// ExecuteDelta runs the labeling-function set over a staged corpus delta
+// only — through the same fused map-only job, worker seam, and resume
+// machinery as a full Execute — and publishes the resulting votes as a new
+// generation over the columnar artifact instead of rewriting it. The
+// returned matrix covers only the delta rows; LoadMatrix assembles the
+// compacted full view. The generation number of the published delta is
+// returned for staleness accounting.
+//
+// The report's task counters cover only the delta's tasks: a delta run
+// launches no work over the unchanged corpus.
+func (e *Executor[T]) ExecuteDelta(ctx context.Context, lfs []lfapi.LF[T], d Delta) (*labelmodel.Matrix, *Report, int, error) {
+	if e.Decode == nil {
+		return nil, nil, 0, fmt.Errorf("lf: executor has no decoder")
+	}
+	if err := lfapi.ValidateNames(lfs); err != nil {
+		return nil, nil, 0, err
+	}
+	if d.StartRow < 0 {
+		return nil, nil, 0, fmt.Errorf("lf: delta starts at negative row %d", d.StartRow)
+	}
+	gen, err := LatestGeneration(e.FS, e.votesBase())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	gen++
+	ctx, span := obs.StartSpan(ctx, "lf.execute_delta",
+		obs.Int("functions", len(lfs)),
+		obs.Int("generation", gen),
+		obs.Int("start_row", d.StartRow),
+		obs.Int("deleted", len(d.Deleted)))
+	mx, report, err := e.executeDelta(ctx, lfs, d, gen)
+	if report != nil {
+		span.SetAttr(
+			obs.Int("delta_rows", report.Examples),
+			obs.Int("task_attempts", report.TaskAttempts),
+			obs.Int("tasks_resumed", report.TasksResumed))
+	}
+	span.EndErr(err)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return mx, report, gen, nil
+}
+
+func (e *Executor[T]) executeDelta(ctx context.Context, lfs []lfapi.LF[T], d Delta, gen int) (*labelmodel.Matrix, *Report, error) {
+	names := make([]string, len(lfs))
+	//drybellvet:tightloop — bounded by the function set, in-memory name collection
+	for j, f := range lfs {
+		names[j] = f.LFMeta().Name
+	}
+	var matrix *labelmodel.Matrix
+	report := &Report{PerLF: make([]LFReport, len(lfs))}
+	nsh := 1
+	if d.InputBase == "" {
+		if len(d.Deleted) == 0 {
+			return nil, nil, fmt.Errorf("lf: delta has no staged input and no deletions")
+		}
+		// Deletions-only: the generation carries tombstones and no data
+		// segment; the per-function report stays all-zero.
+		//drybellvet:tightloop — bounded by the function set, in-memory report assembly
+		for j, f := range lfs {
+			meta := f.LFMeta()
+			report.PerLF[j] = LFReport{Name: meta.Name, Category: meta.Category, Servable: meta.Servable}
+		}
+	} else {
+		var err error
+		// Per-generation scratch: delta jobs must never collide with the base
+		// run's checkpoints (same ResumeKey, different corpus).
+		scratch := path.Join(e.scratch(), fmt.Sprintf("gen-%05d", gen))
+		matrix, report, _, nsh, err = e.runFused(ctx, lfs, d.InputBase, scratch, gen)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	meta := GenerationMeta{Gen: gen, Names: names, StartRow: d.StartRow, Shards: nsh, Deleted: d.Deleted}
+	if err := WriteGeneration(e.FS, e.votesBase(), meta, matrix); err != nil {
+		return nil, nil, err
+	}
+	return matrix, report, nil
+}
+
 // resumeFromVotes is the stage-level resume fast path: when the columnar
 // vote artifact already holds every requested function's votes for exactly
 // the staged corpus, the matrix is loaded back and no job runs. Anything
@@ -254,11 +355,26 @@ func resumeKeyFor(names []string) string {
 	return "lfs:" + strings.Join(names, "\x1f")
 }
 
-// executeFused runs every labeling function inside one map-only job: each
-// task decodes its shard once, evaluates all functions over the decoded
-// records (vectorized where they support it), and emits one n-byte columnar
-// vote row per record.
+// executeFused runs every labeling function inside one map-only job (see
+// runFused) and merges the assembled votes into the columnar artifact.
 func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*labelmodel.Matrix, *Report, error) {
+	matrix, report, names, nsh, err := e.runFused(ctx, lfs, e.InputBase, e.scratch(), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := publishVotes(e.FS, e.votesBase(), matrix, names, nsh); err != nil {
+		return nil, nil, err
+	}
+	return matrix, report, nil
+}
+
+// runFused is the fused execution engine shared by full runs and delta runs:
+// one map-only job over inputBase in which each task decodes its shard once,
+// evaluates all functions over the decoded records (vectorized where they
+// support it), and emits one n-byte columnar vote row per record. It
+// assembles and returns the matrix without publishing it — full runs merge
+// it into the flat artifact, delta runs publish it as a generation.
+func (e *Executor[T]) runFused(ctx context.Context, lfs []lfapi.LF[T], inputBase, scratchBase string, generation int) (*labelmodel.Matrix, *Report, []string, int, error) {
 	start := time.Now() //drybellvet:wallclock — report durations only, never persisted votes
 	report := &Report{PerLF: make([]LFReport, len(lfs))}
 	names := make([]string, len(lfs))
@@ -267,13 +383,15 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		names[j] = f.LFMeta().Name
 		passes[j] = 1
 		// Two-pass functions (AggregateFunc) fit their corpus-level
-		// statistics from the staged input before the vote job launches.
+		// statistics from the staged input before the vote job launches. A
+		// delta run fits over the delta corpus only — corpus-level statistics
+		// from the base run are reused via Fitted().
 		if fitter, ok := f.(lfapi.CorpusFitter[T]); ok && !fitter.Fitted() {
 			_, fitSpan := obs.StartSpan(ctx, "lf.fit "+names[j])
-			err := fitter.FitCorpus(ctx, e.corpus())
+			err := fitter.FitCorpus(ctx, corpusSeq(e.FS, inputBase, e.Decode))
 			fitSpan.EndErr(err)
 			if err != nil {
-				return nil, nil, fmt.Errorf("lf: fit %s: %w", names[j], err)
+				return nil, nil, nil, 0, fmt.Errorf("lf: fit %s: %w", names[j], err)
 			}
 			passes[j] = 2
 		}
@@ -282,7 +400,7 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 	res, err := mapreduce.RunContext(ctx, mapreduce.Job{
 		Name:           "lf-votes",
 		FS:             e.FS,
-		InputBase:      e.InputBase,
+		InputBase:      inputBase,
 		Mapper:         &fusedTask[T]{ctx: ctx, lfs: lfs, decode: e.Decode, noBatch: e.NoBatch},
 		CollectOutput:  true,
 		Parallelism:    e.Parallelism,
@@ -291,12 +409,13 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		MaxAttempts:    e.MaxAttempts,
 		StragglerAfter: e.StragglerAfter,
 		Resume:         e.Resume,
-		ScratchBase:    e.scratch(),
+		ScratchBase:    scratchBase,
 		ResumeKey:      resumeKeyFor(names),
 		FailureHook:    e.FailureHook,
+		Generation:     generation,
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("lf: execute: %w", err)
+		return nil, nil, nil, 0, fmt.Errorf("lf: execute: %w", err)
 	}
 	report.TaskAttempts = res.Attempts
 	report.TasksResumed = res.SkippedTasks
@@ -306,26 +425,26 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 		total += len(shard)
 	}
 	if total == 0 {
-		return nil, nil, fmt.Errorf("lf: staged corpus at %s is empty", e.InputBase)
+		return nil, nil, nil, 0, fmt.Errorf("lf: staged corpus at %s is empty", inputBase)
 	}
 	matrix := labelmodel.NewMatrix(total, len(lfs))
 	nsh := len(res.MapOutputs)
 	for s, shard := range res.MapOutputs {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, fmt.Errorf("lf: assemble: %w", err)
+			return nil, nil, nil, 0, fmt.Errorf("lf: assemble: %w", err)
 		}
 		for r, rec := range shard {
 			if len(rec) != len(lfs) {
-				return nil, nil, fmt.Errorf("lf: vote row has %d bytes for %d functions", len(rec), len(lfs))
+				return nil, nil, nil, 0, fmt.Errorf("lf: vote row has %d bytes for %d functions", len(rec), len(lfs))
 			}
 			idx := s + r*nsh
 			if idx >= total {
-				return nil, nil, fmt.Errorf("lf: shard layout inconsistent (index %d of %d)", idx, total)
+				return nil, nil, nil, 0, fmt.Errorf("lf: shard layout inconsistent (index %d of %d)", idx, total)
 			}
 			for j, bt := range rec {
 				v := labelmodel.Label(int8(bt))
 				if !v.Valid() {
-					return nil, nil, fmt.Errorf("lf %s: vote byte %d out of range", names[j], int8(bt))
+					return nil, nil, nil, 0, fmt.Errorf("lf %s: vote byte %d out of range", names[j], int8(bt))
 				}
 				matrix.Set(idx, j, v)
 			}
@@ -347,11 +466,8 @@ func (e *Executor[T]) executeFused(ctx context.Context, lfs []lfapi.LF[T]) (*lab
 			CorpusPasses:         passes[j],
 		}
 	}
-	if err := publishVotes(e.FS, e.votesBase(), matrix, names, nsh); err != nil {
-		return nil, nil, err
-	}
 	report.Duration = time.Since(start)
-	return matrix, report, nil
+	return matrix, report, names, nsh, nil
 }
 
 // executePerLF is the one-job-per-function mode (Executor.PerLFJobs).
@@ -546,42 +662,51 @@ func mergeVotes(fs dfs.FS, base string, mx *labelmodel.Matrix, names []string) (
 	if err != nil || old.NumExamples() != mx.NumExamples() {
 		return mx, names
 	}
-	fresh := make(map[string]int, len(names))
-	for j, name := range names {
-		fresh[name] = j
+	return mergeVotesAt(old, oldNames, mx, names, 0)
+}
+
+// mergeVotesAt is the row-range merge shared by whole-artifact publication
+// (mergeVotes, startRow 0) and generation layering (ReadVersioned): fresh
+// votes covering rows [startRow, startRow+k) of the view supersede the old
+// matrix column-wise — columns the fresh matrix carries are overwritten
+// inside the range, columns it lacks keep their old votes — while rows
+// outside the range pass through unchanged and the view grows to cover
+// appended rows. New columns join the union after the existing ones,
+// Abstain-filled wherever they never voted. old may be nil (empty view).
+func mergeVotesAt(old *labelmodel.Matrix, oldNames []string, mx *labelmodel.Matrix, names []string, startRow int) (*labelmodel.Matrix, []string) {
+	oldRows := 0
+	if old != nil {
+		oldRows = old.NumExamples()
+	}
+	total := oldRows
+	if end := startRow + mx.NumExamples(); end > total {
+		total = end
 	}
 	oldIdx := make(map[string]int, len(oldNames))
 	for j, name := range oldNames {
 		oldIdx[name] = j
 	}
 	mergedNames := append([]string(nil), oldNames...)
-	for _, name := range names {
+	fresh := make(map[string]int, len(names))
+	for j, name := range names {
+		fresh[name] = j
 		if _, ok := oldIdx[name]; !ok {
 			mergedNames = append(mergedNames, name)
 		}
 	}
-	// Per merged column: read from the fresh matrix when present (fresh
-	// votes win), otherwise from the old artifact.
-	type src struct{ fromNew, col int }
-	srcs := make([]src, len(mergedNames))
+	merged := labelmodel.NewMatrix(total, len(mergedNames))
+	end := startRow + mx.NumExamples()
 	for k, name := range mergedNames {
-		if j, ok := fresh[name]; ok {
-			srcs[k] = src{1, j}
-		} else {
-			srcs[k] = src{0, oldIdx[name]}
-		}
-	}
-	merged := labelmodel.NewMatrix(mx.NumExamples(), len(mergedNames))
-	row := make([]labelmodel.Label, len(mergedNames))
-	for i := 0; i < merged.NumExamples(); i++ {
-		for k, s := range srcs {
-			if s.fromNew == 1 {
-				row[k] = mx.At(i, s.col)
-			} else {
-				row[k] = old.At(i, s.col)
+		fj, inFresh := fresh[name]
+		oj, inOld := oldIdx[name]
+		for i := 0; i < total; i++ {
+			switch {
+			case inFresh && i >= startRow && i < end:
+				merged.Set(i, k, mx.At(i-startRow, fj))
+			case inOld && i < oldRows:
+				merged.Set(i, k, old.At(i, oj))
 			}
 		}
-		merged.SetRow(i, row)
 	}
 	return merged, mergedNames
 }
@@ -893,6 +1018,13 @@ func (m *lfBatchTask[T]) MapBatch(tctx *mapreduce.TaskContext, records [][]byte,
 func (e *Executor[T]) LoadMatrix(names []string) (*labelmodel.Matrix, error) {
 	if len(names) == 0 {
 		return nil, fmt.Errorf("lf: no labeling function names to load")
+	}
+	// Generations first: once any delta has been published, the flat
+	// artifact alone is stale, and the compacted view of the chain is the
+	// corpus's current matrix.
+	if HasGenerations(e.FS, e.votesBase()) {
+		mx, _, err := ReadVersioned(e.FS, e.votesBase(), names)
+		return mx, err
 	}
 	if HasVotes(e.FS, e.votesBase()) {
 		stored, err := VoteNames(e.FS, e.votesBase())

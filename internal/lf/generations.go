@@ -1,0 +1,342 @@
+// Versioned vote store: append-only generations layered over the columnar
+// vote artifact.
+//
+// A batch run publishes the flat artifact at "<prefix>/votes" (votes.go).
+// Incremental runs do not rewrite it: each corpus delta publishes a
+// generation — a data segment in the same columnar shard format plus a
+// CRC'd JSON manifest recording its row range, column names, and tombstoned
+// rows — under "<prefix>/votes/_gen/<n>". Manifests are written to a temp
+// key and atomically renamed, so a generation is either fully visible or
+// absent; the data segment commits before its manifest, so a visible
+// manifest always has readable data.
+//
+// Readers assemble the compacted view of the chain: the legacy flat
+// artifact (when present) is the base layer, generations apply in ascending
+// order with later row ranges superseding earlier ones column-wise, and
+// tombstoned rows are dropped with the remaining rows shifted down. A
+// filesystem carrying only the flat artifact reads exactly as before.
+package lf
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/dfs"
+	"repro/internal/labelmodel"
+)
+
+// GenerationMeta is the manifest of one vote generation.
+type GenerationMeta struct {
+	// Gen is the generation number, 1-based and strictly increasing; the
+	// legacy flat artifact is implicitly generation 0.
+	Gen int `json:"gen"`
+	// Names lists this generation's labeling functions in column order.
+	Names []string `json:"names"`
+	// StartRow is the absolute row index (in staging order, before any
+	// tombstone compaction) where this generation's rows begin.
+	StartRow int `json:"start_row"`
+	// Rows is the number of vote rows in this generation's data segment.
+	Rows int `json:"rows"`
+	// Shards is the data segment's shard count.
+	Shards int `json:"shards"`
+	// Deleted lists absolute row indices this generation tombstones. A later
+	// generation whose row range covers a tombstoned row resurrects it.
+	Deleted []int `json:"deleted,omitempty"`
+	// CRC is the IEEE CRC32 of this manifest's JSON with CRC itself zeroed —
+	// a torn or hand-edited manifest is rejected at read time.
+	CRC uint32 `json:"crc"`
+}
+
+// genDir is the DFS directory holding generation manifests and data
+// segments for a votes base.
+func genDir(base string) string { return path.Join(base, "_gen") }
+
+// genManifestPath is the manifest key of generation gen.
+func genManifestPath(base string, gen int) string {
+	return path.Join(genDir(base), fmt.Sprintf("%05d", gen))
+}
+
+// genDataBase is the columnar data segment base of generation gen. It is a
+// sibling key of the manifest ("<manifest>.data"), not a child, so
+// disk-backed filesystems never need a key to be both file and directory.
+func genDataBase(base string, gen int) string {
+	return genManifestPath(base, gen) + ".data"
+}
+
+// manifestCRC computes the manifest checksum: the CRC32 of its JSON with the
+// CRC field zeroed. Struct-field order makes the marshaling deterministic.
+func manifestCRC(meta GenerationMeta) (uint32, error) {
+	meta.CRC = 0
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return 0, err
+	}
+	return crc32.ChecksumIEEE(raw), nil
+}
+
+// WriteGeneration publishes one vote generation: the matrix as a columnar
+// data segment, then the CRC'd manifest via write-temp-and-rename, so
+// concurrent readers see either the previous chain or the full new
+// generation, never a half-written one. meta.Rows and meta.CRC are filled
+// here; the caller sets Gen, Names, StartRow, Shards, and Deleted.
+func WriteGeneration(fs dfs.FS, base string, meta GenerationMeta, mx *labelmodel.Matrix) error {
+	if meta.Gen <= 0 {
+		return fmt.Errorf("lf: vote generation number %d, want >= 1 (the flat artifact is generation 0)", meta.Gen)
+	}
+	if meta.StartRow < 0 {
+		return fmt.Errorf("lf: vote generation %d starts at negative row %d", meta.Gen, meta.StartRow)
+	}
+	if meta.Shards <= 0 {
+		return fmt.Errorf("lf: vote generation %d with %d shards", meta.Gen, meta.Shards)
+	}
+	for _, d := range meta.Deleted {
+		if d < 0 {
+			return fmt.Errorf("lf: vote generation %d tombstones negative row %d", meta.Gen, d)
+		}
+	}
+	if mx == nil && len(meta.Deleted) == 0 {
+		return fmt.Errorf("lf: vote generation %d has neither votes nor tombstones", meta.Gen)
+	}
+	// A nil matrix is a deletions-only generation: tombstones in the
+	// manifest, no data segment.
+	meta.Rows = 0
+	if mx != nil {
+		meta.Rows = mx.NumExamples()
+		if err := WriteVotes(fs, genDataBase(base, meta.Gen), mx, meta.Names, meta.Shards); err != nil {
+			return fmt.Errorf("lf: write generation %d data: %w", meta.Gen, err)
+		}
+	}
+	crc, err := manifestCRC(meta)
+	if err != nil {
+		return fmt.Errorf("lf: encode generation %d manifest: %w", meta.Gen, err)
+	}
+	meta.CRC = crc
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("lf: encode generation %d manifest: %w", meta.Gen, err)
+	}
+	dst := genManifestPath(base, meta.Gen)
+	tmp := dst + ".tmp"
+	if err := fs.WriteFile(tmp, raw); err != nil {
+		return fmt.Errorf("lf: write generation %d manifest: %w", meta.Gen, err)
+	}
+	if err := fs.Rename(tmp, dst); err != nil {
+		return fmt.Errorf("lf: promote generation %d manifest: %w", meta.Gen, err)
+	}
+	return nil
+}
+
+// HasGenerations reports whether any vote generation has been published over
+// the artifact at base.
+func HasGenerations(fs dfs.FS, base string) bool {
+	gens, err := ListGenerations(fs, base)
+	return err == nil && len(gens) > 0
+}
+
+// LatestGeneration returns the highest published generation number, or 0
+// when only the flat artifact (or nothing) exists.
+func LatestGeneration(fs dfs.FS, base string) (int, error) {
+	gens, err := ListGenerations(fs, base)
+	if err != nil {
+		return 0, err
+	}
+	if len(gens) == 0 {
+		return 0, nil
+	}
+	return gens[len(gens)-1].Gen, nil
+}
+
+// ListGenerations returns the published generation manifests in ascending
+// generation order, validating each manifest's checksum and its consistency
+// with its key. A corrupt manifest fails the whole listing — an incremental
+// reader must never silently skip part of the chain.
+func ListGenerations(fs dfs.FS, base string) ([]GenerationMeta, error) {
+	prefix := genDir(base) + "/" //drybellvet:notapath — List prefix; the trailing "/" is significant
+	keys, err := fs.List(prefix)
+	if err != nil {
+		return nil, fmt.Errorf("lf: list vote generations at %s: %w", base, err)
+	}
+	var gens []GenerationMeta
+	for _, key := range keys {
+		name := strings.TrimPrefix(key, prefix)
+		// Manifest keys are exactly the zero-padded generation number;
+		// everything else under _gen/ (data segment shards and their metas,
+		// in-flight .tmp manifests) is not a manifest.
+		if strings.ContainsAny(name, "./-") {
+			continue
+		}
+		wantGen, err := strconv.Atoi(name)
+		if err != nil {
+			continue
+		}
+		raw, err := fs.ReadFile(key)
+		if err != nil {
+			return nil, fmt.Errorf("lf: read vote generation manifest %s: %w", key, err)
+		}
+		var meta GenerationMeta
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return nil, fmt.Errorf("lf: vote generation manifest %s is corrupt: %w", key, err)
+		}
+		want, err := manifestCRC(meta)
+		if err != nil {
+			return nil, fmt.Errorf("lf: vote generation manifest %s: %w", key, err)
+		}
+		if meta.CRC != want {
+			return nil, fmt.Errorf("lf: vote generation manifest %s is corrupt: checksum %08x does not match contents (want %08x)", key, meta.CRC, want)
+		}
+		if meta.Gen != wantGen {
+			return nil, fmt.Errorf("lf: vote generation manifest %s claims generation %d", key, meta.Gen)
+		}
+		if meta.Rows < 0 || meta.StartRow < 0 || meta.Shards <= 0 || len(meta.Names) == 0 {
+			return nil, fmt.Errorf("lf: vote generation manifest %s is degenerate (%d rows from %d, %d shards, %d names)",
+				key, meta.Rows, meta.StartRow, meta.Shards, len(meta.Names))
+		}
+		gens = append(gens, meta)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Gen < gens[j].Gen })
+	for i := 1; i < len(gens); i++ {
+		if gens[i].Gen == gens[i-1].Gen {
+			return nil, fmt.Errorf("lf: duplicate vote generation %d at %s", gens[i].Gen, base)
+		}
+	}
+	return gens, nil
+}
+
+// ReadVersioned assembles the compacted view of the generation chain at
+// base: the flat artifact (generation 0) layered under every published
+// generation in ascending order. Later generations supersede earlier rows in
+// their row range column-wise — columns they carry are overwritten, columns
+// they don't keep the older votes — and tombstoned rows are dropped from the
+// result with subsequent rows shifted down. Column selection follows
+// ReadVotes: nil names returns the column union in first-seen order.
+//
+// With no generations published this is exactly ReadVotes on the flat
+// artifact, so pre-versioning filesystems read unchanged.
+func ReadVersioned(fs dfs.FS, base string, names []string) (*labelmodel.Matrix, []string, error) {
+	gens, err := ListGenerations(fs, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(gens) == 0 {
+		return ReadVotes(fs, base, names)
+	}
+
+	var view *labelmodel.Matrix
+	var union []string
+	total := 0
+	if HasVotes(fs, base) {
+		mx, lnames, err := ReadVotes(fs, base, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lf: versioned votes at %s: base artifact: %w", base, err)
+		}
+		view, union = mx, lnames
+		total = mx.NumExamples()
+	}
+	deleted := make(map[int]bool)
+	for _, g := range gens {
+		if g.StartRow > total {
+			return nil, nil, fmt.Errorf("lf: vote generation %d at %s starts at row %d, beyond the %d rows covered by earlier generations",
+				g.Gen, base, g.StartRow, total)
+		}
+		if g.Rows > 0 {
+			mx, gnames, err := ReadVotes(fs, genDataBase(base, g.Gen), nil)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lf: vote generation %d at %s: data segment: %w", g.Gen, base, err)
+			}
+			if mx.NumExamples() != g.Rows {
+				return nil, nil, fmt.Errorf("lf: vote generation %d at %s holds %d rows, manifest says %d",
+					g.Gen, base, mx.NumExamples(), g.Rows)
+			}
+			view, union = mergeVotesAt(view, union, mx, gnames, g.StartRow)
+			total = view.NumExamples()
+			// Rows this generation writes clear earlier tombstones (a
+			// rewritten doc supersedes its own deletion); its own tombstones
+			// apply after.
+			for i := g.StartRow; i < g.StartRow+g.Rows; i++ {
+				delete(deleted, i)
+			}
+		}
+		for _, d := range g.Deleted {
+			if d >= total {
+				return nil, nil, fmt.Errorf("lf: vote generation %d at %s tombstones row %d, beyond the %d rows covered",
+					g.Gen, base, d, total)
+			}
+			deleted[d] = true
+		}
+	}
+	if view == nil {
+		return nil, nil, fmt.Errorf("lf: versioned votes at %s carry no vote rows (tombstones only)", base)
+	}
+
+	if len(deleted) > 0 {
+		live := make([]int, 0, total-len(deleted))
+		for i := 0; i < total; i++ {
+			if !deleted[i] {
+				live = append(live, i)
+			}
+		}
+		view = view.SubsetRows(live)
+	}
+	if names == nil {
+		return view, union, nil
+	}
+	colOf := make(map[string]int, len(union))
+	for j, n := range union {
+		colOf[n] = j
+	}
+	sel := make([]int, len(names))
+	for j, n := range names {
+		c, ok := colOf[n]
+		if !ok {
+			return nil, nil, fmt.Errorf("lf: versioned votes at %s have no column for %q (stored: %v)", base, n, union)
+		}
+		sel[j] = c
+	}
+	return view.SubsetColumns(sel), names, nil
+}
+
+// CompactGenerations folds the generation chain back into one flat columnar
+// artifact — the housekeeping step that bounds chain length for readers —
+// and removes the folded generation files. The resulting artifact is
+// byte-identical to what a from-scratch run over the same (compacted) corpus
+// would publish with the same shard count, because the artifact's write
+// generation is content-derived.
+//
+// Tombstoned rows are dropped in the fold, so after compaction row indices
+// are the post-compaction staging order; callers that track absolute row
+// positions (corpus manifests) must compact those in the same step.
+func CompactGenerations(fs dfs.FS, base string, shards int) error {
+	gens, err := ListGenerations(fs, base)
+	if err != nil {
+		return err
+	}
+	if len(gens) == 0 {
+		return nil
+	}
+	mx, names, err := ReadVersioned(fs, base, nil)
+	if err != nil {
+		return err
+	}
+	if err := WriteVotes(fs, base, mx, names, shards); err != nil {
+		return fmt.Errorf("lf: compact vote generations at %s: %w", base, err)
+	}
+	// The flat artifact now carries the whole view; drop the folded chain.
+	// Remove manifests first so a crash mid-cleanup leaves orphaned data
+	// segments (ignored by readers) rather than manifests with missing data.
+	for _, g := range gens {
+		if err := fs.Remove(genManifestPath(base, g.Gen)); err != nil {
+			return fmt.Errorf("lf: compact vote generations at %s: remove manifest %d: %w", base, g.Gen, err)
+		}
+	}
+	if keys, err := fs.List(genDir(base) + "/"); err == nil { //drybellvet:notapath — List prefix; the trailing "/" is significant
+		for _, key := range keys {
+			_ = fs.Remove(key)
+		}
+	}
+	return nil
+}

@@ -185,6 +185,11 @@ type Job struct {
 	// (internal/mapreduce/remote) to the Mapper/Reducer the task runs. The
 	// in-process pool carries its functions directly and ignores it.
 	Code string
+	// Generation tags incremental (delta) jobs with the artifact generation
+	// their output will publish — zero for full batch runs. It is stamped
+	// into every TaskSpec, so out-of-process workers can attribute a task to
+	// the corpus delta that spawned it in logs and metrics.
+	Generation int
 }
 
 // Result reports a completed job.
@@ -341,6 +346,7 @@ func runJob(ctx context.Context, job Job) (*Result, error) {
 				Scratch:     c.scratch,
 				Collect:     job.CollectOutput,
 				Persist:     job.CollectOutput && job.Resume,
+				Generation:  job.Generation,
 			},
 			cancels: map[int]context.CancelFunc{},
 		}
@@ -360,13 +366,14 @@ func runJob(ctx context.Context, job Job) (*Result, error) {
 			}
 			t := &taskState{
 				spec: TaskSpec{
-					Job:       job.Name,
-					Kind:      ReduceTask,
-					Index:     r,
-					Inputs:    inputs,
-					InputBase: job.InputBase,
-					Code:      job.Code,
-					Scratch:   c.scratch,
+					Job:        job.Name,
+					Kind:       ReduceTask,
+					Index:      r,
+					Inputs:     inputs,
+					InputBase:  job.InputBase,
+					Code:       job.Code,
+					Scratch:    c.scratch,
+					Generation: job.Generation,
 				},
 				cancels: map[int]context.CancelFunc{},
 			}

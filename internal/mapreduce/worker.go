@@ -68,6 +68,9 @@ type TaskSpec struct {
 	// Persist, with Collect, additionally commits the values to the scratch
 	// area so a resumed run can recover them without re-execution.
 	Persist bool
+	// Generation echoes Job.Generation: the artifact generation an
+	// incremental job's output publishes, zero for full batch runs.
+	Generation int
 }
 
 // TaskID names the task within its job, e.g. "map-00002".

@@ -1,9 +1,9 @@
 package nlp
 
 import (
-	"math/rand"
+	"encoding/binary"
+	"hash/fnv"
 	"strings"
-	"sync"
 )
 
 // EntityType classifies a recognized entity.
@@ -42,13 +42,18 @@ type Entity struct {
 // NER is a gazetteer-based named-entity recognizer with configurable
 // per-mention miss probability, standing in for Google's internal NER
 // models. It is safe for concurrent use.
+//
+// Misses are a pure function of (seed, text, mention), not of a sequential
+// random stream: a labeling function's vote on a document must not depend on
+// where the document sits in an execution stream, or incremental delta
+// execution (which repositions documents into their own small jobs) could
+// never reproduce a full run's votes byte for byte.
 type NER struct {
 	// MissRate is the probability a true mention is not recognized,
 	// simulating model recall < 1. Zero means perfect gazetteer recall.
 	MissRate float64
 
-	mu      sync.Mutex
-	rng     *rand.Rand            // guarded by mu
+	seed    int64
 	bigrams map[string]EntityType // write-once in NewNER, immutable after; lock-free reads are safe
 }
 
@@ -56,7 +61,7 @@ type NER struct {
 func NewNER(missRate float64, seed int64) *NER {
 	n := &NER{
 		MissRate: missRate,
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 		bigrams:  make(map[string]EntityType),
 	}
 	for _, p := range CelebrityNames {
@@ -85,13 +90,8 @@ func (n *NER) Recognize(text string) []Entity {
 		if seen[name] {
 			return
 		}
-		if n.MissRate > 0 {
-			n.mu.Lock()
-			miss := n.rng.Float64() < n.MissRate
-			n.mu.Unlock()
-			if miss {
-				return
-			}
+		if n.MissRate > 0 && missFraction(n.seed, text, name) < n.MissRate {
+			return
 		}
 		seen[name] = true
 		out = append(out, Entity{Text: name, Type: typ, Confidence: 0.9})
@@ -131,4 +131,18 @@ func ContainsName(entities []Entity, name string) bool {
 		}
 	}
 	return false
+}
+
+// missFraction maps (seed, text, mention) to a deterministic uniform fraction
+// in [0,1): the same mention in the same document under the same seed always
+// draws the same number, regardless of what was recognized before it.
+func missFraction(seed int64, text, name string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(text))
+	h.Write([]byte{0})
+	h.Write([]byte(name))
+	return float64(h.Sum64()>>11) / float64(1<<53)
 }

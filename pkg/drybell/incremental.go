@@ -1,0 +1,183 @@
+package drybell
+
+import (
+	"context"
+	"fmt"
+	"path"
+
+	"repro/internal/core"
+	"repro/internal/labelmodel"
+	internallf "repro/internal/lf"
+)
+
+// CorpusGeneration is one staged corpus delta, as recorded in the corpus
+// manifest next to the staged input. See StageDelta and IncrementalRun.
+type CorpusGeneration = core.CorpusGeneration
+
+// IncrementalResult is the output of Pipeline.IncrementalRun: the compacted
+// matrix view, the warm-start-trained model and refreshed labels, plus the
+// run's incremental accounting (published generations, delta sizes, task
+// attempts, staleness).
+type IncrementalResult = core.IncrementalResult
+
+// TrainState is the resumable label-model training state an incremental run
+// saves for the next run's warm start. The Pipeline carries it between
+// IncrementalRun calls automatically; it is exposed so callers that persist
+// state across processes can round-trip it themselves.
+type TrainState = labelmodel.TrainState
+
+// IncrementalOption configures a single Pipeline.IncrementalRun call.
+// Options are applied in order; deltas stage in the order given.
+type IncrementalOption struct {
+	f func(*incrementalSettings)
+}
+
+// incrementalSettings is the untyped option sink for one IncrementalRun.
+// Deltas are held as any so the generic WithCorpusDelta composes with
+// non-generic options in one list; IncrementalRun re-checks the example type.
+type incrementalSettings struct {
+	deltas []any
+	cold   bool
+	err    error
+}
+
+type corpusDelta[T any] struct {
+	src      Source[T]
+	startRow int // -1 appends after the rows staged so far
+	deleted  []int
+}
+
+// WithCorpusDelta stages a corpus delta — src's documents appended after the
+// rows staged so far, plus any tombstoned absolute row indices — as the next
+// corpus generation before the run executes. src may be nil for a
+// deletions-only delta. The type parameter must match the Pipeline's.
+func WithCorpusDelta[T any](src Source[T], deleted ...int) IncrementalOption {
+	return IncrementalOption{f: func(s *incrementalSettings) {
+		s.deltas = append(s.deltas, corpusDelta[T]{src: src, startRow: -1, deleted: deleted})
+	}}
+}
+
+// WithCorpusRewrite stages changed documents: src's documents supersede rows
+// [startRow, startRow+n) of the staging order. A rewrite invalidates the
+// warm start's compaction prefix, so the run falls back to the α-only warm
+// start (still far warmer than a cold restart).
+func WithCorpusRewrite[T any](src Source[T], startRow int) IncrementalOption {
+	return IncrementalOption{f: func(s *incrementalSettings) {
+		if src == nil {
+			s.fail(fmt.Errorf("drybell: WithCorpusRewrite(nil source)"))
+			return
+		}
+		if startRow < 0 {
+			s.fail(fmt.Errorf("drybell: WithCorpusRewrite start row %d, want >= 0", startRow))
+			return
+		}
+		s.deltas = append(s.deltas, corpusDelta[T]{src: src, startRow: startRow})
+	}}
+}
+
+// WithColdStart discards the Pipeline's carried warm-start state for this
+// run: training restarts from scratch, as a cold full retrain would. Use it
+// to re-anchor after many warm-started generations, or in equivalence tests.
+func WithColdStart() IncrementalOption {
+	return IncrementalOption{f: func(s *incrementalSettings) { s.cold = true }}
+}
+
+func (s *incrementalSettings) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// StageDelta stages a corpus delta — new documents appended after the rows
+// staged so far, plus any tombstoned absolute row indices — as the next
+// corpus generation, without running anything. A later IncrementalRun (from
+// this Pipeline or another process sharing the filesystem) picks it up. src
+// may be nil for a deletions-only delta.
+func (p *Pipeline[T]) StageDelta(ctx context.Context, src Source[T], deleted ...int) (CorpusGeneration, error) {
+	return core.StageDelta(ctx, p.cfg, src, deleted)
+}
+
+// CorpusGenerations reads the staged corpus deltas in generation order. A
+// corpus with no deltas staged yet has none.
+func (p *Pipeline[T]) CorpusGenerations() ([]CorpusGeneration, error) {
+	return core.CorpusGenerations(p.cfg)
+}
+
+// CorpusRows returns the corpus's absolute row count in staging order — the
+// base corpus plus every appended delta, before tombstone compaction. The
+// next appended delta starts at this row.
+func (p *Pipeline[T]) CorpusRows() (int, error) {
+	return core.CorpusTotalRows(p.cfg)
+}
+
+// ExecutedGeneration returns the latest vote generation the store has
+// published — how far labeling-function execution has progressed through the
+// corpus ledger. Zero means only the flat base artifact (or nothing) exists;
+// a watcher compares it against CorpusGenerations to see pending work.
+func (p *Pipeline[T]) ExecutedGeneration() (int, error) {
+	return internallf.LatestGeneration(p.cfg.FS, path.Join(p.cfg.VotesPrefix(), "votes"))
+}
+
+// Compact folds the corpus delta ledger and the vote generation chain into
+// flat base artifacts — the housekeeping step that bounds chain length for
+// readers. It requires every staged delta to have been executed (run
+// IncrementalRun first). Afterwards the filesystem is indistinguishable from
+// a fresh base run over the compacted corpus: restaged input and the folded
+// vote artifact are byte-identical to that run's, and the next StageDelta
+// starts a new chain at generation 1. The Pipeline's warm-start state stays
+// valid — compaction changes the layout, never the view.
+func (p *Pipeline[T]) Compact() error {
+	return core.Compact(p.cfg)
+}
+
+// IncrementalRun advances the pipeline by exactly the staged-but-unexecuted
+// corpus deltas (including any staged by this call's WithCorpusDelta /
+// WithCorpusRewrite options): labeling functions execute only over delta
+// shards, each delta publishing one vote generation; the label model
+// warm-starts from the previous run's state; and the refreshed probabilistic
+// labels are persisted over the full corpus. It requires a completed base
+// Run over the same filesystem and work directory.
+//
+// The Pipeline carries the warm-start state between IncrementalRun calls —
+// the one piece of Pipeline state that lives in memory rather than on the
+// filesystem. A fresh Pipeline (or WithColdStart) simply trains without the
+// warm start; results stay equivalent, only slower. Training always uses the
+// sampling-free fast trainer regardless of WithTrainer — warm starting is
+// its capability — and warm and cold runs produce the identical model.
+func (p *Pipeline[T]) IncrementalRun(ctx context.Context, lfs []LF[T], opts ...IncrementalOption) (*IncrementalResult, error) {
+	s := &incrementalSettings{}
+	for _, o := range opts {
+		if o.f != nil {
+			o.f(s)
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	for _, d := range s.deltas {
+		cd, ok := d.(corpusDelta[T])
+		if !ok {
+			var zero T
+			return nil, fmt.Errorf("drybell: corpus delta option was built for a different example type than the pipeline's %T", zero)
+		}
+		var err error
+		if cd.startRow < 0 {
+			_, err = core.StageDelta(ctx, p.cfg, cd.src, cd.deleted)
+		} else {
+			_, err = core.StageDeltaAt(ctx, p.cfg, cd.src, cd.startRow, cd.deleted)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	prev := p.warm
+	if s.cold {
+		prev = nil
+	}
+	res, err := core.IncrementalRun(ctx, p.cfg, lfs, prev)
+	if err != nil {
+		return nil, err
+	}
+	p.warm = res.State
+	return res, nil
+}

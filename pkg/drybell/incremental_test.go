@@ -1,0 +1,148 @@
+package drybell_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/pkg/drybell"
+)
+
+// TestIncrementalRunSDK exercises the public incremental surface end to end:
+// base run, WithCorpusDelta append, warm-started IncrementalRun, and
+// equivalence with a cold full rerun on a fresh pipeline.
+func TestIncrementalRunSDK(t *testing.T) {
+	full := makeDocs(550)
+	base, delta := full[:500], full[500:]
+	lfs := testRunners()
+
+	p := newPipeline(t)
+	if _, err := p.Run(context.Background(), drybell.SliceSource(base), lfs); err != nil {
+		t.Fatalf("base Run: %v", err)
+	}
+
+	inc, err := p.IncrementalRun(context.Background(), lfs,
+		drybell.WithCorpusDelta(drybell.SliceSource(delta)))
+	if err != nil {
+		t.Fatalf("IncrementalRun: %v", err)
+	}
+	if len(inc.Generations) != 1 || inc.Generations[0] != 1 {
+		t.Fatalf("generations %v, want [1]", inc.Generations)
+	}
+	if inc.DeltaExamples != len(delta) {
+		t.Errorf("delta examples = %d, want %d", inc.DeltaExamples, len(delta))
+	}
+	if len(inc.Posteriors) != len(full) {
+		t.Fatalf("posteriors over %d rows, want %d", len(inc.Posteriors), len(full))
+	}
+
+	// Cold full rerun on a fresh pipeline must agree exactly: training is a
+	// pure function of the vote matrix. IncrementalRun always trains with
+	// the fast trainer, so the reference pipeline selects it too.
+	cold, err := newPipeline(t, drybell.WithTrainer(drybell.TrainerSamplingFreeFast)).
+		Run(context.Background(), drybell.SliceSource(full), testRunners())
+	if err != nil {
+		t.Fatalf("cold Run: %v", err)
+	}
+	for i := range inc.Posteriors {
+		if inc.Posteriors[i] != cold.Posteriors[i] {
+			t.Fatalf("posterior %d diverged: incremental %g, cold %g", i, inc.Posteriors[i], cold.Posteriors[i])
+		}
+	}
+	for j := range inc.Model.Alpha {
+		if inc.Model.Alpha[j] != cold.Model.Alpha[j] {
+			t.Errorf("alpha[%d] diverged: incremental %g, cold %g", j, inc.Model.Alpha[j], cold.Model.Alpha[j])
+		}
+	}
+
+	// Labels on the filesystem were refreshed over the full corpus.
+	labels, err := p.Labels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(full) {
+		t.Fatalf("persisted %d labels, want %d", len(labels), len(full))
+	}
+
+	// A second run with nothing pending publishes no generation but keeps the
+	// warm start, now with the compaction prefix intact.
+	again, err := p.IncrementalRun(context.Background(), lfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Generations) != 0 || again.DeltaTaskAttempts != 0 {
+		t.Fatalf("caught-up run did work: %v, %d attempts", again.Generations, again.DeltaTaskAttempts)
+	}
+	if !again.WarmStarted {
+		t.Error("second run lost the carried warm-start state")
+	}
+
+	// Generations are inspectable.
+	gens, err := p.CorpusGenerations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0].Gen != 1 || gens[0].Records != len(delta) {
+		t.Fatalf("corpus generations = %+v", gens)
+	}
+}
+
+// TestIncrementalRunOptionValidation covers option misuse: rewrites with bad
+// arguments, deltas of the wrong example type, and cold-start behavior.
+func TestIncrementalRunOptionValidation(t *testing.T) {
+	lfs := testRunners()
+	p := newPipeline(t)
+	if _, err := p.Run(context.Background(), drybell.SliceSource(makeDocs(200)), lfs); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.IncrementalRun(context.Background(), lfs,
+		drybell.WithCorpusRewrite[doc](nil, 0)); err == nil {
+		t.Fatal("nil rewrite source accepted")
+	}
+	if _, err := p.IncrementalRun(context.Background(), lfs,
+		drybell.WithCorpusRewrite(drybell.SliceSource(makeDocs(1)), -1)); err == nil {
+		t.Fatal("negative rewrite start row accepted")
+	}
+	// A delta built for a different example type is rejected, not misdecoded.
+	if _, err := p.IncrementalRun(context.Background(), lfs,
+		drybell.WithCorpusDelta(drybell.SliceSource([]int{1, 2}))); err == nil {
+		t.Fatal("wrong-type delta accepted")
+	}
+
+	// Cold start still runs (and trains from scratch).
+	res, err := p.IncrementalRun(context.Background(), lfs, drybell.WithColdStart())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WarmStarted {
+		t.Error("WithColdStart run reported a warm start")
+	}
+}
+
+// TestIncrementalRunRewrite covers changed documents through the SDK: a
+// rewrite of covered rows flips their labels in place.
+func TestIncrementalRunRewrite(t *testing.T) {
+	lfs := testRunners()
+	p := newPipeline(t)
+	docs := makeDocs(240)
+	if _, err := p.Run(context.Background(), drybell.SliceSource(docs), lfs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Row 1 is a "plain report" (negative); rewrite it as gossip.
+	rewritten := []doc{{ID: 1, Text: "celebrity gossip from the redcarpet"}}
+	res, err := p.IncrementalRun(context.Background(), lfs,
+		drybell.WithCorpusRewrite(drybell.SliceSource(rewritten), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Posteriors) != len(docs) {
+		t.Fatalf("posteriors over %d rows, want %d", len(res.Posteriors), len(docs))
+	}
+	if res.Posteriors[1] < 0.5 {
+		t.Fatalf("rewritten row 1 posterior %g, want positive", res.Posteriors[1])
+	}
+	if res.Posteriors[0] < 0.5 || res.Posteriors[2] >= 0.5 {
+		t.Fatal("rows outside the rewrite changed labels")
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -69,6 +70,24 @@ type metrics struct {
 	shedding     *obs.Gauge
 	degraded     *obs.Counter
 	breakerState *obs.Gauge
+
+	// Freshness series for the continuous-training loop: when the serving
+	// version last changed, so scrapers can alert on labels falling behind
+	// the corpus (model age = now − promoted-at).
+	promotedAtUnix *obs.Gauge
+	promotedAt     atomic.Int64
+}
+
+// markPromotion records that the serving version just changed (initial load,
+// Promote, Rollback, or Reload picking up another process's promotion).
+func (m *metrics) markPromotion(now time.Time) {
+	m.promotedAt.Store(now.Unix())
+	m.promotedAtUnix.Set(float64(now.Unix()))
+}
+
+// modelAgeSeconds is the time since the serving version last changed.
+func (m *metrics) modelAgeSeconds(now time.Time) float64 {
+	return now.Sub(time.Unix(m.promotedAt.Load(), 0)).Seconds()
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -91,6 +110,8 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Label requests answered in degraded (majority-vote-only) mode."),
 		breakerState: reg.Gauge("serve_annotator_breaker_state",
 			"Annotator breaker position (0 closed, 1 open, 2 half-open)."),
+		promotedAtUnix: reg.Gauge("serve_model_promoted_at_unix",
+			"Unix time the serving version last changed."),
 	}
 }
 
@@ -173,6 +194,10 @@ type Snapshot struct {
 	// AnnotatorBreaker is the health breaker's position when one exists.
 	Degraded         int64  `json:"degraded,omitempty"`
 	AnnotatorBreaker string `json:"annotator_breaker,omitempty"`
+	// ModelAgeSeconds is the time since the serving version last changed —
+	// the serving-side freshness signal the continuous-training loop drives
+	// toward zero. Omitted by zero-value Snapshots for scraper compatibility.
+	ModelAgeSeconds float64 `json:"model_age_seconds,omitempty"`
 }
 
 func (m *metrics) batchSnapshot() BatchSnapshot {

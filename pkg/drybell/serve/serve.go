@@ -216,6 +216,7 @@ func New[T any](cfg Config[T]) (*Server[T], error) {
 	}
 	s := &Server[T]{cfg: cfg, handle: handle, metrics: newMetrics(reg)}
 	s.metrics.version.Set(float64(handle.Version()))
+	s.metrics.markPromotion(time.Now())
 	if len(cfg.LFs) > 0 {
 		s.labeler, err = newLabeler(cfg.LFs, cfg.LabelModel, cfg.Annotator, cfg.CacheSize)
 		if err != nil {
@@ -443,6 +444,7 @@ func (s *Server[T]) Reload() error {
 	}
 	s.handle.Swap(srv)
 	s.metrics.version.Set(float64(live.Version))
+	s.metrics.markPromotion(time.Now())
 	return nil
 }
 
@@ -453,15 +455,16 @@ func (s *Server[T]) Version() int { return s.handle.Version() }
 func (s *Server[T]) Metrics() Snapshot {
 	art := s.handle.Current().Artifact()
 	snap := Snapshot{
-		Model:         art.Name,
-		Version:       art.Version,
-		Swaps:         s.handle.Swaps(),
-		UptimeSeconds: time.Since(s.metrics.start).Seconds(),
-		Predict:       s.metrics.predict.snapshot(),
-		Label:         s.metrics.label.snapshot(),
-		Batches:       s.metrics.batchSnapshot(),
-		NLPCache:      s.labeler.cacheSnapshot(),
-		Degraded:      s.metrics.degraded.Value(),
+		Model:           art.Name,
+		Version:         art.Version,
+		Swaps:           s.handle.Swaps(),
+		UptimeSeconds:   time.Since(s.metrics.start).Seconds(),
+		Predict:         s.metrics.predict.snapshot(),
+		Label:           s.metrics.label.snapshot(),
+		Batches:         s.metrics.batchSnapshot(),
+		NLPCache:        s.labeler.cacheSnapshot(),
+		Degraded:        s.metrics.degraded.Value(),
+		ModelAgeSeconds: s.metrics.modelAgeSeconds(time.Now()),
 	}
 	if s.adm != nil {
 		snap.Admission = &AdmissionSnapshot{

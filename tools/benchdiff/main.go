@@ -1,0 +1,197 @@
+// Command benchdiff is the bench-regression gate: it compares a fresh
+// benchjson recording against the committed BENCH_pr*.json trajectory and
+// fails when a perf-critical benchmark regressed beyond the threshold. It is
+// the checker behind `make bench-gate`, which CI runs on every PR — the
+// benchmark trajectory is an enforced contract, not an archived artifact.
+//
+// For every benchmark in the current recording that matches the critical
+// set, the baseline is the MOST RECENT observation of that benchmark across
+// all given trajectory files (recorded_at decides; a benchmark absent from
+// every baseline is reported as new and does not gate). Trajectory files that
+// are not benchjson recordings — the repository also commits load-generator
+// reports under the same BENCH_ prefix — are skipped with a note.
+//
+// Usage:
+//
+//	benchdiff -current /tmp/gate.json [-current-label gate] \
+//	    [-threshold 0.25] [-critical REGEX] BENCH_pr*.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"time"
+)
+
+// Benchmark and Run mirror tools/benchjson's recording schema.
+type Benchmark struct {
+	Iterations int                `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type Run struct {
+	RecordedAt string               `json:"recorded_at"`
+	Go         string               `json:"go,omitempty"`
+	CPU        string               `json:"cpu,omitempty"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// defaultCritical is the perf-critical set the gate protects: label-model
+// training, fused LF execution, serve prediction, and the incremental path.
+const defaultCritical = `^(BenchmarkP1_SamplingFreeVsGibbs|BenchmarkP2_PipelineThroughput|BenchmarkServePredict$|BenchmarkExecuteLFs|BenchmarkIncremental)`
+
+type options struct {
+	current      string
+	currentLabel string
+	threshold    float64
+	critical     string
+	baselines    []string
+	out          io.Writer
+}
+
+func main() {
+	o := options{out: os.Stdout}
+	flag.StringVar(&o.current, "current", "", "benchjson file holding the fresh run to check (required)")
+	flag.StringVar(&o.currentLabel, "current-label", "", "label inside -current to check (default: its only label)")
+	flag.Float64Var(&o.threshold, "threshold", 0.25, "maximum tolerated ns/op regression, as a fraction")
+	flag.StringVar(&o.critical, "critical", defaultCritical, "regexp selecting the perf-critical benchmarks")
+	flag.Parse()
+	o.baselines = flag.Args()
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// observation is one baseline measurement of a benchmark, tagged with where
+// and when it was recorded.
+type observation struct {
+	bench Benchmark
+	at    time.Time
+	src   string // "file:label", for failure messages
+}
+
+func run(o options) error {
+	if o.current == "" {
+		return fmt.Errorf("-current is required")
+	}
+	if len(o.baselines) == 0 {
+		return fmt.Errorf("no baseline trajectory files given")
+	}
+	critical, err := regexp.Compile(o.critical)
+	if err != nil {
+		return fmt.Errorf("-critical: %v", err)
+	}
+
+	cur, err := loadRecording(o.current)
+	if err != nil {
+		return fmt.Errorf("%s: %v", o.current, err)
+	}
+	label := o.currentLabel
+	if label == "" {
+		if len(cur) != 1 {
+			return fmt.Errorf("%s holds %d labels; pick one with -current-label", o.current, len(cur))
+		}
+		for l := range cur {
+			label = l
+		}
+	}
+	curRun, ok := cur[label]
+	if !ok {
+		return fmt.Errorf("%s has no label %q", o.current, label)
+	}
+
+	// The baseline for each benchmark is its most recent observation across
+	// the whole trajectory: the gate compares against where performance IS,
+	// not against the oldest (usually slowest) recording.
+	best := map[string]observation{}
+	for _, path := range o.baselines {
+		runs, err := loadRecording(path)
+		if err != nil {
+			// Not every committed BENCH_ file is a benchjson recording.
+			fmt.Fprintf(o.out, "note: skipping %s: %v\n", path, err)
+			continue
+		}
+		for l, r := range runs {
+			at, _ := time.Parse(time.RFC3339, r.RecordedAt)
+			for name, bm := range r.Benchmarks {
+				if bm.NsPerOp <= 0 {
+					continue
+				}
+				if prev, seen := best[name]; !seen || at.After(prev.at) {
+					best[name] = observation{bench: bm, at: at, src: path + ":" + l}
+				}
+			}
+		}
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("no usable baseline benchmarks in %v", o.baselines)
+	}
+
+	names := make([]string, 0, len(curRun.Benchmarks))
+	for name := range curRun.Benchmarks {
+		if critical.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmark in %s:%s matches the critical set %q", o.current, label, o.critical)
+	}
+
+	var regressions int
+	for _, name := range names {
+		bm := curRun.Benchmarks[name]
+		base, seen := best[name]
+		if !seen {
+			fmt.Fprintf(o.out, "new:  %s %.0f ns/op (no baseline yet — not gated)\n", name, bm.NsPerOp)
+			continue
+		}
+		delta := (bm.NsPerOp - base.bench.NsPerOp) / base.bench.NsPerOp
+		if delta > o.threshold {
+			regressions++
+			fmt.Fprintf(o.out, "FAIL: %s regressed %+.1f%%: baseline %.0f ns/op (%s), current %.0f ns/op (limit +%.0f%%)\n",
+				name, delta*100, base.bench.NsPerOp, base.src, bm.NsPerOp, o.threshold*100)
+			continue
+		}
+		fmt.Fprintf(o.out, "ok:   %s %+.1f%% vs %s (%.0f -> %.0f ns/op)\n",
+			name, delta*100, base.src, base.bench.NsPerOp, bm.NsPerOp)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d perf-critical benchmark(s) regressed more than %.0f%%", regressions, o.threshold*100)
+	}
+	return nil
+}
+
+// loadRecording parses a benchjson results file: a map of run labels to
+// recordings. Labels whose value is not a recording are dropped; a file with
+// no recordings at all (e.g. a load-generator report) is an error so the
+// caller can skip it loudly.
+func loadRecording(path string) (map[string]Run, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("not a benchjson recording: %v", err)
+	}
+	out := map[string]Run{}
+	for label, msg := range raw {
+		var r Run
+		if err := json.Unmarshal(msg, &r); err != nil || len(r.Benchmarks) == 0 {
+			continue
+		}
+		out[label] = r
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("not a benchjson recording (no labeled benchmark runs)")
+	}
+	return out, nil
+}

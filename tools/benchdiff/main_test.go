@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRecording(t *testing.T, dir, name string, runs map[string]Run) string {
+	t.Helper()
+	data, err := json.Marshal(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func rec(at string, benches map[string]float64) Run {
+	r := Run{RecordedAt: at, Benchmarks: map[string]Benchmark{}}
+	for name, ns := range benches {
+		r.Benchmarks[name] = Benchmark{Iterations: 10, NsPerOp: ns}
+	}
+	return r
+}
+
+// TestGateFailsOnInjectedRegression is the acceptance check: a doctored
+// current run 2x slower than the committed baseline must fail, naming the
+// benchmark, both numbers, and the delta.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecording(t, dir, "BENCH_pr8.json", map[string]Run{
+		"pr8": rec("2026-08-01T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 100_000_000,
+		}),
+	})
+	cur := writeRecording(t, dir, "gate.json", map[string]Run{
+		"gate": rec("2026-08-07T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 200_000_000,
+		}),
+	})
+
+	var out bytes.Buffer
+	err := run(options{current: cur, threshold: 0.25, critical: defaultCritical,
+		baselines: []string{base}, out: &out})
+	if err == nil {
+		t.Fatalf("gate passed a 2x regression; output:\n%s", out.String())
+	}
+	for _, want := range []string{"BenchmarkExecuteLFs/Batch", "+100.0%", "100000000", "200000000"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("failure output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestGatePassesWithinThreshold: a 10% slowdown under a 25% threshold is not
+// a regression, and an improvement certainly is not.
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecording(t, dir, "BENCH_pr8.json", map[string]Run{
+		"pr8": rec("2026-08-01T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch":                    100_000_000,
+			"BenchmarkP1_SamplingFreeVsGibbs/SamplingFree": 20_000_000,
+		}),
+	})
+	cur := writeRecording(t, dir, "gate.json", map[string]Run{
+		"gate": rec("2026-08-07T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch":                    110_000_000,
+			"BenchmarkP1_SamplingFreeVsGibbs/SamplingFree": 15_000_000,
+		}),
+	})
+	var out bytes.Buffer
+	if err := run(options{current: cur, threshold: 0.25, critical: defaultCritical,
+		baselines: []string{base}, out: &out}); err != nil {
+		t.Fatalf("gate failed within threshold: %v\n%s", err, out.String())
+	}
+}
+
+// TestGateUsesMostRecentBaseline: the trajectory's newest observation is the
+// baseline, so a benchmark that legitimately slowed in an accepted PR is
+// gated against its accepted level, not its all-time best.
+func TestGateUsesMostRecentBaseline(t *testing.T) {
+	dir := t.TempDir()
+	older := writeRecording(t, dir, "BENCH_pr4.json", map[string]Run{
+		"pr4": rec("2026-06-01T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 50_000_000, // all-time best
+		}),
+	})
+	newer := writeRecording(t, dir, "BENCH_pr8.json", map[string]Run{
+		"pr8": rec("2026-08-01T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 100_000_000, // accepted level
+		}),
+	})
+	cur := writeRecording(t, dir, "gate.json", map[string]Run{
+		"gate": rec("2026-08-07T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 110_000_000, // +120% vs pr4, +10% vs pr8
+		}),
+	})
+	var out bytes.Buffer
+	if err := run(options{current: cur, threshold: 0.25, critical: defaultCritical,
+		baselines: []string{older, newer}, out: &out}); err != nil {
+		t.Fatalf("gate compared against a stale baseline: %v\n%s", err, out.String())
+	}
+}
+
+// TestGateToleratesForeignTrajectoryFiles: the repository commits non-benchjson
+// reports under the same BENCH_ prefix (load-generator output); the gate must
+// skip them with a note, not choke.
+func TestGateToleratesForeignTrajectoryFiles(t *testing.T) {
+	dir := t.TempDir()
+	foreign := filepath.Join(dir, "BENCH_pr9.json")
+	if err := os.WriteFile(foreign, []byte(`{"bench":"drybell-loadgen","capacity_rps":11238.4,"points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := writeRecording(t, dir, "BENCH_pr8.json", map[string]Run{
+		"pr8": rec("2026-08-01T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 100_000_000,
+		}),
+	})
+	cur := writeRecording(t, dir, "gate.json", map[string]Run{
+		"gate": rec("2026-08-07T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 100_000_000,
+		}),
+	})
+	var out bytes.Buffer
+	if err := run(options{current: cur, threshold: 0.25, critical: defaultCritical,
+		baselines: []string{foreign, base}, out: &out}); err != nil {
+		t.Fatalf("foreign file broke the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "skipping") {
+		t.Errorf("no skip note for the foreign file:\n%s", out.String())
+	}
+}
+
+// TestGateNewBenchmarkNotGated: a benchmark with no baseline anywhere in the
+// trajectory is reported but cannot fail the gate.
+func TestGateNewBenchmarkNotGated(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecording(t, dir, "BENCH_pr8.json", map[string]Run{
+		"pr8": rec("2026-08-01T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch": 100_000_000,
+		}),
+	})
+	cur := writeRecording(t, dir, "gate.json", map[string]Run{
+		"gate": rec("2026-08-07T00:00:00Z", map[string]float64{
+			"BenchmarkExecuteLFs/Batch":            100_000_000,
+			"BenchmarkIncremental/Delta10pctTrain": 5_000_000,
+		}),
+	})
+	var out bytes.Buffer
+	if err := run(options{current: cur, threshold: 0.25, critical: defaultCritical,
+		baselines: []string{base}, out: &out}); err != nil {
+		t.Fatalf("new benchmark failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new:") {
+		t.Errorf("new benchmark not reported:\n%s", out.String())
+	}
+}
+
+// TestGateRejectsUselessInputs: missing flags, ambiguous labels, and a
+// critical set matching nothing are loud errors, not silent passes.
+func TestGateRejectsUselessInputs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecording(t, dir, "BENCH_pr8.json", map[string]Run{
+		"pr8": rec("2026-08-01T00:00:00Z", map[string]float64{"BenchmarkExecuteLFs/Batch": 1}),
+	})
+	two := writeRecording(t, dir, "two.json", map[string]Run{
+		"a": rec("2026-08-01T00:00:00Z", map[string]float64{"BenchmarkExecuteLFs/Batch": 1}),
+		"b": rec("2026-08-02T00:00:00Z", map[string]float64{"BenchmarkExecuteLFs/Batch": 1}),
+	})
+	var out bytes.Buffer
+	if err := run(options{baselines: []string{base}, out: &out}); err == nil {
+		t.Error("missing -current accepted")
+	}
+	if err := run(options{current: base, out: &out}); err == nil {
+		t.Error("missing baselines accepted")
+	}
+	if err := run(options{current: two, threshold: 0.25, critical: defaultCritical,
+		baselines: []string{base}, out: &out}); err == nil {
+		t.Error("ambiguous multi-label current accepted without -current-label")
+	}
+	if err := run(options{current: two, currentLabel: "a", threshold: 0.25,
+		critical: "^BenchmarkNothingMatches$", baselines: []string{base}, out: &out}); err == nil {
+		t.Error("critical set matching nothing accepted")
+	}
+}

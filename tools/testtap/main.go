@@ -1,0 +1,92 @@
+// Command testtap renders a `go test -json` event stream as quiet,
+// human-readable CI output. It sits at the end of the artifact tee:
+//
+//	go test -race -json ./... 2>&1 | tee test.ndjson | testtap
+//
+// The raw NDJSON lands in the artifact file for post-hoc debugging of flaky
+// schedule-dependent failures; testtap keeps the live log readable — one
+// line per package, with a test's full buffered output replayed only when it
+// fails. -json implies -v, so printing everything would flood the log with
+// every passing test's chatter.
+//
+// testtap exits non-zero when any test or package fails (including build
+// failures), so a failing run fails the CI step even under a shell without
+// pipefail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// event is the go test -json record (cmd/test2json).
+type event struct {
+	Action  string  `json:"Action"`
+	Package string  `json:"Package"`
+	Test    string  `json:"Test"`
+	Elapsed float64 `json:"Elapsed"`
+	Output  string  `json:"Output"`
+}
+
+func main() {
+	failed, err := run(os.Stdin, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "testtap: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer) (failed bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// Output buffers per package/test, replayed only on failure.
+	buf := map[string][]string{}
+	key := func(e event) string { return e.Package + "\x00" + e.Test }
+
+	for sc.Scan() {
+		line := sc.Bytes()
+		var e event
+		if len(line) == 0 || line[0] != '{' || json.Unmarshal(line, &e) != nil {
+			// Not an event — tooling noise or a pre-JSON build error from an
+			// older toolchain. Pass it through verbatim.
+			fmt.Fprintln(w, string(line))
+			continue
+		}
+		switch e.Action {
+		case "output", "build-output":
+			buf[key(e)] = append(buf[key(e)], e.Output)
+		case "pass":
+			delete(buf, key(e))
+			if e.Test == "" {
+				fmt.Fprintf(w, "ok   %s %.2fs\n", e.Package, e.Elapsed)
+			}
+		case "skip":
+			delete(buf, key(e))
+			if e.Test == "" {
+				fmt.Fprintf(w, "skip %s\n", e.Package)
+			}
+		case "fail", "build-fail":
+			failed = true
+			name := e.Package
+			if e.Test != "" {
+				name = e.Package + "." + e.Test
+			}
+			fmt.Fprintf(w, "FAIL %s\n", name)
+			for _, out := range buf[key(e)] {
+				fmt.Fprint(w, "  "+strings.TrimRight(out, "\n")+"\n")
+			}
+			delete(buf, key(e))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return failed, err
+	}
+	return failed, nil
+}

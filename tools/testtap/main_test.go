@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPassingStreamIsQuiet(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"output","Package":"p","Test":"TestA","Output":"=== RUN TestA\n"}`,
+		`{"Action":"output","Package":"p","Test":"TestA","Output":"noisy log line\n"}`,
+		`{"Action":"pass","Package":"p","Test":"TestA","Elapsed":0.01}`,
+		`{"Action":"pass","Package":"p","Elapsed":0.5}`,
+	}, "\n")
+	var out strings.Builder
+	failed, err := run(strings.NewReader(in), &out)
+	if err != nil || failed {
+		t.Fatalf("failed=%v err=%v", failed, err)
+	}
+	if strings.Contains(out.String(), "noisy") {
+		t.Errorf("passing test's output leaked into the log:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok   p") {
+		t.Errorf("no package summary line:\n%s", out.String())
+	}
+}
+
+func TestFailureReplaysBufferedOutputAndFails(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"output","Package":"p","Test":"TestB","Output":"the crucial diagnostic\n"}`,
+		`{"Action":"fail","Package":"p","Test":"TestB","Elapsed":0.2}`,
+		`{"Action":"fail","Package":"p","Elapsed":0.3}`,
+	}, "\n")
+	var out strings.Builder
+	failed, err := run(strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("failing stream reported success")
+	}
+	if !strings.Contains(out.String(), "FAIL p.TestB") {
+		t.Errorf("no failure line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "the crucial diagnostic") {
+		t.Errorf("buffered output not replayed on failure:\n%s", out.String())
+	}
+}
+
+func TestBuildFailureFails(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"build-output","Package":"p","Output":"p/x.go:3:1: syntax error\n"}`,
+		`{"Action":"build-fail","Package":"p"}`,
+	}, "\n")
+	var out strings.Builder
+	failed, err := run(strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("build failure reported success")
+	}
+	if !strings.Contains(out.String(), "syntax error") {
+		t.Errorf("build diagnostics not shown:\n%s", out.String())
+	}
+}
+
+func TestNonJSONLinesPassThrough(t *testing.T) {
+	var out strings.Builder
+	failed, err := run(strings.NewReader("plain toolchain noise\n"), &out)
+	if err != nil || failed {
+		t.Fatalf("failed=%v err=%v", failed, err)
+	}
+	if !strings.Contains(out.String(), "plain toolchain noise") {
+		t.Errorf("non-JSON line dropped:\n%s", out.String())
+	}
+}
